@@ -1,0 +1,321 @@
+(* tcvs — command-line front end for the Trusted CVS reproduction.
+
+   Subcommands:
+     tcvs simulate   run a protocol against an adversary over a
+                     generated workload and report the outcome
+     tcvs matrix     the full protocol x adversary detection matrix
+     tcvs workload   print a generated workload schedule
+     tcvs session    scripted two-user CVS session (commit/checkout/log)
+     tcvs inspect    build a database and show Merkle tree / VO facts
+
+   Everything is deterministic given --seed. *)
+
+open Cmdliner
+open Tcvs
+module S = Workload.Schedule
+
+(* ---- shared argument definitions -------------------------------------- *)
+
+let seed_arg =
+  let doc = "PRNG seed; equal seeds give identical runs." in
+  Arg.(value & opt string "tcvs-cli" & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let users_arg =
+  let doc = "Number of users." in
+  Arg.(value & opt int 4 & info [ "users"; "n" ] ~docv:"N" ~doc)
+
+let rounds_arg =
+  let doc = "Length of the generated workload, in rounds." in
+  Arg.(value & opt int 600 & info [ "rounds" ] ~docv:"ROUNDS" ~doc)
+
+let k_arg =
+  let doc = "Synchronisation period k (operations between syncs)." in
+  Arg.(value & opt int 8 & info [ "k" ] ~docv:"K" ~doc)
+
+let epoch_arg =
+  let doc = "Epoch length t for protocol 3 (rounds)." in
+  Arg.(value & opt int 120 & info [ "epoch-len"; "t" ] ~docv:"ROUNDS" ~doc)
+
+let protocol_conv k epoch_len =
+  let parse s =
+    match s with
+    | "1" | "protocol-1" -> Ok (Harness.Protocol_1 { k })
+    | "2" | "protocol-2" ->
+        Ok (Harness.Protocol_2 { k; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user })
+    | "2-untagged" ->
+        Ok
+          (Harness.Protocol_2
+             { k; tag_mode = `Untagged; check_gctr = true; sync_trigger = `Per_user })
+    | "2-global" ->
+        Ok
+          (Harness.Protocol_2
+             { k; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Global })
+    | "3" | "protocol-3" -> Ok (Harness.Protocol_3 { epoch_len })
+    | "token" -> Ok (Harness.Token_baseline { slot_len = 4 })
+    | "none" | "unverified" -> Ok Harness.Unverified
+    | _ -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
+  in
+  parse
+
+let protocol_arg =
+  let doc =
+    "Protocol: 1, 2, 2-untagged, 2-global, 3, token, or none (the unverified baseline)."
+  in
+  Arg.(value & opt string "2" & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc)
+
+let adversary_arg =
+  let doc =
+    "Server behaviour: honest, tamper:N, drop:N, fork:N, rollback:N:DEPTH \
+     (N = operation index at which the attack fires)."
+  in
+  Arg.(value & opt string "honest" & info [ "adversary"; "a" ] ~docv:"ADV" ~doc)
+
+let parse_adversary ~users s =
+  let fail () = Error (`Msg (Printf.sprintf "cannot parse adversary %S" s)) in
+  match String.split_on_char ':' s with
+  | [ "honest" ] -> Ok Adversary.Honest
+  | [ "tamper"; n ] -> (
+      match int_of_string_opt n with
+      | Some at_op -> Ok (Adversary.Tamper_value { at_op })
+      | None -> fail ())
+  | [ "drop"; n ] -> (
+      match int_of_string_opt n with
+      | Some at_op -> Ok (Adversary.Drop_update { at_op })
+      | None -> fail ())
+  | [ "fork"; n ] -> (
+      match int_of_string_opt n with
+      | Some at_op ->
+          (* First half of the users keeps the true branch. *)
+          Ok (Adversary.Fork { at_op; group_a = List.init (max 1 (users / 2)) Fun.id })
+      | None -> fail ())
+  | [ "rollback"; n; d ] -> (
+      match (int_of_string_opt n, int_of_string_opt d) with
+      | Some at_op, Some depth -> Ok (Adversary.Rollback { at_op; depth; repeat = 1 })
+      | _ -> fail ())
+  | _ -> fail ()
+
+let generated_workload ~users ~rounds ~seed =
+  S.generate
+    {
+      S.default_profile with
+      S.users;
+      files = 24;
+      mean_think = 4.0;
+      offline_probability = 0.02;
+      mean_offline = 30.0;
+    }
+    ~seed ~rounds
+
+(* ---- simulate ----------------------------------------------------------- *)
+
+let print_outcome protocol adversary (o : Harness.outcome) =
+  Printf.printf "protocol      : %s\n" (Harness.protocol_name protocol);
+  Printf.printf "adversary     : %s\n" (Adversary.name adversary);
+  Printf.printf "transactions  : %d issued, %d completed\n" o.issued_transactions
+    o.completed_transactions;
+  Printf.printf "rounds        : %d\n" o.rounds_run;
+  Printf.printf "messages      : %d (%d bytes), %d broadcast deliveries\n" o.messages_sent
+    o.bytes_sent o.broadcasts_sent;
+  Printf.printf "ground truth  : %s\n"
+    (if o.oracle.Sim.Oracle.deviated then "run DEVIATES from every trusted run"
+     else "run is consistent with a trusted run");
+  (match o.alarms with
+  | [] -> Printf.printf "detection     : none\n"
+  | a :: _ ->
+      Printf.printf "detection     : %s at round %d\n" (Sim.Id.to_string a.Sim.Engine.agent)
+        a.Sim.Engine.at_round;
+      Printf.printf "reason        : %s\n" a.Sim.Engine.reason;
+      Printf.printf "ops after vio : %d\n" o.ops_after_violation);
+  match Harness.classify o with
+  | `True_alarm -> Printf.printf "classification: TRUE ALARM\n"
+  | `False_alarm -> Printf.printf "classification: FALSE ALARM (bug!)\n"
+  | `Missed -> Printf.printf "classification: MISSED VIOLATION\n"
+  | `Clean -> Printf.printf "classification: clean run\n"
+
+let simulate_cmd =
+  let run seed users rounds k epoch_len protocol_str adversary_str =
+    match
+      ( protocol_conv k epoch_len protocol_str,
+        parse_adversary ~users adversary_str )
+    with
+    | Error (`Msg m), _ | _, Error (`Msg m) ->
+        Printf.eprintf "error: %s\n" m;
+        exit 2
+    | Ok protocol, Ok adversary ->
+        let events = generated_workload ~users ~rounds ~seed in
+        let setup =
+          { (Harness.default_setup ~protocol ~users ~adversary) with Harness.seed }
+        in
+        print_outcome protocol adversary (Harness.run setup ~events)
+  in
+  let doc = "Run one protocol against one adversary over a generated workload." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ seed_arg $ users_arg $ rounds_arg $ k_arg $ epoch_arg $ protocol_arg
+      $ adversary_arg)
+
+(* ---- matrix -------------------------------------------------------------- *)
+
+let matrix_cmd =
+  let run seed users rounds k epoch_len =
+    let events = generated_workload ~users ~rounds ~seed in
+    let protocols =
+      [
+        Harness.Unverified;
+        Harness.Protocol_1 { k };
+        Harness.Protocol_2 { k; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user };
+        Harness.Protocol_3 { epoch_len };
+      ]
+    in
+    let adversaries =
+      [
+        Adversary.Honest;
+        Adversary.Tamper_value { at_op = 10 };
+        Adversary.Drop_update { at_op = 10 };
+        Adversary.Fork { at_op = 10; group_a = List.init (max 1 (users / 2)) Fun.id };
+        Adversary.Rollback { at_op = 12; depth = 4; repeat = 1 };
+      ]
+    in
+    Printf.printf "%-24s %-22s %-10s %-28s\n" "protocol" "adversary" "oracle" "detection";
+    List.iter
+      (fun protocol ->
+        List.iter
+          (fun adversary ->
+            let o =
+              Harness.run (Harness.default_setup ~protocol ~users ~adversary) ~events
+            in
+            Printf.printf "%-24s %-22s %-10s %-28s\n" (Harness.protocol_name protocol)
+              (Adversary.name adversary)
+              (if o.oracle.Sim.Oracle.deviated then "deviates" else "-")
+              (match o.alarms with
+              | [] -> if adversary = Adversary.Honest then "clean" else "MISSED"
+              | a :: _ -> Printf.sprintf "round %d (%d ops after)" a.Sim.Engine.at_round
+                            o.ops_after_violation))
+          adversaries;
+        print_newline ())
+      protocols
+  in
+  let doc = "Run the full protocol x adversary detection matrix." in
+  Cmd.v
+    (Cmd.info "matrix" ~doc)
+    Term.(const run $ seed_arg $ users_arg $ rounds_arg $ k_arg $ epoch_arg)
+
+(* ---- workload -------------------------------------------------------------- *)
+
+let workload_cmd =
+  let run seed users rounds partitionable k =
+    let events =
+      if partitionable then
+        S.partitionable
+          {
+            S.group_a = List.init (max 1 (users / 2)) Fun.id;
+            group_b = List.init (users - (users / 2)) (fun i -> (users / 2) + i);
+            shared_file = 7;
+            k;
+            private_files = 16;
+          }
+          ~seed
+      else generated_workload ~users ~rounds ~seed
+    in
+    List.iter (fun ev -> Format.printf "%a@." S.pp_event ev) events;
+    Printf.printf "# %d events\n" (List.length events)
+  in
+  let partitionable_arg =
+    Arg.(value & flag & info [ "partitionable" ] ~doc:"Generate the Figure 1 workload shape.")
+  in
+  let doc = "Print a generated workload schedule." in
+  Cmd.v
+    (Cmd.info "workload" ~doc)
+    Term.(const run $ seed_arg $ users_arg $ rounds_arg $ partitionable_arg $ k_arg)
+
+(* ---- session ------------------------------------------------------------- *)
+
+let session_cmd =
+  let run k adversary_str =
+    match parse_adversary ~users:2 adversary_str with
+    | Error (`Msg m) ->
+        Printf.eprintf "error: %s\n" m;
+        exit 2
+    | Ok adversary ->
+        let engine = Sim.Engine.create ~measure:Message.encoded_size () in
+        let trace = Sim.Trace.create () in
+        let server =
+          Server.create
+            { Server.mode = `Plain; epoch_len = None; branching = 8; adversary }
+            ~engine ~initial:[] ~initial_root_sig:None
+        in
+        let config =
+          Protocol2.default_config ~n:2 ~k ~initial_root:(Server.initial_root server)
+        in
+        let session u =
+          Cvs.session ~engine
+            ~base:(Protocol2.base (Protocol2.create config ~user:u ~engine ~trace))
+        in
+        let alice = session 0 and bob = session 1 in
+        let step name = function
+          | Ok _ -> Printf.printf "ok   %s\n" name
+          | Error e -> Printf.printf "FAIL %s: %s\n" name (Format.asprintf "%a" Cvs.pp_error e)
+        in
+        step "alice commits main.ml r1"
+          (Result.map ignore (Cvs.commit alice ~path:"main.ml" ~content:"v1" ~log:"import"));
+        step "bob checks out main.ml"
+          (Result.map ignore (Cvs.checkout bob ~path:"main.ml"));
+        step "bob commits main.ml r2"
+          (Result.map ignore (Cvs.commit bob ~path:"main.ml" ~content:"v2" ~log:"edit"));
+        step "alice reads the log" (Result.map ignore (Cvs.log alice ~path:"main.ml"));
+        step "alice commits util.ml r1"
+          (Result.map ignore (Cvs.commit alice ~path:"util.ml" ~content:"u1" ~log:"add"));
+        step "bob lists files" (Result.map ignore (Cvs.list_files bob ~prefix:""));
+        (match Sim.Engine.alarms engine with
+        | [] -> Printf.printf "no alarms — %d messages exchanged\n" (Sim.Engine.messages_sent engine)
+        | a :: _ ->
+            Printf.printf "ALARM by %s: %s\n" (Sim.Id.to_string a.Sim.Engine.agent)
+              a.Sim.Engine.reason)
+  in
+  let doc = "Run a scripted two-user CVS session over Protocol II." in
+  Cmd.v (Cmd.info "session" ~doc) Term.(const run $ k_arg $ adversary_arg)
+
+(* ---- inspect -------------------------------------------------------------- *)
+
+let inspect_cmd =
+  let run items branching =
+    let db =
+      Mtree.Merkle_btree.of_alist ~branching
+        (List.init items (fun i -> (Printf.sprintf "key%06d" i, Printf.sprintf "value-%d" i)))
+    in
+    Printf.printf "items        : %d\n" items;
+    Printf.printf "branching    : %d\n" branching;
+    Printf.printf "depth        : %d\n" (Mtree.Merkle_btree.depth db);
+    Printf.printf "root digest  : %s\n"
+      (Crypto.Hex.encode (Mtree.Merkle_btree.root_digest db));
+    let key = Printf.sprintf "key%06d" (items / 2) in
+    List.iter
+      (fun (name, op) ->
+        let vo = Mtree.Vo.generate db op in
+        Printf.printf "VO for %-22s: %5d bytes, %3d pruned digests, %2d nodes\n" name
+          (Mtree.Vo.size_bytes vo) (Mtree.Vo.stub_count vo) (Mtree.Vo.materialized_nodes vo))
+      [
+        ("point read", Mtree.Vo.Get key);
+        ("update", Mtree.Vo.Set (key, "new"));
+        ("delete", Mtree.Vo.Remove key);
+        ("32-key range", Mtree.Vo.Range (key, Printf.sprintf "key%06d" ((items / 2) + 31)));
+      ]
+  in
+  let items_arg =
+    Arg.(value & opt int 4096 & info [ "items" ] ~docv:"N" ~doc:"Database size.")
+  in
+  let branching_arg =
+    Arg.(value & opt int 16 & info [ "branching"; "m" ] ~docv:"M" ~doc:"B+-tree branching.")
+  in
+  let doc = "Build a database and print Merkle tree / verification-object facts." in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ items_arg $ branching_arg)
+
+(* ---- entry ----------------------------------------------------------------- *)
+
+let () =
+  let doc = "Trusted CVS: detection protocols for untrusted version-control servers" in
+  let info = Cmd.info "tcvs" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ simulate_cmd; matrix_cmd; workload_cmd; session_cmd; inspect_cmd ]))

@@ -1,0 +1,1 @@
+examples/fault_localization.ml: Adversary Format Harness List Sim Tcvs Workload

@@ -1,0 +1,1 @@
+examples/offline_epochs.ml: Adversary Format Harness List Sim Tcvs Workload

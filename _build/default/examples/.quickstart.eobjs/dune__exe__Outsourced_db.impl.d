@@ -1,0 +1,1 @@
+examples/outsourced_db.ml: Adversary Format Harness Mtree Pki Sim Tcvs

@@ -1,0 +1,1 @@
+examples/outsourced_db.mli:

@@ -1,0 +1,1 @@
+examples/partition_attack.ml: Adversary Format Harness List Sim Tcvs Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adversary Cvs Format List Message Protocol2 Server Sim Tcvs Vcs

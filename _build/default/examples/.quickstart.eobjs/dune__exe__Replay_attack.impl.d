@@ -1,0 +1,1 @@
+examples/replay_attack.ml: Adversary Format Harness List Mtree String Tcvs Wgraph

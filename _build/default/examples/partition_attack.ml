@@ -1,0 +1,69 @@
+(* The partition attack of Section 3 / Figure 1.
+
+   A programmer in the US (user 0) and a programmer in China (user 1)
+   share a repository. The US programmer commits a change to Common.h
+   (transaction t1) and goes offline; the malicious server then forks:
+   the Chinese programmer is shown a copy in which t1 never happened,
+   makes a change that causally depends on Common.h (t2), and performs
+   k+1 further commits.
+
+   Theorem 3.1 says no protocol can detect this without external
+   communication: we demonstrate it by running the same trace through
+   unverified users (nothing is ever detected — each user's view is
+   perfectly self-consistent) and through Protocol II users, whose
+   broadcast-channel sync catches the fork the first time they
+   compare registers.
+
+   Run with: dune exec examples/partition_attack.exe *)
+
+open Tcvs
+
+let k = 4
+
+let schedule =
+  (* Built with the workload library's partitionable-trace generator:
+     exactly the Figure 1 shape. *)
+  Workload.Schedule.partitionable
+    {
+      Workload.Schedule.group_a = [ 0 ];
+      group_b = [ 1 ];
+      shared_file = 7;
+      k;
+      private_files = 16;
+    }
+    ~seed:"icde06-fig1"
+
+let describe () =
+  Format.printf "Figure 1 workload (shared file = f7, k = %d):@." k;
+  List.iter (fun ev -> Format.printf "  %a@." Workload.Schedule.pp_event ev) schedule
+
+let run name protocol =
+  (* The server forks right after the US programmer's shared-file
+     commit (t1): group A = {0} keeps the true branch, and the Chinese
+     programmer's t2 is served from a copy where t1 never happened. *)
+  let fork_at = List.length (Workload.Schedule.events_for_user schedule ~user:0) - 1 in
+  let adversary = Adversary.Fork { at_op = fork_at; group_a = [ 0 ] } in
+  let setup = Harness.default_setup ~protocol ~users:2 ~adversary in
+  let outcome = Harness.run setup ~events:schedule in
+  Format.printf "@.%s:@." name;
+  Format.printf "  transactions completed: %d/%d@." outcome.completed_transactions
+    outcome.issued_transactions;
+  Format.printf "  ground truth (oracle): run %s from every trusted run@."
+    (if outcome.oracle.deviated then "DEVIATES" else "does not deviate");
+  (match outcome.alarms with
+  | [] -> Format.printf "  detection: none — the fork went unnoticed@."
+  | a :: _ ->
+      Format.printf "  detection: %a at round %d — %s@." Sim.Id.pp a.agent a.at_round a.reason;
+      Format.printf "  operations completed after the violation: %d (bound: k = %d)@."
+        outcome.ops_after_violation k)
+
+let () =
+  describe ();
+  run "Unverified users (no external communication)" Harness.Unverified;
+  run "Protocol II users (broadcast sync every k ops)"
+    (Harness.Protocol_2 { k; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user });
+  run "Protocol I users (signed roots + sync)" (Harness.Protocol_1 { k });
+  Format.printf
+    "@.Theorem 3.1 in action: the unverified pair, whose only channel is the@.\
+     server, cannot distinguish the forked run from an honest one; the@.\
+     protocols with a broadcast channel detect it at their first sync.@."

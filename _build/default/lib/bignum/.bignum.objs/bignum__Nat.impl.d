@@ -1,0 +1,1 @@
+lib/bignum/nat.ml: Array Bytes Char Crypto Format List Printf Stdlib String

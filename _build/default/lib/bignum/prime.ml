@@ -1,0 +1,74 @@
+let small_primes =
+  [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61; 67;
+    71; 73; 79; 83; 89; 97; 101; 103; 107; 109; 113; 127; 131; 137; 139; 149;
+    151; 157; 163; 167; 173; 179; 181; 191; 193; 197; 199; 211; 223; 227; 229;
+    233; 239; 241; 251 ]
+
+(* Decompose n - 1 as d * 2^s with d odd. *)
+let decompose n_minus_1 =
+  let rec go d s = if Nat.is_even d then go (Nat.shift_right d 1) (s + 1) else (d, s) in
+  go n_minus_1 0
+
+let miller_rabin_witness n n_minus_1 d s a =
+  (* Returns true if [a] witnesses compositeness of [n]. *)
+  let x = Nat.mod_pow ~base:a ~exp:d ~modulus:n in
+  if Nat.equal x Nat.one || Nat.equal x n_minus_1 then false
+  else begin
+    let rec squares x i =
+      if i >= s - 1 then true
+      else begin
+        let x = Nat.rem (Nat.mul x x) n in
+        if Nat.equal x n_minus_1 then false else squares x (i + 1)
+      end
+    in
+    squares x 0
+  end
+
+let is_probably_prime ?(rounds = 32) rng n =
+  match Nat.to_int n with
+  | Some v when v < 2 -> false
+  | _ ->
+      let divisible_by_small =
+        List.exists
+          (fun p ->
+            let p_nat = Nat.of_int p in
+            if Nat.compare n p_nat = 0 then false
+            else Nat.is_zero (Nat.rem n p_nat))
+          small_primes
+      in
+      let is_small_prime =
+        match Nat.to_int n with
+        | Some v -> List.mem v small_primes
+        | None -> false
+      in
+      if is_small_prime then true
+      else if divisible_by_small || Nat.is_even n then false
+      else begin
+        let n_minus_1 = Nat.pred n in
+        let d, s = decompose n_minus_1 in
+        let rec rounds_loop i =
+          if i >= rounds then true
+          else begin
+            (* Uniform base in [2, n-2]. *)
+            let a = Nat.add (Nat.random_below rng (Nat.sub n (Nat.of_int 3))) Nat.two in
+            if miller_rabin_witness n n_minus_1 d s a then false
+            else rounds_loop (i + 1)
+          end
+        in
+        rounds_loop 0
+      end
+
+let generate ?rounds rng ~bits =
+  if bits < 4 then invalid_arg "Prime.generate: need at least 4 bits";
+  let rec attempt () =
+    let candidate = Nat.random rng ~bits in
+    (* Force full width (top two bits, so products of two such primes
+       have exactly 2*bits bits) and oddness. *)
+    let top = Nat.add (Nat.shift_left Nat.one (bits - 1)) (Nat.shift_left Nat.one (bits - 2)) in
+    let candidate =
+      let c = Nat.add (Nat.rem candidate (Nat.shift_left Nat.one (bits - 2))) top in
+      if Nat.is_even c then Nat.succ c else c
+    in
+    if is_probably_prime ?rounds rng candidate then candidate else attempt ()
+  in
+  attempt ()

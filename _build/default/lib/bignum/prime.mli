@@ -1,0 +1,12 @@
+(** Probabilistic primality testing and prime generation for RSA key
+    material. *)
+
+val is_probably_prime : ?rounds:int -> Crypto.Prng.t -> Nat.t -> bool
+(** Miller–Rabin with [rounds] random bases (default 32; error
+    probability at most 4^-rounds) after trial division by small
+    primes. *)
+
+val generate : ?rounds:int -> Crypto.Prng.t -> bits:int -> Nat.t
+(** [generate rng ~bits] returns a probable prime of exactly [bits]
+    bits (top two bits set so RSA moduli have full width, low bit set).
+    @raise Invalid_argument if [bits < 4]. *)

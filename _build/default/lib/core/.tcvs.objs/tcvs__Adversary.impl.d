@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Format List Printf String

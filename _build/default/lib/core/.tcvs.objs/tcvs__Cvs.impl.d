@@ -1,0 +1,1 @@
+lib/core/cvs.ml: Format List Message Mtree Option Printf Result Sim String User_base Vcs Vdiff

@@ -1,0 +1,1 @@
+lib/core/cvs.mli: Format Message Sim User_base Vcs Vdiff

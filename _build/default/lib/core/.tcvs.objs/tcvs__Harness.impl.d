@@ -1,0 +1,1 @@
+lib/core/harness.ml: Adversary Array Crypto Fun Hashtbl List Message Mtree Pki Plain_user Printf Protocol1 Protocol2 Protocol3 Server Sim Token_user User_base Workload

@@ -1,0 +1,1 @@
+lib/core/plain_user.ml: Message Mtree Sim User_base

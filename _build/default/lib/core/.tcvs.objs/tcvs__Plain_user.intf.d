@@ -1,0 +1,1 @@
+lib/core/plain_user.mli: Message Sim User_base

@@ -1,0 +1,1 @@
+lib/core/protocol1.ml: Format List Message Mtree Pki Printf Sim State_tag Sync_session User_base

@@ -1,0 +1,1 @@
+lib/core/protocol1.mli: Message Pki Sim User_base

@@ -1,0 +1,1 @@
+lib/core/protocol2.ml: Format List Message Mtree Printf Sim State_tag Sync_session User_base

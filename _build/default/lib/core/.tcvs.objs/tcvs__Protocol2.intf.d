@@ -1,0 +1,1 @@
+lib/core/protocol2.mli: Message Sim User_base

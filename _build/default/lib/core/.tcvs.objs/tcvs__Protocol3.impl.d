@@ -1,0 +1,1 @@
+lib/core/protocol3.ml: Format Fun List Logs Message Mtree Option Pki Printf Sim State_tag User_base

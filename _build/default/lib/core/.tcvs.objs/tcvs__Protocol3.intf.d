@@ -1,0 +1,1 @@
+lib/core/protocol3.mli: Message Pki Sim User_base

@@ -1,0 +1,1 @@
+lib/core/server.ml: Adversary Hashtbl List Message Mtree Queue Sim Stdlib

@@ -1,0 +1,1 @@
+lib/core/server.mli: Adversary Message Sim

@@ -1,0 +1,1 @@
+lib/core/state_tag.ml: Bytes Char Crypto String

@@ -1,0 +1,1 @@
+lib/core/sync_session.ml: Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/core/token_user.ml: Crypto Format List Message Mtree Pki Printf Sim State_tag User_base

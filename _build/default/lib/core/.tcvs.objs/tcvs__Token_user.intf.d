@@ -1,0 +1,1 @@
+lib/core/token_user.mli: Message Pki Sim User_base

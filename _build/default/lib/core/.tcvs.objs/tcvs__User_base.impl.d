@@ -1,0 +1,1 @@
+lib/core/user_base.ml: List Message Mtree Option Printf Sim Stdlib

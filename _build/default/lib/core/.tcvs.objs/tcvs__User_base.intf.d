@@ -1,0 +1,1 @@
+lib/core/user_base.mli: Message Mtree Sim

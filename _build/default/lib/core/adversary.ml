@@ -1,0 +1,29 @@
+type t =
+  | Honest
+  | Tamper_value of { at_op : int }
+  | Drop_update of { at_op : int }
+  | Fork of { at_op : int; group_a : int list }
+  | Rollback of { at_op : int; depth : int; repeat : int }
+  | Stall of { at_op : int }
+  | Freeze_epoch of { at_epoch : int }
+
+let name = function
+  | Honest -> "honest"
+  | Tamper_value { at_op } -> Printf.sprintf "tamper@%d" at_op
+  | Drop_update { at_op } -> Printf.sprintf "drop@%d" at_op
+  | Fork { at_op; group_a } ->
+      Printf.sprintf "fork@%d(A={%s})" at_op
+        (String.concat "," (List.map string_of_int group_a))
+  | Rollback { at_op; depth; repeat } ->
+      Printf.sprintf "rollback@%d-%d%s" at_op depth
+        (if repeat > 1 then Printf.sprintf "x%d" repeat else "")
+  | Stall { at_op } -> Printf.sprintf "stall@%d" at_op
+  | Freeze_epoch { at_epoch } -> Printf.sprintf "freeze-epoch@%d" at_epoch
+
+let pp fmt t = Format.pp_print_string fmt (name t)
+
+let violation_op = function
+  | Honest -> None
+  | Tamper_value { at_op } | Drop_update { at_op } | Rollback { at_op; _ } -> Some at_op
+  | Fork { at_op; _ } | Stall { at_op } -> Some at_op
+  | Freeze_epoch _ -> None (* the violation is time-based, not op-indexed *)

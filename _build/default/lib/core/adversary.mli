@@ -1,0 +1,55 @@
+(** Malicious-server strategies.
+
+    Each strategy realises one of the violation classes named in the
+    paper's introduction, while keeping every individual response
+    {e locally} plausible — verification objects are always internally
+    consistent with the state the server chooses to show, so naive
+    per-response checking passes and the protocols' cross-operation
+    machinery (signatures, counters, XOR registers, epochs) is what
+    must catch the lie.
+
+    - {!Tamper_value} — single-user {e integrity} violation: the server
+      applies a corrupted write while showing the user a clean one.
+    - {!Drop_update} — single-user {e availability} violation: the
+      server acknowledges an update, then reverts it.
+    - {!Fork} — multi-user {e availability} violation, the partition
+      attack of Section 3 / Figure 1: from a chosen operation on, users
+      in group A and the remaining users see divergent copies.
+    - {!Rollback} — the replay attack behind Figure 3: the server
+      rewinds to an earlier state and serves subsequent operations from
+      the past, re-issuing state/counter pairs.
+
+    Operations are counted from 0; [at_op = c] means the strategy fires
+    on the operation that would be the server's [c]-th. *)
+
+type t =
+  | Honest
+  | Tamper_value of { at_op : int }
+  | Drop_update of { at_op : int }
+  | Fork of { at_op : int; group_a : int list }
+      (** [group_a] keeps seeing the true branch; everyone else is moved
+          to a frozen copy that evolves independently. *)
+  | Rollback of { at_op : int; depth : int; repeat : int }
+      (** At operation [at_op], rewind [depth] operations and continue
+          from there; with [repeat > 1], the rewind is re-applied for
+          each of the next [repeat] operations — serving the same past
+          state to several users, the exact replay shape of Figure 3
+          (all transition-graph degrees stay even). *)
+  | Stall of { at_op : int }
+      (** Swallow operation [at_op]'s query and never answer it — the
+          crudest availability violation. The paper's model assumes
+          b*-bounded transaction time, so partially-synchronous users
+          detect this with a local timeout (see
+          {!User_base.set_response_timeout}). *)
+  | Freeze_epoch of { at_epoch : int }
+      (** Against Protocol III: stop advancing the announced epoch once
+          it reaches [at_epoch], postponing the audits indefinitely.
+          Caught by the users' epoch-progress cross-check against their
+          local clocks (partial synchrony). *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+val violation_op : t -> int option
+(** The operation index at which the violation first occurs, [None]
+    for [Honest]. For detection-delay measurements. *)

@@ -1,0 +1,270 @@
+module Vo = Mtree.Vo
+
+type error =
+  | Server_compromised of string
+  | Corrupt_history of string
+  | Conflict of string
+  | Timeout
+
+let pp_error fmt = function
+  | Server_compromised reason -> Format.fprintf fmt "server compromised: %s" reason
+  | Corrupt_history reason -> Format.fprintf fmt "corrupt history: %s" reason
+  | Conflict reason -> Format.fprintf fmt "conflict: %s" reason
+  | Timeout -> Format.pp_print_string fmt "simulation budget exhausted"
+
+type session = {
+  engine : Message.t Sim.Engine.t;
+  base : User_base.t;
+  mutable workspace : Vcs.Workspace.t;
+}
+
+let session ~engine ~base = { engine; base; workspace = Vcs.Workspace.empty }
+let workspace s = s.workspace
+let user s = User_base.user s.base
+
+let op_budget = 5000
+
+let my_alarm_reason s =
+  let me = Sim.Id.User (User_base.user s.base) in
+  Sim.Engine.alarms s.engine
+  |> List.find_opt (fun (a : Sim.Engine.alarm_record) -> Sim.Id.equal a.agent me)
+  |> Option.map (fun (a : Sim.Engine.alarm_record) -> a.reason)
+
+(* Issue one database operation through the protocol agent and wait,
+   stepping the whole simulation, until it completes. *)
+let perform s (op : Vo.op) : (Vo.answer, error) result =
+  if User_base.terminated s.base then
+    Error (Server_compromised (Option.value (my_alarm_reason s) ~default:"terminated"))
+  else begin
+    let trace = User_base.trace s.base in
+    let before = List.length (Sim.Trace.completed trace) in
+    User_base.enqueue_intent s.base ~round:(Sim.Engine.round s.engine) ~op;
+    let finished () =
+      User_base.terminated s.base
+      || (User_base.pending_intents s.base = 0 && User_base.in_flight_op s.base = None)
+    in
+    let ok = Sim.Engine.run_until s.engine ~max_rounds:op_budget finished in
+    if User_base.terminated s.base then
+      Error (Server_compromised (Option.value (my_alarm_reason s) ~default:"terminated"))
+    else if not ok then Error Timeout
+    else begin
+      let mine =
+        Sim.Trace.completed trace
+        |> List.filter (fun (tx : Sim.Trace.transaction) -> tx.user = User_base.user s.base)
+      in
+      (* The freshly completed transaction is ours and is the last one. *)
+      match List.rev mine with
+      | tx :: _ when List.length (Sim.Trace.completed trace) > before -> (
+          match tx.answer with
+          | Some answer -> Ok answer
+          | None -> Error Timeout)
+      | _ -> Error Timeout
+    end
+  end
+
+let fetch_history s ~path =
+  match perform s (Vo.Get path) with
+  | Error _ as e -> e |> Result.map (fun _ -> assert false)
+  | Ok (Vo.Value None) -> Ok Vcs.File_history.empty
+  | Ok (Vo.Value (Some encoded)) -> (
+      match Vcs.File_history.decode encoded with
+      | Some history -> Ok history
+      | None -> Error (Corrupt_history path))
+  | Ok (Vo.Updated | Vo.Entries _) -> Error (Corrupt_history "unexpected answer shape")
+
+let checkout s ~path =
+  match fetch_history s ~path with
+  | Error e -> Error e
+  | Ok history ->
+      s.workspace <- Vcs.Workspace.checkout s.workspace ~path history;
+      Ok (Vcs.File_history.head_content history, history)
+
+let commit s ~path ~content ~log =
+  if Vcs.Tag_snapshot.is_tag_key path then
+    Error
+      (Conflict
+         (Printf.sprintf "%S is a reserved path prefix" Vcs.Tag_snapshot.reserved_prefix))
+  else
+  match fetch_history s ~path with
+  | Error e -> Error e
+  | Ok history -> (
+      let head = Vcs.File_history.head_revision history in
+      let base_ok =
+        match Vcs.Workspace.find s.workspace path with
+        | None -> true (* first touch: treated as `cvs add` *)
+        | Some st -> st.base_revision = head
+      in
+      if not base_ok then
+        Error
+          (Conflict
+             (Printf.sprintf "%s: repository is at revision %d, your base is older" path head))
+      else begin
+        let history' =
+          Vcs.File_history.commit history ~author:(user s) ~round:(Sim.Engine.round s.engine)
+            ~log ~content
+        in
+        match perform s (Vo.Set (path, Vcs.File_history.encode history')) with
+        | Error e -> Error e
+        | Ok _ ->
+            s.workspace <- Vcs.Workspace.checkout s.workspace ~path history';
+            Ok (Vcs.File_history.head_revision history')
+      end)
+
+let update s ~path =
+  match fetch_history s ~path with
+  | Error e -> Error e
+  | Ok history -> (
+      match Vcs.Workspace.update s.workspace ~path history with
+      | Vcs.Workspace.Conflict { reason; _ } -> Error (Conflict reason)
+      | Vcs.Workspace.Updated ws ->
+          s.workspace <- ws;
+          let content =
+            match Vcs.Workspace.find ws path with
+            | Some st -> st.local_content
+            | None -> ""
+          in
+          Ok content)
+
+let log s ~path =
+  Result.map Vcs.File_history.log_entries (fetch_history s ~path)
+
+let annotate s ~path = Result.map Vcs.File_history.annotate (fetch_history s ~path)
+
+let list_entries s ~prefix =
+  (* Range over [prefix, prefix ^ 0xff...]: keys are ASCII paths. *)
+  let hi = prefix ^ String.make 8 '\xff' in
+  match perform s (Vo.Range (prefix, hi)) with
+  | Error _ as e -> e |> Result.map (fun _ -> assert false)
+  | Ok (Vo.Entries entries) ->
+      Ok (List.filter (fun (k, _) -> not (Vcs.Tag_snapshot.is_tag_key k)) entries)
+  | Ok (Vo.Value _ | Vo.Updated) -> Error (Corrupt_history "unexpected answer shape")
+
+let list_files s ~prefix = Result.map (List.map fst) (list_entries s ~prefix)
+
+(* ---- working-copy verbs ------------------------------------------------ *)
+
+let edit s ~path ~content =
+  match Vcs.Workspace.edit s.workspace ~path ~content with
+  | ws ->
+      s.workspace <- ws;
+      Ok ()
+  | exception Not_found ->
+      Error (Conflict (Printf.sprintf "%s is not checked out" path))
+
+let commit_workspace s ~path ~log =
+  match Vcs.Workspace.commit_content s.workspace ~path with
+  | None -> Error (Conflict (Printf.sprintf "%s is not checked out" path))
+  | Some content -> commit s ~path ~content ~log
+
+let diff_local s ~path =
+  match Vcs.Workspace.find s.workspace path with
+  | None -> Error (Conflict (Printf.sprintf "%s is not checked out" path))
+  | Some st -> Ok (Vdiff.Patch.make ~old_:st.base_content ~new_:st.local_content)
+
+let checkout_at s ~path ~revision =
+  match fetch_history s ~path with
+  | Error e -> Error e
+  | Ok history -> (
+      match Vcs.File_history.content_at history revision with
+      | Ok content -> Ok content
+      | Error reason -> Error (Corrupt_history reason))
+
+let commit_many s ~files ~log =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (path, content) :: rest -> (
+        match commit s ~path ~content ~log with
+        | Ok rev -> go (rev :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] files
+
+let commit_atomic s ~files ~log =
+  if files = [] then Ok []
+  else if List.exists (fun (p, _) -> Vcs.Tag_snapshot.is_tag_key p) files then
+    Error
+      (Conflict
+         (Printf.sprintf "%S is a reserved path prefix" Vcs.Tag_snapshot.reserved_prefix))
+  else begin
+    (* Phase 1: fetch all histories and run the up-to-date checks. *)
+    let rec fetch acc = function
+      | [] -> Ok (List.rev acc)
+      | (path, content) :: rest -> (
+          match fetch_history s ~path with
+          | Error e -> Error e
+          | Ok history ->
+              let head = Vcs.File_history.head_revision history in
+              let base_ok =
+                match Vcs.Workspace.find s.workspace path with
+                | None -> true
+                | Some st -> st.base_revision = head
+              in
+              if not base_ok then
+                Error
+                  (Conflict
+                     (Printf.sprintf "%s: repository is at revision %d, your base is older"
+                        path head))
+              else fetch ((path, content, history) :: acc) rest)
+    in
+    match fetch [] files with
+    | Error e -> Error e
+    | Ok resolved -> (
+        (* Phase 2: one multi-key update. *)
+        let updated =
+          List.map
+            (fun (path, content, history) ->
+              ( path,
+                Vcs.File_history.commit history ~author:(user s)
+                  ~round:(Sim.Engine.round s.engine) ~log ~content ))
+            resolved
+        in
+        let op =
+          Vo.Set_many (List.map (fun (p, h) -> (p, Vcs.File_history.encode h)) updated)
+        in
+        match perform s op with
+        | Error e -> Error e
+        | Ok _ ->
+            List.iter
+              (fun (path, history) ->
+                s.workspace <- Vcs.Workspace.checkout s.workspace ~path history)
+              updated;
+            Ok (List.map (fun (_, h) -> Vcs.File_history.head_revision h) updated))
+  end
+
+(* ---- tags --------------------------------------------------------------- *)
+
+let tag s ~name =
+  match list_entries s ~prefix:"" with
+  | Error e -> Error e
+  | Ok entries -> (
+      let snapshot =
+        List.filter_map
+          (fun (path, encoded) ->
+            Option.map
+              (fun h -> (path, Vcs.File_history.head_revision h))
+              (Vcs.File_history.decode encoded))
+          entries
+      in
+      match
+        perform s (Vo.Set (Vcs.Tag_snapshot.key name, Vcs.Tag_snapshot.encode snapshot))
+      with
+      | Error e -> Error e
+      | Ok _ -> Ok (List.length snapshot))
+
+let tagged_files s ~name =
+  match perform s (Vo.Get (Vcs.Tag_snapshot.key name)) with
+  | Error _ as e -> e |> Result.map (fun _ -> assert false)
+  | Ok (Vo.Value None) -> Error (Conflict (Printf.sprintf "no such tag %S" name))
+  | Ok (Vo.Value (Some encoded)) -> (
+      match Vcs.Tag_snapshot.decode encoded with
+      | Some entries -> Ok entries
+      | None -> Error (Corrupt_history ("tag " ^ name)))
+  | Ok (Vo.Updated | Vo.Entries _) -> Error (Corrupt_history "unexpected answer shape")
+
+let checkout_tag s ~name ~path =
+  match tagged_files s ~name with
+  | Error e -> Error e
+  | Ok entries -> (
+      match List.assoc_opt path entries with
+      | None -> Error (Conflict (Printf.sprintf "%s is not covered by tag %S" path name))
+      | Some revision -> checkout_at s ~path ~revision)

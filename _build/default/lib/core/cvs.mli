@@ -1,0 +1,106 @@
+(** CVS verbs over the authenticated database — the user-facing layer.
+
+    The mapping (Section 2.1): a repository is a database whose keys
+    are file paths and whose values are encoded {!Vcs.File_history}
+    delta chains. `checkout` is a read request, `commit` a
+    read-modify-write. Each verb is one or two database operations,
+    each individually verified by whichever protocol the session runs.
+
+    A {!session} wraps one user agent and the simulation engine behind
+    a {e synchronous} facade: each call enqueues the operation and
+    steps the simulation until the transaction completes (or an alarm
+    fires). Other scripted users keep acting concurrently while the
+    engine advances, so sessions still exhibit real interleavings. *)
+
+type error =
+  | Server_compromised of string
+      (** the protocol terminated this user — the paper's "report an
+          error" outcome *)
+  | Corrupt_history of string  (** undecodable/ill-formed stored value *)
+  | Conflict of string  (** commit raced a newer revision; update first *)
+  | Timeout  (** simulation budget exhausted without completion *)
+
+val pp_error : Format.formatter -> error -> unit
+
+type session
+
+val session :
+  engine:Message.t Sim.Engine.t ->
+  base:User_base.t ->
+  session
+(** Wrap an already-registered protocol user. *)
+
+val checkout : session -> path:string -> (string * Vcs.File_history.t, error) result
+(** Head content and full history of a file ([""], empty history if the
+    path does not exist yet). Also records the checkout in the
+    session's local workspace. *)
+
+val commit :
+  session -> path:string -> content:string -> log:string -> (int, error) result
+(** Commit new content; returns the new revision number. Fails with
+    [Conflict] if the repository head moved past the session's base
+    revision for that path (run {!update} first), mirroring CVS's
+    up-to-date check. *)
+
+val update : session -> path:string -> (string, error) result
+(** Merge upstream changes into the locally checked-out file (CVS
+    `update`); returns the merged content. *)
+
+val log : session -> path:string -> ((int * int * int * string) list, error) result
+(** `cvs log`: (revision, author, round, message), newest first. *)
+
+val annotate : session -> path:string -> ((string * int) list, error) result
+(** `cvs annotate`: each head line with the revision that wrote it. *)
+
+val list_files : session -> prefix:string -> (string list, error) result
+(** Paths in the repository under [prefix] (a verified range query). *)
+
+val workspace : session -> Vcs.Workspace.t
+val user : session -> int
+
+(** {2 Working-copy verbs} *)
+
+val edit : session -> path:string -> content:string -> (unit, error) result
+(** Change the local (checked-out) copy without touching the server. *)
+
+val commit_workspace : session -> path:string -> log:string -> (int, error) result
+(** Commit the workspace's local content of [path] (checkout + edit +
+    commit_workspace is the full CVS working cycle). *)
+
+val diff_local : session -> path:string -> (Vdiff.Patch.t, error) result
+(** `cvs diff`: patch from the checked-out base to the local content. *)
+
+val checkout_at : session -> path:string -> revision:int -> (string, error) result
+(** Content of [path] at an older revision (read-only; the workspace
+    keeps tracking head). *)
+
+val commit_many :
+  session -> files:(string * string) list -> log:string -> (int list, error) result
+(** Commit several files under one log message; returns the new
+    revision numbers in order. The commits are sequential database
+    operations (each verified), not an atomic multi-key transaction —
+    matching CVS, whose multi-file commits are not atomic either. *)
+
+val commit_atomic :
+  session -> files:(string * string) list -> log:string -> (int list, error) result
+(** Like {!commit_many} but as {e one} verified multi-key database
+    operation ([Vo.Set_many]): either every file moves to its new
+    revision or none does, and the whole commit is a single state
+    transition in the protocol (one counter increment, one register
+    update). This goes beyond CVS — it is the "compare a transaction"
+    granularity the paper's database framing suggests. Up-to-date
+    checks apply to all files before anything is written. *)
+
+(** {2 Tags} *)
+
+val tag : session -> name:string -> (int, error) result
+(** `cvs tag`: snapshot every file's current head revision under
+    [name]; returns how many files the tag covers. Tags live in the
+    same authenticated database under a reserved [tag!] key prefix, so
+    they are protected by the same protocol. *)
+
+val tagged_files : session -> name:string -> ((string * int) list, error) result
+(** The (path, revision) pairs a tag recorded. *)
+
+val checkout_tag : session -> name:string -> path:string -> (string, error) result
+(** Content of [path] as of the tagged revision. *)

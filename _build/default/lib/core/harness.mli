@@ -1,0 +1,92 @@
+(** Experiment harness: build a complete system (server with adversary,
+    n protocol users, PKI), drive a workload schedule through it, and
+    measure what the paper's theorems promise — whether the violation
+    was detected, how many operations after the violation it took, how
+    many rounds, and at what communication cost.
+
+    Every experiment in `bench/` and every integration test builds on
+    this module; the examples use it too, with scripted schedules. *)
+
+type protocol =
+  | Protocol_1 of { k : int }
+  | Protocol_2 of {
+      k : int;
+      tag_mode : [ `Tagged | `Untagged ];
+      check_gctr : bool;
+      sync_trigger : [ `Per_user | `Global ];
+    }
+  | Protocol_3 of { epoch_len : int }
+  | Token_baseline of { slot_len : int }
+  | Unverified
+
+val protocol_name : protocol -> string
+
+type setup = {
+  protocol : protocol;
+  users : int;
+  adversary : Adversary.t;
+  scheme : Pki.Signer.scheme;
+  branching : int;
+  initial : (string * string) list;  (** initial database contents *)
+  seed : string;
+  tail_rounds : int;
+      (** rounds to keep simulating after the last scheduled event (so
+          trailing syncs / epoch checks can run) *)
+  response_timeout : int option;
+      (** availability-violation detection: alarm when a transaction
+          gets no response within this many rounds (the paper's
+          b*-bounded transaction time made checkable); [None] disables *)
+}
+
+val default_setup : protocol:protocol -> users:int -> adversary:Adversary.t -> setup
+(** HMAC-shared signatures (cheap, adequate for protocol-behaviour
+    experiments), branching 8, 32 initial files, seed derived from the
+    protocol and adversary names, 400 tail rounds, 64-round response
+    timeout. *)
+
+val file_key : int -> string
+(** Database key for workload file index [i]. *)
+
+val initial_files : int -> (string * string) list
+(** [n] files with deterministic initial contents. *)
+
+type outcome = {
+  rounds_run : int;
+  completed_transactions : int;
+  issued_transactions : int;
+  alarms : Sim.Engine.alarm_record list;
+  oracle : Sim.Oracle.verdict;
+  detected : bool;  (** at least one alarm was raised *)
+  detection_round : int option;
+  violation_round : int option;
+      (** round at which the adversary's trigger operation completed *)
+  ops_after_violation : int;
+      (** max over users of transactions issued after the violation and
+          completed before the first alarm — the quantity k bounds *)
+  total_ops_after_violation : int;
+      (** transactions issued after the violation and completed, summed
+          over all users — the quantity the stronger (global-k)
+          requirement of Section 2.2.1 bounds *)
+  messages_sent : int;
+  broadcasts_sent : int;
+  bytes_sent : int;
+  latencies : (int * int) list;
+      (** (user, completed_round - scheduled_round) per completed
+          transaction, in completion order *)
+}
+
+val run : setup -> events:Workload.Schedule.event list -> outcome
+
+type scripted = { at : int; by : int; what : Mtree.Vo.op }
+
+val run_script : setup -> script:scripted list -> outcome
+(** Like {!run} but with explicit database operations instead of
+    workload intents — for scenarios that need exact control over keys
+    and values (e.g. the Figure 3 replay, where two users must write
+    identical bytes). *)
+
+val classify : outcome -> [ `True_alarm | `False_alarm | `Missed | `Clean ]
+(** [`True_alarm]: violation occurred and was detected. [`False_alarm]:
+    alarm without any violation (soundness failure — must never happen).
+    [`Missed]: violation with no alarm. [`Clean]: honest run, no
+    alarm. A violation "occurred" when the adversary is not honest. *)

@@ -1,0 +1,17 @@
+(** The unverified baseline: a user of a {e trusted} CVS.
+
+    Issues operations and believes every answer — no verification
+    object replay, no signatures, no registers. This is the cost floor
+    every protocol's overhead is measured against in the
+    `overhead-ops` experiment, and the victim model in the attack
+    demonstrations (it never detects anything). *)
+
+type t
+
+val create :
+  user:int ->
+  engine:Message.t Sim.Engine.t ->
+  trace:Sim.Trace.t ->
+  t
+
+val base : t -> User_base.t

@@ -1,0 +1,166 @@
+module Vo = Mtree.Vo
+
+type config = {
+  n : int;
+  k : int;
+  initial_root : string;
+  elected_signer : int;
+}
+
+type t = {
+  config : config;
+  base : User_base.t;
+  keyring : Pki.Keyring.t;
+  signer : Pki.Signer.t;
+  mutable lctr : int;
+  mutable gctr : int;
+  mutable ops_since_sync : int;
+  mutable syncs_completed : int;
+  mutable last_good_total : int; (* Σ lctr confirmed by the last sync *)
+  sync : int Sync_session.t; (* reports carry lctr *)
+}
+
+let initial_signature ~signer ~root =
+  Pki.Signer.sign signer (State_tag.root_sig_message ~root ~ctr:0)
+
+let base t = t.base
+let lctr t = t.lctr
+let gctr t = t.gctr
+let syncs_completed t = t.syncs_completed
+
+let me t = User_base.user t.base
+
+let broadcast t msg = Sim.Engine.broadcast (User_base.engine t.base) ~src:(Sim.Id.User (me t)) msg
+
+let fail t ~round reason = User_base.terminate t.base ~round ~reason
+
+(* Evaluate my check once all lctr reports are in, then broadcast the
+   verdict; resolve once all verdicts are in. *)
+let advance_sync t ~round =
+  if Sync_session.active t.sync then begin
+    if Sync_session.reports_complete t.sync && not (Sync_session.verdict_sent t.sync) then begin
+      let total =
+        List.fold_left (fun acc (_, c) -> acc + c) 0 (Sync_session.reports t.sync)
+      in
+      let success = t.gctr = total in
+      Sync_session.mark_verdict_sent t.sync;
+      Sync_session.record_verdict t.sync ~from_:(me t) success;
+      broadcast t (Message.Sync_verdict { reporter = me t; success })
+    end;
+    match Sync_session.resolution t.sync with
+    | `Pending -> ()
+    | `Failed ->
+        fail t ~round
+          (Printf.sprintf
+             "protocol-1 sync failed: no user's gctr matches the total (fault after operation %d, the last synced prefix)"
+             t.last_good_total)
+    | `Ok ->
+        let total =
+          List.fold_left (fun acc (_, c) -> acc + c) 0 (Sync_session.reports t.sync)
+        in
+        t.last_good_total <- total;
+        Sync_session.reset t.sync;
+        t.ops_since_sync <- 0;
+        t.syncs_completed <- t.syncs_completed + 1
+  end
+
+let report_if_needed t =
+  if
+    Sync_session.active t.sync
+    && (not (Sync_session.reported t.sync))
+    && User_base.in_flight_op t.base = None
+  then begin
+    Sync_session.record_report t.sync ~from_:(me t) t.lctr;
+    broadcast t (Message.Sync_count { reporter = me t; lctr = t.lctr })
+  end
+
+let start_sync t =
+  if not (Sync_session.active t.sync) then begin
+    Sync_session.activate t.sync;
+    broadcast t (Message.Sync_begin { initiator = me t })
+  end
+
+let handle_response t ~round ~(answer : Vo.answer) ~vo ~ctr ~last_user ~root_sig =
+  match User_base.in_flight_op t.base with
+  | None -> () (* stray response *)
+  | Some op -> (
+      match Vo.apply vo op with
+      | Error e -> fail t ~round (Format.asprintf "bad verification object: %a" Vo.pp_error e)
+      | Ok (replayed, old_root, new_root) ->
+          if not (Sim.Oracle.answers_equal replayed answer) then
+            fail t ~round "answer does not match verification object replay"
+          else begin
+            let signer_id = if last_user < 0 then t.config.elected_signer else last_user in
+            let message = State_tag.root_sig_message ~root:old_root ~ctr in
+            let legitimate =
+              match root_sig with
+              | None -> false
+              | Some signature -> Pki.Keyring.verify t.keyring signer_id message ~signature
+            in
+            if not legitimate then
+              fail t ~round "illegitimate root signature (server cannot prove its state)"
+            else begin
+              t.lctr <- t.lctr + 1;
+              t.gctr <- ctr + 1;
+              t.ops_since_sync <- t.ops_since_sync + 1;
+              let new_message = State_tag.root_sig_message ~root:new_root ~ctr:(ctr + 1) in
+              Sim.Engine.send (User_base.engine t.base) ~src:(Sim.Id.User (me t))
+                ~dst:Sim.Id.Server
+                (Message.Root_signature
+                   {
+                     signer = me t;
+                     ctr = ctr + 1;
+                     signature = Pki.Signer.sign t.signer new_message;
+                   });
+              User_base.complete t.base ~round ~answer ~roots:(old_root, new_root) ();
+              if t.ops_since_sync >= t.config.k then start_sync t
+            end
+          end)
+
+let create config ~user ~engine ~trace ~keyring ~signer =
+  let t =
+    {
+      config;
+      base = User_base.create ~user ~engine ~trace;
+      keyring;
+      signer;
+      lctr = 0;
+      gctr = 0;
+      ops_since_sync = 0;
+      syncs_completed = 0;
+      last_good_total = 0;
+      sync = Sync_session.create ~n:config.n ~me:user;
+    }
+  in
+  let on_message ~round ~src msg =
+    if not (User_base.terminated t.base) then begin
+      match (src, msg) with
+      | Sim.Id.Server, Message.Response { answer; vo; ctr; last_user; root_sig; _ } ->
+          handle_response t ~round ~answer ~vo ~ctr ~last_user ~root_sig;
+          report_if_needed t;
+          advance_sync t ~round
+      | Sim.Id.User _, Message.Sync_begin _ ->
+          Sync_session.activate t.sync;
+          report_if_needed t;
+          advance_sync t ~round
+      | Sim.Id.User _, Message.Sync_count { reporter; lctr } ->
+          Sync_session.activate t.sync;
+          Sync_session.record_report t.sync ~from_:reporter lctr;
+          report_if_needed t;
+          advance_sync t ~round
+      | Sim.Id.User _, Message.Sync_verdict { reporter; success } ->
+          Sync_session.record_verdict t.sync ~from_:reporter success;
+          advance_sync t ~round
+      | _, _ -> ()
+    end
+  in
+  let on_activate ~round =
+    if not (User_base.terminated t.base) then begin
+      User_base.check_timeout t.base ~round;
+      report_if_needed t;
+      if not (Sync_session.active t.sync) then
+        ignore (User_base.issue t.base ~round ~piggyback:[])
+    end
+  in
+  Sim.Engine.register engine (Sim.Id.User user) { on_message; on_activate };
+  t

@@ -1,0 +1,180 @@
+module Vo = Mtree.Vo
+
+type config = {
+  n : int;
+  k : int;
+  initial_root : string;
+  tag_mode : [ `Tagged | `Untagged ];
+  check_gctr : bool;
+  sync_trigger : [ `Per_user | `Global ];
+}
+
+let default_config ~n ~k ~initial_root =
+  { n; k; initial_root; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user }
+
+type registers = { sigma : string; last : string option; gctr : int }
+
+type t = {
+  config : config;
+  base : User_base.t;
+  mutable regs : registers;
+  mutable ops_since_sync : int;
+  mutable syncs_completed : int;
+  mutable last_good_gctr : int; (* highest gctr confirmed by a sync *)
+  sync : registers Sync_session.t;
+}
+
+let base t = t.base
+let sigma t = t.regs.sigma
+let last t = t.regs.last
+let gctr t = t.regs.gctr
+let syncs_completed t = t.syncs_completed
+let me t = User_base.user t.base
+
+let broadcast t msg =
+  Sim.Engine.broadcast (User_base.engine t.base) ~src:(Sim.Id.User (me t)) msg
+
+let fail t ~round reason = User_base.terminate t.base ~round ~reason
+
+let state_tag t ~root ~ctr ~user =
+  match t.config.tag_mode with
+  | `Tagged -> State_tag.tagged ~root ~ctr ~user
+  | `Untagged -> State_tag.untagged ~root ~ctr
+
+(* The check of the synchronisation step: some user's ⟨init ⊕ last⟩
+   must equal the XOR of everyone's σ. *)
+let evaluate_check t =
+  let all = Sync_session.reports t.sync in
+  let x = List.fold_left (fun acc (_, r) -> State_tag.xor acc r.sigma) State_tag.zero all in
+  match t.regs.last with
+  | None -> false
+  | Some last -> State_tag.xor (State_tag.initial ~root:t.config.initial_root) last = x
+
+let advance_sync t ~round =
+  if Sync_session.active t.sync then begin
+    if Sync_session.reports_complete t.sync && not (Sync_session.verdict_sent t.sync) then begin
+      let success = evaluate_check t in
+      Sync_session.mark_verdict_sent t.sync;
+      Sync_session.record_verdict t.sync ~from_:(me t) success;
+      broadcast t (Message.Sync_verdict { reporter = me t; success })
+    end;
+    match Sync_session.resolution t.sync with
+    | `Pending -> ()
+    | `Failed ->
+        (* Fault localisation (the paper's future direction (1)): the
+           previous successful sync certified the prefix up to the
+           highest confirmed counter, so the fault lies in the window
+           after it. *)
+        fail t ~round
+          (Printf.sprintf
+             "protocol-2 sync failed: XOR registers do not form a single path (fault after operation %d, the last synced prefix)"
+             t.last_good_gctr)
+    | `Ok ->
+        let confirmed =
+          List.fold_left (fun acc (_, r) -> max acc r.gctr) 0 (Sync_session.reports t.sync)
+        in
+        t.last_good_gctr <- max t.last_good_gctr confirmed;
+        Sync_session.reset t.sync;
+        t.ops_since_sync <- 0;
+        t.syncs_completed <- t.syncs_completed + 1
+  end
+
+let report_if_needed t =
+  if
+    Sync_session.active t.sync
+    && (not (Sync_session.reported t.sync))
+    && User_base.in_flight_op t.base = None
+  then begin
+    Sync_session.record_report t.sync ~from_:(me t) t.regs;
+    broadcast t
+      (Message.Sync_registers
+         { reporter = me t; sigma = t.regs.sigma; last = t.regs.last; gctr = t.regs.gctr })
+  end
+
+let start_sync t =
+  if not (Sync_session.active t.sync) then begin
+    Sync_session.activate t.sync;
+    broadcast t (Message.Sync_begin { initiator = me t })
+  end
+
+let handle_response t ~round ~(answer : Vo.answer) ~vo ~ctr ~last_user =
+  match User_base.in_flight_op t.base with
+  | None -> ()
+  | Some op -> (
+      match Vo.apply vo op with
+      | Error e -> fail t ~round (Format.asprintf "bad verification object: %a" Vo.pp_error e)
+      | Ok (replayed, old_root, new_root) ->
+          if not (Sim.Oracle.answers_equal replayed answer) then
+            fail t ~round "answer does not match verification object replay"
+          else if t.config.check_gctr && ctr < t.regs.gctr then
+            fail t ~round
+              (Printf.sprintf "counter went backwards (ctr=%d < gctr=%d)" ctr t.regs.gctr)
+          else begin
+            let old_tag =
+              if ctr = 0 then State_tag.initial ~root:old_root
+              else state_tag t ~root:old_root ~ctr ~user:last_user
+            in
+            let new_tag = state_tag t ~root:new_root ~ctr:(ctr + 1) ~user:(me t) in
+            t.regs <-
+              {
+                sigma = State_tag.xor t.regs.sigma (State_tag.xor old_tag new_tag);
+                last = Some new_tag;
+                gctr = ctr + 1;
+              };
+            t.ops_since_sync <- t.ops_since_sync + 1;
+            User_base.complete t.base ~round ~answer ~roots:(old_root, new_root) ();
+            let due =
+              match t.config.sync_trigger with
+              | `Per_user -> t.ops_since_sync >= t.config.k
+              | `Global ->
+                  (* ctr + 1 operations exist globally; sync when k have
+                     accumulated past the last certified prefix. *)
+                  ctr + 1 - t.last_good_gctr >= t.config.k
+            in
+            if due then start_sync t
+          end)
+
+let create config ~user ~engine ~trace =
+  let t =
+    {
+      config;
+      base = User_base.create ~user ~engine ~trace;
+      regs = { sigma = State_tag.zero; last = None; gctr = 0 };
+      ops_since_sync = 0;
+      syncs_completed = 0;
+      last_good_gctr = 0;
+      sync = Sync_session.create ~n:config.n ~me:user;
+    }
+  in
+  let on_message ~round ~src msg =
+    if not (User_base.terminated t.base) then begin
+      match (src, msg) with
+      | Sim.Id.Server, Message.Response { answer; vo; ctr; last_user; _ } ->
+          handle_response t ~round ~answer ~vo ~ctr ~last_user;
+          report_if_needed t;
+          advance_sync t ~round
+      | Sim.Id.User _, Message.Sync_begin _ ->
+          Sync_session.activate t.sync;
+          report_if_needed t;
+          advance_sync t ~round
+      | Sim.Id.User _, Message.Sync_registers { reporter; sigma; last; gctr } ->
+          Sync_session.activate t.sync;
+          Sync_session.record_report t.sync ~from_:reporter { sigma; last; gctr };
+          report_if_needed t;
+          advance_sync t ~round
+      | Sim.Id.User _, Message.Sync_verdict { reporter; success } ->
+          Sync_session.record_verdict t.sync ~from_:reporter success;
+          advance_sync t ~round
+      | _, _ -> ()
+    end
+  in
+  let on_activate ~round =
+    if not (User_base.terminated t.base) then begin
+      User_base.check_timeout t.base ~round;
+      report_if_needed t;
+      if not (Sync_session.active t.sync) then
+        ignore (User_base.issue t.base ~round ~piggyback:[])
+    end
+  in
+  Sim.Engine.register engine (Sim.Id.User user) { on_message; on_activate };
+  t

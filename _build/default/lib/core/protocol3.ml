@@ -1,0 +1,240 @@
+module Vo = Mtree.Vo
+
+type config = {
+  n : int;
+  epoch_len : int;
+  initial_root : string;
+  check_epoch_progress : bool;
+}
+
+type registers = { sigma : string; last : string option; gctr : int }
+
+type t = {
+  config : config;
+  base : User_base.t;
+  keyring : Pki.Keyring.t;
+  signer : Pki.Signer.t;
+  mutable regs : registers;
+  mutable known_epoch : int;
+  mutable pending_backup : Message.epoch_backup option;
+  mutable next_assigned : int; (* next epoch index this user must verify *)
+  mutable awaiting_states : bool;
+  mutable epochs_verified : int;
+}
+
+let base t = t.base
+let known_epoch t = t.known_epoch
+let epochs_verified t = t.epochs_verified
+let me t = User_base.user t.base
+let fail t ~round reason = User_base.terminate t.base ~round ~reason
+
+let sign_backup t ~epoch ~(regs : registers) =
+  let last = Option.value regs.last ~default:State_tag.zero in
+  let message =
+    State_tag.backup_message ~epoch ~sigma:regs.sigma ~last ~gctr:regs.gctr
+  in
+  {
+    Message.backup_user = me t;
+    backup_epoch = epoch;
+    sigma = regs.sigma;
+    last;
+    backup_gctr = regs.gctr;
+    backup_signature = Pki.Signer.sign t.signer message;
+  }
+
+let backup_signature_valid t (b : Message.epoch_backup) =
+  let message =
+    State_tag.backup_message ~epoch:b.backup_epoch ~sigma:b.sigma ~last:b.last
+      ~gctr:b.backup_gctr
+  in
+  Pki.Keyring.verify t.keyring b.backup_user message ~signature:b.backup_signature
+
+(* Cross the epoch boundary: snapshot the finished epoch's registers
+   for storage, then reset for the new epoch. *)
+let roll_epoch t ~new_epoch =
+  t.pending_backup <- Some (sign_backup t ~epoch:t.known_epoch ~regs:t.regs);
+  t.regs <- { sigma = State_tag.zero; last = None; gctr = t.regs.gctr };
+  t.known_epoch <- new_epoch
+
+(* The Protocol II path check over one epoch's stored states. *)
+let verify_epoch t ~round ~epoch ~(prev_states : Message.epoch_backup list)
+    ~(states : Message.epoch_backup list) =
+  let complete =
+    List.length states = t.config.n
+    && List.for_all
+         (fun u -> List.exists (fun (b : Message.epoch_backup) -> b.backup_user = u) states)
+         (List.init t.config.n Fun.id)
+  in
+  if not complete then
+    fail t ~round
+      (Printf.sprintf "epoch %d: server is missing stored states (workload guarantees all %d)"
+         epoch t.config.n)
+  else if
+    not (List.for_all (backup_signature_valid t) states
+        && List.for_all (backup_signature_valid t) prev_states)
+  then fail t ~round (Printf.sprintf "epoch %d: forged register backup" epoch)
+  else begin
+    let active = List.filter (fun (b : Message.epoch_backup) -> b.last <> State_tag.zero) states in
+    if List.length active < List.length states then begin
+      (* A user without operations in the epoch breaks the activity
+         assumption; the theorem's bound does not apply, so skip the
+         path check rather than raise a false alarm. *)
+      Logs.warn (fun m ->
+          m "epoch %d: activity assumption violated; skipping path check" epoch);
+      t.epochs_verified <- t.epochs_verified + 1
+    end
+    else begin
+      let init =
+        if epoch = 0 then Some (State_tag.initial ~root:t.config.initial_root)
+        else begin
+          match
+            List.filter
+              (fun (b : Message.epoch_backup) -> b.last <> State_tag.zero)
+              prev_states
+          with
+          | [] -> None
+          | candidates ->
+              let final =
+                List.fold_left
+                  (fun (acc : Message.epoch_backup) (b : Message.epoch_backup) ->
+                    if b.backup_gctr > acc.backup_gctr then b else acc)
+                  (List.hd candidates) (List.tl candidates)
+              in
+              Some final.last
+        end
+      in
+      match init with
+      | None ->
+          fail t ~round
+            (Printf.sprintf "epoch %d: cannot reconstruct initial state from epoch %d" epoch
+               (epoch - 1))
+      | Some init ->
+          let x =
+            List.fold_left
+              (fun acc (b : Message.epoch_backup) -> State_tag.xor acc b.sigma)
+              State_tag.zero states
+          in
+          let path_ok =
+            List.exists
+              (fun (b : Message.epoch_backup) -> State_tag.xor init b.last = x)
+              active
+          in
+          if not path_ok then
+            fail t ~round
+              (Printf.sprintf
+                 "epoch %d check failed: stored registers do not form a single path" epoch)
+          else t.epochs_verified <- t.epochs_verified + 1
+    end
+  end
+
+let handle_epoch_states t ~round states =
+  t.awaiting_states <- false;
+  if not (User_base.terminated t.base) then begin
+    let epoch = t.next_assigned in
+    let find e = try List.assoc e states with Not_found -> [] in
+    let prev_states = if epoch = 0 then [] else find (epoch - 1) in
+    verify_epoch t ~round ~epoch ~prev_states ~states:(find epoch);
+    if not (User_base.terminated t.base) then t.next_assigned <- t.next_assigned + t.config.n
+  end
+
+let handle_response t ~round ~(answer : Vo.answer) ~vo ~ctr ~last_user ~epoch ~epoch_states =
+  if epoch_states <> [] then handle_epoch_states t ~round epoch_states;
+  if User_base.terminated t.base then ()
+  else begin
+    match User_base.in_flight_op t.base with
+    | None -> ()
+    | Some op -> (
+        if
+          t.config.check_epoch_progress
+          && epoch + 1 < round / t.config.epoch_len
+        then
+          fail t ~round
+            (Printf.sprintf "server epoch %d lags local clock epoch %d" epoch
+               (round / t.config.epoch_len))
+        else if epoch < t.known_epoch then
+          fail t ~round (Printf.sprintf "server epoch went backwards (%d < %d)" epoch t.known_epoch)
+        else begin
+          if epoch > t.known_epoch then roll_epoch t ~new_epoch:epoch;
+          match Vo.apply vo op with
+          | Error e ->
+              fail t ~round (Format.asprintf "bad verification object: %a" Vo.pp_error e)
+          | Ok (replayed, old_root, new_root) ->
+              if not (Sim.Oracle.answers_equal replayed answer) then
+                fail t ~round "answer does not match verification object replay"
+              else if ctr < t.regs.gctr then
+                fail t ~round
+                  (Printf.sprintf "counter went backwards (ctr=%d < gctr=%d)" ctr t.regs.gctr)
+              else begin
+                let old_tag =
+                  if ctr = 0 then State_tag.initial ~root:old_root
+                  else State_tag.tagged ~root:old_root ~ctr ~user:last_user
+                in
+                let new_tag = State_tag.tagged ~root:new_root ~ctr:(ctr + 1) ~user:(me t) in
+                t.regs <-
+                  {
+                    sigma = State_tag.xor t.regs.sigma (State_tag.xor old_tag new_tag);
+                    last = Some new_tag;
+                    gctr = ctr + 1;
+                  };
+                User_base.complete t.base ~round ~answer ~roots:(old_root, new_root) ()
+              end
+        end)
+  end
+
+(* Attach everything that is due: the previous epoch's backup and, if
+   this user is the assigned verifier of an epoch now old enough, the
+   stored-state request. Shipping both on one query is what lets a user
+   with exactly two operations per epoch meet the two-epoch bound. *)
+let next_piggyback t =
+  let backup =
+    match t.pending_backup with
+    | Some backup ->
+        t.pending_backup <- None;
+        [ Message.Backup backup ]
+    | None -> []
+  in
+  let request =
+    if (not t.awaiting_states) && t.next_assigned + 2 <= t.known_epoch then begin
+      t.awaiting_states <- true;
+      let epochs =
+        if t.next_assigned = 0 then [ 0 ] else [ t.next_assigned - 1; t.next_assigned ]
+      in
+      [ Message.Request_states { epochs } ]
+    end
+    else []
+  in
+  backup @ request
+
+let create config ~user ~engine ~trace ~keyring ~signer =
+  let t =
+    {
+      config;
+      base = User_base.create ~user ~engine ~trace;
+      keyring;
+      signer;
+      regs = { sigma = State_tag.zero; last = None; gctr = 0 };
+      known_epoch = 0;
+      pending_backup = None;
+      next_assigned = user;
+      awaiting_states = false;
+      epochs_verified = 0;
+    }
+  in
+  let on_message ~round ~src msg =
+    if not (User_base.terminated t.base) then begin
+      match (src, msg) with
+      | Sim.Id.Server, Message.Response { answer; vo; ctr; last_user; epoch; epoch_states; _ }
+        ->
+          handle_response t ~round ~answer ~vo ~ctr ~last_user ~epoch ~epoch_states
+      | _, _ -> ()
+    end
+  in
+  let on_activate ~round =
+    if not (User_base.terminated t.base) then begin
+      User_base.check_timeout t.base ~round;
+      let piggyback = if User_base.due_intent t.base ~round <> None then next_piggyback t else [] in
+      ignore (User_base.issue t.base ~round ~piggyback)
+    end
+  in
+  Sim.Engine.register engine (Sim.Id.User user) { on_message; on_activate };
+  t

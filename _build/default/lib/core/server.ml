@@ -1,0 +1,282 @@
+module T = Mtree.Merkle_btree
+module Vo = Mtree.Vo
+
+type mode = [ `Signed | `Plain | `Token ]
+
+type config = {
+  mode : mode;
+  epoch_len : int option;
+  branching : int;
+  adversary : Adversary.t;
+}
+
+(* One copy of the database as some set of users sees it. A fork
+   attack maintains two of these. [history] (newest first) holds the
+   pre-operation snapshots that Rollback rewinds to. *)
+type branch = {
+  mutable db : T.t;
+  mutable ctr : int;
+  mutable last_user : int;
+  mutable root_sig : string option;
+  mutable history : (T.t * int * int * string option) list;
+}
+
+type t = {
+  config : config;
+  engine : Message.t Sim.Engine.t;
+  initial_root : string;
+  main : branch;
+  mutable forked : branch option;
+  (* The paper's server is serial: one query at a time, in arrival
+     order; in Signed mode it blocks until the operating user returns
+     the root signature. *)
+  queue : (int * Vo.op * Message.piggyback list) Queue.t;
+  mutable awaiting_sig_on : branch option;
+  mutable discard_next_sig : bool;
+  epoch_store : (int * int, Message.epoch_backup) Hashtbl.t;
+  mutable token_log : Message.token_record list; (* newest first *)
+  mutable total_ops : int; (* across branches; drives adversary triggers *)
+}
+
+let snapshot_of b = (b.db, b.ctr, b.last_user, b.root_sig)
+
+let restore b (db, ctr, last_user, root_sig) =
+  b.db <- db;
+  b.ctr <- ctr;
+  b.last_user <- last_user;
+  b.root_sig <- root_sig
+
+let copy_branch b =
+  {
+    db = b.db;
+    ctr = b.ctr;
+    last_user = b.last_user;
+    root_sig = b.root_sig;
+    history = b.history;
+  }
+
+let in_group user group = List.mem user group
+
+(* A stealthy fork waits for a moment when the branch state is
+   presentable: in Signed mode that means the latest root signature has
+   been stored (forking mid-handshake would produce a response the very
+   first verification rejects). *)
+let maybe_activate_fork t =
+  match t.config.adversary with
+  | Adversary.Fork { at_op; _ } ->
+      if
+        t.forked = None && t.total_ops >= at_op
+        && (t.config.mode <> `Signed || t.main.root_sig <> None)
+      then t.forked <- Some (copy_branch t.main)
+  | Adversary.Honest | Adversary.Tamper_value _ | Adversary.Drop_update _
+  | Adversary.Rollback _ | Adversary.Stall _ | Adversary.Freeze_epoch _ ->
+      ()
+
+let branch_for t ~user =
+  maybe_activate_fork t;
+  match (t.config.adversary, t.forked) with
+  | Adversary.Fork { group_a; _ }, Some fork when not (in_group user group_a) -> fork
+  | _, _ -> t.main
+
+let current_epoch t ~round =
+  match t.config.epoch_len with
+  | None -> 0
+  | Some len -> (
+      let real = round / len in
+      match t.config.adversary with
+      | Adversary.Freeze_epoch { at_epoch } -> min real at_epoch
+      | _ -> real)
+
+(* Corrupt a write: flip the payload; corrupt a read: silently modify
+   the queried key. Either way, the effect applied to the branch
+   differs from the operation the user verified. *)
+let tampered_op (op : Vo.op) : Vo.op =
+  match op with
+  | Vo.Set (k, v) -> Vo.Set (k, v ^ "\x00corrupted")
+  | Vo.Set_many ((k, v) :: rest) -> Vo.Set_many ((k, v ^ "\x00corrupted") :: rest)
+  | Vo.Set_many [] -> Vo.Set_many []
+  | Vo.Get k | Vo.Remove k -> Vo.Set (k, "\x00planted")
+  | Vo.Range (lo, _) -> Vo.Set (lo, "\x00planted")
+
+let store_backup t (b : Message.epoch_backup) =
+  (* The untrusted server stores blindly; verifiers check signatures. *)
+  Hashtbl.replace t.epoch_store (b.backup_epoch, b.backup_user) b
+
+let states_for t epochs =
+  List.map
+    (fun epoch ->
+      let backups =
+        Hashtbl.fold
+          (fun (e, _) backup acc -> if e = epoch then backup :: acc else acc)
+          t.epoch_store []
+        |> List.sort (fun (a : Message.epoch_backup) b ->
+               Stdlib.compare a.backup_user b.backup_user)
+      in
+      (epoch, backups))
+    epochs
+
+(* Serve one query. Fires Tamper/Drop/Rollback/Stall when the global
+   operation index matches. *)
+let execute_query t ~round ~user ~(op : Vo.op) ~piggyback =
+  let epoch_states =
+    List.concat_map
+      (function
+        | Message.Request_states { epochs } -> states_for t epochs
+        | Message.Backup _ -> [])
+      piggyback
+  in
+  let branch = branch_for t ~user in
+  match t.config.adversary with
+  | Adversary.Stall { at_op } when t.total_ops = at_op ->
+      (* Swallow the query: the transaction never completes. *)
+      t.total_ops <- t.total_ops + 1;
+      ignore epoch_states
+  | _ ->
+  (* Rollback fires before the operation is served. *)
+  (match t.config.adversary with
+  | Adversary.Rollback { at_op; depth; repeat }
+    when t.total_ops >= at_op && t.total_ops < at_op + max 1 repeat && depth > 0 -> (
+      let rec nth_or_last n = function
+        | [] -> None
+        | [ s ] -> Some s
+        | s :: rest -> if n <= 1 then Some s else nth_or_last (n - 1) rest
+      in
+      match nth_or_last depth branch.history with
+      | Some snap -> restore branch snap
+      | None -> ())
+  | _ -> ());
+  let pre = snapshot_of branch in
+  let vo = Vo.generate branch.db op in
+  let db', answer = Sim.Oracle.trusted_answer branch.db op in
+  let response =
+    Message.Response
+      {
+        answer;
+        vo;
+        ctr = branch.ctr;
+        last_user = branch.last_user;
+        root_sig = (if t.config.mode = `Signed then branch.root_sig else None);
+        epoch = current_epoch t ~round;
+        epoch_states;
+      }
+  in
+  (match t.config.adversary with
+  | Adversary.Drop_update { at_op } when t.total_ops = at_op ->
+      (* Acknowledge without applying; in Signed mode also swallow the
+         signature the user is about to send, keeping the stored one
+         consistent with the frozen state. *)
+      t.discard_next_sig <- true
+  | Adversary.Tamper_value { at_op } when t.total_ops = at_op ->
+      let tampered, _ = Sim.Oracle.trusted_answer branch.db (tampered_op op) in
+      branch.history <- pre :: branch.history;
+      branch.db <- tampered;
+      branch.ctr <- branch.ctr + 1;
+      branch.last_user <- user;
+      branch.root_sig <- None
+  | Adversary.Honest | Adversary.Tamper_value _ | Adversary.Drop_update _
+  | Adversary.Fork _ | Adversary.Rollback _ | Adversary.Stall _
+  | Adversary.Freeze_epoch _ ->
+      branch.history <- pre :: branch.history;
+      branch.db <- db';
+      branch.ctr <- branch.ctr + 1;
+      branch.last_user <- user;
+      branch.root_sig <- None);
+  t.total_ops <- t.total_ops + 1;
+  if t.config.mode = `Signed then t.awaiting_sig_on <- Some branch;
+  Sim.Engine.send t.engine ~src:Sim.Id.Server ~dst:(Sim.Id.User user) response
+
+let rec process_queue t ~round =
+  if t.awaiting_sig_on = None && not (Queue.is_empty t.queue) then begin
+    let user, op, piggyback = Queue.pop t.queue in
+    execute_query t ~round ~user ~op ~piggyback;
+    process_queue t ~round
+  end
+
+let handle_query t ~round ~user ~op ~piggyback =
+  List.iter
+    (function
+      | Message.Backup b -> store_backup t b
+      | Message.Request_states _ -> ())
+    piggyback;
+  Queue.add (user, op, piggyback) t.queue;
+  process_queue t ~round
+
+let handle_root_signature t ~round ~signature =
+  (match t.awaiting_sig_on with
+  | Some branch when not t.discard_next_sig -> branch.root_sig <- Some signature
+  | Some _ | None -> ());
+  t.discard_next_sig <- false;
+  t.awaiting_sig_on <- None;
+  process_queue t ~round
+
+(* ---- Token mode ---------------------------------------------------- *)
+
+let token_head t = match t.token_log with [] -> None | r :: _ -> Some r
+
+let handle_token_query t ~user ~op =
+  let vo = Vo.generate t.main.db op in
+  Sim.Engine.send t.engine ~src:Sim.Id.Server ~dst:(Sim.Id.User user)
+    (Message.Token_state { record = token_head t; vo })
+
+let handle_token_turn t ~op ~record =
+  (match op with
+  | None -> ()
+  | Some op ->
+      let effective_op =
+        match t.config.adversary with
+        | Adversary.Tamper_value { at_op } when t.total_ops = at_op -> Some (tampered_op op)
+        | Adversary.Drop_update { at_op } when t.total_ops = at_op -> None
+        | _ -> Some op
+      in
+      (match effective_op with
+      | None -> ()
+      | Some op ->
+          let db', _ = Sim.Oracle.trusted_answer t.main.db op in
+          t.main.db <- db');
+      t.total_ops <- t.total_ops + 1);
+  t.token_log <- record :: t.token_log
+
+(* ---- Wiring --------------------------------------------------------- *)
+
+let create config ~engine ~initial ~initial_root_sig =
+  let db = T.of_alist ~branching:config.branching initial in
+  let main =
+    { db; ctr = 0; last_user = -1; root_sig = initial_root_sig; history = [] }
+  in
+  let t =
+    {
+      config;
+      engine;
+      initial_root = T.root_digest db;
+      main;
+      forked = None;
+      queue = Queue.create ();
+      awaiting_sig_on = None;
+      discard_next_sig = false;
+      epoch_store = Hashtbl.create 64;
+      token_log = [];
+      total_ops = 0;
+    }
+  in
+  let on_message ~round ~src msg =
+    match (src, msg) with
+    | Sim.Id.User user, Message.Query { op; piggyback } ->
+        if config.mode = `Token then handle_token_query t ~user ~op
+        else handle_query t ~round ~user ~op ~piggyback
+    | Sim.Id.User _, Message.Root_signature { signature; _ } ->
+        handle_root_signature t ~round ~signature
+    | Sim.Id.User _, Message.Token_take_turn { op; record } ->
+        handle_token_turn t ~op ~record
+    | _, (Message.Response _ | Message.Token_state _) -> ()
+    | _, (Message.Sync_begin _ | Message.Sync_count _ | Message.Sync_registers _
+         | Message.Sync_verdict _) ->
+        () (* external channel traffic never reaches the server *)
+    | Sim.Id.Server, _ -> ()
+  in
+  Sim.Engine.register engine Sim.Id.Server
+    { on_message; on_activate = (fun ~round:_ -> ()) };
+  t
+
+let initial_root t = t.initial_root
+let ops_performed t = t.main.ctr
+let true_root t = T.root_digest t.main.db

@@ -1,0 +1,58 @@
+(** The CVS/database server agent — honest logic plus adversary hooks.
+
+    The server executes operations serially in arrival order against
+    its Merkle B⁺-tree, producing for each query the response tuple of
+    Table 1: the answer [Q(D)], the verification object [v(Q, D)], the
+    operation counter [ctr], the id [j] of the last user to operate
+    and, in Protocol I mode, the stored root signature.
+
+    Modes:
+    - [`Signed] (Protocol I): the server {e blocks} after each response
+      until the operating user returns the signature of the new root
+      (the paper notes this blocking step hurts throughput — the
+      `overhead-ops` experiment measures it). Queries arriving
+      meanwhile are queued FIFO.
+    - [`Plain] (Protocols II/III and the unverified baseline): no
+      per-operation signature, no blocking. If [epoch_len] is set, the
+      server also announces epochs, stores the signed register backups
+      users piggyback on queries, and answers stored-state requests —
+      Protocol III's use of the server as a bulletin board.
+    - [`Token]: the token-passing baseline of Section 2.2.3; the server
+      keeps a hash-chained log of signed turn records.
+
+    The adversary hook decides, per operation, which state branch a
+    user sees and whether the operation's effect is kept, dropped,
+    forked or rolled back ({!Adversary}). Responses remain internally
+    consistent regardless, so detection is the protocols' job. *)
+
+type mode = [ `Signed | `Plain | `Token ]
+
+type config = {
+  mode : mode;
+  epoch_len : int option;  (** rounds per epoch (Protocol III) *)
+  branching : int;
+  adversary : Adversary.t;
+}
+
+type t
+
+val create :
+  config ->
+  engine:Message.t Sim.Engine.t ->
+  initial:(string * string) list ->
+  initial_root_sig:string option ->
+  t
+(** Build the server state and register it with the engine under
+    {!Sim.Id.Server}. [initial_root_sig] seeds Protocol I with the
+    elected user's signature over the initial root (the paper's
+    initialisation step). *)
+
+val initial_root : t -> string
+(** [M(D₀)] — common knowledge among users. *)
+
+val ops_performed : t -> int
+(** Operations the {e true} branch has performed (the adversary may
+    have shown users other numbers). *)
+
+val true_root : t -> string
+(** Root digest of the branch an honest continuation would serve. *)

@@ -1,0 +1,41 @@
+(** The hashed state identifiers the protocols exchange and accumulate.
+
+    Protocol II's correctness hinges on what exactly gets hashed into a
+    state tag: Figure 3 shows that tagging states with
+    [h(M(D) ‖ ctr)] alone lets a malicious server replay states (even
+    total degrees cancel in the XOR registers), while adding the user
+    id — [h(M(D) ‖ ctr ‖ j)] — forces in-degree 1 and rescues Lemma
+    4.1. Both variants are provided so the `abl-ctr-tag` ablation can
+    measure the difference; every hash is domain-separated and
+    length-framed. *)
+
+val initial : root:string -> string
+(** Tag of the initial database state [s = h(M(D₀) ‖ 1)] — the
+    distinguished source vertex of the transition graph. *)
+
+val tagged : root:string -> ctr:int -> user:int -> string
+(** [h(M(D) ‖ ctr ‖ j)]: the state reached by operation number [ctr],
+    performed by [user] — Protocol II's (fixed) tag. *)
+
+val untagged : root:string -> ctr:int -> string
+(** [h(M(D) ‖ ctr)]: the broken variant of Figure 3, for the
+    ablation. *)
+
+val root_sig_message : root:string -> ctr:int -> string
+(** The byte string users sign in Protocol I: [h(M(D) ‖ ctr)]. *)
+
+val backup_message : epoch:int -> sigma:string -> last:string -> gctr:int -> string
+(** The byte string users sign over their per-epoch register backup in
+    Protocol III. *)
+
+val token_record_message :
+  prev_digest:string -> root:string -> ctr:int -> user:int -> op_digest:string -> string
+(** The byte string signed for each record of the token-passing
+    baseline's hash-chained log. *)
+
+val xor : string -> string -> string
+(** Byte-wise XOR of two equal-length strings (32-byte register
+    arithmetic). @raise Invalid_argument on length mismatch. *)
+
+val zero : string
+(** The all-zero 32-byte register initial value. *)

@@ -1,0 +1,43 @@
+type 'report t = {
+  n : int;
+  me : int;
+  mutable active : bool;
+  reports : (int, 'report) Hashtbl.t;
+  verdicts : (int, bool) Hashtbl.t;
+  mutable verdict_sent : bool;
+}
+
+let create ~n ~me =
+  {
+    n;
+    me;
+    active = false;
+    reports = Hashtbl.create 8;
+    verdicts = Hashtbl.create 8;
+    verdict_sent = false;
+  }
+
+let active t = t.active
+let activate t = t.active <- true
+let reported t = Hashtbl.mem t.reports t.me
+let record_report t ~from_ report = Hashtbl.replace t.reports from_ report
+let reports_complete t = Hashtbl.length t.reports >= t.n
+
+let reports t =
+  Hashtbl.fold (fun user r acc -> (user, r) :: acc) t.reports []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+
+let verdict_sent t = t.verdict_sent
+let mark_verdict_sent t = t.verdict_sent <- true
+let record_verdict t ~from_ success = Hashtbl.replace t.verdicts from_ success
+
+let resolution t =
+  if Hashtbl.length t.verdicts < t.n then `Pending
+  else if Hashtbl.fold (fun _ ok acc -> acc || ok) t.verdicts false then `Ok
+  else `Failed
+
+let reset t =
+  t.active <- false;
+  t.verdict_sent <- false;
+  Hashtbl.reset t.reports;
+  Hashtbl.reset t.verdicts

@@ -1,0 +1,39 @@
+(** State machine for one synchronisation round over the broadcast
+    channel (Protocols I and II share it; only the report payload and
+    the success predicate differ).
+
+    Lifecycle: a session becomes {e active} when any user announces
+    sync-up; each user broadcasts its report once it has no transaction
+    in flight; when a user holds all [n] reports it evaluates its
+    success predicate and broadcasts a verdict; when all [n] verdicts
+    are in, the session {e resolves} — successfully if at least one
+    user reported success, otherwise the server has been caught
+    (Protocol I/II synchronisation step: "if no user broadcasts
+    success they terminate and report an error"). *)
+
+type 'report t
+
+val create : n:int -> me:int -> 'report t
+val active : 'report t -> bool
+val activate : 'report t -> unit
+(** Idempotent while a session is active. *)
+
+val reported : 'report t -> bool
+val record_report : 'report t -> from_:int -> 'report -> unit
+(** Also used for one's own report. *)
+
+val reports_complete : 'report t -> bool
+val reports : 'report t -> (int * 'report) list
+(** Sorted by user id; only meaningful once complete. *)
+
+val verdict_sent : 'report t -> bool
+val mark_verdict_sent : 'report t -> unit
+
+val record_verdict : 'report t -> from_:int -> bool -> unit
+
+val resolution : 'report t -> [ `Pending | `Ok | `Failed ]
+(** [`Failed] once all verdicts are in and none is a success. *)
+
+val reset : 'report t -> unit
+(** Return to inactive, clearing all collected state (called after the
+    session resolves successfully). *)

@@ -1,0 +1,58 @@
+(** Plumbing shared by every protocol's user agent: the queue of
+    workload intents, the one-transaction-at-a-time lifecycle, trace
+    recording and the terminate-on-error behaviour the paper prescribes
+    ("the user terminates and reports an error").
+
+    Protocol modules own the verification logic; this module owns
+    when a user is allowed to talk to the server. *)
+
+type t
+
+val create :
+  user:int ->
+  engine:Message.t Sim.Engine.t ->
+  trace:Sim.Trace.t ->
+  t
+
+val user : t -> int
+val engine : t -> Message.t Sim.Engine.t
+val trace : t -> Sim.Trace.t
+
+val enqueue_intent : t -> round:int -> op:Mtree.Vo.op -> unit
+(** Schedule an operation the user wants to perform no earlier than
+    [round]. *)
+
+val pending_intents : t -> int
+val due_intent : t -> round:int -> Mtree.Vo.op option
+(** Peek the next intent whose scheduled round has arrived (only when
+    no transaction is in flight). *)
+
+val issue : t -> round:int -> piggyback:Message.piggyback list -> bool
+(** Pop the due intent (if any), send the query to the server, record
+    the query action in the trace. Returns whether a query was sent. *)
+
+val in_flight_op : t -> Mtree.Vo.op option
+
+val complete :
+  t -> round:int -> answer:Mtree.Vo.answer -> ?roots:string * string -> unit -> unit
+(** Record the response action for the in-flight transaction, with the
+    (old, new) root digests the user verified, if any.
+    @raise Invalid_argument if no transaction is in flight. *)
+
+val completed_ops : t -> int
+val terminated : t -> bool
+
+val terminate : t -> round:int -> reason:string -> unit
+(** Raise the engine alarm and stop participating. Idempotent. *)
+
+val set_response_timeout : t -> rounds:int option -> unit
+(** Enable availability-violation detection: the paper's model assumes
+    b*-bounded transaction time, so a partially-synchronous user that
+    waits longer than the bound knows the server is withholding its
+    response. [None] (the default) disables the check, matching the
+    bare paper protocols. *)
+
+val check_timeout : t -> round:int -> unit
+(** To be called from the agent's activation hook: terminates with an
+    availability alarm if the in-flight transaction has exceeded the
+    response timeout. *)

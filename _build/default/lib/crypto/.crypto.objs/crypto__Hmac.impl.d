@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Bytes Char Ctime List Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/prng.ml: Array Bytes Char Hmac Sha256 Stdlib String

@@ -1,0 +1,9 @@
+(** Constant-time byte-string comparison.
+
+    Tag and signature checks must not leak the position of the first
+    mismatching byte through timing. *)
+
+val equal : string -> string -> bool
+(** [equal a b] is [true] iff [a] and [b] are byte-wise equal. Runs in
+    time depending only on the lengths. Strings of different lengths
+    compare unequal immediately (length is public). *)

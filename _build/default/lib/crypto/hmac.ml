@@ -1,0 +1,21 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let padded = Bytes.make block_size '\x00' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  Bytes.unsafe_to_string padded
+
+let xor_with pad byte =
+  String.map (fun c -> Char.chr (Char.code c lxor byte)) pad
+
+let mac_list ~key parts =
+  let key = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.feed inner (xor_with key 0x36);
+  List.iter (Sha256.feed inner) parts;
+  let inner_digest = Sha256.finalize inner in
+  Sha256.digest_list [ xor_with key 0x5c; inner_digest ]
+
+let mac ~key msg = mac_list ~key [ msg ]
+let verify ~key msg ~tag = Ctime.equal (mac ~key msg) tag

@@ -1,0 +1,18 @@
+(** HMAC-SHA256 (RFC 2104).
+
+    Used for the shared-key "signature" variant of the protocols (a
+    deployment where all users share one secret, trading
+    non-repudiation for speed) and as the PRF inside the deterministic
+    PRNG key schedule. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag of [msg] under
+    [key]. Keys longer than the 64-byte block size are hashed first,
+    per RFC 2104. *)
+
+val mac_list : key:string -> string list -> string
+(** [mac_list ~key parts] authenticates the concatenation of [parts]. *)
+
+val verify : key:string -> string -> tag:string -> bool
+(** [verify ~key msg ~tag] recomputes the tag and compares it in
+    constant time. *)

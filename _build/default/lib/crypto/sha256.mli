@@ -1,0 +1,35 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    The Trusted CVS protocols only require a collision-intractable hash
+    function (the paper cites Devanbu et al. [2]); SHA-256 plays that
+    role throughout the repository: Merkle-tree digests, state hashes
+    h(M(D) ‖ ctr ‖ j), HMAC, and hash-based signatures. *)
+
+type ctx
+(** Incremental hashing context. *)
+
+val digest_size : int
+(** Size of a digest in bytes (32). *)
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+(** [feed ctx s] absorbs the bytes of [s]. May be called repeatedly. *)
+
+val feed_bytes : ctx -> bytes -> off:int -> len:int -> unit
+val finalize : ctx -> string
+(** [finalize ctx] returns the 32-byte digest. The context must not be
+    used afterwards. *)
+
+val digest : string -> string
+(** [digest s] is the 32-byte SHA-256 digest of [s]. *)
+
+val digest_list : string list -> string
+(** [digest_list parts] hashes the concatenation of [parts] without
+    building the intermediate string. *)
+
+val hex : string -> string
+(** [hex s] is [Hex.encode (digest s)]. *)
+
+val pp : Format.formatter -> string -> unit
+(** Pretty-print a digest (first 8 hex chars followed by an ellipsis),
+    for compact traces. *)

@@ -1,0 +1,1 @@
+lib/hashsig/lamport.ml: Array Buffer Char Crypto String

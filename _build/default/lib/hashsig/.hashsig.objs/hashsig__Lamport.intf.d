@@ -1,0 +1,1 @@
+lib/hashsig/lamport.mli: Crypto

@@ -1,0 +1,1 @@
+lib/hashsig/mss.ml: Array Buffer Char Crypto List Option String Winternitz

@@ -1,0 +1,1 @@
+lib/hashsig/mss.mli: Crypto

@@ -1,0 +1,1 @@
+lib/hashsig/winternitz.ml: Array Buffer Char Crypto String

@@ -1,0 +1,1 @@
+lib/hashsig/winternitz.mli: Crypto

@@ -1,0 +1,100 @@
+let value_size = 32
+let hash_bits = 256
+
+type params = { w : int; log_w : int; l1 : int; l2 : int }
+
+let is_power_of_two v = v > 0 && v land (v - 1) = 0
+
+let params ~w =
+  if not (is_power_of_two w) || w < 4 || w > 256 then
+    invalid_arg "Winternitz.params: w must be a power of two in [4, 256]";
+  let log_w =
+    let rec go acc v = if v = 1 then acc else go (acc + 1) (v lsr 1) in
+    go 0 w
+  in
+  let l1 = (hash_bits + log_w - 1) / log_w in
+  let max_checksum = l1 * (w - 1) in
+  let l2 =
+    let rec digits acc v = if v = 0 then max acc 1 else digits (acc + 1) (v / w) in
+    digits 0 max_checksum
+  in
+  { w; log_w; l1; l2 }
+
+let chain_count p = p.l1 + p.l2
+
+type secret_key = { p : params; sk : string array }
+type public_key = { pp : params; pk : string array }
+
+let signature_size p = chain_count p * value_size
+
+(* Apply the chain function [count] times. Each step domain-separates on
+   the chain position to defeat multi-target birthday attacks. *)
+let chain start count v =
+  let cur = ref v in
+  for step = start to start + count - 1 do
+    cur := Crypto.Sha256.digest_list [ "wots-chain"; String.make 1 (Char.chr step); !cur ]
+  done;
+  !cur
+
+let generate p rng =
+  let l = chain_count p in
+  let sk = Array.init l (fun _ -> Crypto.Prng.bytes rng value_size) in
+  let pk = Array.map (chain 0 (p.w - 1)) sk in
+  ({ p; sk }, { pp = p; pk })
+
+(* Base-w digits of the message digest, MSB-first, followed by the
+   base-w digits of the checksum. *)
+let digits_of_message p msg =
+  let digest = Crypto.Sha256.digest msg in
+  let bit i = (Char.code digest.[i / 8] lsr (7 - (i mod 8))) land 1 in
+  let message_digits =
+    Array.init p.l1 (fun chunk ->
+        let acc = ref 0 in
+        for b = 0 to p.log_w - 1 do
+          let idx = (chunk * p.log_w) + b in
+          let v = if idx < hash_bits then bit idx else 0 in
+          acc := (!acc lsl 1) lor v
+        done;
+        !acc)
+  in
+  let checksum = Array.fold_left (fun acc d -> acc + (p.w - 1 - d)) 0 message_digits in
+  let checksum_digits =
+    let ds = Array.make p.l2 0 in
+    let v = ref checksum in
+    for i = p.l2 - 1 downto 0 do
+      ds.(i) <- !v mod p.w;
+      v := !v / p.w
+    done;
+    ds
+  in
+  Array.append message_digits checksum_digits
+
+let sign key msg =
+  let digits = digits_of_message key.p msg in
+  let buf = Buffer.create (signature_size key.p) in
+  Array.iteri (fun i d -> Buffer.add_string buf (chain 0 d key.sk.(i))) digits;
+  Buffer.contents buf
+
+let verify pub msg ~signature =
+  let p = pub.pp in
+  String.length signature = signature_size p
+  && begin
+       let digits = digits_of_message p msg in
+       let ok = ref true in
+       Array.iteri
+         (fun i d ->
+           let part = String.sub signature (i * value_size) value_size in
+           let tip = chain d (p.w - 1 - d) part in
+           if not (Crypto.Ctime.equal tip pub.pk.(i)) then ok := false)
+         digits;
+       !ok
+     end
+
+let public_to_string pub = String.concat "" (Array.to_list pub.pk)
+
+let public_of_string p s =
+  let l = chain_count p in
+  if String.length s <> l * value_size then None
+  else Some { pp = p; pk = Array.init l (fun i -> String.sub s (i * value_size) value_size) }
+
+let public_key_digest pub = Crypto.Sha256.digest (public_to_string pub)

@@ -1,0 +1,26 @@
+(** Winternitz one-time signatures (WOTS).
+
+    Generalises Lamport by signing [log2 w] bits per hash chain, trading
+    signature size for chain-walk time. With the checksum chains the
+    scheme is existentially unforgeable under one-time use. The [w]
+    parameter (chain length, a power of two between 4 and 256) is swept
+    by the `sig-schemes` experiment. *)
+
+type params
+type secret_key
+type public_key
+
+val params : w:int -> params
+(** @raise Invalid_argument unless [w] is a power of two in [4, 256]. *)
+
+val chain_count : params -> int
+(** Number of hash chains (message + checksum chunks). *)
+
+val generate : params -> Crypto.Prng.t -> secret_key * public_key
+val sign : secret_key -> string -> string
+val verify : public_key -> string -> signature:string -> bool
+
+val public_key_digest : public_key -> string
+val signature_size : params -> int
+val public_to_string : public_key -> string
+val public_of_string : params -> string -> public_key option

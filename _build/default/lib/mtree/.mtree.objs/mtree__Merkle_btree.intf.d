@@ -1,0 +1,1 @@
+lib/mtree/merkle_btree.mli: Node

@@ -1,0 +1,1 @@
+lib/mtree/node.ml: Array Buffer Char Crypto Format List Printf Stdlib String

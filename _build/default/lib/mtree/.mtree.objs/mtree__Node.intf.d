@@ -1,0 +1,1 @@
+lib/mtree/node.mli: Format

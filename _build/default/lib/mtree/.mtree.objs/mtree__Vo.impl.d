@@ -1,0 +1,1 @@
+lib/mtree/vo.ml: Array Buffer Char Format Fun List Merkle_btree Node String

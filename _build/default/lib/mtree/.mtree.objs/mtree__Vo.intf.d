@@ -1,0 +1,1 @@
+lib/mtree/vo.mli: Format Merkle_btree Node

@@ -1,0 +1,45 @@
+type t = { root : Node.t; branching : int; count : int }
+
+let create ?(branching = 16) () =
+  if branching < 4 then invalid_arg "Merkle_btree.create: branching must be >= 4";
+  { root = Node.empty_leaf; branching; count = 0 }
+
+let branching t = t.branching
+let root_digest t = Node.digest t.root
+let size t = t.count
+let root t = t.root
+let find t key = Node.find t.root key
+let mem t key = Option.is_some (find t key)
+
+let set t ~key ~value =
+  let existed = mem t key in
+  let root =
+    match Node.insert ~branching:t.branching t.root ~key ~value with
+    | Node.Ok_one n -> n
+    | Node.Split (l, sep, r) -> Node.make_node [| sep |] [| l; r |]
+  in
+  { t with root; count = (if existed then t.count else t.count + 1) }
+
+let remove t key =
+  match Node.delete ~branching:t.branching t.root ~key with
+  | None -> t
+  | Some root -> { t with root = Node.collapse_root root; count = t.count - 1 }
+
+let range t ~lo ~hi =
+  Node.range t.root ~lo ~hi |> List.map (fun (e : Node.entry) -> (e.key, e.value))
+
+let to_alist t = Node.to_alist t.root
+let keys t = List.map fst (to_alist t)
+
+let of_alist ?branching entries =
+  List.fold_left (fun t (key, value) -> set t ~key ~value) (create ?branching ()) entries
+
+let check_invariants t =
+  match Node.check_invariants ~branching:t.branching t.root with
+  | Error _ as e -> e
+  | Ok () ->
+      let n = Node.entry_count t.root in
+      if n <> t.count then Error (Printf.sprintf "count mismatch: %d vs %d" t.count n)
+      else Ok ()
+
+let depth t = Node.depth t.root

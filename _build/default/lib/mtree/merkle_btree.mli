@@ -1,0 +1,45 @@
+(** The Merkle B⁺-tree of Section 4.1: a B⁺-tree whose every node
+    carries a digest, so the root digest [M(D)] commits to the whole
+    database and any read/update can be verified from an O(log n)
+    verification object ({!Vo}).
+
+    The structure is persistent: operations return a new tree and never
+    mutate the old one. This is what makes fork-style attacks cheap to
+    express in the simulator — a malicious server simply retains
+    several versions — and it gives honest servers O(1) snapshots for
+    auditing. *)
+
+type t
+
+val create : ?branching:int -> unit -> t
+(** Empty database. [branching] is the maximum number of children of
+    an internal node (default 16).
+    @raise Invalid_argument if [branching < 4]. *)
+
+val branching : t -> int
+val root_digest : t -> string
+(** [M(D)] in the paper's notation. *)
+
+val size : t -> int
+(** Number of (key, value) entries. *)
+
+val find : t -> string -> string option
+val mem : t -> string -> bool
+
+val set : t -> key:string -> value:string -> t
+(** Insert or overwrite. *)
+
+val remove : t -> string -> t
+(** Returns the tree unchanged if the key is absent. *)
+
+val range : t -> lo:string -> hi:string -> (string * string) list
+val to_alist : t -> (string * string) list
+val of_alist : ?branching:int -> (string * string) list -> t
+val keys : t -> string list
+
+val check_invariants : t -> (unit, string) result
+(** Structural and cryptographic validation; used by the test suite. *)
+
+val depth : t -> int
+val root : t -> Node.t
+(** The underlying node — consumed by {!Vo} to build proofs. *)

@@ -1,0 +1,416 @@
+exception Insufficient_proof
+
+type entry = { key : string; value : string }
+
+type t =
+  | Leaf of { entries : entry array; digest : string }
+  | Node of { keys : string array; children : t array; digest : string }
+  | Stub of string
+
+(* ---- Digests ------------------------------------------------------ *)
+
+(* Length-framed concatenation makes the hashed encoding injective:
+   without framing, ("ab","c") and ("a","bc") would collide. *)
+let add_framed buf s =
+  let n = String.length s in
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_string buf s
+
+let leaf_digest entries =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf 'L';
+  Array.iter
+    (fun { key; value } ->
+      add_framed buf key;
+      add_framed buf (Crypto.Sha256.digest value))
+    entries;
+  Crypto.Sha256.digest (Buffer.contents buf)
+
+let node_digest keys children_digests =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf 'N';
+  Array.iter (add_framed buf) keys;
+  Buffer.add_char buf '|';
+  Array.iter (add_framed buf) children_digests;
+  Crypto.Sha256.digest (Buffer.contents buf)
+
+let digest = function
+  | Leaf { digest; _ } -> digest
+  | Node { digest; _ } -> digest
+  | Stub d -> d
+
+let sorted_strictly cmp arr =
+  let ok = ref true in
+  for i = 0 to Array.length arr - 2 do
+    if cmp arr.(i) arr.(i + 1) >= 0 then ok := false
+  done;
+  !ok
+
+let make_leaf entries =
+  assert (sorted_strictly (fun a b -> String.compare a.key b.key) entries);
+  Leaf { entries; digest = leaf_digest entries }
+
+let make_node keys children =
+  assert (Array.length keys = Array.length children - 1);
+  (* A one-child node is legal only transiently at the root during
+     deletes; collapse_root removes it before the tree is exposed. *)
+  assert (Array.length children >= 1);
+  let digest = node_digest keys (Array.map digest children) in
+  Node { keys; children; digest }
+
+let empty_leaf = make_leaf [||]
+
+(* ---- Occupancy bounds --------------------------------------------- *)
+
+let max_leaf_entries ~branching = branching
+let min_leaf_entries ~branching = max 1 (branching / 2)
+let max_children ~branching = branching
+let min_children ~branching = max 2 ((branching + 1) / 2)
+
+(* ---- Search ------------------------------------------------------- *)
+
+(* Child index for [key]: first i with key < keys.(i), else last child.
+   Child i therefore covers [keys.(i-1), keys.(i)). *)
+let child_index keys key =
+  let n = Array.length keys in
+  let rec go lo hi =
+    (* Invariant: keys.(i) <= key for i < lo, key < keys.(i) for i >= hi. *)
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if String.compare key keys.(mid) < 0 then go lo mid else go (mid + 1) hi
+    end
+  in
+  go 0 n
+
+(* Position of [key] in a sorted entry array: [Found i] or [Missing i]
+   where i is the insertion point. *)
+type probe = Found of int | Missing of int
+
+let probe_entries entries key =
+  let n = Array.length entries in
+  let rec go lo hi =
+    if lo >= hi then Missing lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      let c = String.compare key entries.(mid).key in
+      if c = 0 then Found mid else if c < 0 then go lo mid else go (mid + 1) hi
+    end
+  in
+  go 0 n
+
+let rec find t key =
+  match t with
+  | Stub _ -> raise Insufficient_proof
+  | Leaf { entries; _ } -> (
+      match probe_entries entries key with
+      | Found i -> Some entries.(i).value
+      | Missing _ -> None)
+  | Node { keys; children; _ } -> find children.(child_index keys key) key
+
+(* ---- Array helpers ------------------------------------------------ *)
+
+let array_insert arr i v =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) v in
+  Array.blit arr 0 out 0 i;
+  Array.blit arr i out (i + 1) (n - i);
+  out
+
+let array_remove arr i =
+  let n = Array.length arr in
+  let out = Array.sub arr 0 (n - 1) in
+  Array.blit arr (i + 1) out i (n - 1 - i);
+  out
+
+let array_set arr i v =
+  let out = Array.copy arr in
+  out.(i) <- v;
+  out
+
+(* Replace element i by two elements. *)
+let array_split_at arr i l r =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) l in
+  Array.blit arr 0 out 0 i;
+  out.(i) <- l;
+  out.(i + 1) <- r;
+  Array.blit arr (i + 1) out (i + 2) (n - 1 - i);
+  out
+
+(* ---- Insert / update ---------------------------------------------- *)
+
+type insert_result = Ok_one of t | Split of t * string * t
+
+let rec insert ~branching t ~key ~value =
+  match t with
+  | Stub _ -> raise Insufficient_proof
+  | Leaf { entries; _ } -> (
+      let entries' =
+        match probe_entries entries key with
+        | Found i -> array_set entries i { key; value }
+        | Missing i -> array_insert entries i { key; value }
+      in
+      let n = Array.length entries' in
+      if n <= max_leaf_entries ~branching then Ok_one (make_leaf entries')
+      else begin
+        let mid = (n + 1) / 2 in
+        let left = make_leaf (Array.sub entries' 0 mid) in
+        let right = make_leaf (Array.sub entries' mid (n - mid)) in
+        Split (left, entries'.(mid).key, right)
+      end)
+  | Node { keys; children; _ } -> (
+      let i = child_index keys key in
+      match insert ~branching children.(i) ~key ~value with
+      | Ok_one child -> Ok_one (make_node keys (array_set children i child))
+      | Split (l, sep, r) ->
+          let keys' = array_insert keys i sep in
+          let children' = array_split_at children i l r in
+          let n = Array.length children' in
+          if n <= max_children ~branching then Ok_one (make_node keys' children')
+          else begin
+            let mid = (n + 1) / 2 in
+            let left = make_node (Array.sub keys' 0 (mid - 1)) (Array.sub children' 0 mid) in
+            let right =
+              make_node (Array.sub keys' mid (n - 1 - mid)) (Array.sub children' mid (n - mid))
+            in
+            Split (left, keys'.(mid - 1), right)
+          end)
+
+(* ---- Delete ------------------------------------------------------- *)
+
+let leaf_entries = function
+  | Leaf { entries; _ } -> entries
+  | Node _ | Stub _ -> raise Insufficient_proof
+
+let node_parts = function
+  | Node { keys; children; _ } -> (keys, children)
+  | Leaf _ | Stub _ -> raise Insufficient_proof
+
+let is_underfull ~branching = function
+  | Leaf { entries; _ } -> Array.length entries < min_leaf_entries ~branching
+  | Node { children; _ } -> Array.length children < min_children ~branching
+  | Stub _ -> raise Insufficient_proof
+
+let has_spare ~branching = function
+  | Leaf { entries; _ } -> Array.length entries > min_leaf_entries ~branching
+  | Node { children; _ } -> Array.length children > min_children ~branching
+  | Stub _ -> raise Insufficient_proof
+
+(* Rebalance child [i] of (keys, children), which is underfull, using
+   an adjacent sibling. Returns the repaired (keys, children). *)
+let rebalance ~branching keys children i =
+  let child = children.(i) in
+  let can_borrow_left = i > 0 && has_spare ~branching children.(i - 1) in
+  let can_borrow_right =
+    i < Array.length children - 1 && has_spare ~branching children.(i + 1)
+  in
+  match child with
+  | Stub _ -> raise Insufficient_proof
+  | Leaf { entries; _ } ->
+      if can_borrow_left then begin
+        let left = leaf_entries children.(i - 1) in
+        let moved = left.(Array.length left - 1) in
+        let left' = make_leaf (Array.sub left 0 (Array.length left - 1)) in
+        let child' = make_leaf (array_insert entries 0 moved) in
+        let keys' = array_set keys (i - 1) moved.key in
+        (keys', array_set (array_set children (i - 1) left') i child')
+      end
+      else if can_borrow_right then begin
+        let right = leaf_entries children.(i + 1) in
+        let moved = right.(0) in
+        let right' = make_leaf (Array.sub right 1 (Array.length right - 1)) in
+        let child' = make_leaf (array_insert entries (Array.length entries) moved) in
+        let keys' = array_set keys i right.(1).key in
+        (keys', array_set (array_set children (i + 1) right') i child')
+      end
+      else if i > 0 then begin
+        (* Merge with left sibling. *)
+        let left = leaf_entries children.(i - 1) in
+        let merged = make_leaf (Array.append left entries) in
+        (array_remove keys (i - 1), array_remove (array_set children (i - 1) merged) i)
+      end
+      else begin
+        let right = leaf_entries children.(i + 1) in
+        let merged = make_leaf (Array.append entries right) in
+        (array_remove keys i, array_remove (array_set children i merged) (i + 1))
+      end
+  | Node { keys = ckeys; children = cchildren; _ } ->
+      if can_borrow_left then begin
+        let lkeys, lchildren = node_parts children.(i - 1) in
+        let moved_child = lchildren.(Array.length lchildren - 1) in
+        let moved_key = lkeys.(Array.length lkeys - 1) in
+        let left' =
+          make_node
+            (Array.sub lkeys 0 (Array.length lkeys - 1))
+            (Array.sub lchildren 0 (Array.length lchildren - 1))
+        in
+        let child' =
+          make_node (array_insert ckeys 0 keys.(i - 1)) (array_insert cchildren 0 moved_child)
+        in
+        let keys' = array_set keys (i - 1) moved_key in
+        (keys', array_set (array_set children (i - 1) left') i child')
+      end
+      else if can_borrow_right then begin
+        let rkeys, rchildren = node_parts children.(i + 1) in
+        let moved_child = rchildren.(0) in
+        let moved_key = rkeys.(0) in
+        let right' =
+          make_node
+            (Array.sub rkeys 1 (Array.length rkeys - 1))
+            (Array.sub rchildren 1 (Array.length rchildren - 1))
+        in
+        let child' =
+          make_node
+            (array_insert ckeys (Array.length ckeys) keys.(i))
+            (array_insert cchildren (Array.length cchildren) moved_child)
+        in
+        let keys' = array_set keys i moved_key in
+        (keys', array_set (array_set children (i + 1) right') i child')
+      end
+      else if i > 0 then begin
+        let lkeys, lchildren = node_parts children.(i - 1) in
+        let merged =
+          make_node
+            (Array.concat [ lkeys; [| keys.(i - 1) |]; ckeys ])
+            (Array.append lchildren cchildren)
+        in
+        (array_remove keys (i - 1), array_remove (array_set children (i - 1) merged) i)
+      end
+      else begin
+        let rkeys, rchildren = node_parts children.(i + 1) in
+        let merged =
+          make_node
+            (Array.concat [ ckeys; [| keys.(i) |]; rkeys ])
+            (Array.append cchildren rchildren)
+        in
+        (array_remove keys i, array_remove (array_set children i merged) (i + 1))
+      end
+
+let rec delete ~branching t ~key =
+  match t with
+  | Stub _ -> raise Insufficient_proof
+  | Leaf { entries; _ } -> (
+      match probe_entries entries key with
+      | Missing _ -> None
+      | Found i -> Some (make_leaf (array_remove entries i)))
+  | Node { keys; children; _ } -> (
+      let i = child_index keys key in
+      match delete ~branching children.(i) ~key with
+      | None -> None
+      | Some child' ->
+          if is_underfull ~branching child' then begin
+            let keys', children' = rebalance ~branching keys (array_set children i child') i in
+            Some (make_node keys' children')
+          end
+          else Some (make_node keys (array_set children i child')))
+
+let rec collapse_root t =
+  match t with
+  | Node { children = [| only |]; _ } -> collapse_root only
+  | Leaf _ | Node _ | Stub _ -> t
+
+(* ---- Range, counting, listing ------------------------------------- *)
+
+let rec range t ~lo ~hi =
+  match t with
+  | Stub _ -> raise Insufficient_proof
+  | Leaf { entries; _ } ->
+      Array.to_list entries
+      |> List.filter (fun e -> String.compare e.key lo >= 0 && String.compare e.key hi <= 0)
+  | Node { keys; children; _ } ->
+      let first = child_index keys lo and last = child_index keys hi in
+      let acc = ref [] in
+      for i = last downto first do
+        acc := range children.(i) ~lo ~hi @ !acc
+      done;
+      !acc
+
+let rec entry_count = function
+  | Stub _ -> raise Insufficient_proof
+  | Leaf { entries; _ } -> Array.length entries
+  | Node { children; _ } -> Array.fold_left (fun acc c -> acc + entry_count c) 0 children
+
+let rec to_alist = function
+  | Stub _ -> raise Insufficient_proof
+  | Leaf { entries; _ } -> Array.to_list entries |> List.map (fun e -> (e.key, e.value))
+  | Node { children; _ } -> List.concat_map to_alist (Array.to_list children)
+
+let rec depth = function
+  | Stub _ -> 0
+  | Leaf _ -> 1
+  | Node { children; _ } -> 1 + depth children.(0)
+
+(* ---- Validation ---------------------------------------------------- *)
+
+let check_invariants ~branching t =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let rec leaf_depths = function
+    | Stub _ -> []
+    | Leaf _ -> [ 1 ]
+    | Node { children; _ } ->
+        List.concat_map (fun c -> List.map succ (leaf_depths c)) (Array.to_list children)
+  in
+  let rec check ~is_root ~lo ~hi t =
+    let in_bounds k =
+      (match lo with None -> true | Some l -> String.compare k l >= 0)
+      && match hi with None -> true | Some h -> String.compare k h < 0
+    in
+    match t with
+    | Stub _ -> Ok ()
+    | Leaf { entries; digest } ->
+        if not (sorted_strictly (fun a b -> String.compare a.key b.key) entries) then
+          fail "leaf entries not strictly sorted"
+        else if not (Array.for_all (fun e -> in_bounds e.key) entries) then
+          fail "leaf entry violates separator bounds"
+        else if (not is_root) && Array.length entries < min_leaf_entries ~branching then
+          fail "leaf underfull (%d entries)" (Array.length entries)
+        else if Array.length entries > max_leaf_entries ~branching then
+          fail "leaf overfull (%d entries)" (Array.length entries)
+        else if digest <> leaf_digest entries then fail "leaf digest mismatch"
+        else Ok ()
+    | Node { keys; children; digest } ->
+        let n = Array.length children in
+        if Array.length keys <> n - 1 then fail "key/child count mismatch"
+        else if not (sorted_strictly String.compare keys) then fail "node keys not sorted"
+        else if not (Array.for_all in_bounds keys) then fail "separator violates bounds"
+        else if (not is_root) && n < min_children ~branching then
+          fail "node underfull (%d children)" n
+        else if n > max_children ~branching then fail "node overfull (%d children)" n
+        else if digest <> node_digest keys (Array.map (fun c -> (digest_of c : string)) children)
+        then fail "node digest mismatch"
+        else begin
+          let rec check_children i acc =
+            if i >= n then acc
+            else begin
+              let lo' = if i = 0 then lo else Some keys.(i - 1) in
+              let hi' = if i = n - 1 then hi else Some keys.(i) in
+              match check ~is_root:false ~lo:lo' ~hi:hi' children.(i) with
+              | Error _ as e -> e
+              | Ok () -> check_children (i + 1) acc
+            end
+          in
+          check_children 0 (Ok ())
+        end
+  and digest_of t = digest t in
+  match check ~is_root:true ~lo:None ~hi:None t with
+  | Error _ as e -> e
+  | Ok () -> (
+      match List.sort_uniq Stdlib.compare (leaf_depths t) with
+      | [] | [ _ ] -> Ok ()
+      | _ -> fail "leaves at differing depths")
+
+let rec pp fmt t =
+  match t with
+  | Stub d -> Format.fprintf fmt "#%a" Crypto.Sha256.pp d
+  | Leaf { entries; digest } ->
+      Format.fprintf fmt "@[<h>leaf[%a](%s)@]" Crypto.Sha256.pp digest
+        (String.concat ";" (Array.to_list (Array.map (fun e -> e.key) entries)))
+  | Node { keys; children; digest } ->
+      Format.fprintf fmt "@[<v 2>node[%a]{%s}" Crypto.Sha256.pp digest
+        (String.concat ";" (Array.to_list keys));
+      Array.iter (fun c -> Format.fprintf fmt "@,%a" pp c) children;
+      Format.fprintf fmt "@]"

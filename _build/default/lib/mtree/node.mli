@@ -1,0 +1,86 @@
+(** Internal node representation and algorithms of the Merkle B⁺-tree.
+
+    This module is the engine shared by {!Merkle_btree} (the server's
+    full tree) and {!Vo} (the client's pruned verification objects): a
+    pruned tree is an ordinary tree in which unexplored subtrees are
+    [Stub]s carrying only their digest. Every algorithm below works on
+    both; descending into a [Stub] raises {!Insufficient_proof}, which
+    on the client side means the server supplied a malformed
+    verification object.
+
+    Digests: a leaf's digest commits to its sorted (key, hash-of-value)
+    sequence; an internal node's digest commits to its separator keys
+    and child digests (all length-framed, so the encoding is
+    injective). This is exactly the construction of Figure 2 of the
+    paper, generalised from the figure's single path to the whole
+    tree. *)
+
+exception Insufficient_proof
+
+type entry = { key : string; value : string }
+
+type t =
+  | Leaf of { entries : entry array; digest : string }
+  | Node of { keys : string array; children : t array; digest : string }
+  | Stub of string
+      (** An off-path subtree represented only by its digest. *)
+
+val digest : t -> string
+val empty_leaf : t
+
+val make_leaf : entry array -> t
+(** Smart constructor: computes and caches the digest. Entries must be
+    sorted by key (checked by assertion). *)
+
+val make_node : string array -> t array -> t
+(** Smart constructor for internal nodes; [keys] has one fewer element
+    than [children]. *)
+
+val child_index : string array -> string -> int
+(** Routing: index of the child of a node with separator [keys] that
+    covers [key]. *)
+
+(** Result of an insert/update at some subtree: either the subtree was
+    rebuilt in place, or it overflowed and split into two with a
+    separator key. *)
+type insert_result = Ok_one of t | Split of t * string * t
+
+val find : t -> string -> string option
+(** @raise Insufficient_proof if the search path crosses a [Stub]. *)
+
+val insert : branching:int -> t -> key:string -> value:string -> insert_result
+(** Insert or overwrite. *)
+
+val delete : branching:int -> t -> key:string -> t option
+(** [delete ~branching t ~key] is [None] if [key] is absent, [Some t']
+    otherwise. The returned root may be underfull or have a single
+    child; {!collapse_root} normalises it. *)
+
+val collapse_root : t -> t
+(** Replace a one-child internal root by its child (repeatedly). *)
+
+val range : t -> lo:string -> hi:string -> entry list
+(** Entries with [lo <= key <= hi], in key order. *)
+
+val entry_count : t -> int
+(** @raise Insufficient_proof on a tree containing stubs. *)
+
+val to_alist : t -> (string * string) list
+(** All entries in key order. @raise Insufficient_proof on stubs. *)
+
+val min_leaf_entries : branching:int -> int
+val max_leaf_entries : branching:int -> int
+val min_children : branching:int -> int
+val max_children : branching:int -> int
+
+val check_invariants : branching:int -> t -> (unit, string) result
+(** Structural validation (for tests): sortedness, separator bounds,
+    occupancy bounds (root exempt), uniform leaf depth, digest
+    integrity at every node. Stubs are accepted as opaque. *)
+
+val depth : t -> int
+(** Length of the leftmost root-to-leaf path (stub counts as depth 0
+    below itself). *)
+
+val pp : Format.formatter -> t -> unit
+(** Debugging rendering of the structure with abbreviated digests. *)

@@ -1,0 +1,245 @@
+type op =
+  | Get of string
+  | Set of string * string
+  | Set_many of (string * string) list
+  | Remove of string
+  | Range of string * string
+
+type answer =
+  | Value of string option
+  | Updated
+  | Entries of (string * string) list
+
+type t = { branching : int; proof : Node.t }
+
+type error = Insufficient | Malformed of string
+
+let pp_error fmt = function
+  | Insufficient -> Format.pp_print_string fmt "insufficient proof (replay hit a pruned subtree)"
+  | Malformed m -> Format.fprintf fmt "malformed verification object: %s" m
+
+let branching t = t.branching
+let root_node t = t.proof
+let of_node ~branching proof = { branching; proof }
+
+(* ---- Pruning (server side) ---------------------------------------- *)
+
+let stub_of n = Node.Stub (Node.digest n)
+
+(* Keep a node's own content but replace its children by stubs; the
+   digest is unchanged because node digests commit to child digests. *)
+let shallow (n : Node.t) : Node.t =
+  match n with
+  | Node.Leaf _ | Node.Stub _ -> n
+  | Node.Node { keys; children; digest } ->
+      Node.Node { keys; children = Array.map stub_of children; digest }
+
+(* Prune around the union of the search paths of [keys].
+   [with_siblings] additionally materialises (one level deep) the
+   siblings adjacent to any path, which is what a delete's borrow/merge
+   may read. *)
+let rec prune_paths ~with_siblings (n : Node.t) lookup_keys : Node.t =
+  match n with
+  | Node.Leaf _ | Node.Stub _ -> n
+  | Node.Node { keys; children; digest } ->
+      let routes = List.map (fun k -> (Node.child_index keys k, k)) lookup_keys in
+      let children =
+        Array.mapi
+          (fun j c ->
+            let mine = List.filter_map (fun (i, k) -> if i = j then Some k else None) routes in
+            if mine <> [] then prune_paths ~with_siblings c mine
+            else if with_siblings && List.exists (fun (i, _) -> abs (j - i) = 1) routes then
+              shallow c
+            else stub_of c)
+          children
+      in
+      Node.Node { keys; children; digest }
+
+let prune_path ~with_siblings n key = prune_paths ~with_siblings n [ key ]
+
+let rec prune_range (n : Node.t) ~lo ~hi : Node.t =
+  match n with
+  | Node.Leaf _ | Node.Stub _ -> n
+  | Node.Node { keys; children; digest } ->
+      let first = Node.child_index keys lo and last = Node.child_index keys hi in
+      let children =
+        Array.mapi
+          (fun j c -> if j >= first && j <= last then prune_range c ~lo ~hi else stub_of c)
+          children
+      in
+      Node.Node { keys; children; digest }
+
+let generate tree op =
+  let root = Merkle_btree.root tree in
+  let proof =
+    match op with
+    | Get key | Set (key, _) -> prune_path ~with_siblings:false root key
+    | Set_many entries -> prune_paths ~with_siblings:false root (List.map fst entries)
+    | Remove key -> prune_path ~with_siblings:true root key
+    | Range (lo, hi) -> prune_range root ~lo ~hi
+  in
+  { branching = Merkle_btree.branching tree; proof }
+
+(* ---- Replay (client side) ----------------------------------------- *)
+
+let apply t op =
+  let old_root = Node.digest t.proof in
+  match op with
+  | Get key -> (
+      match Node.find t.proof key with
+      | value -> Ok (Value value, old_root, old_root)
+      | exception Node.Insufficient_proof -> Error Insufficient)
+  | Range (lo, hi) -> (
+      match Node.range t.proof ~lo ~hi with
+      | entries ->
+          Ok
+            ( Entries (List.map (fun (e : Node.entry) -> (e.key, e.value)) entries),
+              old_root,
+              old_root )
+      | exception Node.Insufficient_proof -> Error Insufficient)
+  | Set (key, value) -> (
+      match Node.insert ~branching:t.branching t.proof ~key ~value with
+      | Node.Ok_one n -> Ok (Updated, old_root, Node.digest n)
+      | Node.Split (l, sep, r) ->
+          Ok (Updated, old_root, Node.digest (Node.make_node [| sep |] [| l; r |]))
+      | exception Node.Insufficient_proof -> Error Insufficient)
+  | Set_many entries -> (
+      let insert_one node (key, value) =
+        match Node.insert ~branching:t.branching node ~key ~value with
+        | Node.Ok_one n -> n
+        | Node.Split (l, sep, r) -> Node.make_node [| sep |] [| l; r |]
+      in
+      match List.fold_left insert_one t.proof entries with
+      | n -> Ok (Updated, old_root, Node.digest n)
+      | exception Node.Insufficient_proof -> Error Insufficient)
+  | Remove key -> (
+      match Node.delete ~branching:t.branching t.proof ~key with
+      | None -> Ok (Updated, old_root, old_root)
+      | Some n -> Ok (Updated, old_root, Node.digest (Node.collapse_root n))
+      | exception Node.Insufficient_proof -> Error Insufficient)
+
+(* ---- Statistics ---------------------------------------------------- *)
+
+let rec stub_count_node = function
+  | Node.Stub _ -> 1
+  | Node.Leaf _ -> 0
+  | Node.Node { children; _ } ->
+      Array.fold_left (fun acc c -> acc + stub_count_node c) 0 children
+
+let stub_count t = stub_count_node t.proof
+
+let rec materialized_nodes_node = function
+  | Node.Stub _ -> 0
+  | Node.Leaf _ -> 1
+  | Node.Node { children; _ } ->
+      Array.fold_left (fun acc c -> acc + materialized_nodes_node c) 1 children
+
+let materialized_nodes t = materialized_nodes_node t.proof
+
+(* ---- Wire format ---------------------------------------------------
+
+   header: 'V' u16(branching)
+   node:   'S' 32-byte digest
+         | 'L' u16(count) { frame(key) frame(value) }*
+         | 'N' u16(nkeys) { frame(key) }* { node }+   (nkeys+1 children)
+   frame:  u32(len) bytes *)
+
+let put_u16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u32 buf v =
+  put_u16 buf ((v lsr 16) land 0xffff);
+  put_u16 buf (v land 0xffff)
+
+let put_frame buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let rec encode_node buf = function
+  | Node.Stub d ->
+      Buffer.add_char buf 'S';
+      Buffer.add_string buf d
+  | Node.Leaf { entries; _ } ->
+      Buffer.add_char buf 'L';
+      put_u16 buf (Array.length entries);
+      Array.iter
+        (fun (e : Node.entry) ->
+          put_frame buf e.key;
+          put_frame buf e.value)
+        entries
+  | Node.Node { keys; children; _ } ->
+      Buffer.add_char buf 'N';
+      put_u16 buf (Array.length keys);
+      Array.iter (put_frame buf) keys;
+      Array.iter (encode_node buf) children
+
+let encode t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf 'V';
+  put_u16 buf t.branching;
+  encode_node buf t.proof;
+  Buffer.contents buf
+
+let size_bytes t = String.length (encode t)
+
+exception Decode_error of string
+
+let decode s =
+  let pos = ref 0 in
+  let need n =
+    if !pos + n > String.length s then raise (Decode_error "truncated");
+    let start = !pos in
+    pos := !pos + n;
+    start
+  in
+  let get_char () = s.[need 1] in
+  let get_u16 () =
+    let i = need 2 in
+    (Char.code s.[i] lsl 8) lor Char.code s.[i + 1]
+  in
+  let get_u32 () =
+    let hi = get_u16 () in
+    (hi lsl 16) lor get_u16 ()
+  in
+  let get_frame () =
+    let n = get_u32 () in
+    let i = need n in
+    String.sub s i n
+  in
+  let rec node () =
+    match get_char () with
+    | 'S' ->
+        let i = need 32 in
+        Node.Stub (String.sub s i 32)
+    | 'L' ->
+        let count = get_u16 () in
+        let entries =
+          Array.init count (fun _ ->
+              let key = get_frame () in
+              let value = get_frame () in
+              ({ key; value } : Node.entry))
+        in
+        if not (Array.for_all Fun.id
+                  (Array.init (max 0 (count - 1)) (fun i ->
+                       String.compare entries.(i).key entries.(i + 1).key < 0)))
+        then raise (Decode_error "leaf entries not sorted");
+        Node.make_leaf entries
+    | 'N' ->
+        let nkeys = get_u16 () in
+        let keys = Array.init nkeys (fun _ -> get_frame ()) in
+        let children = Array.init (nkeys + 1) (fun _ -> node ()) in
+        Node.make_node keys children
+    | _ -> raise (Decode_error "bad node tag")
+  in
+  match
+    if get_char () <> 'V' then raise (Decode_error "bad header");
+    let branching = get_u16 () in
+    let proof = node () in
+    if !pos <> String.length s then raise (Decode_error "trailing bytes");
+    if branching < 4 then raise (Decode_error "bad branching");
+    { branching; proof }
+  with
+  | t -> Some t
+  | exception Decode_error _ -> None
+  | exception Assert_failure _ -> None

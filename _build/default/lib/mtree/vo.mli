@@ -1,0 +1,75 @@
+(** Verification objects — the [v(Q, D)] of the paper.
+
+    A verification object for query [Q] on database [D] is a pruned
+    copy of the Merkle B⁺-tree: the nodes [Q] touches are materialised
+    and every other subtree is a {!Node.Stub} carrying only its digest.
+    The client then {e replays} [Q] on the pruned tree:
+
+    + recompute the pruned tree's root digest and compare it with the
+      root digest [M(D)] the client already trusts — this
+      authenticates everything the server disclosed;
+    + run the ordinary B⁺-tree algorithm on the pruned tree to obtain
+      the answer and, for updates, the new root digest [M(Q(D))].
+
+    If the server lied about the answer, the replayed answer differs;
+    if it pruned too aggressively, replay hits a stub and verification
+    fails. Both the O(log n) size claim and the "recompute old and new
+    root from O(log n) digests" behaviour of Section 4.1 fall out
+    directly, and are measured by the `fig2-merkle-path` experiment. *)
+
+type op =
+  | Get of string
+  | Set of string * string
+  | Set_many of (string * string) list
+      (** atomic multi-key update — a CVS commit touching several
+          files; replayed as one state transition with a single
+          (old, new) root pair *)
+  | Remove of string
+  | Range of string * string  (** inclusive bounds *)
+
+type answer =
+  | Value of string option  (** for [Get] *)
+  | Updated  (** for [Set] / [Remove] *)
+  | Entries of (string * string) list  (** for [Range] *)
+
+type t
+
+type error =
+  | Insufficient (** replay needed a pruned subtree: malformed VO *)
+  | Malformed of string  (** undecodable or ill-typed VO *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val generate : Merkle_btree.t -> op -> t
+(** Server side: prune the current tree around [op]'s access path —
+    the union of paths for [Set_many] — plus one-level-deep siblings
+    for [Remove], which may rebalance. *)
+
+val apply : t -> op -> (answer * string * string, error) result
+(** Client side: [apply vo op] replays [op] and returns
+    [(answer, old_root_digest, new_root_digest)]. For read-only ops the
+    two digests are equal. The caller is responsible for comparing
+    [old_root_digest] with its trusted [M(D)]. *)
+
+val branching : t -> int
+val size_bytes : t -> int
+(** Size of the wire encoding — the paper's "O(log n) digests" claim is
+    measured in these bytes. *)
+
+val stub_count : t -> int
+(** Number of pruned subtrees (each contributes one 32-byte digest). *)
+
+val materialized_nodes : t -> int
+
+val encode : t -> string
+(** Wire format. Digests of materialised nodes are {e not} transmitted;
+    {!decode} recomputes them, so a tampered VO simply fails the root
+    comparison. *)
+
+val decode : string -> t option
+
+val of_node : branching:int -> Node.t -> t
+(** Wrap an existing (possibly pruned) node as a VO — used by tests and
+    by adversaries that craft VOs directly. *)
+
+val root_node : t -> Node.t

@@ -1,0 +1,1 @@
+lib/pki/keyring.ml: Array Crypto Hashtbl List Printf Signer Stdlib

@@ -1,0 +1,1 @@
+lib/pki/keyring.mli: Crypto Signer

@@ -1,0 +1,1 @@
+lib/pki/signer.ml: Crypto Hashsig Printf Rsa

@@ -1,0 +1,1 @@
+lib/pki/signer.mli: Crypto

@@ -1,0 +1,1 @@
+lib/sim/id.ml: Format Printf Stdlib

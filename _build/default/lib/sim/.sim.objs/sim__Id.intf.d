@@ -1,0 +1,1 @@
+lib/sim/id.mli: Format

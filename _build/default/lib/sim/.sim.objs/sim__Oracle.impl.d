@@ -1,0 +1,1 @@
+lib/sim/oracle.ml: List Mtree Trace

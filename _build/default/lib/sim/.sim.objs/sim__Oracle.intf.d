@@ -1,0 +1,1 @@
+lib/sim/oracle.mli: Mtree Trace

@@ -1,0 +1,94 @@
+type 'msg handlers = {
+  on_message : round:int -> src:Id.t -> 'msg -> unit;
+  on_activate : round:int -> unit;
+}
+
+type 'msg envelope = { src : Id.t; dst : Id.t; payload : 'msg }
+type alarm_record = { agent : Id.t; at_round : int; reason : string }
+
+type 'msg t = {
+  mutable agents : (Id.t * 'msg handlers) list; (* registration order *)
+  mutable pending : 'msg envelope list; (* sent this round, reversed *)
+  mutable round : int;
+  mutable messages_sent : int;
+  mutable broadcasts_sent : int;
+  mutable bytes_sent : int;
+  measure : 'msg -> int;
+  mutable alarms : alarm_record list; (* newest first *)
+}
+
+let create ?(measure = fun _ -> 0) () =
+  {
+    agents = [];
+    pending = [];
+    round = 0;
+    messages_sent = 0;
+    broadcasts_sent = 0;
+    bytes_sent = 0;
+    measure;
+    alarms = [];
+  }
+
+let register t id handlers =
+  if List.mem_assoc id t.agents then
+    invalid_arg (Printf.sprintf "Engine.register: %s already registered" (Id.to_string id));
+  t.agents <- t.agents @ [ (id, handlers) ]
+
+let send t ~src ~dst msg =
+  t.messages_sent <- t.messages_sent + 1;
+  t.bytes_sent <- t.bytes_sent + t.measure msg;
+  t.pending <- { src; dst; payload = msg } :: t.pending
+
+let broadcast t ~src msg =
+  List.iter
+    (fun (id, _) ->
+      match id with
+      | Id.User _ when not (Id.equal id src) ->
+          t.broadcasts_sent <- t.broadcasts_sent + 1;
+          t.bytes_sent <- t.bytes_sent + t.measure msg;
+          t.pending <- { src; dst = id; payload = msg } :: t.pending
+      | Id.User _ | Id.Server -> ())
+    t.agents
+
+let round t = t.round
+
+let step t =
+  let due = List.rev t.pending in
+  t.pending <- [];
+  t.round <- t.round + 1;
+  let round = t.round in
+  List.iter
+    (fun { src; dst; payload } ->
+      match List.assoc_opt dst t.agents with
+      | None -> ()
+      | Some h -> h.on_message ~round ~src payload)
+    due;
+  List.iter (fun (_, h) -> h.on_activate ~round) t.agents
+
+let run t ~rounds =
+  for _ = 1 to rounds do
+    step t
+  done
+
+let run_until t ?(max_rounds = 100_000) predicate =
+  let rec go steps =
+    if predicate () then true
+    else if steps >= max_rounds then false
+    else begin
+      step t;
+      go (steps + 1)
+    end
+  in
+  go 0
+
+let messages_sent t = t.messages_sent
+let bytes_sent t = t.bytes_sent
+let broadcasts_sent t = t.broadcasts_sent
+
+let alarm t ~agent ~reason =
+  t.alarms <- { agent; at_round = t.round; reason } :: t.alarms
+
+let alarms t = List.rev t.alarms
+
+let first_alarm t =
+  match List.rev t.alarms with [] -> None | first :: _ -> Some first

@@ -1,0 +1,44 @@
+(** Ground-truth deviation detection (Definition 2.1), for experiments.
+
+    In the trusted system the server executes transactions serially in
+    arrival order and answers within bounded time. Under the model's
+    assumptions (at most one query action per round, fixed one-round
+    delivery) the arrival order equals the issue order, so a recorded
+    run is {e consistent with some trusted run} exactly when replaying
+    the completed transactions in issue order against a trusted
+    executor reproduces every answer the server gave.
+
+    This module performs that replay. It is the experiment harness's
+    oracle: protocols must raise an alarm iff the oracle says the run
+    deviated (soundness/completeness of detection), and the detection
+    delay is measured from the oracle's first deviating transaction.
+
+    The oracle is {e not} available to users inside the protocols — it
+    sees the whole global trace at once, which no user does; that
+    asymmetry is exactly the problem the paper's protocols solve. *)
+
+type verdict = {
+  deviated : bool;
+  first_deviation : Trace.transaction option;
+      (** earliest issued transaction whose reported answer — or whose
+          claimed (old, new) root-digest transition, when the user
+          recorded one — differs from the trusted replay. Root-chain
+          checking is what makes write-only fork divergence visible:
+          answers alone ([Updated]) carry no state. *)
+  trusted_final_root : string;
+      (** root digest a trusted server would end with *)
+}
+
+val trusted_answer :
+  Mtree.Merkle_btree.t -> Mtree.Vo.op -> Mtree.Merkle_btree.t * Mtree.Vo.answer
+(** One step of the trusted executor: apply the operation, return the
+    new database and the answer a trusted server gives. Shared with the
+    server implementation so trusted and untrusted servers cannot
+    disagree by construction bug. *)
+
+val replay : ?branching:int -> initial:(string * string) list -> Trace.t -> verdict
+(** [replay ~initial trace] starts from a trusted database holding
+    [initial] and replays [trace]'s completed transactions in issue
+    order. *)
+
+val answers_equal : Mtree.Vo.answer -> Mtree.Vo.answer -> bool

@@ -1,0 +1,50 @@
+type transaction = {
+  seq : int;
+  user : int;
+  op : Mtree.Vo.op;
+  issued_round : int;
+  completed_round : int option;
+  answer : Mtree.Vo.answer option;
+  roots : (string * string) option;
+}
+
+type t = { mutable items : transaction list (* newest first *); mutable next_seq : int }
+
+let create () = { items = []; next_seq = 0 }
+
+let issue t ~user ~op ~round =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.items <-
+    { seq; user; op; issued_round = round; completed_round = None; answer = None; roots = None }
+    :: t.items;
+  seq
+
+let complete t ~seq ~round ~answer ?roots () =
+  let found = ref false in
+  t.items <-
+    List.map
+      (fun tx ->
+        if tx.seq <> seq then tx
+        else begin
+          if tx.completed_round <> None then
+            invalid_arg "Trace.complete: transaction already completed";
+          found := true;
+          { tx with completed_round = Some round; answer = Some answer; roots }
+        end)
+      t.items;
+  if not !found then invalid_arg "Trace.complete: unknown transaction"
+
+let transactions t = List.rev t.items
+let completed t = List.filter (fun tx -> tx.completed_round <> None) (transactions t)
+let pending t = List.filter (fun tx -> tx.completed_round = None) (transactions t)
+let count t = t.next_seq
+
+let completed_count_for_user t ~user =
+  List.length (List.filter (fun tx -> tx.user = user) (completed t))
+
+let completed_after t ~round ~user =
+  List.length
+    (List.filter
+       (fun tx -> tx.user = user && tx.issued_round > round)
+       (completed t))

@@ -1,0 +1,1 @@
+lib/vcs/file_history.ml: Crypto Fun List Printf Vdiff Wire

@@ -1,0 +1,1 @@
+lib/vcs/file_history.mli: Vdiff

@@ -1,0 +1,1 @@
+lib/vcs/repo.ml: File_history List Mtree Printf Result String Tag_snapshot

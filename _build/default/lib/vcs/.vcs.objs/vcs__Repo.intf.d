@@ -1,0 +1,1 @@
+lib/vcs/repo.mli: File_history Mtree

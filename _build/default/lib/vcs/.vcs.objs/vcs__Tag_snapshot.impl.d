@@ -1,0 +1,1 @@
+lib/vcs/tag_snapshot.ml: String Wire

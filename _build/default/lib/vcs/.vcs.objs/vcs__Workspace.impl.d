@@ -1,0 +1,1 @@
+lib/vcs/workspace.ml: File_history List Map Option String Vdiff

@@ -1,0 +1,1 @@
+lib/vcs/workspace.mli: File_history

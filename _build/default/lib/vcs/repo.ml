@@ -1,0 +1,95 @@
+module T = Mtree.Merkle_btree
+
+type t = { db : T.t }
+
+let empty ?branching () = { db = T.create ?branching () }
+let root_digest t = T.root_digest t.db
+let database t = t.db
+let of_database db = { db }
+
+let fetch_history t ~path =
+  match T.find t.db path with
+  | None -> Ok File_history.empty
+  | Some encoded -> (
+      match File_history.decode encoded with
+      | Some h -> Ok h
+      | None -> Error (Printf.sprintf "corrupt history for %s" path))
+
+let existing_history t ~path =
+  match T.find t.db path with
+  | None -> Error (Printf.sprintf "no such file %s" path)
+  | Some encoded -> (
+      match File_history.decode encoded with
+      | Some h -> Ok h
+      | None -> Error (Printf.sprintf "corrupt history for %s" path))
+
+let commit t ~path ~author ~round ~log ~content =
+  if Tag_snapshot.is_tag_key path then
+    Error (Printf.sprintf "%S is a reserved path prefix" Tag_snapshot.reserved_prefix)
+  else begin
+    match fetch_history t ~path with
+    | Error _ as e -> e |> Result.map (fun _ -> assert false)
+    | Ok history ->
+        let history' = File_history.commit history ~author ~round ~log ~content in
+        Ok
+          ( { db = T.set t.db ~key:path ~value:(File_history.encode history') },
+            File_history.head_revision history' )
+  end
+
+let checkout t ~path = Result.map File_history.head_content (existing_history t ~path)
+
+let checkout_at t ~path ~revision =
+  match existing_history t ~path with
+  | Error _ as e -> e
+  | Ok h -> File_history.content_at h revision
+
+let history t ~path = existing_history t ~path
+let log t ~path = Result.map File_history.log_entries (existing_history t ~path)
+let annotate t ~path = Result.map File_history.annotate (existing_history t ~path)
+
+let paths t =
+  T.to_alist t.db |> List.map fst |> List.filter (fun k -> not (Tag_snapshot.is_tag_key k))
+
+let file_count t = List.length (paths t)
+let remove_file t ~path = { db = T.remove t.db path }
+
+let tag t ~name =
+  let rec snapshot acc = function
+    | [] -> Ok (List.rev acc)
+    | path :: rest -> (
+        match existing_history t ~path with
+        | Error _ as e -> e |> Result.map (fun _ -> assert false)
+        | Ok h -> snapshot ((path, File_history.head_revision h) :: acc) rest)
+  in
+  match snapshot [] (paths t) with
+  | Error e -> Error e
+  | Ok entries ->
+      Ok
+        ( { db = T.set t.db ~key:(Tag_snapshot.key name) ~value:(Tag_snapshot.encode entries) },
+          List.length entries )
+
+let tags t =
+  T.to_alist t.db
+  |> List.filter_map (fun (k, _) ->
+         if Tag_snapshot.is_tag_key k then
+           Some
+             (String.sub k
+                (String.length Tag_snapshot.reserved_prefix)
+                (String.length k - String.length Tag_snapshot.reserved_prefix))
+         else None)
+
+let tagged_files t ~name =
+  match T.find t.db (Tag_snapshot.key name) with
+  | None -> Error (Printf.sprintf "no such tag %S" name)
+  | Some encoded -> (
+      match Tag_snapshot.decode encoded with
+      | Some entries -> Ok entries
+      | None -> Error (Printf.sprintf "corrupt tag %S" name))
+
+let checkout_tag t ~name ~path =
+  match tagged_files t ~name with
+  | Error _ as e -> e
+  | Ok entries -> (
+      match List.assoc_opt path entries with
+      | None -> Error (Printf.sprintf "%s is not covered by tag %S" path name)
+      | Some revision -> checkout_at t ~path ~revision)

@@ -1,0 +1,61 @@
+(** A complete, {e trusted} repository engine: the CVS verbs over the
+    authenticated database, without any network or protocol.
+
+    This is what a correct server runs internally, and what a user with
+    local (trusted) disk access uses directly — the same data layout
+    that the Trusted CVS protocols verify remotely, so a repository can
+    be exported from a local [Repo.t] to an untrusted server byte for
+    byte. It also serves as the reference implementation the test suite
+    compares protocol sessions against.
+
+    The structure is persistent: every operation returns a new
+    repository; old values remain valid snapshots. *)
+
+type t
+
+val empty : ?branching:int -> unit -> t
+val root_digest : t -> string
+(** [M(D)]: commitment to the entire repository (files and tags). *)
+
+val file_count : t -> int
+
+(** {2 Files} *)
+
+val commit :
+  t -> path:string -> author:int -> round:int -> log:string -> content:string ->
+  (t * int, string) result
+(** Append a revision; returns the new repository and revision number.
+    Fails on a reserved path ([tag!] prefix) or corrupt stored data. *)
+
+val checkout : t -> path:string -> (string, string) result
+(** Head content; [Error] if the path does not exist. *)
+
+val checkout_at : t -> path:string -> revision:int -> (string, string) result
+val history : t -> path:string -> (File_history.t, string) result
+val log : t -> path:string -> ((int * int * int * string) list, string) result
+val annotate : t -> path:string -> ((string * int) list, string) result
+val paths : t -> string list
+(** All file paths, sorted; tags excluded. *)
+
+val remove_file : t -> path:string -> t
+(** Delete a file and its whole history (CVS's attic, simplified). *)
+
+(** {2 Tags} *)
+
+val tag : t -> name:string -> (t * int, string) result
+(** Snapshot all current head revisions under [name]; returns how many
+    files are covered. *)
+
+val tags : t -> string list
+val tagged_files : t -> name:string -> ((string * int) list, string) result
+val checkout_tag : t -> name:string -> path:string -> (string, string) result
+
+(** {2 Interop with the protocol layer} *)
+
+val database : t -> Mtree.Merkle_btree.t
+(** The underlying authenticated database — hand this to
+    {!Tcvs.Server.create} (as [to_alist]) to host the repository on an
+    untrusted server. *)
+
+val of_database : Mtree.Merkle_btree.t -> t
+(** Adopt an existing database (e.g. rebuilt from a server dump). *)

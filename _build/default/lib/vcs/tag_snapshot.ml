@@ -1,0 +1,19 @@
+let reserved_prefix = "tag!"
+let key name = reserved_prefix ^ name
+let is_tag_key k = String.starts_with ~prefix:reserved_prefix k
+
+let encode entries =
+  let w = Wire.W.create () in
+  Wire.W.list w
+    (fun (path, rev) ->
+      Wire.W.str w path;
+      Wire.W.u32 w rev)
+    entries;
+  Wire.W.contents w
+
+let decode encoded =
+  Wire.decode encoded (fun r ->
+      Wire.R.list r (fun r ->
+          let path = Wire.R.str r in
+          let rev = Wire.R.u32 r in
+          (path, rev)))

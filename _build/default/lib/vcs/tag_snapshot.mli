@@ -1,0 +1,18 @@
+(** Tag snapshots: the stored value of a `cvs tag` — which revision of
+    each file the tag covers. Shared by the trusted {!Repo} engine and
+    the protocol-level CVS sessions so both sides agree on the layout
+    byte for byte. *)
+
+val reserved_prefix : string
+(** Key prefix under which tags live in the database ([tag!]); file
+    paths must not start with it. *)
+
+val key : string -> string
+(** Database key for a tag name. *)
+
+val is_tag_key : string -> bool
+
+val encode : (string * int) list -> string
+(** Serialise (path, revision) pairs. *)
+
+val decode : string -> (string * int) list option

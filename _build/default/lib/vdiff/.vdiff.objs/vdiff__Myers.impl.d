@@ -1,0 +1,1 @@
+lib/vdiff/myers.ml: Array List String

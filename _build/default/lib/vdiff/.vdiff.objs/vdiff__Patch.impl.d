@@ -1,0 +1,1 @@
+lib/vdiff/patch.ml: Buffer Format List Myers Printf String

@@ -1,0 +1,1 @@
+lib/vdiff/patch.mli: Format

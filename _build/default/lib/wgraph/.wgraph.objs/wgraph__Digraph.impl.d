@@ -1,0 +1,1 @@
+lib/wgraph/digraph.ml: Format Hashtbl List Map String

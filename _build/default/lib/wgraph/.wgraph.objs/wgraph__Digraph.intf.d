@@ -1,0 +1,1 @@
+lib/wgraph/digraph.mli: Format

@@ -1,0 +1,111 @@
+module Vertex_map = Map.Make (String)
+
+(* Adjacency as successor lists (with multiplicity); in-degrees kept
+   alongside so Lemma 4.1 checks are linear. *)
+type t = {
+  succ : string list Vertex_map.t;
+  in_deg : int Vertex_map.t;
+}
+
+let empty = { succ = Vertex_map.empty; in_deg = Vertex_map.empty }
+
+let add_vertex t v =
+  {
+    succ = (if Vertex_map.mem v t.succ then t.succ else Vertex_map.add v [] t.succ);
+    in_deg = (if Vertex_map.mem v t.in_deg then t.in_deg else Vertex_map.add v 0 t.in_deg);
+  }
+
+let add_edge t ~src ~dst =
+  let t = add_vertex (add_vertex t src) dst in
+  {
+    succ = Vertex_map.add src (dst :: Vertex_map.find src t.succ) t.succ;
+    in_deg = Vertex_map.add dst (Vertex_map.find dst t.in_deg + 1) t.in_deg;
+  }
+
+let vertices t = Vertex_map.bindings t.succ |> List.map fst
+let is_empty t = Vertex_map.is_empty t.succ
+
+let edges t =
+  Vertex_map.bindings t.succ
+  |> List.concat_map (fun (src, dsts) -> List.map (fun dst -> (src, dst)) dsts)
+
+let vertex_count t = Vertex_map.cardinal t.succ
+let edge_count t = List.length (edges t)
+let successors t v = try Vertex_map.find v t.succ with Not_found -> []
+let out_degree t v = List.length (successors t v)
+let in_degree t v = try Vertex_map.find v t.in_deg with Not_found -> 0
+let total_degree t v = in_degree t v + out_degree t v
+
+let has_cycle t =
+  (* Colours: unvisited (absent), 1 = on stack, 2 = done. *)
+  let colour = Hashtbl.create 16 in
+  let rec visit v =
+    match Hashtbl.find_opt colour v with
+    | Some 1 -> true
+    | Some _ -> false
+    | None ->
+        Hashtbl.replace colour v 1;
+        let found = List.exists visit (successors t v) in
+        Hashtbl.replace colour v 2;
+        found
+  in
+  List.exists visit (vertices t)
+
+let is_directed_path t =
+  if is_empty t then true
+  else begin
+    let n = vertex_count t in
+    if edge_count t <> n - 1 then false
+    else begin
+      match List.filter (fun v -> in_degree t v = 0) (vertices t) with
+      | [ start ] ->
+          (* Walk from the unique source; a simple path visits each
+             vertex once and never branches. *)
+          let rec walk v seen =
+            match successors t v with
+            | [] -> seen = n
+            | [ next ] -> (not (in_degree t next > 1)) && walk next (seen + 1)
+            | _ :: _ :: _ -> false
+          in
+          walk start 1
+      | [] | _ :: _ :: _ -> false
+    end
+  end
+
+module Lemma41 = struct
+  type failure =
+    | Isolated_vertex of string
+    | In_degree_exceeded of string
+    | Cycle
+    | Odd_degree_count of int
+    | No_source
+
+  let pp_failure fmt = function
+    | Isolated_vertex v -> Format.fprintf fmt "P1 violated: isolated vertex %s" v
+    | In_degree_exceeded v -> Format.fprintf fmt "P2 violated: in-degree > 1 at %s" v
+    | Cycle -> Format.pp_print_string fmt "P3 violated: directed cycle"
+    | Odd_degree_count n ->
+        Format.fprintf fmt "P4 violated: %d vertices of odd total degree (want 2)" n
+    | No_source ->
+        Format.pp_print_string fmt "P4 violated: no odd-degree vertex has in-degree 0"
+
+  let check t =
+    if is_empty t then Ok ()
+    else begin
+      let vs = vertices t in
+      match List.find_opt (fun v -> total_degree t v = 0) vs with
+      | Some v -> Error (Isolated_vertex v)
+      | None -> (
+          match List.find_opt (fun v -> in_degree t v > 1) vs with
+          | Some v -> Error (In_degree_exceeded v)
+          | None ->
+              if has_cycle t then Error Cycle
+              else begin
+                let odd = List.filter (fun v -> total_degree t v mod 2 = 1) vs in
+                match odd with
+                | [ a; b ] ->
+                    if in_degree t a = 0 || in_degree t b = 0 then Ok () else Error No_source
+                | _ -> Error (Odd_degree_count (List.length odd))
+              end)
+    end
+end

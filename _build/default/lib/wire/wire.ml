@@ -1,0 +1,89 @@
+exception Underflow
+
+module W = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+
+  let u16 t v =
+    u8 t (v lsr 8);
+    u8 t v
+
+  let u32 t v =
+    u16 t (v lsr 16);
+    u16 t v
+
+  let u64 t v =
+    (* OCaml ints are 63-bit; the top byte carries bits 56+ of the
+       (non-negative) value. *)
+    for byte = 7 downto 0 do
+      u8 t (v lsr (8 * byte))
+    done
+
+  let str t s =
+    u32 t (String.length s);
+    Buffer.add_string t s
+
+  let raw t s = Buffer.add_string t s
+
+  let list t f xs =
+    u32 t (List.length xs);
+    List.iter f xs
+
+  let contents t = Buffer.contents t
+end
+
+module R = struct
+  type t = { src : string; mutable pos : int }
+
+  let of_string src = { src; pos = 0 }
+
+  let take t n =
+    if t.pos + n > String.length t.src then raise Underflow;
+    let start = t.pos in
+    t.pos <- t.pos + n;
+    start
+
+  let u8 t = Char.code t.src.[take t 1]
+
+  let u16 t =
+    let hi = u8 t in
+    (hi lsl 8) lor u8 t
+
+  let u32 t =
+    let hi = u16 t in
+    (hi lsl 16) lor u16 t
+
+  let u64 t =
+    let acc = ref 0 in
+    for _ = 1 to 8 do
+      acc := (!acc lsl 8) lor u8 t
+    done;
+    !acc
+
+  let raw t n =
+    let start = take t n in
+    String.sub t.src start n
+
+  let str t =
+    let n = u32 t in
+    raw t n
+
+  let list t f =
+    let n = u32 t in
+    List.init n (fun _ -> f t)
+
+  let at_end t = t.pos = String.length t.src
+  let expect_end t = if not (at_end t) then raise Underflow
+end
+
+let decode s f =
+  let r = R.of_string s in
+  match
+    let v = f r in
+    R.expect_end r;
+    v
+  with
+  | v -> Some v
+  | exception (Underflow | Invalid_argument _ | Failure _) -> None

@@ -1,0 +1,1 @@
+lib/workload/schedule.ml: Crypto Format Fun List Printf Stdlib Zipf

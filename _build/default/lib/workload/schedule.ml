@@ -1,0 +1,122 @@
+type intent = Read of int | Write of int
+
+type event = { round : int; user : int; intent : intent }
+
+type profile = {
+  users : int;
+  files : int;
+  zipf_s : float;
+  read_fraction : float;
+  mean_think : float;
+  offline_probability : float;
+  mean_offline : float;
+}
+
+let default_profile =
+  {
+    users = 4;
+    files = 64;
+    zipf_s = 1.0;
+    read_fraction = 0.6;
+    mean_think = 8.0;
+    offline_probability = 0.1;
+    mean_offline = 80.0;
+  }
+
+(* Each user is simulated independently (own PRNG stream), producing
+   tentative (round, intent) pairs; a final pass merges the streams and
+   bumps collisions to the next free round so at most one query action
+   occurs per round. *)
+let generate profile ~seed ~rounds =
+  if profile.users <= 0 then invalid_arg "Schedule.generate: no users";
+  let root_rng = Crypto.Prng.create ~seed in
+  let per_user user =
+    let rng = Crypto.Prng.split root_rng ~label:(Printf.sprintf "user-%d" user) in
+    let zipf = Zipf.create ~n:profile.files ~s:profile.zipf_s in
+    let rec go acc round =
+      if round >= rounds then List.rev acc
+      else begin
+        let file = Zipf.sample zipf rng in
+        let intent =
+          if Crypto.Prng.bernoulli rng ~p:profile.read_fraction then Read file
+          else Write file
+        in
+        let think =
+          1 + int_of_float (Crypto.Prng.exponential rng ~mean:profile.mean_think)
+        in
+        let pause =
+          if Crypto.Prng.bernoulli rng ~p:profile.offline_probability then
+            1 + int_of_float (Crypto.Prng.exponential rng ~mean:profile.mean_offline)
+          else 0
+        in
+        go ({ round; user; intent } :: acc) (round + think + pause)
+      end
+    in
+    (* Stagger starts so users don't all wake at round 1. *)
+    go [] (1 + Crypto.Prng.int rng (max 1 (int_of_float profile.mean_think)))
+  in
+  let all =
+    List.concat_map per_user (List.init profile.users Fun.id)
+    |> List.sort (fun a b ->
+           match Stdlib.compare a.round b.round with
+           | 0 -> Stdlib.compare (a.user, a.intent) (b.user, b.intent)
+           | c -> c)
+  in
+  (* Resolve round collisions deterministically. *)
+  let last_round = ref 0 in
+  List.map
+    (fun ev ->
+      let round = max ev.round (!last_round + 1) in
+      last_round := round;
+      { ev with round })
+    all
+
+type partition_spec = {
+  group_a : int list;
+  group_b : int list;
+  shared_file : int;
+  k : int;
+  private_files : int;
+}
+
+let partitionable spec ~seed =
+  if spec.group_a = [] || spec.group_b = [] then
+    invalid_arg "Schedule.partitionable: both groups must be non-empty";
+  let rng = Crypto.Prng.create ~seed in
+  let round = ref 0 in
+  let next () =
+    incr round;
+    !round
+  in
+  let private_file _user =
+    (* Private traffic avoids the shared file. *)
+    let f = Crypto.Prng.int rng (max 1 spec.private_files) in
+    if f = spec.shared_file then (f + 1) mod (max 2 spec.private_files) else f
+  in
+  let events = ref [] in
+  let emit user intent = events := { round = next (); user; intent } :: !events in
+  (* Phase 1: group A works; final A action is the t1 write to the
+     shared file. *)
+  List.iter
+    (fun u ->
+      emit u (Read (private_file u));
+      emit u (Write (private_file u)))
+    spec.group_a;
+  let t1_user = List.hd spec.group_a in
+  emit t1_user (Write spec.shared_file);
+  (* Phase 2: a B user reads the shared file (t2 depends causally on
+     t1), then commits dependent work. *)
+  let t2_user = List.hd spec.group_b in
+  emit t2_user (Read spec.shared_file);
+  emit t2_user (Write (private_file t2_user));
+  (* Phase 3: k+1 further operations by that user; A is offline. *)
+  for _ = 1 to spec.k + 1 do
+    emit t2_user (Write (private_file t2_user))
+  done;
+  List.rev !events
+
+let events_for_user events ~user = List.filter (fun e -> e.user = user) events
+
+let pp_event fmt { round; user; intent } =
+  let kind, file = match intent with Read f -> ("read", f) | Write f -> ("write", f) in
+  Format.fprintf fmt "@[r%04d u%d %s f%d@]" round user kind file

@@ -1,0 +1,57 @@
+(** Workload schedules: who wants to touch which file when.
+
+    A schedule is a round-indexed list of {e intents} — reads
+    (checkout) and writes (commit) against a universe of files — at
+    most one intent per round globally, matching the model's
+    "at most one query action per round". The experiment harness maps
+    intents onto concrete database operations and drives the user
+    agents with them.
+
+    {!generate} produces CVS-flavoured traffic: Zipf file popularity,
+    exponential think times, and exponentially-long offline periods
+    during which a user issues nothing (Section 2.2.2's "users sleep
+    indefinitely" knob is [offline_probability]/[mean_offline]).
+
+    {!partitionable} produces the Section 3.1 workload witnessing
+    Theorem 3.1: groups A and B, a causal handoff through a common
+    file, then k+1 operations by one user of B while A sleeps. *)
+
+type intent = Read of int | Write of int  (** file index *)
+
+type event = { round : int; user : int; intent : intent }
+
+type profile = {
+  users : int;
+  files : int;
+  zipf_s : float;  (** file popularity skew *)
+  read_fraction : float;  (** probability an intent is a [Read] *)
+  mean_think : float;  (** mean rounds between a user's operations *)
+  offline_probability : float;
+      (** chance a user goes offline after completing an operation *)
+  mean_offline : float;  (** mean length of an offline period, rounds *)
+}
+
+val default_profile : profile
+(** 4 users, 64 files, s = 1.0, 60% reads, think 8, 10% offline of mean
+    length 80 — a small team hacking on a shared tree. *)
+
+val generate : profile -> seed:string -> rounds:int -> event list
+(** Events sorted by round, at most one per round. *)
+
+type partition_spec = {
+  group_a : int list;
+  group_b : int list;
+  shared_file : int;
+  k : int;  (** detection bound being attacked *)
+  private_files : int;  (** universe size for non-shared traffic *)
+}
+
+val partitionable : partition_spec -> seed:string -> event list
+(** The Figure 1 trace: (1) users in A work, ending with a write to
+    [shared_file] (the paper's t1); (2) a user in B reads the shared
+    file and commits work depending on it (t2, causally dependent on
+    t1); (3) that user performs k+1 further operations; A is silent
+    from phase 2 on. *)
+
+val events_for_user : event list -> user:int -> event list
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bignum Crypto List Printf QCheck QCheck_alcotest

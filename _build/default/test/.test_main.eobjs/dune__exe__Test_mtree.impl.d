@@ -1,0 +1,1 @@
+test/test_mtree.ml: Alcotest Bytes Char Crypto Fun Gen Hashtbl List Mtree Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Adversary Alcotest Cvs Harness List Message Mtree Pki Printf Protocol2 Server Sim String Tcvs Vcs Vdiff Workload

@@ -1,0 +1,1 @@
+test/test_signatures.ml: Alcotest Array Bytes Char Crypto Hashsig Lazy List Pki Printf Rsa String

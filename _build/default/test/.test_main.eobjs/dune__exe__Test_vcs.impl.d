@@ -1,0 +1,1 @@
+test/test_vcs.ml: Alcotest Bytes Crypto List Printf Result Sim String Tcvs Vcs Vdiff

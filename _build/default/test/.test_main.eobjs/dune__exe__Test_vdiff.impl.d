@@ -1,0 +1,1 @@
+test/test_vdiff.ml: Alcotest Array Crypto List QCheck QCheck_alcotest String Vdiff

@@ -1,0 +1,1 @@
+test/test_wgraph.ml: Alcotest Format List QCheck QCheck_alcotest Wgraph

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Char Crypto Format List Mtree Printf State_tag String Tcvs Wire

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Crypto Fun List Printf Workload

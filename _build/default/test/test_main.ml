@@ -1,0 +1,20 @@
+(* Test runner: one alcotest binary covering every library in the
+   repository, from the hash function up to whole-protocol simulations.
+   `dune runtest` executes everything; ALCOTEST_QUICK_TESTS=1 skips the
+   slow end-to-end matrices. *)
+
+let () =
+  Alcotest.run "trusted-cvs"
+    [
+      ("crypto", Test_crypto.suite);
+      ("bignum", Test_bignum.suite);
+      ("signatures", Test_signatures.suite);
+      ("mtree", Test_mtree.suite);
+      ("vdiff", Test_vdiff.suite);
+      ("vcs", Test_vcs.suite);
+      ("wire", Test_wire.suite);
+      ("sim", Test_sim.suite);
+      ("wgraph", Test_wgraph.suite);
+      ("workload", Test_workload.suite);
+      ("protocols", Test_protocols.suite);
+    ]

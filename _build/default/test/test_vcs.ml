@@ -1,0 +1,311 @@
+(* Tests for the CVS substrate: delta-chain file histories and the
+   local workspace with merge-on-update semantics. *)
+
+module H = Vcs.File_history
+module W = Vcs.Workspace
+
+let commit h ?(author = 0) ?(round = 0) ?(log = "msg") content =
+  H.commit h ~author ~round ~log ~content
+
+(* ---- File_history -------------------------------------------------------- *)
+
+let test_empty_history () =
+  Alcotest.(check int) "head revision" 0 (H.head_revision H.empty);
+  Alcotest.(check string) "head content" "" (H.head_content H.empty);
+  Alcotest.(check bool) "content_at 0" true (H.content_at H.empty 0 = Ok "")
+
+let test_commit_chain () =
+  let h = commit H.empty "v1" in
+  let h = commit h "v1\nv2" in
+  let h = commit h "v2" in
+  Alcotest.(check int) "three revisions" 3 (H.head_revision h);
+  Alcotest.(check string) "head" "v2" (H.head_content h);
+  Alcotest.(check bool) "rev 1" true (H.content_at h 1 = Ok "v1");
+  Alcotest.(check bool) "rev 2" true (H.content_at h 2 = Ok "v1\nv2");
+  Alcotest.(check bool) "rev 3" true (H.content_at h 3 = Ok "v2");
+  Alcotest.(check bool) "rev 0 is empty" true (H.content_at h 0 = Ok "");
+  Alcotest.(check bool) "rev 4 is out of range" true (Result.is_error (H.content_at h 4))
+
+let test_log_entries () =
+  let h = H.commit H.empty ~author:1 ~round:10 ~log:"first" ~content:"a" in
+  let h = H.commit h ~author:2 ~round:20 ~log:"second" ~content:"b" in
+  match H.log_entries h with
+  | [ (2, 2, 20, "second"); (1, 1, 10, "first") ] -> ()
+  | entries -> Alcotest.failf "unexpected log: %d entries" (List.length entries)
+
+let test_diff_between () =
+  let h = commit (commit H.empty "a\nb\nc") "a\nx\nc" in
+  match H.diff_between h 1 2 with
+  | Error e -> Alcotest.failf "diff failed: %s" e
+  | Ok p -> (
+      match Vdiff.Patch.apply p "a\nb\nc" with
+      | Ok s -> Alcotest.(check string) "patch transforms r1 to r2" "a\nx\nc" s
+      | Error e -> Alcotest.failf "apply failed: %s" e)
+
+let test_annotate () =
+  let h = commit H.empty "line1\nline2" in
+  let h = commit h "line1\nline2\nline3" in
+  let h = commit h "line1\nchanged\nline3" in
+  Alcotest.(check (list (pair string int)))
+    "annotations"
+    [ ("line1", 1); ("changed", 3); ("line3", 2) ]
+    (H.annotate h)
+
+let test_history_encode_decode () =
+  let rng = Crypto.Prng.create ~seed:"vcs-hist" in
+  for _ = 1 to 100 do
+    let h = ref H.empty in
+    for i = 1 to 1 + Crypto.Prng.int rng 8 do
+      let content =
+        String.concat "\n"
+          (List.init (Crypto.Prng.int rng 10) (fun j -> Printf.sprintf "l%d-%d" i j))
+      in
+      h :=
+        H.commit !h
+          ~author:(Crypto.Prng.int rng 4)
+          ~round:(Crypto.Prng.int rng 1000)
+          ~log:(Printf.sprintf "commit %d" i)
+          ~content
+    done;
+    match H.decode (H.encode !h) with
+    | None -> Alcotest.fail "decode failed"
+    | Some h' ->
+        Alcotest.(check string) "head content survives" (H.head_content !h) (H.head_content h');
+        Alcotest.(check int) "revision count" (H.head_revision !h) (H.head_revision h');
+        Alcotest.(check string) "digest stable"
+          (Crypto.Hex.encode (H.digest !h))
+          (Crypto.Hex.encode (H.digest h'))
+  done
+
+let test_history_decode_garbage () =
+  Alcotest.(check bool) "garbage" true (H.decode "nonsense" = None);
+  Alcotest.(check bool) "empty ok" true
+    (match H.decode (H.encode H.empty) with Some h -> H.head_revision h = 0 | None -> false)
+
+let test_history_decode_rejects_bad_numbering () =
+  (* Corrupting the revision numbering must be caught. *)
+  let h = commit (commit H.empty "a") "b" in
+  let encoded = H.encode h in
+  (* revision numbers are u32s at known offsets; flip the first one *)
+  let b = Bytes.of_string encoded in
+  Bytes.set b 7 '\x05';
+  Alcotest.(check bool) "bad numbering rejected" true (H.decode (Bytes.to_string b) = None)
+
+(* ---- Workspace ------------------------------------------------------------ *)
+
+let test_workspace_checkout_edit_status () =
+  let h = commit H.empty "hello" in
+  let ws = W.checkout W.empty ~path:"f.ml" h in
+  Alcotest.(check (list (pair string string))) "status clean"
+    [ ("f.ml", "Unchanged") ]
+    (List.map (fun (p, s) -> (p, match s with W.Unchanged -> "Unchanged" | W.Modified -> "Modified"))
+       (W.status ws));
+  let ws = W.edit ws ~path:"f.ml" ~content:"hello world" in
+  Alcotest.(check (list string)) "modified paths" [ "f.ml" ] (W.modified_paths ws);
+  Alcotest.(check (option string)) "commit content" (Some "hello world")
+    (W.commit_content ws ~path:"f.ml")
+
+let test_workspace_edit_unknown_raises () =
+  Alcotest.check_raises "edit before checkout" Not_found (fun () ->
+      ignore (W.edit W.empty ~path:"nope" ~content:"x"))
+
+let test_workspace_up_to_date () =
+  let h1 = commit H.empty "v1" in
+  let ws = W.checkout W.empty ~path:"f" h1 in
+  Alcotest.(check bool) "up to date at head" true (W.is_up_to_date ws ~path:"f" h1);
+  let h2 = commit h1 "v2" in
+  Alcotest.(check bool) "stale after new commit" false (W.is_up_to_date ws ~path:"f" h2);
+  Alcotest.(check bool) "unknown path" false (W.is_up_to_date ws ~path:"g" h1)
+
+let test_workspace_update_clean_merge () =
+  (* Local edit at the bottom, upstream edit at the top: merges. *)
+  let base = "top\nmiddle\nbottom" in
+  let h1 = commit H.empty base in
+  let ws = W.checkout W.empty ~path:"f" h1 in
+  let ws = W.edit ws ~path:"f" ~content:"top\nmiddle\nbottom-local" in
+  let h2 = commit h1 "top-upstream\nmiddle\nbottom" in
+  match W.update ws ~path:"f" h2 with
+  | W.Conflict { reason; _ } -> Alcotest.failf "unexpected conflict: %s" reason
+  | W.Updated ws' -> (
+      match W.find ws' "f" with
+      | Some st ->
+          Alcotest.(check string) "merged both edits" "top-upstream\nmiddle\nbottom-local"
+            st.W.local_content;
+          Alcotest.(check int) "rebased to head" 2 st.W.base_revision
+      | None -> Alcotest.fail "file vanished")
+
+let test_workspace_update_conflict () =
+  (* Both sides edit the same line: the upstream delta cannot apply. *)
+  let h1 = commit H.empty "shared line" in
+  let ws = W.checkout W.empty ~path:"f" h1 in
+  let ws = W.edit ws ~path:"f" ~content:"local version" in
+  let h2 = commit h1 "upstream version" in
+  match W.update ws ~path:"f" h2 with
+  | W.Conflict _ -> ()
+  | W.Updated _ -> Alcotest.fail "expected a conflict"
+
+let test_workspace_update_no_local_edits () =
+  let h1 = commit H.empty "v1" in
+  let ws = W.checkout W.empty ~path:"f" h1 in
+  let h2 = commit h1 "v2" in
+  match W.update ws ~path:"f" h2 with
+  | W.Updated ws' ->
+      Alcotest.(check (option string)) "fast-forwarded" (Some "v2") (W.commit_content ws' ~path:"f")
+  | W.Conflict _ -> Alcotest.fail "clean fast-forward conflicted"
+
+let test_workspace_update_unknown_path_checks_out () =
+  let h = commit H.empty "v1" in
+  match W.update W.empty ~path:"f" h with
+  | W.Updated ws ->
+      Alcotest.(check (option string)) "checked out" (Some "v1") (W.commit_content ws ~path:"f")
+  | W.Conflict _ -> Alcotest.fail "conflict on fresh checkout"
+
+let test_annotate_projection_random () =
+  (* Property: the annotated lines always reconstruct the head content,
+     and every annotation references an existing revision. *)
+  let rng = Crypto.Prng.create ~seed:"annotate-prop" in
+  for _ = 1 to 150 do
+    let h = ref H.empty in
+    let revisions = 1 + Crypto.Prng.int rng 8 in
+    for i = 1 to revisions do
+      let lines =
+        List.init (Crypto.Prng.int rng 12) (fun j ->
+            Printf.sprintf "%c%d" (Crypto.Prng.pick rng [| 'a'; 'b'; 'c' |]) (j mod 3))
+      in
+      h := commit !h ~author:i (String.concat "\n" lines)
+    done;
+    let annotated = H.annotate !h in
+    Alcotest.(check string) "projection = head"
+      (H.head_content !h)
+      (String.concat "\n" (List.map fst annotated));
+    List.iter
+      (fun (_, rev) ->
+        if rev < 1 || rev > H.head_revision !h then
+          Alcotest.failf "annotation references revision %d" rev)
+      annotated
+  done
+
+(* ---- Repo (trusted local engine) ------------------------------------------ *)
+
+module R = Vcs.Repo
+
+let rok = function Ok v -> v | Error e -> Alcotest.failf "repo error: %s" e
+
+let test_repo_commit_checkout () =
+  let r = R.empty () in
+  let r, rev1 = rok (R.commit r ~path:"a.ml" ~author:0 ~round:1 ~log:"one" ~content:"v1") in
+  Alcotest.(check int) "rev 1" 1 rev1;
+  let r, rev2 = rok (R.commit r ~path:"a.ml" ~author:1 ~round:2 ~log:"two" ~content:"v2") in
+  Alcotest.(check int) "rev 2" 2 rev2;
+  Alcotest.(check string) "head" "v2" (rok (R.checkout r ~path:"a.ml"));
+  Alcotest.(check string) "rev 1 content" "v1" (rok (R.checkout_at r ~path:"a.ml" ~revision:1));
+  Alcotest.(check int) "one file" 1 (R.file_count r);
+  Alcotest.(check bool) "missing file" true (Result.is_error (R.checkout r ~path:"nope"));
+  Alcotest.(check int) "two log entries" 2 (List.length (rok (R.log r ~path:"a.ml")))
+
+let test_repo_persistence () =
+  let r0 = R.empty () in
+  let r1, _ = rok (R.commit r0 ~path:"a" ~author:0 ~round:1 ~log:"l" ~content:"x") in
+  let root1 = R.root_digest r1 in
+  let _r2, _ = rok (R.commit r1 ~path:"a" ~author:0 ~round:2 ~log:"l" ~content:"y") in
+  Alcotest.(check string) "snapshot intact" root1 (R.root_digest r1);
+  Alcotest.(check string) "snapshot content" "x" (rok (R.checkout r1 ~path:"a"))
+
+let test_repo_tags () =
+  let r = R.empty () in
+  let r, _ = rok (R.commit r ~path:"a" ~author:0 ~round:1 ~log:"l" ~content:"a1") in
+  let r, _ = rok (R.commit r ~path:"b" ~author:0 ~round:2 ~log:"l" ~content:"b1") in
+  let r, covered = rok (R.tag r ~name:"v1") in
+  Alcotest.(check int) "covers both" 2 covered;
+  let r, _ = rok (R.commit r ~path:"a" ~author:0 ~round:3 ~log:"l" ~content:"a2") in
+  Alcotest.(check (list string)) "tags listed" [ "v1" ] (R.tags r);
+  Alcotest.(check string) "tagged content" "a1" (rok (R.checkout_tag r ~name:"v1" ~path:"a"));
+  Alcotest.(check (list string)) "paths exclude tags" [ "a"; "b" ] (R.paths r);
+  Alcotest.(check bool) "reserved path rejected" true
+    (Result.is_error (R.commit r ~path:"tag!x" ~author:0 ~round:4 ~log:"l" ~content:"z"));
+  Alcotest.(check bool) "unknown tag" true (Result.is_error (R.tagged_files r ~name:"v9"))
+
+let test_repo_remove_file () =
+  let r = R.empty () in
+  let r, _ = rok (R.commit r ~path:"a" ~author:0 ~round:1 ~log:"l" ~content:"x") in
+  let r = R.remove_file r ~path:"a" in
+  Alcotest.(check int) "gone" 0 (R.file_count r);
+  Alcotest.(check bool) "checkout fails" true (Result.is_error (R.checkout r ~path:"a"))
+
+let test_repo_protocol_equivalence () =
+  (* The same sequence of commits through the trusted Repo engine and
+     through a Protocol II session against an honest server must land
+     on the same root digest — the data layouts are identical. *)
+  (* Commit rounds differ between the two drivers (the session's server
+     stamps simulation rounds), so equivalence is checked on contents
+     and revision structure rather than raw digests. *)
+  let commits =
+    [ ("a.ml", "v1", "one"); ("b.ml", "w1", "two"); ("a.ml", "v2", "three") ]
+  in
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let server =
+    Tcvs.Server.create
+      { Tcvs.Server.mode = `Plain; epoch_len = None; branching = 8;
+        adversary = Tcvs.Adversary.Honest }
+      ~engine ~initial:[] ~initial_root_sig:None
+  in
+  let config =
+    Tcvs.Protocol2.default_config ~n:1 ~k:50
+      ~initial_root:(Tcvs.Server.initial_root server)
+  in
+  let session =
+    Tcvs.Cvs.session ~engine
+      ~base:(Tcvs.Protocol2.base (Tcvs.Protocol2.create config ~user:0 ~engine ~trace))
+  in
+  List.iter
+    (fun (path, content, log) ->
+      match Tcvs.Cvs.commit session ~path ~content ~log with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "session commit failed: %a" Tcvs.Cvs.pp_error e)
+    commits;
+  let direct =
+    List.fold_left
+      (fun r (path, content, log) ->
+        fst (rok (R.commit r ~path ~author:0 ~round:0 ~log ~content)))
+      (R.empty ~branching:8 ())
+      commits
+  in
+  List.iter
+    (fun path ->
+      match Tcvs.Cvs.checkout session ~path with
+      | Ok (content, history) ->
+          Alcotest.(check string) (path ^ " content agrees") (rok (R.checkout direct ~path))
+            content;
+          Alcotest.(check int)
+            (path ^ " revision agrees")
+            (Vcs.File_history.head_revision (rok (R.history direct ~path)))
+            (Vcs.File_history.head_revision history)
+      | Error e -> Alcotest.failf "session checkout failed: %a" Tcvs.Cvs.pp_error e)
+    [ "a.ml"; "b.ml" ]
+
+let suite =
+  let quick name f = Alcotest.test_case name `Quick f in
+  [
+    quick "history: empty" test_empty_history;
+    quick "history: commit chain" test_commit_chain;
+    quick "history: log entries" test_log_entries;
+    quick "history: diff_between" test_diff_between;
+    quick "history: annotate" test_annotate;
+    quick "history: encode/decode roundtrip" test_history_encode_decode;
+    quick "history: decode garbage" test_history_decode_garbage;
+    quick "history: decode rejects bad numbering" test_history_decode_rejects_bad_numbering;
+    quick "workspace: checkout/edit/status" test_workspace_checkout_edit_status;
+    quick "workspace: edit unknown raises" test_workspace_edit_unknown_raises;
+    quick "workspace: up-to-date check" test_workspace_up_to_date;
+    quick "workspace: clean merge on update" test_workspace_update_clean_merge;
+    quick "workspace: conflicting update" test_workspace_update_conflict;
+    quick "workspace: fast-forward" test_workspace_update_no_local_edits;
+    quick "workspace: update before checkout" test_workspace_update_unknown_path_checks_out;
+    quick "history: annotate projection (random)" test_annotate_projection_random;
+    quick "repo: commit/checkout/log" test_repo_commit_checkout;
+    quick "repo: persistence" test_repo_persistence;
+    quick "repo: tags" test_repo_tags;
+    quick "repo: remove file" test_repo_remove_file;
+    quick "repo: agrees with a protocol session" test_repo_protocol_equivalence;
+  ]

@@ -1,0 +1,117 @@
+(* Tests for the transition-graph library and the Lemma 4.1 checker,
+   including cross-validation against a brute-force path test on random
+   graphs. *)
+
+module G = Wgraph.Digraph
+
+let of_edges edges =
+  List.fold_left (fun g (src, dst) -> G.add_edge g ~src ~dst) G.empty edges
+
+let path n = of_edges (List.init (n - 1) (fun i -> (string_of_int i, string_of_int (i + 1))))
+
+let test_basics () =
+  let g = of_edges [ ("a", "b"); ("b", "c") ] in
+  Alcotest.(check int) "vertices" 3 (G.vertex_count g);
+  Alcotest.(check int) "edges" 2 (G.edge_count g);
+  Alcotest.(check int) "in b" 1 (G.in_degree g "b");
+  Alcotest.(check int) "out b" 1 (G.out_degree g "b");
+  Alcotest.(check int) "total b" 2 (G.total_degree g "b");
+  Alcotest.(check (list string)) "succ a" [ "b" ] (G.successors g "a");
+  Alcotest.(check (list string)) "vertices sorted" [ "a"; "b"; "c" ] (G.vertices g)
+
+let test_add_vertex_idempotent () =
+  let g = G.add_vertex (G.add_vertex G.empty "v") "v" in
+  Alcotest.(check int) "one vertex" 1 (G.vertex_count g);
+  Alcotest.(check int) "isolated" 0 (G.total_degree g "v")
+
+let test_parallel_edges () =
+  let g = of_edges [ ("a", "b"); ("a", "b") ] in
+  Alcotest.(check int) "two edges kept" 2 (G.edge_count g);
+  Alcotest.(check int) "in-degree counts multiplicity" 2 (G.in_degree g "b")
+
+let test_cycles () =
+  Alcotest.(check bool) "path has no cycle" false (G.has_cycle (path 5));
+  Alcotest.(check bool) "triangle" true
+    (G.has_cycle (of_edges [ ("a", "b"); ("b", "c"); ("c", "a") ]));
+  Alcotest.(check bool) "self-loop" true (G.has_cycle (of_edges [ ("a", "a") ]));
+  Alcotest.(check bool) "diamond is acyclic" false
+    (G.has_cycle (of_edges [ ("a", "b"); ("a", "c"); ("b", "d"); ("c", "d") ]))
+
+let test_is_directed_path () =
+  Alcotest.(check bool) "empty" true (G.is_directed_path G.empty);
+  Alcotest.(check bool) "single vertex" true (G.is_directed_path (G.add_vertex G.empty "v"));
+  Alcotest.(check bool) "path of 10" true (G.is_directed_path (path 10));
+  Alcotest.(check bool) "branching" false
+    (G.is_directed_path (of_edges [ ("a", "b"); ("a", "c") ]));
+  Alcotest.(check bool) "two components" false
+    (G.is_directed_path (of_edges [ ("a", "b"); ("c", "d") ]));
+  Alcotest.(check bool) "cycle" false
+    (G.is_directed_path (of_edges [ ("a", "b"); ("b", "a") ]))
+
+let failure_name = function
+  | G.Lemma41.Isolated_vertex _ -> "isolated"
+  | G.Lemma41.In_degree_exceeded _ -> "indegree"
+  | G.Lemma41.Cycle -> "cycle"
+  | G.Lemma41.Odd_degree_count _ -> "odd-count"
+  | G.Lemma41.No_source -> "no-source"
+
+let check_fails expected g name =
+  match G.Lemma41.check g with
+  | Ok () -> Alcotest.failf "%s: expected %s failure" name expected
+  | Error f -> Alcotest.(check string) name expected (failure_name f)
+
+let test_lemma41_accepts_paths () =
+  List.iter
+    (fun n ->
+      match G.Lemma41.check (path n) with
+      | Ok () -> ()
+      | Error f ->
+          Alcotest.failf "path of %d rejected: %s" n (Format.asprintf "%a" G.Lemma41.pp_failure f))
+    [ 2; 3; 10; 50 ]
+
+let test_lemma41_failures () =
+  check_fails "isolated" (G.add_vertex (path 3) "lonely") "isolated vertex";
+  check_fails "indegree" (of_edges [ ("a", "c"); ("b", "c") ]) "in-degree 2";
+  check_fails "cycle" (of_edges [ ("a", "b"); ("b", "c"); ("c", "a") ]) "3-cycle";
+  (* Two disjoint paths: 4 odd-degree vertices. *)
+  check_fails "odd-count" (of_edges [ ("a", "b"); ("c", "d") ]) "two components"
+
+let test_lemma41_empty () =
+  match G.Lemma41.check G.empty with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "empty graph should pass"
+
+(* Random graphs: Lemma 4.1 acceptance must imply is_directed_path
+   (the lemma's conclusion), and on graphs with in-degrees <= 1 and no
+   cycle, acceptance must coincide with being a path. *)
+let prop_lemma41_sound =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 0 12)
+        (map2 (fun a b -> (string_of_int a, string_of_int b)) (int_bound 7) (int_bound 7)))
+  in
+  QCheck.Test.make ~name:"lemma 4.1 acceptance implies directed path" ~count:2000
+    (QCheck.make gen) (fun edges ->
+      let g = of_edges edges in
+      match G.Lemma41.check g with
+      | Ok () -> G.is_directed_path g
+      | Error _ -> true)
+
+let prop_paths_always_accepted =
+  QCheck.Test.make ~name:"every path is accepted" ~count:50 QCheck.(int_range 2 40) (fun n ->
+      G.Lemma41.check (path n) = Ok ())
+
+let suite =
+  let quick name f = Alcotest.test_case name `Quick f in
+  [
+    quick "basics" test_basics;
+    quick "add_vertex idempotent" test_add_vertex_idempotent;
+    quick "parallel edges" test_parallel_edges;
+    quick "cycle detection" test_cycles;
+    quick "is_directed_path" test_is_directed_path;
+    quick "lemma 4.1 accepts paths" test_lemma41_accepts_paths;
+    quick "lemma 4.1 failure cases" test_lemma41_failures;
+    quick "lemma 4.1 empty graph" test_lemma41_empty;
+    QCheck_alcotest.to_alcotest prop_lemma41_sound;
+    QCheck_alcotest.to_alcotest prop_paths_always_accepted;
+  ]

@@ -1,0 +1,147 @@
+(* Tests for the workload generators: Zipf sampling and CVS-flavoured /
+   partitionable schedules. *)
+
+module S = Workload.Schedule
+
+let test_zipf_pmf_sums_to_one () =
+  List.iter
+    (fun (n, s) ->
+      let z = Workload.Zipf.create ~n ~s in
+      let total = List.fold_left (fun acc i -> acc +. Workload.Zipf.probability z i) 0. (List.init n Fun.id) in
+      if abs_float (total -. 1.0) > 1e-9 then Alcotest.failf "pmf sums to %f" total)
+    [ (1, 1.0); (10, 0.0); (100, 1.0); (50, 2.0) ]
+
+let test_zipf_monotone () =
+  let z = Workload.Zipf.create ~n:20 ~s:1.2 in
+  for i = 0 to 18 do
+    Alcotest.(check bool) "p(i) >= p(i+1)" true
+      (Workload.Zipf.probability z i >= Workload.Zipf.probability z (i + 1))
+  done
+
+let test_zipf_sampling_matches_pmf () =
+  let z = Workload.Zipf.create ~n:8 ~s:1.0 in
+  let rng = Crypto.Prng.create ~seed:"zipf" in
+  let counts = Array.make 8 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let v = Workload.Zipf.sample z rng in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = float_of_int n *. Workload.Zipf.probability z i in
+      let err = abs_float (float_of_int c -. expected) /. expected in
+      if err > 0.1 then Alcotest.failf "rank %d off by %.0f%%" i (100. *. err))
+    counts
+
+let test_zipf_uniform_degenerate () =
+  let z = Workload.Zipf.create ~n:5 ~s:0.0 in
+  for i = 0 to 4 do
+    if abs_float (Workload.Zipf.probability z i -. 0.2) > 1e-9 then
+      Alcotest.failf "s=0 should be uniform"
+  done
+
+let test_zipf_validation () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be positive") (fun () ->
+      ignore (Workload.Zipf.create ~n:0 ~s:1.0));
+  Alcotest.check_raises "negative s" (Invalid_argument "Zipf.create: s must be non-negative")
+    (fun () -> ignore (Workload.Zipf.create ~n:5 ~s:(-1.0)))
+
+(* ---- generated schedules ----------------------------------------------- *)
+
+let profile = { S.default_profile with S.users = 5; files = 30 }
+
+let test_schedule_one_op_per_round () =
+  let events = S.generate profile ~seed:"sched" ~rounds:2000 in
+  Alcotest.(check bool) "non-empty" true (List.length events > 50);
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) -> a.S.round < b.S.round && strictly_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "at most one event per round, sorted" true (strictly_increasing events)
+
+let test_schedule_deterministic () =
+  let a = S.generate profile ~seed:"d" ~rounds:1000 in
+  let b = S.generate profile ~seed:"d" ~rounds:1000 in
+  Alcotest.(check bool) "same seed, same schedule" true (a = b);
+  let c = S.generate profile ~seed:"e" ~rounds:1000 in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_schedule_all_users_act () =
+  let events = S.generate profile ~seed:"users" ~rounds:3000 in
+  List.iter
+    (fun u ->
+      Alcotest.(check bool)
+        (Printf.sprintf "user %d has events" u)
+        true
+        (S.events_for_user events ~user:u <> []))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_schedule_files_in_range () =
+  let events = S.generate profile ~seed:"files" ~rounds:2000 in
+  List.iter
+    (fun ev ->
+      let f = match ev.S.intent with S.Read f | S.Write f -> f in
+      if f < 0 || f >= 30 then Alcotest.failf "file %d out of range" f)
+    events
+
+let test_schedule_zipf_skew () =
+  (* With s = 1.5, the most popular file must receive clearly more
+     traffic than a tail file. *)
+  let skewed = { profile with S.zipf_s = 1.5; users = 3 } in
+  let events = S.generate skewed ~seed:"skew" ~rounds:20_000 in
+  let count f =
+    List.length
+      (List.filter (fun ev -> (match ev.S.intent with S.Read g | S.Write g -> g) = f) events)
+  in
+  Alcotest.(check bool) "rank 0 beats rank 20" true (count 0 > 3 * max 1 (count 20))
+
+(* ---- partitionable workloads -------------------------------------------- *)
+
+let spec = { S.group_a = [ 0; 1 ]; group_b = [ 2; 3 ]; shared_file = 5; k = 4; private_files = 12 }
+
+let test_partitionable_shape () =
+  let events = S.partitionable spec ~seed:"part" in
+  (* Phase boundaries: last A event is the shared write; first B event
+     reads the shared file. *)
+  let a_events = List.filter (fun e -> List.mem e.S.user spec.S.group_a) events in
+  let b_events = List.filter (fun e -> List.mem e.S.user spec.S.group_b) events in
+  Alcotest.(check bool) "A acts" true (a_events <> []);
+  Alcotest.(check bool) "B acts" true (b_events <> []);
+  let t1 = List.nth a_events (List.length a_events - 1) in
+  Alcotest.(check bool) "t1 writes the shared file" true (t1.S.intent = S.Write 5);
+  let t2 = List.hd b_events in
+  Alcotest.(check bool) "t2 reads the shared file" true (t2.S.intent = S.Read 5);
+  Alcotest.(check bool) "t2 after t1 (causal dependency)" true (t2.S.round > t1.S.round);
+  (* After t1, group A is silent. *)
+  Alcotest.(check bool) "A offline after t1" true
+    (List.for_all (fun e -> e.S.round <= t1.S.round) a_events)
+
+let test_partitionable_k_plus_one () =
+  let events = S.partitionable spec ~seed:"part" in
+  let b_events = S.events_for_user events ~user:(List.hd spec.S.group_b) in
+  (* t2 read + dependent write + k+1 further = k+3 events by that user. *)
+  Alcotest.(check int) "k+3 B-user events" (spec.S.k + 3) (List.length b_events)
+
+let test_partitionable_validation () =
+  Alcotest.check_raises "empty group"
+    (Invalid_argument "Schedule.partitionable: both groups must be non-empty") (fun () ->
+      ignore (S.partitionable { spec with S.group_a = [] } ~seed:"x"))
+
+let suite =
+  let quick name f = Alcotest.test_case name `Quick f in
+  [
+    quick "zipf: pmf sums to one" test_zipf_pmf_sums_to_one;
+    quick "zipf: monotone" test_zipf_monotone;
+    quick "zipf: sampling matches pmf" test_zipf_sampling_matches_pmf;
+    quick "zipf: s=0 is uniform" test_zipf_uniform_degenerate;
+    quick "zipf: validation" test_zipf_validation;
+    quick "schedule: one op per round" test_schedule_one_op_per_round;
+    quick "schedule: deterministic" test_schedule_deterministic;
+    quick "schedule: all users act" test_schedule_all_users_act;
+    quick "schedule: files in range" test_schedule_files_in_range;
+    quick "schedule: zipf skew visible" test_schedule_zipf_skew;
+    quick "partitionable: figure 1 shape" test_partitionable_shape;
+    quick "partitionable: k+1 operations" test_partitionable_k_plus_one;
+    quick "partitionable: validation" test_partitionable_validation;
+  ]
