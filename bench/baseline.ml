@@ -1,0 +1,148 @@
+(* Frozen copy of the pre-optimisation Merkle B⁺-tree hot path (the
+   growth seed): value hashes recomputed on every leaf rebuild,
+   Buffer→string copies before every digest, and of_alist as a fold of
+   single inserts. Kept verbatim so `perf-mtree` can measure the
+   before/after in one run and assert that the optimised tree still
+   produces byte-identical root digests. Not part of the library. *)
+
+type entry = { key : string; value : string }
+
+type node =
+  | Leaf of { entries : entry array; digest : string }
+  | Node of { keys : string array; children : node array; digest : string }
+
+let add_framed buf s =
+  let n = String.length s in
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_string buf s
+
+let leaf_digest entries =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf 'L';
+  Array.iter
+    (fun { key; value } ->
+      add_framed buf key;
+      add_framed buf (Crypto.Sha256.digest value))
+    entries;
+  Crypto.Sha256.digest (Buffer.contents buf)
+
+let node_digest keys children_digests =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf 'N';
+  Array.iter (add_framed buf) keys;
+  Buffer.add_char buf '|';
+  Array.iter (add_framed buf) children_digests;
+  Crypto.Sha256.digest (Buffer.contents buf)
+
+let digest = function Leaf { digest; _ } -> digest | Node { digest; _ } -> digest
+let make_leaf entries = Leaf { entries; digest = leaf_digest entries }
+
+let make_node keys children =
+  Node { keys; children; digest = node_digest keys (Array.map digest children) }
+
+let child_index keys key =
+  let n = Array.length keys in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if String.compare key keys.(mid) < 0 then go lo mid else go (mid + 1) hi
+  in
+  go 0 n
+
+type probe = Found of int | Missing of int
+
+let probe_entries entries key =
+  let n = Array.length entries in
+  let rec go lo hi =
+    if lo >= hi then Missing lo
+    else
+      let mid = (lo + hi) / 2 in
+      let c = String.compare key entries.(mid).key in
+      if c = 0 then Found mid else if c < 0 then go lo mid else go (mid + 1) hi
+  in
+  go 0 n
+
+let rec find_node t key =
+  match t with
+  | Leaf { entries; _ } -> (
+      match probe_entries entries key with
+      | Found i -> Some entries.(i).value
+      | Missing _ -> None)
+  | Node { keys; children; _ } -> find_node children.(child_index keys key) key
+
+let array_insert arr i v =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) v in
+  Array.blit arr 0 out 0 i;
+  Array.blit arr i out (i + 1) (n - i);
+  out
+
+let array_set arr i v =
+  let out = Array.copy arr in
+  out.(i) <- v;
+  out
+
+let array_split_at arr i l r =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) l in
+  Array.blit arr 0 out 0 i;
+  out.(i) <- l;
+  out.(i + 1) <- r;
+  Array.blit arr (i + 1) out (i + 2) (n - 1 - i);
+  out
+
+type insert_result = Ok_one of node | Split of node * string * node
+
+let rec insert ~branching t ~key ~value =
+  match t with
+  | Leaf { entries; _ } -> (
+      let entries' =
+        match probe_entries entries key with
+        | Found i -> array_set entries i { key; value }
+        | Missing i -> array_insert entries i { key; value }
+      in
+      let n = Array.length entries' in
+      if n <= branching then Ok_one (make_leaf entries')
+      else
+        let mid = (n + 1) / 2 in
+        Split
+          ( make_leaf (Array.sub entries' 0 mid),
+            entries'.(mid).key,
+            make_leaf (Array.sub entries' mid (n - mid)) ))
+  | Node { keys; children; _ } -> (
+      let i = child_index keys key in
+      match insert ~branching children.(i) ~key ~value with
+      | Ok_one child -> Ok_one (make_node keys (array_set children i child))
+      | Split (l, sep, r) ->
+          let keys' = array_insert keys i sep in
+          let children' = array_split_at children i l r in
+          let n = Array.length children' in
+          if n <= branching then Ok_one (make_node keys' children')
+          else
+            let mid = (n + 1) / 2 in
+            Split
+              ( make_node (Array.sub keys' 0 (mid - 1)) (Array.sub children' 0 mid),
+                keys'.(mid - 1),
+                make_node (Array.sub keys' mid (n - 1 - mid)) (Array.sub children' mid (n - mid))
+              ))
+
+type t = { root : node; branching : int }
+
+let create ~branching = { root = make_leaf [||]; branching }
+let root_digest t = digest t.root
+let find t key = find_node t.root key
+
+let set t ~key ~value =
+  let root =
+    match insert ~branching:t.branching t.root ~key ~value with
+    | Ok_one n -> n
+    | Split (l, sep, r) -> make_node [| sep |] [| l; r |]
+  in
+  { t with root }
+
+let of_alist ~branching entries =
+  List.fold_left (fun t (key, value) -> set t ~key ~value) (create ~branching) entries

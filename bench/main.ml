@@ -700,6 +700,128 @@ let ext_global_k () =
     \ do better: a forking server shows each branch its own counter.)\n"
 
 (* ======================================================================= *)
+(* perf-mtree: tracked Merkle hot-path baseline (writes BENCH_mtree.json)  *)
+(* ======================================================================= *)
+
+(* Set by `--smoke`: tiny sizes and quota so CI can keep the harness
+   from bit-rotting without paying for a full run. *)
+let smoke_mode = ref false
+
+(* Wall-clock best-of-[runs] for macro operations (bulk builds) where
+   Bechamel's OLS needs more iterations than a multi-second build
+   allows. *)
+let time_best ?(runs = 3) f =
+  let best = ref infinity in
+  for _ = 1 to runs do
+    let t0 = Sys.time () in
+    ignore (Sys.opaque_identity (f ()));
+    let ns = (Sys.time () -. t0) *. 1e9 in
+    if ns < !best then best := ns
+  done;
+  !best
+
+let perf_mtree () =
+  header "perf-mtree: Merkle hot-path ns/op (tracked baseline, BENCH_mtree.json)";
+  let smoke = !smoke_mode in
+  let sizes = if smoke then [ 1024 ] else [ 1024; 16384; 131072 ] in
+  let quota = if smoke then 0.02 else 0.25 in
+  let branching = 16 and value_bytes = 1024 in
+  let results =
+    List.map
+      (fun n ->
+        let bindings =
+          List.init n (fun i -> (Printf.sprintf "k%06d" i, String.make value_bytes 'v'))
+        in
+        let db = T.of_alist ~branching bindings in
+        let bdb = Baseline.of_alist ~branching bindings in
+        let roots_match = T.root_digest db = Baseline.root_digest bdb in
+        if not roots_match then
+          row "!! root digest MISMATCH vs seed implementation at n=%d\n" n;
+        let key = Printf.sprintf "k%06d" (n / 2) in
+        let fresh_value = String.make value_bytes 'n' in
+        let m name f = measure_ns ~quota name f in
+        let get_ns = m "get" (fun () -> ignore (T.find db key)) in
+        let set_ns = m "set" (fun () -> ignore (T.set db ~key ~value:fresh_value)) in
+        let remove_ns = m "remove" (fun () -> ignore (T.remove db key)) in
+        let vo = Vo.generate db (Vo.Set (key, fresh_value)) in
+        let vog_ns =
+          m "vo-gen" (fun () -> ignore (Vo.generate db (Vo.Set (key, fresh_value))))
+        in
+        let vor_ns =
+          m "vo-replay" (fun () -> ignore (Vo.apply vo (Vo.Set (key, fresh_value))))
+        in
+        let batch =
+          List.init 16 (fun i ->
+              (Printf.sprintf "k%06d" (i * (max 1 (n / 16))), fresh_value))
+        in
+        let setmany_ns = m "set-many" (fun () -> ignore (T.set_many db batch)) /. 16. in
+        let base_get_ns = m "base-get" (fun () -> ignore (Baseline.find bdb key)) in
+        let base_set_ns =
+          m "base-set" (fun () -> ignore (Baseline.set bdb ~key ~value:fresh_value))
+        in
+        let runs = if smoke then 1 else 3 in
+        let bulk_ns = time_best ~runs (fun () -> T.of_alist ~branching bindings) in
+        let base_bulk_ns = time_best ~runs (fun () -> Baseline.of_alist ~branching bindings) in
+        row "n=%-8d get %s  set %s (seed %s, %4.1fx)  remove %s\n" n (pp_ns get_ns)
+          (pp_ns set_ns) (pp_ns base_set_ns) (base_set_ns /. set_ns) (pp_ns remove_ns);
+        row "           vo-gen %s  vo-replay %s  set_many/key %s\n" (pp_ns vog_ns)
+          (pp_ns vor_ns) (pp_ns setmany_ns);
+        row "           bulk-load %s (seed %s, %4.1fx)  roots %s\n" (pp_ns bulk_ns)
+          (pp_ns base_bulk_ns) (base_bulk_ns /. bulk_ns)
+          (if roots_match then "identical" else "MISMATCH");
+        ( n,
+          [
+            ("get", get_ns); ("set", set_ns); ("remove", remove_ns);
+            ("vo_generate", vog_ns); ("vo_replay", vor_ns);
+            ("set_many_per_key", setmany_ns);
+          ],
+          [ ("get", base_get_ns); ("set", base_set_ns) ],
+          (bulk_ns, base_bulk_ns),
+          roots_match ))
+      sizes
+  in
+  (* Machine-readable trajectory for later PRs to beat. *)
+  let buf = Buffer.create 4096 in
+  let fld k v = Printf.bprintf buf "      \"%s\": %.1f" k v in
+  Printf.bprintf buf "{\n  \"experiment\": \"perf-mtree\",\n";
+  Printf.bprintf buf "  \"branching\": %d,\n  \"value_bytes\": %d,\n" branching value_bytes;
+  Printf.bprintf buf "  \"quota_s\": %g,\n  \"smoke\": %b,\n  \"results\": [\n" quota smoke;
+  List.iteri
+    (fun i (n, opt, base, (bulk_ns, base_bulk_ns), roots_match) ->
+      Printf.bprintf buf "    {\n      \"n\": %d,\n" n;
+      Printf.bprintf buf "      \"optimized_ns_per_op\": {\n";
+      List.iteri
+        (fun j (k, v) ->
+          Printf.bprintf buf "  ";
+          fld k v;
+          Printf.bprintf buf (if j < List.length opt - 1 then ",\n" else "\n"))
+        opt;
+      Printf.bprintf buf "      },\n      \"seed_baseline_ns_per_op\": {\n";
+      List.iteri
+        (fun j (k, v) ->
+          Printf.bprintf buf "  ";
+          fld k v;
+          Printf.bprintf buf (if j < List.length base - 1 then ",\n" else "\n"))
+        base;
+      Printf.bprintf buf "      },\n";
+      fld "bulk_load_ns" bulk_ns;
+      Printf.bprintf buf ",\n";
+      fld "seed_bulk_load_ns" base_bulk_ns;
+      Printf.bprintf buf ",\n";
+      fld "set_speedup" (List.assoc "set" base /. List.assoc "set" opt);
+      Printf.bprintf buf ",\n";
+      fld "bulk_load_speedup" (base_bulk_ns /. bulk_ns);
+      Printf.bprintf buf ",\n      \"root_digest_match\": %b\n    }%s\n" roots_match
+        (if i < List.length results - 1 then "," else ""))
+    results;
+  Printf.bprintf buf "  ]\n}\n";
+  let path = "BENCH_mtree.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  row "\nwrote %s\n" path
+
+(* ======================================================================= *)
 (* Registry and entry point                                                *)
 (* ======================================================================= *)
 
@@ -725,6 +847,7 @@ let experiments =
     ("ext-avail", "extension: availability timeout vs stalls", ext_avail);
     ("ext-batch", "extension: atomic multi-key commits", ext_batch);
     ("ext-global-k", "extension: global-k sync trigger", ext_global_k);
+    ("perf-mtree", "Merkle hot-path tracked baseline (BENCH_mtree.json)", perf_mtree);
   ]
 
 let () =
@@ -735,6 +858,9 @@ let () =
         List.iter (fun (id, descr, _) -> Printf.printf "%-22s %s\n" id descr) experiments;
         exit 0
     | "-e" :: id :: rest -> parse (id :: selected) rest
+    | "--smoke" :: rest ->
+        smoke_mode := true;
+        parse selected rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %S (try --list)\n" arg;
         exit 2

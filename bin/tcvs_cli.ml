@@ -242,7 +242,8 @@ let session_cmd =
         let trace = Sim.Trace.create () in
         let server =
           Server.create
-            { Server.mode = `Plain; epoch_len = None; branching = 8; adversary }
+            { Server.mode = `Plain; epoch_len = None; branching = 8; adversary;
+              history_cap = Server.default_history_cap }
             ~engine ~initial:[] ~initial_root_sig:None
         in
         let config =

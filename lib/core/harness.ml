@@ -33,6 +33,7 @@ type setup = {
   seed : string;
   tail_rounds : int;
   response_timeout : int option;
+  history_cap : int;
 }
 
 let file_key i = Printf.sprintf "src/file_%04d.ml" i
@@ -52,6 +53,7 @@ let default_setup ~protocol ~users ~adversary =
     seed = Printf.sprintf "%s/%s/%d" (protocol_name protocol) (Adversary.name adversary) users;
     tail_rounds = 400;
     response_timeout = Some 64;
+    history_cap = Server.default_history_cap;
   }
 
 type outcome = {
@@ -112,6 +114,7 @@ let run_common setup ~script =
         epoch_len;
         branching = setup.branching;
         adversary = setup.adversary;
+        history_cap = setup.history_cap;
       }
       ~engine ~initial:setup.initial ~initial_root_sig
   in

@@ -36,6 +36,9 @@ type setup = {
       (** availability-violation detection: alarm when a transaction
           gets no response within this many rounds (the paper's
           b*-bounded transaction time made checkable); [None] disables *)
+  history_cap : int;
+      (** server-side bound on retained per-branch rollback snapshots
+          (see {!Server.config}) *)
 }
 
 val default_setup : protocol:protocol -> users:int -> adversary:Adversary.t -> setup

@@ -8,6 +8,7 @@ type config = {
   epoch_len : int option;
   branching : int;
   adversary : Adversary.t;
+  history_cap : int;
 }
 
 (* One copy of the database as some set of users sees it. A fork
@@ -38,7 +39,19 @@ type t = {
   mutable total_ops : int; (* across branches; drives adversary triggers *)
 }
 
+let default_history_cap = 64
+
 let snapshot_of b = (b.db, b.ctr, b.last_user, b.root_sig)
+
+(* Keep at most [cap] snapshots: Rollback only ever rewinds a bounded
+   depth, so an unbounded history just grows memory linearly with the
+   run length. The snapshots themselves are cheap (the tree is
+   persistent), but the spine is not free over millions of ops. *)
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let push_history ~cap b snap = b.history <- snap :: take (max 1 cap - 1) b.history
 
 let restore b (db, ctr, last_user, root_sig) =
   b.db <- db;
@@ -168,7 +181,7 @@ let execute_query t ~round ~user ~(op : Vo.op) ~piggyback =
       t.discard_next_sig <- true
   | Adversary.Tamper_value { at_op } when t.total_ops = at_op ->
       let tampered, _ = Sim.Oracle.trusted_answer branch.db (tampered_op op) in
-      branch.history <- pre :: branch.history;
+      push_history ~cap:t.config.history_cap branch pre;
       branch.db <- tampered;
       branch.ctr <- branch.ctr + 1;
       branch.last_user <- user;
@@ -176,7 +189,7 @@ let execute_query t ~round ~user ~(op : Vo.op) ~piggyback =
   | Adversary.Honest | Adversary.Tamper_value _ | Adversary.Drop_update _
   | Adversary.Fork _ | Adversary.Rollback _ | Adversary.Stall _
   | Adversary.Freeze_epoch _ ->
-      branch.history <- pre :: branch.history;
+      push_history ~cap:t.config.history_cap branch pre;
       branch.db <- db';
       branch.ctr <- branch.ctr + 1;
       branch.last_user <- user;
@@ -280,3 +293,4 @@ let create config ~engine ~initial ~initial_root_sig =
 let initial_root t = t.initial_root
 let ops_performed t = t.main.ctr
 let true_root t = T.root_digest t.main.db
+let history_length t = List.length t.main.history

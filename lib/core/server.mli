@@ -32,7 +32,16 @@ type config = {
   epoch_len : int option;  (** rounds per epoch (Protocol III) *)
   branching : int;
   adversary : Adversary.t;
+  history_cap : int;
+      (** max pre-operation snapshots retained per branch (for the
+          Rollback adversary); clamped to at least 1. Long simulations
+          would otherwise grow the snapshot spine linearly with the
+          number of operations. *)
 }
+
+val default_history_cap : int
+(** 64 — comfortably deeper than any [Rollback] the adversary model
+    uses. *)
 
 type t
 
@@ -56,3 +65,7 @@ val ops_performed : t -> int
 
 val true_root : t -> string
 (** Root digest of the branch an honest continuation would serve. *)
+
+val history_length : t -> int
+(** Snapshots currently retained on the main branch — bounded by
+    [config.history_cap]; exposed for tests. *)

@@ -124,6 +124,16 @@ let feed_bytes ctx src ~off ~len =
 let feed ctx s =
   feed_bytes ctx (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
 
+let add_framed ctx s =
+  let n = String.length s in
+  let hdr = Bytes.create 4 in
+  Bytes.unsafe_set hdr 0 (Char.unsafe_chr ((n lsr 24) land 0xff));
+  Bytes.unsafe_set hdr 1 (Char.unsafe_chr ((n lsr 16) land 0xff));
+  Bytes.unsafe_set hdr 2 (Char.unsafe_chr ((n lsr 8) land 0xff));
+  Bytes.unsafe_set hdr 3 (Char.unsafe_chr (n land 0xff));
+  feed_bytes ctx hdr ~off:0 ~len:4;
+  feed ctx s
+
 let finalize ctx =
   let bitlen = ctx.total * 8 in
   (* Padding: 0x80, zeros, then 64-bit big-endian bit length. *)

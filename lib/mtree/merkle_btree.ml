@@ -25,14 +25,54 @@ let remove t key =
   | None -> t
   | Some root -> { t with root = Node.collapse_root root; count = t.count - 1 }
 
-let range t ~lo ~hi =
-  Node.range t.root ~lo ~hi |> List.map (fun (e : Node.entry) -> (e.key, e.value))
+let set_many t entries =
+  match entries with
+  | [] -> t
+  | _ ->
+      let seen = Hashtbl.create 16 in
+      let added =
+        List.fold_left
+          (fun acc (k, _) ->
+            if Hashtbl.mem seen k then acc
+            else begin
+              Hashtbl.add seen k ();
+              if mem t k then acc else acc + 1
+            end)
+          0 entries
+      in
+      {
+        t with
+        root = Node.insert_many ~branching:t.branching t.root entries;
+        count = t.count + added;
+      }
 
+let range t ~lo ~hi = Node.range t.root ~lo ~hi
 let to_alist t = Node.to_alist t.root
 let keys t = List.map fst (to_alist t)
 
+let of_sorted_array ?(branching = 16) entries =
+  if branching < 4 then
+    invalid_arg "Merkle_btree.of_sorted_array: branching must be >= 4";
+  let root =
+    Node.of_sorted_entries ~branching
+      (Array.map (fun (key, value) -> Node.entry ~key ~value) entries)
+  in
+  { root; branching; count = Array.length entries }
+
 let of_alist ?branching entries =
-  List.fold_left (fun t (key, value) -> set t ~key ~value) (create ?branching ()) entries
+  (* Later bindings win, as with a fold of [set]; the sorted dedup
+     feeds the bottom-up bulk loader. *)
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) entries;
+  let arr = Array.make (Hashtbl.length tbl) ("", "") in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun k v ->
+      arr.(!i) <- (k, v);
+      incr i)
+    tbl;
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) arr;
+  of_sorted_array ?branching arr
 
 let check_invariants t =
   match Node.check_invariants ~branching:t.branching t.root with

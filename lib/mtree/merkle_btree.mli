@@ -29,12 +29,30 @@ val mem : t -> string -> bool
 val set : t -> key:string -> value:string -> t
 (** Insert or overwrite. *)
 
+val set_many : t -> (string * string) list -> t
+(** Path-sharing batch insert: produces exactly the tree (and root
+    digest) of [List.fold_left (fun t (key, value) -> set t ~key
+    ~value) t entries], but re-hashes each touched node once per batch
+    instead of once per key. *)
+
 val remove : t -> string -> t
 (** Returns the tree unchanged if the key is absent. *)
 
 val range : t -> lo:string -> hi:string -> (string * string) list
 val to_alist : t -> (string * string) list
+
+val of_sorted_array : ?branching:int -> (string * string) array -> t
+(** Bottom-up bulk load from strictly key-sorted bindings: O(n) total
+    hashing, and node-for-node identical to inserting the bindings in
+    ascending order (so the root digest matches the incremental
+    build).
+    @raise Invalid_argument on unsorted/duplicate keys or
+    [branching < 4]. *)
+
 val of_alist : ?branching:int -> (string * string) list -> t
+(** Sorts (later bindings win, matching a fold of {!set}) and bulk
+    loads via {!of_sorted_array}. *)
+
 val keys : t -> string list
 
 val check_invariants : t -> (unit, string) result

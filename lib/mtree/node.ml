@@ -1,6 +1,13 @@
 exception Insufficient_proof
 
-type entry = { key : string; value : string }
+(* [vdigest] caches [Sha256.digest value]: leaf digests commit to the
+   hash of each value, and caching it means rebuilding a leaf hashes
+   only fixed-size 32-byte digests instead of re-hashing every value.
+   The hashed encoding is unchanged — the cache is an in-memory
+   representation detail only. *)
+type entry = { key : string; value : string; vdigest : string }
+
+let entry ~key ~value = { key; value; vdigest = Crypto.Sha256.digest value }
 
 type t =
   | Leaf of { entries : entry array; digest : string }
@@ -10,32 +17,27 @@ type t =
 (* ---- Digests ------------------------------------------------------ *)
 
 (* Length-framed concatenation makes the hashed encoding injective:
-   without framing, ("ab","c") and ("a","bc") would collide. *)
-let add_framed buf s =
-  let n = String.length s in
-  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
-  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
-  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
-  Buffer.add_char buf (Char.chr (n land 0xff));
-  Buffer.add_string buf s
+   without framing, ("ab","c") and ("a","bc") would collide. Framing
+   is streamed straight into the SHA-256 context, so no intermediate
+   Buffer→string copy is made before hashing. *)
 
 let leaf_digest entries =
-  let buf = Buffer.create 256 in
-  Buffer.add_char buf 'L';
+  let ctx = Crypto.Sha256.init () in
+  Crypto.Sha256.feed ctx "L";
   Array.iter
-    (fun { key; value } ->
-      add_framed buf key;
-      add_framed buf (Crypto.Sha256.digest value))
+    (fun e ->
+      Crypto.Sha256.add_framed ctx e.key;
+      Crypto.Sha256.add_framed ctx e.vdigest)
     entries;
-  Crypto.Sha256.digest (Buffer.contents buf)
+  Crypto.Sha256.finalize ctx
 
 let node_digest keys children_digests =
-  let buf = Buffer.create 256 in
-  Buffer.add_char buf 'N';
-  Array.iter (add_framed buf) keys;
-  Buffer.add_char buf '|';
-  Array.iter (add_framed buf) children_digests;
-  Crypto.Sha256.digest (Buffer.contents buf)
+  let ctx = Crypto.Sha256.init () in
+  Crypto.Sha256.feed ctx "N";
+  Array.iter (Crypto.Sha256.add_framed ctx) keys;
+  Crypto.Sha256.feed ctx "|";
+  Array.iter (Crypto.Sha256.add_framed ctx) children_digests;
+  Crypto.Sha256.finalize ctx
 
 let digest = function
   | Leaf { digest; _ } -> digest
@@ -151,8 +153,8 @@ let rec insert ~branching t ~key ~value =
   | Leaf { entries; _ } -> (
       let entries' =
         match probe_entries entries key with
-        | Found i -> array_set entries i { key; value }
-        | Missing i -> array_insert entries i { key; value }
+        | Found i -> array_set entries i (entry ~key ~value)
+        | Missing i -> array_insert entries i (entry ~key ~value)
       in
       let n = Array.length entries' in
       if n <= max_leaf_entries ~branching then Ok_one (make_leaf entries')
@@ -179,6 +181,134 @@ let rec insert ~branching t ~key ~value =
             in
             Split (left, keys'.(mid - 1), right)
           end)
+
+(* ---- Batched insertion -------------------------------------------- *)
+
+(* A tree under batched mutation. Dirty subtrees ([Bleaf]/[Bnode])
+   defer their digest until [seal]; [Sealed] subtrees are untouched
+   and keep their cached digest. The structural steps are exactly
+   those of [insert], so a sealed batch is node-for-node (and hence
+   digest-for-digest) identical to a fold of single inserts — but
+   each touched node is hashed once per batch, not once per key. *)
+type builder =
+  | Sealed of t
+  | Bleaf of entry array
+  | Bnode of string array * builder array
+
+let unseal = function
+  | Sealed (Leaf { entries; _ }) -> Bleaf entries
+  | Sealed (Node { keys; children; _ }) ->
+      Bnode (keys, Array.map (fun c -> Sealed c) children)
+  | Sealed (Stub _) -> raise Insufficient_proof
+  | (Bleaf _ | Bnode _) as b -> b
+
+type binsert_result = Bok of builder | Bsplit of builder * string * builder
+
+let rec binsert ~branching b ~key ~value =
+  match unseal b with
+  | Sealed _ -> assert false (* unseal never returns [Sealed] *)
+  | Bleaf entries -> (
+      let entries' =
+        match probe_entries entries key with
+        | Found i -> array_set entries i (entry ~key ~value)
+        | Missing i -> array_insert entries i (entry ~key ~value)
+      in
+      let n = Array.length entries' in
+      if n <= max_leaf_entries ~branching then Bok (Bleaf entries')
+      else
+        let mid = (n + 1) / 2 in
+        Bsplit
+          ( Bleaf (Array.sub entries' 0 mid),
+            entries'.(mid).key,
+            Bleaf (Array.sub entries' mid (n - mid)) ))
+  | Bnode (keys, children) -> (
+      let i = child_index keys key in
+      match binsert ~branching children.(i) ~key ~value with
+      | Bok child -> Bok (Bnode (keys, array_set children i child))
+      | Bsplit (l, sep, r) ->
+          let keys' = array_insert keys i sep in
+          let children' = array_split_at children i l r in
+          let n = Array.length children' in
+          if n <= max_children ~branching then Bok (Bnode (keys', children'))
+          else
+            let mid = (n + 1) / 2 in
+            Bsplit
+              ( Bnode (Array.sub keys' 0 (mid - 1), Array.sub children' 0 mid),
+                keys'.(mid - 1),
+                Bnode (Array.sub keys' mid (n - 1 - mid), Array.sub children' mid (n - mid)) ))
+
+let rec seal = function
+  | Sealed t -> t
+  | Bleaf entries -> make_leaf entries
+  | Bnode (keys, children) -> make_node keys (Array.map seal children)
+
+let insert_many ~branching t entries =
+  match entries with
+  | [] -> t
+  | _ ->
+      seal
+        (List.fold_left
+           (fun b (key, value) ->
+             match binsert ~branching b ~key ~value with
+             | Bok b -> b
+             | Bsplit (l, sep, r) -> Bnode ([| sep |], [| l; r |]))
+           (Sealed t) entries)
+
+(* ---- Bottom-up bulk construction ---------------------------------- *)
+
+(* Split sizes matching sequential ascending insertion: a node
+   overflows at [cap + 1] items and splits into [(cap + 2) / 2] items
+   (left, settled) and the rest (right, still growing). A bulk-built
+   level therefore packs [(cap + 2) / 2] items per node with the
+   remainder — at least [cap + 1 - (cap + 2) / 2], i.e. never
+   underfull — in the last one. Matching the incremental shape keeps
+   root digests identical to a fold of [insert] over sorted input. *)
+let partition_sizes ~cap n =
+  if n <= cap then [| n |]
+  else begin
+    let s = (cap + 2) / 2 in
+    let k = (n - (cap + 1 - s)) / s in
+    let sizes = Array.make (k + 1) s in
+    sizes.(k) <- n - (k * s);
+    sizes
+  end
+
+let of_sorted_entries ~branching entries =
+  if not (sorted_strictly (fun a b -> String.compare a.key b.key) entries) then
+    invalid_arg "Node.of_sorted_entries: keys not strictly increasing";
+  if Array.length entries = 0 then empty_leaf
+  else begin
+    (* Each level is an array of (min key of subtree, subtree); the
+       separator between adjacent siblings at any level is the minimal
+       key of the right sibling's subtree. *)
+    let level_of ~cap ~key_of ~node_of items =
+      let sizes = partition_sizes ~cap (Array.length items) in
+      let off = ref 0 in
+      Array.map
+        (fun sz ->
+          let part = Array.sub items !off sz in
+          off := !off + sz;
+          (key_of part.(0), node_of part))
+        sizes
+    in
+    let leaves =
+      level_of ~cap:(max_leaf_entries ~branching)
+        ~key_of:(fun e -> e.key)
+        ~node_of:make_leaf entries
+    in
+    let rec build level =
+      if Array.length level = 1 then snd level.(0)
+      else
+        build
+          (level_of ~cap:(max_children ~branching) ~key_of:fst
+             ~node_of:(fun part ->
+               make_node
+                 (Array.init (Array.length part - 1) (fun i -> fst part.(i + 1)))
+                 (Array.map snd part))
+             level)
+    in
+    build leaves
+  end
 
 (* ---- Delete ------------------------------------------------------- *)
 
@@ -315,29 +445,52 @@ let rec collapse_root t =
 
 (* ---- Range, counting, listing ------------------------------------- *)
 
-let rec range t ~lo ~hi =
-  match t with
-  | Stub _ -> raise Insufficient_proof
-  | Leaf { entries; _ } ->
-      Array.to_list entries
-      |> List.filter (fun e -> String.compare e.key lo >= 0 && String.compare e.key hi <= 0)
-  | Node { keys; children; _ } ->
-      let first = child_index keys lo and last = child_index keys hi in
-      let acc = ref [] in
-      for i = last downto first do
-        acc := range children.(i) ~lo ~hi @ !acc
-      done;
-      !acc
+let range t ~lo ~hi =
+  let rec go t acc =
+    match t with
+    | Stub _ -> raise Insufficient_proof
+    | Leaf { entries; _ } ->
+        let acc = ref acc in
+        for i = Array.length entries - 1 downto 0 do
+          let e = entries.(i) in
+          if String.compare e.key lo >= 0 && String.compare e.key hi <= 0 then
+            acc := (e.key, e.value) :: !acc
+        done;
+        !acc
+    | Node { keys; children; _ } ->
+        let first = child_index keys lo and last = child_index keys hi in
+        let acc = ref acc in
+        for i = last downto first do
+          acc := go children.(i) !acc
+        done;
+        !acc
+  in
+  go t []
 
 let rec entry_count = function
   | Stub _ -> raise Insufficient_proof
   | Leaf { entries; _ } -> Array.length entries
   | Node { children; _ } -> Array.fold_left (fun acc c -> acc + entry_count c) 0 children
 
-let rec to_alist = function
-  | Stub _ -> raise Insufficient_proof
-  | Leaf { entries; _ } -> Array.to_list entries |> List.map (fun e -> (e.key, e.value))
-  | Node { children; _ } -> List.concat_map to_alist (Array.to_list children)
+let to_alist t =
+  let rec go t acc =
+    match t with
+    | Stub _ -> raise Insufficient_proof
+    | Leaf { entries; _ } ->
+        let acc = ref acc in
+        for i = Array.length entries - 1 downto 0 do
+          let e = entries.(i) in
+          acc := (e.key, e.value) :: !acc
+        done;
+        !acc
+    | Node { children; _ } ->
+        let acc = ref acc in
+        for i = Array.length children - 1 downto 0 do
+          acc := go children.(i) !acc
+        done;
+        !acc
+  in
+  go t []
 
 let rec depth = function
   | Stub _ -> 0
@@ -370,6 +523,9 @@ let check_invariants ~branching t =
           fail "leaf underfull (%d entries)" (Array.length entries)
         else if Array.length entries > max_leaf_entries ~branching then
           fail "leaf overfull (%d entries)" (Array.length entries)
+        else if
+          not (Array.for_all (fun e -> e.vdigest = Crypto.Sha256.digest e.value) entries)
+        then fail "entry value-digest cache inconsistent"
         else if digest <> leaf_digest entries then fail "leaf digest mismatch"
         else Ok ()
     | Node { keys; children; digest } ->

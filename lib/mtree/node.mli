@@ -17,7 +17,14 @@
 
 exception Insufficient_proof
 
-type entry = { key : string; value : string }
+type entry = { key : string; value : string; vdigest : string }
+(** [vdigest] caches [Sha256.digest value] — the quantity leaf digests
+    actually commit to — so rebuilding a leaf hashes 32 bytes per
+    entry instead of every full value. Build entries with {!entry} to
+    keep the cache consistent; {!check_invariants} verifies it. *)
+
+val entry : key:string -> value:string -> entry
+(** Smart constructor: computes and caches the value digest. *)
 
 type t =
   | Leaf of { entries : entry array; digest : string }
@@ -51,6 +58,22 @@ val find : t -> string -> string option
 val insert : branching:int -> t -> key:string -> value:string -> insert_result
 (** Insert or overwrite. *)
 
+val insert_many : branching:int -> t -> (string * string) list -> t
+(** Batched insert with path sharing: structurally identical (and
+    therefore digest-identical) to folding {!insert} over the list in
+    order — root splits included — but every node touched by the batch
+    is re-hashed once at the end instead of once per key. Works on
+    pruned trees; @raise Insufficient_proof when a batch key's path
+    crosses a [Stub]. *)
+
+val of_sorted_entries : branching:int -> entry array -> t
+(** Bottom-up bulk build from strictly-sorted entries: O(n) hashing
+    (each node hashed exactly once) instead of the O(n log n) repeated
+    root-path rebuilds of sequential insertion, yet node-for-node
+    identical to the tree obtained by inserting the entries in
+    ascending order.
+    @raise Invalid_argument if keys are not strictly increasing. *)
+
 val delete : branching:int -> t -> key:string -> t option
 (** [delete ~branching t ~key] is [None] if [key] is absent, [Some t']
     otherwise. The returned root may be underfull or have a single
@@ -59,8 +82,9 @@ val delete : branching:int -> t -> key:string -> t option
 val collapse_root : t -> t
 (** Replace a one-child internal root by its child (repeatedly). *)
 
-val range : t -> lo:string -> hi:string -> entry list
-(** Entries with [lo <= key <= hi], in key order. *)
+val range : t -> lo:string -> hi:string -> (string * string) list
+(** Bindings with [lo <= key <= hi], in key order; built with a single
+    accumulator pass (no quadratic list appends). *)
 
 val entry_count : t -> int
 (** @raise Insufficient_proof on a tree containing stubs. *)
@@ -76,7 +100,8 @@ val max_children : branching:int -> int
 val check_invariants : branching:int -> t -> (unit, string) result
 (** Structural validation (for tests): sortedness, separator bounds,
     occupancy bounds (root exempt), uniform leaf depth, digest
-    integrity at every node. Stubs are accepted as opaque. *)
+    integrity at every node, and consistency of every cached entry
+    value digest. Stubs are accepted as opaque. *)
 
 val depth : t -> int
 (** Length of the leftmost root-to-leaf path (stub counts as depth 0

@@ -91,11 +91,7 @@ let apply t op =
       | exception Node.Insufficient_proof -> Error Insufficient)
   | Range (lo, hi) -> (
       match Node.range t.proof ~lo ~hi with
-      | entries ->
-          Ok
-            ( Entries (List.map (fun (e : Node.entry) -> (e.key, e.value)) entries),
-              old_root,
-              old_root )
+      | entries -> Ok (Entries entries, old_root, old_root)
       | exception Node.Insufficient_proof -> Error Insufficient)
   | Set (key, value) -> (
       match Node.insert ~branching:t.branching t.proof ~key ~value with
@@ -104,12 +100,9 @@ let apply t op =
           Ok (Updated, old_root, Node.digest (Node.make_node [| sep |] [| l; r |]))
       | exception Node.Insufficient_proof -> Error Insufficient)
   | Set_many entries -> (
-      let insert_one node (key, value) =
-        match Node.insert ~branching:t.branching node ~key ~value with
-        | Node.Ok_one n -> n
-        | Node.Split (l, sep, r) -> Node.make_node [| sep |] [| l; r |]
-      in
-      match List.fold_left insert_one t.proof entries with
+      (* Path-sharing batch replay: shared upper levels of the pruned
+         tree are re-hashed once for the whole batch. *)
+      match Node.insert_many ~branching:t.branching t.proof entries with
       | n -> Ok (Updated, old_root, Node.digest n)
       | exception Node.Insufficient_proof -> Error Insufficient)
   | Remove key -> (
@@ -181,7 +174,22 @@ let encode t =
   encode_node buf t.proof;
   Buffer.contents buf
 
-let size_bytes t = String.length (encode t)
+(* Arithmetic mirror of [encode_node]: walking the proof is O(nodes)
+   and allocation-free, where materialising the encoding just to take
+   its length copied every key and value. *)
+let rec encoded_size_node = function
+  | Node.Stub _ -> 1 + 32
+  | Node.Leaf { entries; _ } ->
+      Array.fold_left
+        (fun acc (e : Node.entry) -> acc + 8 + String.length e.key + String.length e.value)
+        (1 + 2) entries
+  | Node.Node { keys; children; _ } ->
+      let acc =
+        Array.fold_left (fun acc k -> acc + 4 + String.length k) (1 + 2) keys
+      in
+      Array.fold_left (fun acc c -> acc + encoded_size_node c) acc children
+
+let size_bytes t = 3 + encoded_size_node t.proof
 
 exception Decode_error of string
 
@@ -218,7 +226,9 @@ let decode s =
           Array.init count (fun _ ->
               let key = get_frame () in
               let value = get_frame () in
-              ({ key; value } : Node.entry))
+              (* [Node.entry] recomputes the value digest, so decoded
+                 leaves re-derive every digest from the wire bytes. *)
+              Node.entry ~key ~value)
         in
         if not (Array.for_all Fun.id
                   (Array.init (max 0 (count - 1)) (fun i ->

@@ -18,8 +18,7 @@ let trusted_answer db (op : Vo.op) =
   match op with
   | Vo.Get k -> (db, Vo.Value (T.find db k))
   | Vo.Set (k, v) -> (T.set db ~key:k ~value:v, Vo.Updated)
-  | Vo.Set_many entries ->
-      (List.fold_left (fun db (k, v) -> T.set db ~key:k ~value:v) db entries, Vo.Updated)
+  | Vo.Set_many entries -> (T.set_many db entries, Vo.Updated)
   | Vo.Remove k -> (T.remove db k, Vo.Updated)
   | Vo.Range (lo, hi) -> (db, Vo.Entries (T.range db ~lo ~hi))
 

@@ -379,6 +379,183 @@ let test_vo_mutation_fuzzing () =
   done;
   Alcotest.(check int) "no mutated VO verifies against the trusted root" 0 !forged
 
+(* ---- bulk loading ------------------------------------------------------ *)
+
+let test_bulk_load_equals_incremental () =
+  (* of_alist now builds bottom-up; it must produce node-for-node the
+     same tree (hence the same root digest) as inserting the sorted
+     bindings one at a time, across branchings, sizes and occupancy
+     remainders. *)
+  List.iter
+    (fun (branching, n) ->
+      let bindings = List.init n (fun i -> (key i, Printf.sprintf "v%d" i)) in
+      let bulk = T.of_alist ~branching bindings in
+      let incremental =
+        List.fold_left
+          (fun t (k, v) -> T.set t ~key:k ~value:v)
+          (T.create ~branching ()) bindings
+      in
+      let label = Printf.sprintf "branching %d, %d keys" branching n in
+      check_inv bulk label;
+      Alcotest.(check string) (label ^ ": same root") (T.root_digest incremental)
+        (T.root_digest bulk);
+      Alcotest.(check int) (label ^ ": size") n (T.size bulk))
+    [
+      (4, 0); (4, 1); (4, 4); (4, 5); (4, 100); (5, 37); (5, 200); (7, 123);
+      (8, 256); (16, 15); (16, 16); (16, 17); (16, 1000); (32, 500);
+    ]
+
+let test_of_sorted_array_validation () =
+  Alcotest.check_raises "unsorted input rejected"
+    (Invalid_argument "Node.of_sorted_entries: keys not strictly increasing")
+    (fun () -> ignore (T.of_sorted_array ~branching:4 [| ("b", "1"); ("a", "2") |]));
+  Alcotest.check_raises "duplicate keys rejected"
+    (Invalid_argument "Node.of_sorted_entries: keys not strictly increasing")
+    (fun () -> ignore (T.of_sorted_array ~branching:4 [| ("a", "1"); ("a", "2") |]));
+  Alcotest.check_raises "branching < 4"
+    (Invalid_argument "Merkle_btree.of_sorted_array: branching must be >= 4")
+    (fun () -> ignore (T.of_sorted_array ~branching:3 [| ("a", "1") |]))
+
+let test_of_alist_duplicate_keys_last_wins () =
+  let t = T.of_alist ~branching:4 [ ("a", "1"); ("b", "2"); ("a", "3") ] in
+  Alcotest.(check (option string)) "last binding wins" (Some "3") (T.find t "a");
+  Alcotest.(check int) "duplicates collapse" 2 (T.size t);
+  let t' = T.of_alist ~branching:4 [ ("b", "2"); ("a", "3") ] in
+  Alcotest.(check string) "same root as deduplicated input" (T.root_digest t')
+    (T.root_digest t)
+
+let test_set_many_equals_fold_of_set () =
+  (* Batched insertion defers digests but must take exactly the same
+     structural steps as a fold of single sets — digest for digest. *)
+  List.iter
+    (fun branching ->
+      let base =
+        T.of_alist ~branching (List.init 200 (fun i -> (key i, "base")))
+      in
+      for trial = 1 to 25 do
+        let count = 1 + Crypto.Prng.int rng 40 in
+        let batch =
+          List.init count (fun j ->
+              (* key space wider than the tree: mixes overwrites, fresh
+                 inserts and intra-batch duplicate keys *)
+              (key (Crypto.Prng.int rng 260), Printf.sprintf "t%d-%d" trial j))
+        in
+        let batched = T.set_many base batch in
+        let folded =
+          List.fold_left (fun t (k, v) -> T.set t ~key:k ~value:v) base batch
+        in
+        Alcotest.(check string)
+          (Printf.sprintf "branching %d trial %d: same root" branching trial)
+          (T.root_digest folded) (T.root_digest batched);
+        Alcotest.(check int) "same size" (T.size folded) (T.size batched);
+        check_inv batched "set_many"
+      done)
+    [ 4; 8; 16 ]
+
+let test_vdigest_cache_through_rebalance () =
+  (* check_invariants recomputes every cached value digest; drive the
+     tree through splits, borrows and merges and verify at each stage. *)
+  let t = ref (T.create ~branching:4 ()) in
+  for i = 0 to 99 do
+    t := T.set !t ~key:(key i) ~value:(Printf.sprintf "v%d" i)
+  done;
+  check_inv !t "after growth";
+  for i = 0 to 99 do
+    if i mod 3 <> 0 then t := T.remove !t (key i);
+    if i mod 10 = 0 then check_inv !t (Printf.sprintf "during shrink %d" i)
+  done;
+  check_inv !t "after shrink";
+  t := T.set_many !t (List.init 30 (fun i -> (key (200 + i), "bulk")));
+  check_inv !t "after set_many"
+
+(* ---- seed fixtures: digests and wire format are frozen ------------------ *)
+
+let test_seed_root_fixtures () =
+  (* Root digests captured from the growth seed before the
+     digest-caching / bulk-load rewrite. Any change to the hashed
+     encoding or to the shape of of_alist-built trees breaks these. *)
+  let root t = Crypto.Hex.encode (T.root_digest t) in
+  let t1 = T.of_alist ~branching:4 (List.init 100 (fun i -> (key i, string_of_int i))) in
+  Alcotest.(check string) "branching 4, 100 keys"
+    "f944a54ee98fd535c785cca376c4de1ec31af0eb30005ad9dee8b41a026a1008" (root t1);
+  let t2 =
+    T.of_alist ~branching:16 (List.init 1000 (fun i -> (key i, String.make 16 'v')))
+  in
+  Alcotest.(check string) "branching 16, 1000 keys"
+    "417a4ad5d6f45b0556d378dfe87fe54bb9ace2fd652ae8dc6d275a857266a09e" (root t2);
+  let t3 =
+    T.of_alist ~branching:5 (List.init 37 (fun i -> (key i, Printf.sprintf "val%d" i)))
+  in
+  Alcotest.(check string) "branching 5, 37 keys"
+    "d635c078a264eccd89a3aa804642e57b17758897fff993002dab2a55801799c2" (root t3)
+
+let seed_vo_fixture_tree () =
+  T.of_alist ~branching:4 (List.init 64 (fun i -> (key i, string_of_int i)))
+
+let seed_vo_fixtures () =
+  [
+    ("get", Vo.Get (key 10));
+    ("set", Vo.Set (key 10, "new"));
+    ("remove", Vo.Remove (key 31));
+    ("range", Vo.Range (key 5, key 9));
+    ("set_many", Vo.Set_many [ (key 3, "a"); (key 40, "b"); ("zz-new", "c") ]);
+  ]
+
+let test_seed_vo_wire_fixtures () =
+  (* VO encodings captured from the growth seed: the wire format is
+     frozen byte for byte, and the frozen bytes must still decode and
+     replay against today's roots. *)
+  let expected =
+    [
+      "5600044e0001000000086b65792d303032374e0002000000086b65792d30303039000000086b65792d30303138530d781be0324dab10ff5a891dc2e6f58dc1ad36d2e3ecb3648b5b335da747104e4e0002000000086b65792d30303132000000086b65792d303031354c0003000000086b65792d303030390000000139000000086b65792d30303130000000023130000000086b65792d3030313100000002313153d89adaaeccb01cf1d6816ef2ba4f2b03f35ecb8327075aebefd08818f9f12f4e538543e5d9444f0cd05d7535a2d3c47801466525ac24922fb72c5077e6288bed9f53550322a21ddf48b05997c7becf837e93fc48259474bcebd1aa6f3e430be5c0d9536d54f739999a9b741f1a82aae85528eacbe9c000802091283012ab8d337f3d16";
+      "5600044e0001000000086b65792d303032374e0002000000086b65792d30303039000000086b65792d30303138530d781be0324dab10ff5a891dc2e6f58dc1ad36d2e3ecb3648b5b335da747104e4e0002000000086b65792d30303132000000086b65792d303031354c0003000000086b65792d303030390000000139000000086b65792d30303130000000023130000000086b65792d3030313100000002313153d89adaaeccb01cf1d6816ef2ba4f2b03f35ecb8327075aebefd08818f9f12f4e538543e5d9444f0cd05d7535a2d3c47801466525ac24922fb72c5077e6288bed9f53550322a21ddf48b05997c7becf837e93fc48259474bcebd1aa6f3e430be5c0d9536d54f739999a9b741f1a82aae85528eacbe9c000802091283012ab8d337f3d16";
+      "5600044e0001000000086b65792d303032374e0002000000086b65792d30303039000000086b65792d30303138530d781be0324dab10ff5a891dc2e6f58dc1ad36d2e3ecb3648b5b335da747104e534df26487600252159fbe4ba16bcc472d5900577a62de3d1941f7f2122f360a5d53550322a21ddf48b05997c7becf837e93fc48259474bcebd1aa6f3e430be5c0d94e0003000000086b65792d30303336000000086b65792d30303435000000086b65792d303035344e0002000000086b65792d30303330000000086b65792d303033334c0003000000086b65792d30303237000000023237000000086b65792d30303238000000023238000000086b65792d303032390000000232394c0003000000086b65792d30303330000000023330000000086b65792d30303331000000023331000000086b65792d303033320000000233324c0003000000086b65792d30303333000000023333000000086b65792d30303334000000023334000000086b65792d303033350000000233354e0002000000086b65792d30303339000000086b65792d3030343253891649601a75a3fb8671578ac4ec5d27b916c257ef16770cdbc85adb5f4b357053a9ed30b0778a17d0b5d539982a7af04ea05859313c3b62dd40193f2f2ffdae84539f7151319123b1feebfe8bf005195714dba9ed8ddd31806dcc99cea71af5117a531c7ab752b76581bd49a3bfed71742abcb2a9886aa2d9bb9b3604e6b7f087a9b353288500e9db2682d91f6f2b3deb0ce1178afc4705c19e254b44a9b259e639cd29";
+      "5600044e0001000000086b65792d303032374e0002000000086b65792d30303039000000086b65792d303031384e0002000000086b65792d30303033000000086b65792d30303036533ab7986db575880fe6b8765d6911fbad1bd1381a2c7025266763f76ee07e7efc4c0003000000086b65792d303030330000000133000000086b65792d303030340000000134000000086b65792d3030303500000001354c0003000000086b65792d303030360000000136000000086b65792d303030370000000137000000086b65792d3030303800000001384e0002000000086b65792d30303132000000086b65792d303031354c0003000000086b65792d303030390000000139000000086b65792d30303130000000023130000000086b65792d3030313100000002313153d89adaaeccb01cf1d6816ef2ba4f2b03f35ecb8327075aebefd08818f9f12f4e538543e5d9444f0cd05d7535a2d3c47801466525ac24922fb72c5077e6288bed9f53550322a21ddf48b05997c7becf837e93fc48259474bcebd1aa6f3e430be5c0d9536d54f739999a9b741f1a82aae85528eacbe9c000802091283012ab8d337f3d16";
+      "5600044e0001000000086b65792d303032374e0002000000086b65792d30303039000000086b65792d303031384e0002000000086b65792d30303033000000086b65792d30303036533ab7986db575880fe6b8765d6911fbad1bd1381a2c7025266763f76ee07e7efc4c0003000000086b65792d303030330000000133000000086b65792d303030340000000134000000086b65792d30303035000000013553a0a62a4dc1b90335d7ae9be19052a10256b192c5bcfcd6f190618aa280524f9b534df26487600252159fbe4ba16bcc472d5900577a62de3d1941f7f2122f360a5d53550322a21ddf48b05997c7becf837e93fc48259474bcebd1aa6f3e430be5c0d94e0003000000086b65792d30303336000000086b65792d30303435000000086b65792d30303534530d57bf9ef88eadd38a806ab8771bee50a3ab13db34c58a6e23984e2da6b59a5f4e0002000000086b65792d30303339000000086b65792d3030343253891649601a75a3fb8671578ac4ec5d27b916c257ef16770cdbc85adb5f4b35704c0003000000086b65792d30303339000000023339000000086b65792d30303430000000023430000000086b65792d30303431000000023431539f7151319123b1feebfe8bf005195714dba9ed8ddd31806dcc99cea71af5117a531c7ab752b76581bd49a3bfed71742abcb2a9886aa2d9bb9b3604e6b7f087a9b34e0002000000086b65792d30303537000000086b65792d3030363053a75a4b5999d11d39b55f8b6988fc823f127f8c5354747dc3bd0ef20d26460eed53c5a5d84006ade0734760f3a43795ba7b594b83e97f0e213b39e918acac1f39b24c0004000000086b65792d30303630000000023630000000086b65792d30303631000000023631000000086b65792d30303632000000023632000000086b65792d30303633000000023633";
+    ]
+  in
+  let tree = seed_vo_fixture_tree () in
+  List.iter2
+    (fun (name, op) hex ->
+      let vo = Vo.generate tree op in
+      Alcotest.(check string)
+        (name ^ ": encoding unchanged since seed")
+        hex
+        (Crypto.Hex.encode (Vo.encode vo));
+      match Vo.decode (Crypto.Hex.decode hex) with
+      | None -> Alcotest.failf "%s: frozen bytes no longer decode" name
+      | Some vo' -> (
+          match Vo.apply vo' op with
+          | Error e -> Alcotest.failf "%s: frozen VO replay failed: %a" name Vo.pp_error e
+          | Ok (_, old_root, _) ->
+              Alcotest.(check string)
+                (name ^ ": frozen VO still proves today's root")
+                (T.root_digest tree) old_root))
+    (seed_vo_fixtures ()) expected
+
+(* ---- VO size accounting ------------------------------------------------- *)
+
+let test_vo_size_bytes_exact () =
+  (* size_bytes is computed arithmetically; it must equal the length of
+     the actual encoding for every op shape, including empty trees. *)
+  let check_tree tree ops =
+    List.iter
+      (fun op ->
+        let vo = Vo.generate tree op in
+        Alcotest.(check int) "size_bytes = |encode vo|"
+          (String.length (Vo.encode vo))
+          (Vo.size_bytes vo))
+      ops
+  in
+  let tree = T.of_alist ~branching:4 (List.init 128 (fun i -> (key i, string_of_int i))) in
+  check_tree tree
+    [
+      Vo.Get (key 3); Vo.Get "absent"; Vo.Set (key 64, "xyz"); Vo.Set ("fresh", "");
+      Vo.Remove (key 100); Vo.Range (key 10, key 50);
+      Vo.Set_many [ (key 1, "a"); (key 90, "b"); ("zz", String.make 300 'c') ];
+    ];
+  check_tree (T.create ~branching:8 ()) [ Vo.Get "x"; Vo.Set ("x", "y") ]
+
 let test_branching_validation () =
   Alcotest.check_raises "branching < 4"
     (Invalid_argument "Merkle_btree.create: branching must be >= 4") (fun () ->
@@ -455,6 +632,14 @@ let suite =
     quick "vo: set_many insufficient proof" test_vo_set_many_insufficient;
     quick "vo: set_many empty/singleton" test_vo_set_many_empty_and_single;
     quick "vo: mutation fuzzing never forges" test_vo_mutation_fuzzing;
+    quick "bulk load = incremental build" test_bulk_load_equals_incremental;
+    quick "of_sorted_array validation" test_of_sorted_array_validation;
+    quick "of_alist duplicate keys: last wins" test_of_alist_duplicate_keys_last_wins;
+    quick "set_many = fold of set" test_set_many_equals_fold_of_set;
+    quick "vdigest cache through rebalance" test_vdigest_cache_through_rebalance;
+    quick "seed fixtures: root digests" test_seed_root_fixtures;
+    quick "seed fixtures: VO wire format" test_seed_vo_wire_fixtures;
+    quick "vo: size_bytes exact" test_vo_size_bytes_exact;
     quick "branching validation" test_branching_validation;
     QCheck_alcotest.to_alcotest prop_random_sequences;
   ]

@@ -372,7 +372,8 @@ let make_cvs_pair ?(adversary = Adversary.Honest) () =
   let trace = Sim.Trace.create () in
   let server =
     Server.create
-      { Server.mode = `Plain; epoch_len = None; branching = 8; adversary }
+      { Server.mode = `Plain; epoch_len = None; branching = 8; adversary;
+        history_cap = Server.default_history_cap }
       ~engine ~initial:[] ~initial_root_sig:None
   in
   let config = Protocol2.default_config ~n:2 ~k:6 ~initial_root:(Server.initial_root server) in
@@ -439,6 +440,30 @@ let test_cvs_detects_tamper () =
     end
   in
   poke 0
+
+let test_history_cap_bounds_snapshots () =
+  (* The server keeps pre-operation snapshots for the Rollback
+     adversary; the cap must bound that spine regardless of how many
+     operations run. *)
+  let engine = Sim.Engine.create ~measure:Message.encoded_size () in
+  let trace = Sim.Trace.create () in
+  let cap = 4 in
+  let server =
+    Server.create
+      { Server.mode = `Plain; epoch_len = None; branching = 8;
+        adversary = Adversary.Honest; history_cap = cap }
+      ~engine ~initial:[] ~initial_root_sig:None
+  in
+  let config = Protocol2.default_config ~n:1 ~k:1000 ~initial_root:(Server.initial_root server) in
+  let s = Cvs.session ~engine ~base:(Protocol2.base (Protocol2.create config ~user:0 ~engine ~trace)) in
+  for i = 1 to 20 do
+    ignore (ok (Cvs.commit s ~path:"f.ml" ~content:(string_of_int i) ~log:"c"))
+  done;
+  Alcotest.(check bool) "snapshots retained" true (Server.history_length server > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "spine bounded by cap (%d <= %d)" (Server.history_length server) cap)
+    true
+    (Server.history_length server <= cap)
 
 (* ---- edge cases ------------------------------------------------------------ *)
 
@@ -834,6 +859,7 @@ let suite =
     quick "cvs: conflict and merge-on-update" test_cvs_conflict_and_update;
     quick "cvs: list files" test_cvs_list_files;
     quick "cvs: tampering surfaces as Server_compromised" test_cvs_detects_tamper;
+    quick "server: history cap bounds rollback snapshots" test_history_cap_bounds_snapshots;
     quick "edge: k = 1" test_k_equals_one;
     quick "edge: single user" test_single_user;
     quick "edge: adversary at the first operation" test_adversary_at_first_op;
