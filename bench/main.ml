@@ -358,15 +358,16 @@ let detection_matrix name mk_protocol =
       List.iter
         (fun adversary ->
           let protocol = mk_protocol k in
-          let o = run protocol adversary events in
+          let (_ : Harness.outcome) = run protocol adversary events in
+          (* Verdict read back from the run's obs registry. *)
+          let detected = Obs.value "detection.detected" > 0 in
           row "%-18s %-4d %-22s %-10s %-16s %-8b\n"
             (Harness.protocol_name protocol)
             k (Adversary.name adversary)
-            (if o.oracle.Sim.Oracle.deviated then "deviates" else "-")
-            (if o.detected then
-               Printf.sprintf "round %d" (Option.value o.detection_round ~default:(-1))
+            (if Obs.value "oracle.deviates" > 0 then "deviates" else "-")
+            (if detected then Printf.sprintf "round %d" (Obs.value "detection.round")
              else "MISSED")
-            (o.detected && o.ops_after_violation <= k))
+            (detected && Obs.value "detection.ops_after_violation" <= k))
         [
           Adversary.Tamper_value { at_op = 15 };
           Adversary.Drop_update { at_op = 15 };
@@ -400,15 +401,16 @@ let thm43_detection () =
               Harness.tail_rounds = 4 * epoch_len;
             }
           in
-          let o = Harness.run setup ~events in
-          match (o.violation_round, o.detection_round) with
-          | Some v, Some d ->
-              row "%-6d %-22s %-14d %-14d %-10b\n" epoch_len (Adversary.name adversary)
-                (v / epoch_len) (d / epoch_len)
-                ((d / epoch_len) - (v / epoch_len) <= 2)
-          | _ ->
-              row "%-6d %-22s %-14s %-14s %-10s\n" epoch_len (Adversary.name adversary) "-"
-                "none" "MISSED")
+          let (_ : Harness.outcome) = Harness.run setup ~events in
+          let v = Obs.value "detection.violation_round" in
+          let d = Obs.value "detection.round" in
+          if Obs.value "detection.detected" > 0 && v > 0 then
+            row "%-6d %-22s %-14d %-14d %-10b\n" epoch_len (Adversary.name adversary)
+              (v / epoch_len) (d / epoch_len)
+              ((d / epoch_len) - (v / epoch_len) <= 2)
+          else
+            row "%-6d %-22s %-14s %-14s %-10s\n" epoch_len (Adversary.name adversary) "-"
+              "none" "MISSED")
         [
           Adversary.Tamper_value { at_op = 18 };
           Adversary.Drop_update { at_op = 18 };
@@ -433,18 +435,20 @@ let wp_baseline () =
   in
   List.iter
     (fun users ->
-      let max_latency (o : Harness.outcome) =
-        List.fold_left (fun acc (_, l) -> max acc l) 0 o.latencies
+      (* Each Harness.run resets the registry, so the latency histogram
+         must be read back before the next protocol's run. *)
+      let max_latency protocol =
+        let (_ : Harness.outcome) = run ~users protocol Adversary.Honest burst in
+        match Obs.stats "run.latency_rounds" with Some (_, _, _, mx) -> mx | None -> 0
       in
-      let token = run ~users (Harness.Token_baseline { slot_len = 4 }) Adversary.Honest burst in
-      let p1 = run ~users (Harness.Protocol_1 { k = 100 }) Adversary.Honest burst in
+      let token = max_latency (Harness.Token_baseline { slot_len = 4 }) in
+      let p1 = max_latency (Harness.Protocol_1 { k = 100 }) in
       let p2 =
-        run ~users
-          (Harness.Protocol_2 { k = 100; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user })
-          Adversary.Honest burst
+        max_latency
+          (Harness.Protocol_2
+             { k = 100; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user })
       in
-      row "%-8d %-22d %-22d %-22d\n" users (max_latency token) (max_latency p1)
-        (max_latency p2))
+      row "%-8d %-22d %-22d %-22d\n" users token p1 p2)
     [ 2; 4; 8; 16; 32; 64 ];
   row "\n(token latency grows linearly with n — the user waits for a full\n\
       \ rotation of null records; Protocols I/II stay constant: c-workload\n\
@@ -456,18 +460,23 @@ let wp_baseline () =
 
 let overhead_ops () =
   header "overhead-ops: honest-run cost per operation (4 users, 600-round workload)";
-  row "%-24s %-8s %-10s %-12s %-12s %-10s\n" "protocol" "ops" "rounds" "msgs/op" "bytes/op"
-    "broadcasts";
+  row "%-24s %-8s %-10s %-12s %-12s %-10s %-10s\n" "protocol" "ops" "rounds" "msgs/op"
+    "bytes/op" "hashes/op" "broadcasts";
   let events = workload "overhead" in
   List.iter
     (fun protocol ->
+      (* The headline numbers come out of the obs registry the run just
+         populated, not from ad-hoc arithmetic over the outcome record. *)
       let o = run protocol Adversary.Honest events in
-      let ops = max 1 o.completed_transactions in
-      row "%-24s %-8d %-10d %-12.2f %-12.0f %-10d\n" (Harness.protocol_name protocol) ops
-        o.rounds_run
-        (float_of_int o.messages_sent /. float_of_int ops)
-        (float_of_int o.bytes_sent /. float_of_int ops)
-        o.broadcasts_sent)
+      let ops = max 1 (Obs.value "run.ops_completed") in
+      row "%-24s %-8d %-10d %-12.2f %-12.0f %-10.1f %-10d\n"
+        (Harness.protocol_name protocol) ops o.rounds_run
+        (Option.value (Obs.gauge_value "run.messages_per_op")
+           ~default:(float_of_int (Obs.value "sim.messages") /. float_of_int ops))
+        (Option.value (Obs.gauge_value "run.bytes_per_op")
+           ~default:(float_of_int (Obs.value "sim.bytes") /. float_of_int ops))
+        (float_of_int (Obs.value "crypto.sha256.digests") /. float_of_int ops)
+        (Obs.value "sim.broadcast_deliveries"))
     [
       Harness.Unverified;
       Harness.Protocol_1 { k = 16 };
@@ -496,17 +505,19 @@ let sync_cost () =
       List.iter
         (fun k ->
           let events = workload ~users ~rounds:400 (Printf.sprintf "sync-%d-%d" users k) in
-          let o =
+          let (_ : Harness.outcome) =
             run ~users
               (Harness.Protocol_2 { k; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user })
               Adversary.Honest events
           in
-          (* Each sync session: 1 Sync_begin + n Sync_registers + n
-             Sync_verdict, each delivered to n-1 peers. *)
-          let per_sync = ((2 * users) + 1) * (users - 1) in
-          let syncs = o.broadcasts_sent / max 1 per_sync in
-          row "%-8d %-4d %-12d %-14d %-14d\n" users k syncs o.broadcasts_sent
-            (if syncs > 0 then o.broadcasts_sent / syncs else 0))
+          (* Both the session count and the broadcast-delivery count are
+             measured by the run itself (protocol2.syncs_completed is the
+             per-user max; sessions are shared), so the row no longer
+             depends on a hand-derived per-sync formula. *)
+          let syncs = Obs.value "protocol2.syncs_completed" in
+          let broadcasts = Obs.value "sim.broadcast_deliveries" in
+          row "%-8d %-4d %-12d %-14d %-14d\n" users k syncs broadcasts
+            (if syncs > 0 then broadcasts / syncs else 0))
         [ 4; 16; 64 ])
     [ 2; 4; 8; 16 ];
   row "\n(sync frequency falls as k grows; one sync costs Theta(n^2) broadcast\n\
@@ -755,6 +766,22 @@ let perf_mtree () =
               (Printf.sprintf "k%06d" (i * (max 1 (n / 16))), fresh_value))
         in
         let setmany_ns = m "set-many" (fun () -> ignore (T.set_many db batch)) /. 16. in
+        (* Exact hash-invocation counts per operation, from the crypto
+           layer's own counter — the work the ns/op numbers are made of. *)
+        let hashes_of f =
+          let before = Obs.value "crypto.sha256.digests" in
+          ignore (Sys.opaque_identity (f ()));
+          Obs.value "crypto.sha256.digests" - before
+        in
+        let hashes =
+          [
+            ("get", hashes_of (fun () -> T.find db key));
+            ("set", hashes_of (fun () -> T.set db ~key ~value:fresh_value));
+            ("remove", hashes_of (fun () -> T.remove db key));
+            ("vo_generate", hashes_of (fun () -> Vo.generate db (Vo.Set (key, fresh_value))));
+            ("vo_replay", hashes_of (fun () -> Vo.apply vo (Vo.Set (key, fresh_value))));
+          ]
+        in
         let base_get_ns = m "base-get" (fun () -> ignore (Baseline.find bdb key)) in
         let base_set_ns =
           m "base-set" (fun () -> ignore (Baseline.set bdb ~key ~value:fresh_value))
@@ -769,12 +796,16 @@ let perf_mtree () =
         row "           bulk-load %s (seed %s, %4.1fx)  roots %s\n" (pp_ns bulk_ns)
           (pp_ns base_bulk_ns) (base_bulk_ns /. bulk_ns)
           (if roots_match then "identical" else "MISMATCH");
+        row "           sha256/op:%s\n"
+          (String.concat ""
+             (List.map (fun (k, c) -> Printf.sprintf "  %s %d" k c) hashes));
         ( n,
           [
             ("get", get_ns); ("set", set_ns); ("remove", remove_ns);
             ("vo_generate", vog_ns); ("vo_replay", vor_ns);
             ("set_many_per_key", setmany_ns);
           ],
+          hashes,
           [ ("get", base_get_ns); ("set", base_set_ns) ],
           (bulk_ns, base_bulk_ns),
           roots_match ))
@@ -787,7 +818,7 @@ let perf_mtree () =
   Printf.bprintf buf "  \"branching\": %d,\n  \"value_bytes\": %d,\n" branching value_bytes;
   Printf.bprintf buf "  \"quota_s\": %g,\n  \"smoke\": %b,\n  \"results\": [\n" quota smoke;
   List.iteri
-    (fun i (n, opt, base, (bulk_ns, base_bulk_ns), roots_match) ->
+    (fun i (n, opt, hashes, base, (bulk_ns, base_bulk_ns), roots_match) ->
       Printf.bprintf buf "    {\n      \"n\": %d,\n" n;
       Printf.bprintf buf "      \"optimized_ns_per_op\": {\n";
       List.iteri
@@ -796,6 +827,12 @@ let perf_mtree () =
           fld k v;
           Printf.bprintf buf (if j < List.length opt - 1 then ",\n" else "\n"))
         opt;
+      Printf.bprintf buf "      },\n      \"sha256_digests_per_op\": {\n";
+      List.iteri
+        (fun j (k, c) ->
+          Printf.bprintf buf "        \"%s\": %d%s\n" k c
+            (if j < List.length hashes - 1 then "," else ""))
+        hashes;
       Printf.bprintf buf "      },\n      \"seed_baseline_ns_per_op\": {\n";
       List.iteri
         (fun j (k, v) ->

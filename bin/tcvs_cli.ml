@@ -20,6 +20,53 @@ let seed_arg =
   let doc = "PRNG seed; equal seeds give identical runs." in
   Arg.(value & opt string "tcvs-cli" & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let verbosity_conv =
+  let parse s =
+    match Log_setup.level_of_string s with
+    | Ok lvl -> Ok lvl
+    | Error other -> Error (`Msg (Printf.sprintf "unknown verbosity %S" other))
+  in
+  let print fmt lvl = Format.pp_print_string fmt (Logs.level_to_string lvl) in
+  Arg.conv (parse, print)
+
+let verbosity_arg =
+  let doc = "Log verbosity: quiet, error, warn, info or debug." in
+  let env = Cmd.Env.info "TCVS_LOG" ~doc:"Default log verbosity." in
+  Arg.(
+    value
+    & opt verbosity_conv (Some Logs.Warning)
+    & info [ "verbosity" ] ~docv:"LEVEL" ~doc ~env)
+
+let metrics_arg =
+  let doc =
+    "Write the run's metrics registry as a JSON report to $(docv) after the run \
+     ($(b,-) for stdout). Same seed, same report, byte for byte."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc =
+    "Record span-style trace events (message sends, sync sessions, transaction \
+     issue/complete) and write them to $(docv) as JSON lines ($(b,-) for stdout, \
+     which is also the default when no file is given)."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let write_lines path lines =
+  match path with
+  | "-" -> List.iter print_endline lines
+  | path ->
+      let oc = open_out path in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      close_out oc
+
 let users_arg =
   let doc = "Number of users." in
   Arg.(value & opt int 4 & info [ "users"; "n" ] ~docv:"N" ~doc)
@@ -133,7 +180,9 @@ let print_outcome protocol adversary (o : Harness.outcome) =
   | `Clean -> Printf.printf "classification: clean run\n"
 
 let simulate_cmd =
-  let run seed users rounds k epoch_len protocol_str adversary_str =
+  let run seed users rounds k epoch_len protocol_str adversary_str verbosity metrics
+      trace_file =
+    Log_setup.install ~level:verbosity ();
     match
       ( protocol_conv k epoch_len protocol_str,
         parse_adversary ~users adversary_str )
@@ -142,23 +191,35 @@ let simulate_cmd =
         Printf.eprintf "error: %s\n" m;
         exit 2
     | Ok protocol, Ok adversary ->
+        (* Arm tracing before the run; the flag survives the harness's
+           registry reset. *)
+        if trace_file <> None then Obs.set_tracing true;
         let events = generated_workload ~users ~rounds ~seed in
         let setup =
           { (Harness.default_setup ~protocol ~users ~adversary) with Harness.seed }
         in
-        print_outcome protocol adversary (Harness.run setup ~events)
+        let outcome = Harness.run setup ~events in
+        (* Write the machine-readable artefacts before the human
+           summary so a `--metrics -` report is not interleaved. *)
+        (match trace_file with
+        | Some path -> write_lines path (Obs.Report.trace_lines ())
+        | None -> ());
+        (match metrics with Some path -> Obs.Report.write path | None -> ());
+        if metrics <> Some "-" && trace_file <> Some "-" then
+          print_outcome protocol adversary outcome
   in
   let doc = "Run one protocol against one adversary over a generated workload." in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ seed_arg $ users_arg $ rounds_arg $ k_arg $ epoch_arg $ protocol_arg
-      $ adversary_arg)
+      $ adversary_arg $ verbosity_arg $ metrics_arg $ trace_arg)
 
 (* ---- matrix -------------------------------------------------------------- *)
 
 let matrix_cmd =
-  let run seed users rounds k epoch_len =
+  let run seed users rounds k epoch_len verbosity =
+    Log_setup.install ~level:verbosity ();
     let events = generated_workload ~users ~rounds ~seed in
     let protocols =
       [
@@ -199,7 +260,7 @@ let matrix_cmd =
   let doc = "Run the full protocol x adversary detection matrix." in
   Cmd.v
     (Cmd.info "matrix" ~doc)
-    Term.(const run $ seed_arg $ users_arg $ rounds_arg $ k_arg $ epoch_arg)
+    Term.(const run $ seed_arg $ users_arg $ rounds_arg $ k_arg $ epoch_arg $ verbosity_arg)
 
 (* ---- workload -------------------------------------------------------------- *)
 
@@ -232,7 +293,8 @@ let workload_cmd =
 (* ---- session ------------------------------------------------------------- *)
 
 let session_cmd =
-  let run k adversary_str =
+  let run k adversary_str verbosity =
+    Log_setup.install ~level:verbosity ();
     match parse_adversary ~users:2 adversary_str with
     | Error (`Msg m) ->
         Printf.eprintf "error: %s\n" m;
@@ -275,7 +337,7 @@ let session_cmd =
               a.Sim.Engine.reason)
   in
   let doc = "Run a scripted two-user CVS session over Protocol II." in
-  Cmd.v (Cmd.info "session" ~doc) Term.(const run $ k_arg $ adversary_arg)
+  Cmd.v (Cmd.info "session" ~doc) Term.(const run $ k_arg $ adversary_arg $ verbosity_arg)
 
 (* ---- inspect -------------------------------------------------------------- *)
 
@@ -315,6 +377,9 @@ let inspect_cmd =
 (* ---- entry ----------------------------------------------------------------- *)
 
 let () =
+  (* Subcommands that take --verbosity re-install with the resolved
+     level; this default covers the rest (and `--help` paths). *)
+  Log_setup.install ();
   let doc = "Trusted CVS: detection protocols for untrusted version-control servers" in
   let info = Cmd.info "tcvs" ~version:"1.0.0" ~doc in
   exit

@@ -16,6 +16,7 @@
 open Tcvs
 
 let () =
+  Tcvs.Log_setup.install ();
   let events =
     Workload.Schedule.generate
       {

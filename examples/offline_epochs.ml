@@ -69,6 +69,7 @@ let run name adversary =
       | None -> ())
 
 let () =
+  Tcvs.Log_setup.install ();
   Format.printf "Protocol III with shift-split users (t = %d rounds/epoch).@." epoch_len;
   run "Honest server" Adversary.Honest;
   run "Partitioning server (forks at operation 24, start of epoch 2)"

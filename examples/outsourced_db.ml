@@ -59,6 +59,7 @@ let run name adversary =
         outcome.ops_after_violation
 
 let () =
+  Tcvs.Log_setup.install ();
   Format.printf "Outsourced inventory database, %d branches, Protocol I over RSA-512.@."
     branches;
   run "Honest vendor" Adversary.Honest;

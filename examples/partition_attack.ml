@@ -58,6 +58,7 @@ let run name protocol =
         outcome.ops_after_violation k)
 
 let () =
+  Tcvs.Log_setup.install ();
   describe ();
   run "Unverified users (no external communication)" Harness.Unverified;
   run "Protocol II users (broadcast sync every k ops)"

@@ -15,6 +15,7 @@ let ( let* ) r f =
       exit 1
 
 let () =
+  Tcvs.Log_setup.install ();
   (* 1. Build the system: engine, honest server, two Protocol II users. *)
   let engine = Sim.Engine.create ~measure:Message.encoded_size () in
   let trace = Sim.Trace.create () in

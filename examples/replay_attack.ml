@@ -127,6 +127,7 @@ let run_replay name tag_mode =
     outcome.issued_transactions
 
 let () =
+  Tcvs.Log_setup.install ();
   graph_demo ();
   run_replay "Protocol II with UNTAGGED states (the broken first design)" `Untagged;
   run_replay "Protocol II with user-tagged states (the paper's protocol)" `Tagged

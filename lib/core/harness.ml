@@ -88,8 +88,22 @@ let op_of_intent ~user ~write_counts (intent : Workload.Schedule.intent) =
 
 type scripted = { at : int; by : int; what : Vo.op }
 
+let obs_scope = Obs.Scope.v "detection"
+let oracle_scope = Obs.Scope.v "oracle"
+
 let run_common setup ~script =
-  let engine = Sim.Engine.create ~measure:Message.encoded_size () in
+  (* Every harness run owns the whole registry: reset, then stamp the
+     run's identity so a snapshot taken at any later point says what it
+     measured. The reset is what makes same-seed reports byte-identical
+     even when several experiments share a process. *)
+  Obs.reset ();
+  Obs.set_meta "protocol" (protocol_name setup.protocol);
+  Obs.set_meta "adversary" (Adversary.name setup.adversary);
+  Obs.set_meta "users" (string_of_int setup.users);
+  Obs.set_meta "seed" setup.seed;
+  let engine =
+    Sim.Engine.create ~measure:Message.encoded_size ~classify:Message.kind ()
+  in
   let trace = Sim.Trace.create () in
   let rng = Crypto.Prng.create ~seed:setup.seed in
   let keyring, signers = Pki.Keyring.setup ~scheme:setup.scheme ~users:setup.users rng in
@@ -224,9 +238,36 @@ let run_common setup ~script =
             | Some [] | None -> None))
       (Sim.Trace.completed trace)
   in
+  let completed = List.length (Sim.Trace.completed trace) in
+  (* Fold the run's verdict into the registry so a report written from
+     any snapshot point carries the headline numbers. *)
+  List.iter (fun (_, l) -> Obs.observe (Obs.histogram ~scope:(Obs.Scope.v "run") "latency_rounds") l) latencies;
+  (match detection_round with
+  | Some r ->
+      Obs.incr (Obs.counter ~scope:obs_scope "detected");
+      Obs.record_max (Obs.counter ~scope:obs_scope "round") r
+  | None -> ());
+  (match violation_round with
+  | Some r -> Obs.record_max (Obs.counter ~scope:obs_scope "violation_round") r
+  | None -> ());
+  Obs.incr (Obs.counter ~scope:obs_scope "ops_after_violation") ~by:ops_after_violation;
+  Obs.incr
+    (Obs.counter ~scope:obs_scope "total_ops_after_violation")
+    ~by:total_ops_after_violation;
+  (match detection_round, violation_round with
+  | Some d, Some v when d >= v ->
+      Obs.record_max (Obs.counter ~scope:obs_scope "latency_rounds") (d - v)
+  | _ -> ());
+  if oracle.Sim.Oracle.deviated then Obs.incr (Obs.counter ~scope:oracle_scope "deviates");
+  if completed > 0 then begin
+    Obs.set_gauge ~scope:(Obs.Scope.v "run") "messages_per_op"
+      (float_of_int (Sim.Engine.messages_sent engine) /. float_of_int completed);
+    Obs.set_gauge ~scope:(Obs.Scope.v "run") "bytes_per_op"
+      (float_of_int (Sim.Engine.bytes_sent engine) /. float_of_int completed)
+  end;
   {
     rounds_run = Sim.Engine.round engine;
-    completed_transactions = List.length (Sim.Trace.completed trace);
+    completed_transactions = completed;
     issued_transactions = Sim.Trace.count trace;
     alarms;
     oracle;

@@ -1,0 +1,30 @@
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "quiet" | "off" | "none" -> Ok None
+  | "app" -> Ok (Some Logs.App)
+  | "error" -> Ok (Some Logs.Error)
+  | "warning" | "warn" -> Ok (Some Logs.Warning)
+  | "info" -> Ok (Some Logs.Info)
+  | "debug" -> Ok (Some Logs.Debug)
+  | other -> Error other
+
+let env_level () =
+  match Sys.getenv_opt "TCVS_LOG" with
+  | None | Some "" -> None
+  | Some s -> (
+      match level_of_string s with
+      | Ok lvl -> Some lvl
+      | Error other ->
+          Printf.eprintf
+            "tcvs: ignoring TCVS_LOG=%s (expected quiet|error|warn|info|debug)\n%!" other;
+          None)
+
+let install ?level () =
+  let level =
+    match level with
+    | Some explicit -> explicit
+    | None -> ( match env_level () with Some env -> env | None -> Some Logs.Warning)
+  in
+  Logs.set_level ~all:true level;
+  Logs.set_reporter
+    (Logs.format_reporter ~app:Format.std_formatter ~dst:Format.err_formatter ())

@@ -1,0 +1,17 @@
+(** Shared [Logs] wiring for executables.
+
+    Library code logs through [Logs] (e.g. Protocol III's
+    activity-assumption warning) but never installs a reporter; an
+    executable that forgets to install one silently discards every
+    message. Calling {!install} at the top of [main] routes warnings
+    and errors to stderr (app-level output to stdout). *)
+
+val install : ?level:Logs.level option -> unit -> unit
+(** [install ()] reads the [TCVS_LOG] environment variable
+    ([quiet|error|warn|info|debug]) and defaults to [Warning].
+    [install ~level ()] forces the given level ([None] = silent) and
+    ignores the environment — callers whose CLI already folds
+    [TCVS_LOG] into the flag value (e.g. via cmdliner) pass it here. *)
+
+val level_of_string : string -> (Logs.level option, string) result
+(** Parse a verbosity name; [Error] carries the unrecognised input. *)

@@ -39,6 +39,17 @@ type t =
   | Sync_registers of { reporter : int; sigma : string; last : string option; gctr : int }
   | Sync_verdict of { reporter : int; success : bool }
 
+let kind = function
+  | Query _ -> "query"
+  | Root_signature _ -> "root_signature"
+  | Token_take_turn _ -> "token_take_turn"
+  | Response _ -> "response"
+  | Token_state _ -> "token_state"
+  | Sync_begin _ -> "sync_begin"
+  | Sync_count _ -> "sync_count"
+  | Sync_registers _ -> "sync_registers"
+  | Sync_verdict _ -> "sync_verdict"
+
 let pp_op fmt (op : Mtree.Vo.op) =
   match op with
   | Mtree.Vo.Get k -> Format.fprintf fmt "get %s" k

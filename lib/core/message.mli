@@ -62,6 +62,10 @@ type t =
       (** Protocol II ([last = None] if the user never operated). *)
   | Sync_verdict of { reporter : int; success : bool }
 
+val kind : t -> string
+(** Stable snake_case tag of the constructor — the per-kind label the
+    simulator's wire metrics are keyed on. *)
+
 val pp : Format.formatter -> t -> unit
 
 val encoded_size : t -> int

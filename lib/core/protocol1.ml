@@ -7,6 +7,14 @@ type config = {
   elected_signer : int;
 }
 
+let obs_scope = Obs.Scope.v "protocol1"
+
+(* Per-user session counts track the same shared sessions, so the
+   shared counter is a record_max, not an increment (see Protocol II). *)
+let c_syncs_completed = Obs.counter ~scope:obs_scope "syncs_completed"
+let c_sync_failures = Obs.counter ~scope:obs_scope "sync_failures"
+let h_sync_rounds = Obs.histogram ~scope:obs_scope "sync_rounds"
+
 type t = {
   config : config;
   base : User_base.t;
@@ -50,6 +58,7 @@ let advance_sync t ~round =
     match Sync_session.resolution t.sync with
     | `Pending -> ()
     | `Failed ->
+        Obs.incr c_sync_failures;
         fail t ~round
           (Printf.sprintf
              "protocol-1 sync failed: no user's gctr matches the total (fault after operation %d, the last synced prefix)"
@@ -59,9 +68,13 @@ let advance_sync t ~round =
           List.fold_left (fun acc (_, c) -> acc + c) 0 (Sync_session.reports t.sync)
         in
         t.last_good_total <- total;
+        (match Sync_session.started_round t.sync with
+        | Some started -> Obs.observe h_sync_rounds (round - started)
+        | None -> ());
         Sync_session.reset t.sync;
         t.ops_since_sync <- 0;
-        t.syncs_completed <- t.syncs_completed + 1
+        t.syncs_completed <- t.syncs_completed + 1;
+        Obs.record_max c_syncs_completed t.syncs_completed
   end
 
 let report_if_needed t =
@@ -74,9 +87,9 @@ let report_if_needed t =
     broadcast t (Message.Sync_count { reporter = me t; lctr = t.lctr })
   end
 
-let start_sync t =
+let start_sync t ~round =
   if not (Sync_session.active t.sync) then begin
-    Sync_session.activate t.sync;
+    Sync_session.activate ~round t.sync;
     broadcast t (Message.Sync_begin { initiator = me t })
   end
 
@@ -113,7 +126,7 @@ let handle_response t ~round ~(answer : Vo.answer) ~vo ~ctr ~last_user ~root_sig
                      signature = Pki.Signer.sign t.signer new_message;
                    });
               User_base.complete t.base ~round ~answer ~roots:(old_root, new_root) ();
-              if t.ops_since_sync >= t.config.k then start_sync t
+              if t.ops_since_sync >= t.config.k then start_sync t ~round
             end
           end)
 
@@ -140,11 +153,11 @@ let create config ~user ~engine ~trace ~keyring ~signer =
           report_if_needed t;
           advance_sync t ~round
       | Sim.Id.User _, Message.Sync_begin _ ->
-          Sync_session.activate t.sync;
+          Sync_session.activate ~round t.sync;
           report_if_needed t;
           advance_sync t ~round
       | Sim.Id.User _, Message.Sync_count { reporter; lctr } ->
-          Sync_session.activate t.sync;
+          Sync_session.activate ~round t.sync;
           Sync_session.record_report t.sync ~from_:reporter lctr;
           report_if_needed t;
           advance_sync t ~round

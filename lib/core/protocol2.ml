@@ -14,6 +14,15 @@ let default_config ~n ~k ~initial_root =
 
 type registers = { sigma : string; last : string option; gctr : int }
 
+let obs_scope = Obs.Scope.v "protocol2"
+
+(* Every user observes every session resolve, so the shared counters
+   use record_max over per-user session counts rather than increments
+   (an increment per user would report n× the number of sessions). *)
+let c_syncs_completed = Obs.counter ~scope:obs_scope "syncs_completed"
+let c_sync_failures = Obs.counter ~scope:obs_scope "sync_failures"
+let h_sync_rounds = Obs.histogram ~scope:obs_scope "sync_rounds"
+
 type t = {
   config : config;
   base : User_base.t;
@@ -22,6 +31,7 @@ type t = {
   mutable syncs_completed : int;
   mutable last_good_gctr : int; (* highest gctr confirmed by a sync *)
   sync : registers Sync_session.t;
+  c_my_syncs : Obs.counter;
 }
 
 let base t = t.base
@@ -61,6 +71,7 @@ let advance_sync t ~round =
     match Sync_session.resolution t.sync with
     | `Pending -> ()
     | `Failed ->
+        Obs.incr c_sync_failures;
         (* Fault localisation (the paper's future direction (1)): the
            previous successful sync certified the prefix up to the
            highest confirmed counter, so the fault lies in the window
@@ -74,9 +85,18 @@ let advance_sync t ~round =
           List.fold_left (fun acc (_, r) -> max acc r.gctr) 0 (Sync_session.reports t.sync)
         in
         t.last_good_gctr <- max t.last_good_gctr confirmed;
+        (match Sync_session.started_round t.sync with
+        | Some started ->
+            Obs.observe h_sync_rounds (round - started);
+            if Obs.tracing () then
+              Obs.Trace.emit ~scope:obs_scope ~dur:(round - started) ~at:round ~name:"sync"
+                (Printf.sprintf "u%d session resolved ok (gctr=%d)" (me t) confirmed)
+        | None -> ());
         Sync_session.reset t.sync;
         t.ops_since_sync <- 0;
-        t.syncs_completed <- t.syncs_completed + 1
+        t.syncs_completed <- t.syncs_completed + 1;
+        Obs.incr t.c_my_syncs;
+        Obs.record_max c_syncs_completed t.syncs_completed
   end
 
 let report_if_needed t =
@@ -91,9 +111,9 @@ let report_if_needed t =
          { reporter = me t; sigma = t.regs.sigma; last = t.regs.last; gctr = t.regs.gctr })
   end
 
-let start_sync t =
+let start_sync t ~round =
   if not (Sync_session.active t.sync) then begin
-    Sync_session.activate t.sync;
+    Sync_session.activate ~round t.sync;
     broadcast t (Message.Sync_begin { initiator = me t })
   end
 
@@ -131,7 +151,7 @@ let handle_response t ~round ~(answer : Vo.answer) ~vo ~ctr ~last_user =
                      accumulated past the last certified prefix. *)
                   ctr + 1 - t.last_good_gctr >= t.config.k
             in
-            if due then start_sync t
+            if due then start_sync t ~round
           end)
 
 let create config ~user ~engine ~trace =
@@ -144,6 +164,7 @@ let create config ~user ~engine ~trace =
       syncs_completed = 0;
       last_good_gctr = 0;
       sync = Sync_session.create ~n:config.n ~me:user;
+      c_my_syncs = Obs.counter ~scope:Obs.Scope.(obs_scope / Printf.sprintf "u%d" user) "syncs";
     }
   in
   let on_message ~round ~src msg =
@@ -154,11 +175,11 @@ let create config ~user ~engine ~trace =
           report_if_needed t;
           advance_sync t ~round
       | Sim.Id.User _, Message.Sync_begin _ ->
-          Sync_session.activate t.sync;
+          Sync_session.activate ~round t.sync;
           report_if_needed t;
           advance_sync t ~round
       | Sim.Id.User _, Message.Sync_registers { reporter; sigma; last; gctr } ->
-          Sync_session.activate t.sync;
+          Sync_session.activate ~round t.sync;
           Sync_session.record_report t.sync ~from_:reporter { sigma; last; gctr };
           report_if_needed t;
           advance_sync t ~round

@@ -9,6 +9,11 @@ type config = {
 
 type registers = { sigma : string; last : string option; gctr : int }
 
+let obs_scope = Obs.Scope.v "protocol3"
+let c_epochs_verified = Obs.counter ~scope:obs_scope "epochs_verified"
+let c_backups_signed = Obs.counter ~scope:obs_scope "backups_signed"
+let c_activity_skips = Obs.counter ~scope:obs_scope "activity_skips"
+
 type t = {
   config : config;
   base : User_base.t;
@@ -29,6 +34,7 @@ let me t = User_base.user t.base
 let fail t ~round reason = User_base.terminate t.base ~round ~reason
 
 let sign_backup t ~epoch ~(regs : registers) =
+  Obs.incr c_backups_signed;
   let last = Option.value regs.last ~default:State_tag.zero in
   let message =
     State_tag.backup_message ~epoch ~sigma:regs.sigma ~last ~gctr:regs.gctr
@@ -81,7 +87,9 @@ let verify_epoch t ~round ~epoch ~(prev_states : Message.epoch_backup list)
          path check rather than raise a false alarm. *)
       Logs.warn (fun m ->
           m "epoch %d: activity assumption violated; skipping path check" epoch);
-      t.epochs_verified <- t.epochs_verified + 1
+      Obs.incr c_activity_skips;
+      t.epochs_verified <- t.epochs_verified + 1;
+      Obs.incr c_epochs_verified
     end
     else begin
       let init =
@@ -123,7 +131,13 @@ let verify_epoch t ~round ~epoch ~(prev_states : Message.epoch_backup list)
             fail t ~round
               (Printf.sprintf
                  "epoch %d check failed: stored registers do not form a single path" epoch)
-          else t.epochs_verified <- t.epochs_verified + 1
+          else begin
+            t.epochs_verified <- t.epochs_verified + 1;
+            Obs.incr c_epochs_verified;
+            if Obs.tracing () then
+              Obs.Trace.emit ~scope:obs_scope ~at:round ~name:"epoch_verified"
+                (Printf.sprintf "u%d verified epoch %d" (me t) epoch)
+          end
     end
   end
 

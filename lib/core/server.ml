@@ -41,6 +41,16 @@ type t = {
 
 let default_history_cap = 64
 
+let obs_scope = Obs.Scope.v "server"
+let c_queries = Obs.counter ~scope:obs_scope "queries_served"
+let c_stalled = Obs.counter ~scope:obs_scope "queries_stalled"
+let c_tampered = Obs.counter ~scope:obs_scope "tamper_fires"
+let c_dropped = Obs.counter ~scope:obs_scope "drop_fires"
+let c_rollbacks = Obs.counter ~scope:obs_scope "rollback_fires"
+let c_fork_activations = Obs.counter ~scope:obs_scope "fork_activations"
+let c_backups_stored = Obs.counter ~scope:obs_scope "backups_stored"
+let c_state_requests = Obs.counter ~scope:obs_scope "state_requests_served"
+
 let snapshot_of b = (b.db, b.ctr, b.last_user, b.root_sig)
 
 (* Keep at most [cap] snapshots: Rollback only ever rewinds a bounded
@@ -80,7 +90,10 @@ let maybe_activate_fork t =
       if
         t.forked = None && t.total_ops >= at_op
         && (t.config.mode <> `Signed || t.main.root_sig <> None)
-      then t.forked <- Some (copy_branch t.main)
+      then begin
+        t.forked <- Some (copy_branch t.main);
+        Obs.incr c_fork_activations
+      end
   | Adversary.Honest | Adversary.Tamper_value _ | Adversary.Drop_update _
   | Adversary.Rollback _ | Adversary.Stall _ | Adversary.Freeze_epoch _ ->
       ()
@@ -113,6 +126,7 @@ let tampered_op (op : Vo.op) : Vo.op =
 
 let store_backup t (b : Message.epoch_backup) =
   (* The untrusted server stores blindly; verifiers check signatures. *)
+  Obs.incr c_backups_stored;
   Hashtbl.replace t.epoch_store (b.backup_epoch, b.backup_user) b
 
 let states_for t epochs =
@@ -134,7 +148,9 @@ let execute_query t ~round ~user ~(op : Vo.op) ~piggyback =
   let epoch_states =
     List.concat_map
       (function
-        | Message.Request_states { epochs } -> states_for t epochs
+        | Message.Request_states { epochs } ->
+            Obs.incr c_state_requests;
+            states_for t epochs
         | Message.Backup _ -> [])
       piggyback
   in
@@ -142,6 +158,7 @@ let execute_query t ~round ~user ~(op : Vo.op) ~piggyback =
   match t.config.adversary with
   | Adversary.Stall { at_op } when t.total_ops = at_op ->
       (* Swallow the query: the transaction never completes. *)
+      Obs.incr c_stalled;
       t.total_ops <- t.total_ops + 1;
       ignore epoch_states
   | _ ->
@@ -155,7 +172,9 @@ let execute_query t ~round ~user ~(op : Vo.op) ~piggyback =
         | s :: rest -> if n <= 1 then Some s else nth_or_last (n - 1) rest
       in
       match nth_or_last depth branch.history with
-      | Some snap -> restore branch snap
+      | Some snap ->
+          Obs.incr c_rollbacks;
+          restore branch snap
       | None -> ())
   | _ -> ());
   let pre = snapshot_of branch in
@@ -178,8 +197,10 @@ let execute_query t ~round ~user ~(op : Vo.op) ~piggyback =
       (* Acknowledge without applying; in Signed mode also swallow the
          signature the user is about to send, keeping the stored one
          consistent with the frozen state. *)
+      Obs.incr c_dropped;
       t.discard_next_sig <- true
   | Adversary.Tamper_value { at_op } when t.total_ops = at_op ->
+      Obs.incr c_tampered;
       let tampered, _ = Sim.Oracle.trusted_answer branch.db (tampered_op op) in
       push_history ~cap:t.config.history_cap branch pre;
       branch.db <- tampered;
@@ -195,6 +216,7 @@ let execute_query t ~round ~user ~(op : Vo.op) ~piggyback =
       branch.last_user <- user;
       branch.root_sig <- None);
   t.total_ops <- t.total_ops + 1;
+  Obs.incr c_queries;
   if t.config.mode = `Signed then t.awaiting_sig_on <- Some branch;
   Sim.Engine.send t.engine ~src:Sim.Id.Server ~dst:(Sim.Id.User user) response
 

@@ -2,6 +2,7 @@ type 'report t = {
   n : int;
   me : int;
   mutable active : bool;
+  mutable started_round : int option;
   reports : (int, 'report) Hashtbl.t;
   verdicts : (int, bool) Hashtbl.t;
   mutable verdict_sent : bool;
@@ -12,13 +13,19 @@ let create ~n ~me =
     n;
     me;
     active = false;
+    started_round = None;
     reports = Hashtbl.create 8;
     verdicts = Hashtbl.create 8;
     verdict_sent = false;
   }
 
 let active t = t.active
-let activate t = t.active <- true
+
+let activate ?round t =
+  if not t.active then t.started_round <- round;
+  t.active <- true
+
+let started_round t = t.started_round
 let reported t = Hashtbl.mem t.reports t.me
 let record_report t ~from_ report = Hashtbl.replace t.reports from_ report
 let reports_complete t = Hashtbl.length t.reports >= t.n
@@ -38,6 +45,7 @@ let resolution t =
 
 let reset t =
   t.active <- false;
+  t.started_round <- None;
   t.verdict_sent <- false;
   Hashtbl.reset t.reports;
   Hashtbl.reset t.verdicts

@@ -15,8 +15,13 @@ type 'report t
 
 val create : n:int -> me:int -> 'report t
 val active : 'report t -> bool
-val activate : 'report t -> unit
-(** Idempotent while a session is active. *)
+val activate : ?round:int -> 'report t -> unit
+(** Idempotent while a session is active. [round] stamps the session's
+    start for duration metrics; later calls on an active session keep
+    the original stamp. *)
+
+val started_round : 'report t -> int option
+(** Round at which the current session was activated, when known. *)
 
 val reported : 'report t -> bool
 val record_report : 'report t -> from_:int -> 'report -> unit

@@ -1,3 +1,7 @@
+let obs_scope = Obs.Scope.v "run"
+let c_ops_issued = Obs.counter ~scope:obs_scope "ops_issued"
+let c_ops_completed = Obs.counter ~scope:obs_scope "ops_completed"
+
 type t = {
   user : int;
   engine : Message.t Sim.Engine.t;
@@ -48,6 +52,7 @@ let issue t ~round ~piggyback =
   | None -> false
   | Some op ->
       t.intents <- List.tl t.intents;
+      Obs.incr c_ops_issued;
       let seq = Sim.Trace.issue t.trace ~user:t.user ~op ~round in
       t.in_flight <- Some (seq, op);
       t.in_flight_since <- round;
@@ -63,7 +68,8 @@ let complete t ~round ~answer ?roots () =
   | Some (seq, _) ->
       Sim.Trace.complete t.trace ~seq ~round ~answer ?roots ();
       t.in_flight <- None;
-      t.completed_ops <- t.completed_ops + 1
+      t.completed_ops <- t.completed_ops + 1;
+      Obs.incr c_ops_completed
 
 let completed_ops t = t.completed_ops
 let terminated t = t.terminated

@@ -5,6 +5,13 @@
 let digest_size = 32
 let mask = 0xffffffff
 
+(* Hot-path observability: one field increment per finalize. [bytes]
+   counts message bytes only (credited at finalize time, so the padding
+   block never inflates it). *)
+let obs_scope = Obs.Scope.(v "crypto" / "sha256")
+let c_digests = Obs.counter ~scope:obs_scope "digests"
+let c_bytes = Obs.counter ~scope:obs_scope "bytes"
+
 let k =
   [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
      0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
@@ -135,6 +142,8 @@ let add_framed ctx s =
   feed ctx s
 
 let finalize ctx =
+  Obs.incr c_digests;
+  Obs.incr c_bytes ~by:ctx.total;
   let bitlen = ctx.total * 8 in
   (* Padding: 0x80, zeros, then 64-bit big-endian bit length. *)
   let pad_len =

@@ -1,5 +1,10 @@
 exception Insufficient_proof
 
+(* Every leaf/node digest computation is one node (re)build — the
+   quantity that scales Merkle maintenance cost. *)
+let obs_scope = Obs.Scope.v "mtree"
+let c_node_rebuilds = Obs.counter ~scope:obs_scope "node_rebuilds"
+
 (* [vdigest] caches [Sha256.digest value]: leaf digests commit to the
    hash of each value, and caching it means rebuilding a leaf hashes
    only fixed-size 32-byte digests instead of re-hashing every value.
@@ -22,6 +27,7 @@ type t =
    Buffer→string copy is made before hashing. *)
 
 let leaf_digest entries =
+  Obs.incr c_node_rebuilds;
   let ctx = Crypto.Sha256.init () in
   Crypto.Sha256.feed ctx "L";
   Array.iter
@@ -32,6 +38,7 @@ let leaf_digest entries =
   Crypto.Sha256.finalize ctx
 
 let node_digest keys children_digests =
+  Obs.incr c_node_rebuilds;
   let ctx = Crypto.Sha256.init () in
   Crypto.Sha256.feed ctx "N";
   Array.iter (Crypto.Sha256.add_framed ctx) keys;

@@ -22,6 +22,12 @@ let branching t = t.branching
 let root_node t = t.proof
 let of_node ~branching proof = { branching; proof }
 
+let obs_scope = Obs.Scope.v "mtree"
+let c_vo_generated = Obs.counter ~scope:obs_scope "vo_generated"
+let c_vo_replays = Obs.counter ~scope:obs_scope "vo_replays"
+let h_vo_bytes = Obs.histogram ~scope:obs_scope "vo_bytes"
+let h_proof_depth = Obs.histogram ~scope:obs_scope "proof_depth"
+
 (* ---- Pruning (server side) ---------------------------------------- *)
 
 let stub_of n = Node.Stub (Node.digest n)
@@ -69,6 +75,23 @@ let rec prune_range (n : Node.t) ~lo ~hi : Node.t =
       in
       Node.Node { keys; children; digest }
 
+(* Arithmetic mirror of [encode_node]: walking the proof is O(nodes)
+   and allocation-free, where materialising the encoding just to take
+   its length copied every key and value. *)
+let rec encoded_size_node = function
+  | Node.Stub _ -> 1 + 32
+  | Node.Leaf { entries; _ } ->
+      Array.fold_left
+        (fun acc (e : Node.entry) -> acc + 8 + String.length e.key + String.length e.value)
+        (1 + 2) entries
+  | Node.Node { keys; children; _ } ->
+      let acc =
+        Array.fold_left (fun acc k -> acc + 4 + String.length k) (1 + 2) keys
+      in
+      Array.fold_left (fun acc c -> acc + encoded_size_node c) acc children
+
+let size_bytes t = 3 + encoded_size_node t.proof
+
 let generate tree op =
   let root = Merkle_btree.root tree in
   let proof =
@@ -78,11 +101,16 @@ let generate tree op =
     | Remove key -> prune_path ~with_siblings:true root key
     | Range (lo, hi) -> prune_range root ~lo ~hi
   in
-  { branching = Merkle_btree.branching tree; proof }
+  let vo = { branching = Merkle_btree.branching tree; proof } in
+  Obs.incr c_vo_generated;
+  Obs.observe h_vo_bytes (size_bytes vo);
+  Obs.observe h_proof_depth (Node.depth proof);
+  vo
 
 (* ---- Replay (client side) ----------------------------------------- *)
 
 let apply t op =
+  Obs.incr c_vo_replays;
   let old_root = Node.digest t.proof in
   match op with
   | Get key -> (
@@ -173,23 +201,6 @@ let encode t =
   put_u16 buf t.branching;
   encode_node buf t.proof;
   Buffer.contents buf
-
-(* Arithmetic mirror of [encode_node]: walking the proof is O(nodes)
-   and allocation-free, where materialising the encoding just to take
-   its length copied every key and value. *)
-let rec encoded_size_node = function
-  | Node.Stub _ -> 1 + 32
-  | Node.Leaf { entries; _ } ->
-      Array.fold_left
-        (fun acc (e : Node.entry) -> acc + 8 + String.length e.key + String.length e.value)
-        (1 + 2) entries
-  | Node.Node { keys; children; _ } ->
-      let acc =
-        Array.fold_left (fun acc k -> acc + 4 + String.length k) (1 + 2) keys
-      in
-      Array.fold_left (fun acc c -> acc + encoded_size_node c) acc children
-
-let size_bytes t = 3 + encoded_size_node t.proof
 
 exception Decode_error of string
 

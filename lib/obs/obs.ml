@@ -1,0 +1,309 @@
+module Scope = struct
+  type t = string
+
+  let root = ""
+  let v s = s
+  let ( / ) scope seg = if scope = "" then seg else scope ^ "." ^ seg
+  let name s = s
+end
+
+type counter = { c_name : string; mutable c : int }
+
+(* 63 power-of-two buckets cover every OCaml int; bucket [i] counts
+   values v with 2^(i-1) <= v < 2^i (v <= 0 lands in bucket 0). *)
+let bucket_count = 63
+
+type histogram = {
+  h_name : string;
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  buckets : int array;
+}
+
+type gauge = { g_name : string; mutable g : float; mutable g_set : bool }
+
+type metric = Counter of counter | Histogram of histogram | Gauge of gauge
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let meta : (string, string) Hashtbl.t = Hashtbl.create 16
+let tracing_on = ref false
+
+let full_name scope name =
+  match scope with None | Some "" -> name | Some s -> s ^ "." ^ name
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Histogram _ -> "histogram"
+  | Gauge _ -> "gauge"
+
+let mismatch name existing wanted =
+  invalid_arg
+    (Printf.sprintf "Obs: %S is registered as a %s, not a %s" name
+       (kind_name existing) wanted)
+
+let counter ?scope name =
+  let name = full_name scope name in
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some m -> mismatch name m "counter"
+  | None ->
+      let c = { c_name = name; c = 0 } in
+      Hashtbl.replace registry name (Counter c);
+      c
+
+let incr ?(by = 1) c = c.c <- c.c + by
+let record_max c v = if v > c.c then c.c <- v
+let counter_value c = c.c
+
+let histogram ?scope name =
+  let name = full_name scope name in
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> h
+  | Some m -> mismatch name m "histogram"
+  | None ->
+      let h =
+        {
+          h_name = name;
+          count = 0;
+          sum = 0;
+          min_v = max_int;
+          max_v = min_int;
+          buckets = Array.make bucket_count 0;
+        }
+      in
+      Hashtbl.replace registry name (Histogram h);
+      h
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    (* Number of significant bits: v in [2^(b-1), 2^b). *)
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    min (bucket_count - 1) (bits 0 v)
+  end
+
+let observe h v =
+  h.count <- h.count + 1;
+  h.sum <- h.sum + v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v;
+  let b = h.buckets in
+  let i = bucket_of v in
+  b.(i) <- b.(i) + 1
+
+let histogram_count h = h.count
+let histogram_sum h = h.sum
+
+let set_gauge ?scope name v =
+  let name = full_name scope name in
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) ->
+      g.g <- v;
+      g.g_set <- true
+  | Some m -> mismatch name m "gauge"
+  | None -> Hashtbl.replace registry name (Gauge { g_name = name; g = v; g_set = true })
+
+let set_meta key v = Hashtbl.replace meta key v
+
+(* ---- Queries -------------------------------------------------------- *)
+
+let value name =
+  match Hashtbl.find_opt registry name with Some (Counter c) -> c.c | _ -> 0
+
+let gauge_value name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) when g.g_set -> Some g.g
+  | _ -> None
+
+let stats name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) when h.count > 0 -> Some (h.count, h.sum, h.min_v, h.max_v)
+  | _ -> None
+
+let counters_with_prefix prefix =
+  Hashtbl.fold
+    (fun name m acc ->
+      match m with
+      | Counter c when c.c <> 0 && String.starts_with ~prefix name -> (name, c.c) :: acc
+      | _ -> acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ---- Trace ---------------------------------------------------------- *)
+
+let set_tracing b = tracing_on := b
+let tracing () = !tracing_on
+
+module Trace = struct
+  type event = { at : int; dur : int; scope : string; name : string; detail : string }
+
+  let buffer : event list ref = ref [] (* newest first *)
+  let n_events = ref 0
+
+  let emit ?(scope = Scope.root) ?(dur = 0) ~at ~name detail =
+    if !tracing_on then begin
+      buffer := { at; dur; scope = Scope.name scope; name; detail } :: !buffer;
+      Stdlib.incr n_events
+    end
+  let events () = List.rev !buffer
+  let count () = !n_events
+end
+
+(* ---- Reset ---------------------------------------------------------- *)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c <- 0
+      | Gauge g ->
+          g.g <- 0.;
+          g.g_set <- false
+      | Histogram h ->
+          h.count <- 0;
+          h.sum <- 0;
+          h.min_v <- max_int;
+          h.max_v <- min_int;
+          Array.fill h.buckets 0 bucket_count 0)
+    registry;
+  Hashtbl.reset meta;
+  Trace.buffer := [];
+  Trace.n_events := 0
+
+(* ---- Report --------------------------------------------------------- *)
+
+module Report = struct
+  let escape buf s =
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let key buf indent name =
+    Buffer.add_string buf indent;
+    Buffer.add_char buf '"';
+    escape buf name;
+    Buffer.add_string buf "\": "
+
+  let sorted_metrics () =
+    Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  (* Fixed float format: enough precision for per-op ratios, still
+     byte-stable for equal inputs. *)
+  let float_str v = Printf.sprintf "%.6f" v
+
+  let obj buf ~indent entries render =
+    if entries = [] then Buffer.add_string buf "{}"
+    else begin
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i e ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          render e)
+        entries;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf indent;
+      Buffer.add_char buf '}'
+    end
+
+  let histogram_json buf h =
+    Buffer.add_string buf
+      (Printf.sprintf "{ \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \"buckets\": ["
+         h.count h.sum h.min_v h.max_v);
+    let first = ref true in
+    Array.iteri
+      (fun i c ->
+        if c > 0 then begin
+          if not !first then Buffer.add_string buf ", ";
+          first := false;
+          Buffer.add_string buf (Printf.sprintf "[%d, %d]" i c)
+        end)
+      h.buckets;
+    Buffer.add_string buf "] }"
+
+  let trace_line (e : Trace.event) =
+    let buf = Buffer.create 96 in
+    Buffer.add_string buf (Printf.sprintf "{ \"at\": %d, \"dur\": %d, \"scope\": \"" e.at e.dur);
+    escape buf e.scope;
+    Buffer.add_string buf "\", \"name\": \"";
+    escape buf e.name;
+    Buffer.add_string buf "\", \"detail\": \"";
+    escape buf e.detail;
+    Buffer.add_string buf "\" }";
+    Buffer.contents buf
+
+  let trace_lines () = List.map trace_line (Trace.events ())
+
+  let to_json () =
+    let buf = Buffer.create 4096 in
+    let metrics = sorted_metrics () in
+    let counters =
+      List.filter_map
+        (fun (n, m) -> match m with Counter c when c.c <> 0 -> Some (n, c) | _ -> None)
+        metrics
+    in
+    let gauges =
+      List.filter_map
+        (fun (n, m) -> match m with Gauge g when g.g_set -> Some (n, g) | _ -> None)
+        metrics
+    in
+    let histograms =
+      List.filter_map
+        (fun (n, m) -> match m with Histogram h when h.count > 0 -> Some (n, h) | _ -> None)
+        metrics
+    in
+    let metas =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) meta []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    Buffer.add_string buf "{\n  \"schema\": \"tcvs-obs/1\",\n  \"meta\": ";
+    obj buf ~indent:"  " metas (fun (k, v) ->
+        key buf "    " k;
+        Buffer.add_char buf '"';
+        escape buf v;
+        Buffer.add_char buf '"');
+    Buffer.add_string buf ",\n  \"counters\": ";
+    obj buf ~indent:"  " counters (fun (n, c) ->
+        key buf "    " n;
+        Buffer.add_string buf (string_of_int c.c));
+    Buffer.add_string buf ",\n  \"gauges\": ";
+    obj buf ~indent:"  " gauges (fun (n, g) ->
+        key buf "    " n;
+        Buffer.add_string buf (float_str g.g));
+    Buffer.add_string buf ",\n  \"histograms\": ";
+    obj buf ~indent:"  " histograms (fun (n, h) ->
+        key buf "    " n;
+        histogram_json buf h);
+    if !tracing_on then begin
+      Buffer.add_string buf ",\n  \"trace\": [";
+      List.iteri
+        (fun i line ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf "\n    ";
+          Buffer.add_string buf line)
+        (trace_lines ());
+      Buffer.add_string buf "\n  ]"
+    end;
+    Buffer.add_string buf "\n}\n";
+    Buffer.contents buf
+
+  let write path =
+    let json = to_json () in
+    if path = "-" then print_string json
+    else begin
+      let oc = open_out path in
+      output_string oc json;
+      close_out oc
+    end
+end

@@ -1,0 +1,131 @@
+(** Run-wide observability: deterministic counters, histograms and
+    span-style trace events, keyed by hierarchical scopes, snapshotted
+    to a stable JSON run report.
+
+    The paper's claims are quantitative — messages per operation, VO
+    bytes, detection latency within k operations — and this module is
+    where those numbers live, instead of being recomputed ad hoc inside
+    each experiment. Every layer (SHA-256, the Merkle tree, the
+    protocols, the simulator) registers metrics against one global
+    registry; a harness run calls {!reset}, drives the system, then
+    serialises the registry with {!Report.to_json}.
+
+    Determinism is the design constraint: metrics hold only counts and
+    round-clock values (never wall-clock time), metric names are
+    emitted sorted, and floating-point gauges are printed with a fixed
+    format — so two runs with the same seed produce byte-identical
+    reports. The library depends on nothing, which lets [crypto] (the
+    bottom of the dependency stack) use it. *)
+
+(** Hierarchical metric namespaces, e.g. [protocol2.u3.sync]. *)
+module Scope : sig
+  type t
+
+  val root : t
+  val v : string -> t
+  (** A single-segment scope. *)
+
+  val ( / ) : t -> string -> t
+  (** [scope / seg] appends a segment. *)
+
+  val name : t -> string
+  (** Dot-joined path (["" ] for {!root}). *)
+end
+
+type counter
+(** A monotonically growing integer, cheap enough for hash-function hot
+    paths: incrementing mutates a record field, no lookup. *)
+
+type histogram
+(** Distribution summary: count, sum, min, max and power-of-two
+    buckets. Values are dimensionless integers (bytes, rounds, ops). *)
+
+val counter : ?scope:Scope.t -> string -> counter
+(** Get-or-create the counter [scope.name] in the global registry.
+    Handles stay valid across {!reset} (which only zeroes values).
+    @raise Invalid_argument if the name is registered as another kind. *)
+
+val incr : ?by:int -> counter -> unit
+val record_max : counter -> int -> unit
+(** Raise the counter to [v] if [v] is larger — for values that every
+    agent reports but that describe one shared quantity (e.g. completed
+    sync sessions). *)
+
+val counter_value : counter -> int
+
+val histogram : ?scope:Scope.t -> string -> histogram
+val observe : histogram -> int -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> int
+
+val set_gauge : ?scope:Scope.t -> string -> float -> unit
+(** Set a derived floating-point metric (e.g. messages per operation).
+    Gauges are set-only; the last write wins. *)
+
+val set_meta : string -> string -> unit
+(** Attach run metadata (protocol name, adversary, seed) to the report. *)
+
+(** {2 Registry queries} — how experiments read their headline numbers. *)
+
+val value : string -> int
+(** Counter value by full dotted name; [0] when absent. *)
+
+val gauge_value : string -> float option
+
+val stats : string -> (int * int * int * int) option
+(** Histogram [(count, sum, min, max)] by full name; [None] when absent
+    or empty. *)
+
+val counters_with_prefix : string -> (string * int) list
+(** Nonzero counters whose full name starts with [prefix], sorted. *)
+
+(** {2 Trace events} *)
+
+val set_tracing : bool -> unit
+(** Enable span-style event recording. Off by default (protocol runs
+    exchange thousands of messages); the flag deliberately survives
+    {!reset} so a CLI can arm tracing before the harness resets the
+    registry. *)
+
+val tracing : unit -> bool
+
+module Trace : sig
+  type event = {
+    at : int;  (** simulator round (or other logical clock) *)
+    dur : int;  (** span length in rounds; [0] for point events *)
+    scope : string;
+    name : string;
+    detail : string;
+  }
+
+  val emit : ?scope:Scope.t -> ?dur:int -> at:int -> name:string -> string -> unit
+  (** [emit ~at ~name detail] records a point event ([dur = 0]) or a
+      span. No-op unless {!set_tracing}[ true] was called. *)
+
+  val events : unit -> event list
+  (** In emission order. *)
+
+  val count : unit -> int
+end
+
+val reset : unit -> unit
+(** Zero every registered metric, clear metadata and trace events.
+    Registrations (and outstanding handles) survive; the tracing flag
+    is preserved. Called by the harness at the start of every run so
+    reports are run-scoped. *)
+
+(** {2 Run reports} *)
+
+module Report : sig
+  val to_json : unit -> string
+  (** Stable JSON snapshot of the registry: sorted names, fixed number
+      formats, metrics with zero count/value omitted (so metrics
+      registered by other runs in the same process never leak in).
+      Trace events are included only while tracing is enabled. *)
+
+  val write : string -> unit
+  (** [write path] writes {!to_json} to [path]; ["-"] means stdout. *)
+
+  val trace_lines : unit -> string list
+  (** One JSON object per trace event — the [--trace FILE] format. *)
+end

@@ -18,7 +18,13 @@ let scheme_name = function
   | Mss { height; w } -> Printf.sprintf "mss-h%d-w%d" height w
   | Hmac_shared _ -> "hmac-shared"
 
+let obs_scope = Obs.Scope.v "pki"
+let c_sign_ops = Obs.counter ~scope:obs_scope "sign_ops"
+let c_verify_ops = Obs.counter ~scope:obs_scope "verify_ops"
+let c_keygens = Obs.counter ~scope:obs_scope "keygens"
+
 let generate scheme rng =
+  Obs.incr c_keygens;
   match scheme with
   | Rsa { bits } ->
       let kp = Rsa.generate rng ~bits in
@@ -29,12 +35,14 @@ let generate scheme rng =
   | Hmac_shared { key } -> (Hmac_signer key, Hmac_verifier key)
 
 let sign signer msg =
+  Obs.incr c_sign_ops;
   match signer with
   | Rsa_signer key -> Rsa.sign key msg
   | Mss_signer s -> Hashsig.Mss.sign s msg
   | Hmac_signer key -> Crypto.Hmac.mac ~key msg
 
 let verify verifier msg ~signature =
+  Obs.incr c_verify_ops;
   match verifier with
   | Rsa_verifier pub -> Rsa.verify pub msg ~signature
   | Mss_verifier root -> Hashsig.Mss.verify root msg ~signature

@@ -27,10 +27,15 @@ type 'msg handlers = {
   on_activate : round:int -> unit;
 }
 
-val create : ?measure:('msg -> int) -> unit -> 'msg t
+val create : ?measure:('msg -> int) -> ?classify:('msg -> string) -> unit -> 'msg t
 (** [measure] reports a message's wire size in bytes; when provided,
     {!bytes_sent} accumulates it per send (broadcasts count once per
-    recipient, like real point-to-point links would). *)
+    recipient, like real point-to-point links would).
+
+    [classify] names a message's kind (e.g. ["query"]); when provided,
+    every delivery additionally bumps the [sim.sent.<kind>] and
+    [sim.sent_bytes.<kind>] counters in the {!Obs} registry, giving run
+    reports a per-message-type wire breakdown for free. *)
 
 val register : 'msg t -> Id.t -> 'msg handlers -> unit
 (** @raise Invalid_argument on duplicate registration. *)

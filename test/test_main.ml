@@ -6,6 +6,7 @@
 let () =
   Alcotest.run "trusted-cvs"
     [
+      ("obs", Test_obs.suite);
       ("crypto", Test_crypto.suite);
       ("bignum", Test_bignum.suite);
       ("signatures", Test_signatures.suite);

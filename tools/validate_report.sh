@@ -1,0 +1,54 @@
+#!/bin/sh
+# Sanity-check a tcvs --metrics JSON report.
+#
+#   tools/validate_report.sh report.json [--expect-detection]
+#
+# Checks, with no dependency beyond POSIX sh + grep:
+#   - the schema marker and the required sections are present;
+#   - the headline counters every experiment reads are present;
+#   - no counter value is negative;
+#   - with --expect-detection, the run actually recorded one.
+set -eu
+
+report=${1:?usage: validate_report.sh report.json [--expect-detection]}
+expect_detection=${2:-}
+
+fail() {
+  echo "validate_report: $report: $1" >&2
+  exit 1
+}
+
+[ -s "$report" ] || fail "missing or empty"
+
+require() {
+  grep -q "$1" "$report" || fail "missing $2"
+}
+
+require '"schema": "tcvs-obs/1"' 'schema marker'
+require '"meta"' 'meta section'
+require '"counters"' 'counters section'
+require '"protocol"' 'protocol metadata'
+require '"adversary"' 'adversary metadata'
+
+for key in \
+  sim.messages \
+  sim.bytes \
+  crypto.sha256.digests \
+  crypto.sha256.bytes \
+  mtree.vo_generated \
+  mtree.vo_bytes \
+  run.ops_completed \
+  run.messages_per_op; do
+  require "\"$key\"" "counter $key"
+done
+
+if grep -E '": -[0-9]' "$report" >/dev/null; then
+  fail "negative metric value"
+fi
+
+if [ "$expect_detection" = "--expect-detection" ]; then
+  require '"detection.detected": 1' 'detection record (expected an alarm)'
+  require '"detection.ops_after_violation"' 'detection latency in ops'
+fi
+
+echo "validate_report: $report ok"
