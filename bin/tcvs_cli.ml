@@ -112,10 +112,19 @@ let protocol_arg =
 
 let adversary_arg =
   let doc =
-    "Server behaviour: honest, tamper:N, drop:N, fork:N, rollback:N:DEPTH \
-     (N = operation index at which the attack fires)."
+    "Server behaviour: honest, tamper:N, drop:N, fork:N, rollback:N:DEPTH, \
+     bitrot:N (N = operation index at which the attack fires; bitrot \
+     silently corrupts stored bytes under stale digests and is only \
+     caught with $(b,--sanitize))."
   in
   Arg.(value & opt string "honest" & info [ "adversary"; "a" ] ~docv:"ADV" ~doc)
+
+let sanitize_arg =
+  let doc =
+    "Enable runtime invariant sanitizers (Merkle re-hash, register-ledger and \
+     epoch checks). Equivalent to setting TCVS_SANITIZE=1."
+  in
+  Arg.(value & flag & info [ "sanitize" ] ~doc)
 
 let parse_adversary ~users s =
   let fail () = Error (`Msg (Printf.sprintf "cannot parse adversary %S" s)) in
@@ -139,6 +148,10 @@ let parse_adversary ~users s =
       match (int_of_string_opt n, int_of_string_opt d) with
       | Some at_op, Some depth -> Ok (Adversary.Rollback { at_op; depth; repeat = 1 })
       | _ -> fail ())
+  | [ "bitrot"; n ] -> (
+      match int_of_string_opt n with
+      | Some at_op -> Ok (Adversary.Bitrot { at_op })
+      | None -> fail ())
   | _ -> fail ()
 
 let generated_workload ~users ~rounds ~seed =
@@ -180,9 +193,10 @@ let print_outcome protocol adversary (o : Harness.outcome) =
   | `Clean -> Printf.printf "classification: clean run\n"
 
 let simulate_cmd =
-  let run seed users rounds k epoch_len protocol_str adversary_str verbosity metrics
-      trace_file =
+  let run seed users rounds k epoch_len protocol_str adversary_str sanitize verbosity
+      metrics trace_file =
     Log_setup.install ~level:verbosity ();
+    if sanitize then Sanitize.set_enabled true;
     match
       ( protocol_conv k epoch_len protocol_str,
         parse_adversary ~users adversary_str )
@@ -213,7 +227,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ seed_arg $ users_arg $ rounds_arg $ k_arg $ epoch_arg $ protocol_arg
-      $ adversary_arg $ verbosity_arg $ metrics_arg $ trace_arg)
+      $ adversary_arg $ sanitize_arg $ verbosity_arg $ metrics_arg $ trace_arg)
 
 (* ---- matrix -------------------------------------------------------------- *)
 

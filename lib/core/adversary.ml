@@ -6,6 +6,7 @@ type t =
   | Rollback of { at_op : int; depth : int; repeat : int }
   | Stall of { at_op : int }
   | Freeze_epoch of { at_epoch : int }
+  | Bitrot of { at_op : int }
 
 let name = function
   | Honest -> "honest"
@@ -19,11 +20,12 @@ let name = function
         (if repeat > 1 then Printf.sprintf "x%d" repeat else "")
   | Stall { at_op } -> Printf.sprintf "stall@%d" at_op
   | Freeze_epoch { at_epoch } -> Printf.sprintf "freeze-epoch@%d" at_epoch
+  | Bitrot { at_op } -> Printf.sprintf "bitrot@%d" at_op
 
 let pp fmt t = Format.pp_print_string fmt (name t)
 
 let violation_op = function
   | Honest -> None
   | Tamper_value { at_op } | Drop_update { at_op } | Rollback { at_op; _ } -> Some at_op
-  | Fork { at_op; _ } | Stall { at_op } -> Some at_op
+  | Fork { at_op; _ } | Stall { at_op } | Bitrot { at_op } -> Some at_op
   | Freeze_epoch _ -> None (* the violation is time-based, not op-indexed *)

@@ -46,6 +46,15 @@ type t =
           it reaches [at_epoch], postponing the audits indefinitely.
           Caught by the users' epoch-progress cross-check against their
           local clocks (partial synchrony). *)
+  | Bitrot of { at_op : int }
+      (** Silent storage corruption rather than a lie: after serving
+          operation [at_op] honestly, flip bytes in one stored value
+          while keeping every cached digest — so all subsequent digest
+          arithmetic (and therefore every protocol) stays consistent
+          with the {e claimed} bytes. Undetectable by the protocols by
+          construction; the runtime sanitizers
+          ({!Mtree.Merkle_btree.check_invariants} via [--sanitize])
+          catch it by recomputing digests from the raw values. *)
 
 val name : t -> string
 val pp : Format.formatter -> t -> unit

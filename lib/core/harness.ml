@@ -121,7 +121,7 @@ let run_common setup ~script =
     | Protocol_1 _ -> Some (Protocol1.initial_signature ~signer:signers.(0) ~root:initial_root)
     | _ -> None
   in
-  let _server =
+  let server =
     Server.create
       {
         Server.mode;
@@ -187,6 +187,16 @@ let run_common setup ~script =
       (Sim.Engine.run_until engine
          ~max_rounds:setup.tail_rounds
          (fun () -> Sim.Engine.first_alarm engine <> None));
+  (* End-of-run sanitizer backstop: the server validates after every
+     mutation, but a run that ends quietly (or a mode with no
+     mutations) still deserves one final full-state check. *)
+  if Sanitize.enabled () then begin
+    Sanitize.count_check ();
+    match Server.check_invariants server with
+    | Ok () -> ()
+    | Error reason ->
+        Sim.Engine.alarm engine ~agent:Sim.Id.Server ~reason:("sanitize: " ^ reason)
+  end;
   let alarms = Sim.Engine.alarms engine in
   let oracle = Sim.Oracle.replay ~branching:setup.branching ~initial:setup.initial trace in
   let violation_round =

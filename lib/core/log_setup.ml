@@ -15,7 +15,9 @@ let env_level () =
       match level_of_string s with
       | Ok lvl -> Some lvl
       | Error other ->
-          Printf.eprintf
+          (* Logs is not installed yet when the env var is read, so the
+             warning has to go to stderr directly. *)
+          (Printf.eprintf [@tcvs.lint.allow "logging"])
             "tcvs: ignoring TCVS_LOG=%s (expected quiet|error|warn|info|debug)\n%!" other;
           None)
 

@@ -32,6 +32,11 @@ type t = {
   mutable last_good_gctr : int; (* highest gctr confirmed by a sync *)
   sync : registers Sync_session.t;
   c_my_syncs : Obs.counter;
+  (* Every transition contribution ⟨old_tag ⊕ new_tag⟩ ever folded into
+     σ, newest first. σ must always equal the XOR-fold of this ledger —
+     the algebra Lemma 4.1 rests on — which is what the sanitizer
+     recomputes from scratch to catch a silently corrupted register. *)
+  mutable tag_ledger : string list;
 }
 
 let base t = t.base
@@ -51,6 +56,29 @@ let state_tag t ~root ~ctr ~user =
   | `Tagged -> State_tag.tagged ~root ~ctr ~user
   | `Untagged -> State_tag.untagged ~root ~ctr
 
+(* ---- Runtime sanitizer ---------------------------------------------- *)
+
+let check_registers t =
+  let expected = List.fold_left State_tag.xor State_tag.zero t.tag_ledger in
+  if Crypto.Ctime.equal expected t.regs.sigma then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "sigma register diverged from the XOR-fold of its %d recorded transitions"
+         (List.length t.tag_ledger))
+
+let debug_corrupt_sigma t =
+  t.regs <-
+    { t.regs with sigma = State_tag.xor t.regs.sigma (State_tag.initial ~root:"bitflip") }
+
+let sanitize_registers t ~round =
+  if Sanitize.enabled () then begin
+    Sanitize.count_check ();
+    match check_registers t with
+    | Ok () -> ()
+    | Error reason -> fail t ~round ("sanitize: " ^ reason)
+  end
+
 (* The check of the synchronisation step: some user's ⟨init ⊕ last⟩
    must equal the XOR of everyone's σ. *)
 let evaluate_check t =
@@ -58,7 +86,8 @@ let evaluate_check t =
   let x = List.fold_left (fun acc (_, r) -> State_tag.xor acc r.sigma) State_tag.zero all in
   match t.regs.last with
   | None -> false
-  | Some last -> State_tag.xor (State_tag.initial ~root:t.config.initial_root) last = x
+  | Some last ->
+      Crypto.Ctime.equal (State_tag.xor (State_tag.initial ~root:t.config.initial_root) last) x
 
 let advance_sync t ~round =
   if Sync_session.active t.sync then begin
@@ -135,12 +164,15 @@ let handle_response t ~round ~(answer : Vo.answer) ~vo ~ctr ~last_user =
               else state_tag t ~root:old_root ~ctr ~user:last_user
             in
             let new_tag = state_tag t ~root:new_root ~ctr:(ctr + 1) ~user:(me t) in
+            let contribution = State_tag.xor old_tag new_tag in
             t.regs <-
               {
-                sigma = State_tag.xor t.regs.sigma (State_tag.xor old_tag new_tag);
+                sigma = State_tag.xor t.regs.sigma contribution;
                 last = Some new_tag;
                 gctr = ctr + 1;
               };
+            t.tag_ledger <- contribution :: t.tag_ledger;
+            sanitize_registers t ~round;
             t.ops_since_sync <- t.ops_since_sync + 1;
             User_base.complete t.base ~round ~answer ~roots:(old_root, new_root) ();
             let due =
@@ -165,6 +197,7 @@ let create config ~user ~engine ~trace =
       last_good_gctr = 0;
       sync = Sync_session.create ~n:config.n ~me:user;
       c_my_syncs = Obs.counter ~scope:Obs.Scope.(obs_scope / Printf.sprintf "u%d" user) "syncs";
+      tag_ledger = [];
     }
   in
   let on_message ~round ~src msg =

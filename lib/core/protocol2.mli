@@ -56,3 +56,18 @@ val sigma : t -> string
 val last : t -> string option
 val gctr : t -> int
 val syncs_completed : t -> int
+
+(** {2 Runtime sanitizer}
+
+    The protocol keeps, alongside σ, the ledger of every transition
+    contribution it ever folded in. {!check_registers} recomputes the
+    XOR-fold from scratch and compares — catching a register that was
+    corrupted between operations, which the incremental updates would
+    silently carry forward. Runs automatically after every register
+    update while {!Sanitize.enabled} (a failure terminates the user
+    with an alarm, like any protocol check). *)
+
+val check_registers : t -> (unit, string) result
+
+val debug_corrupt_sigma : t -> unit
+(** Flip σ without touching the ledger — sanitizer test hook. *)

@@ -55,9 +55,47 @@ let backup_signature_valid t (b : Message.epoch_backup) =
   in
   Pki.Keyring.verify t.keyring b.backup_user message ~signature:b.backup_signature
 
+(* ---- Runtime sanitizer ---------------------------------------------- *)
+
+(* Internal epoch bookkeeping the protocol logic assumes but never
+   re-derives: the verifier assignment walks the arithmetic progression
+   user, user+n, user+2n, ... in lockstep with the verified count, and
+   the registers stay well-formed 32-byte quantities. *)
+let check_epochs t =
+  if t.known_epoch < 0 then Error (Printf.sprintf "known epoch is negative (%d)" t.known_epoch)
+  else if t.next_assigned <> me t + (t.epochs_verified * t.config.n) then
+    Error
+      (Printf.sprintf
+         "verifier assignment drifted: next assigned epoch %d, but user %d of %d has \
+          verified %d"
+         t.next_assigned (me t) t.config.n t.epochs_verified)
+  else if String.length t.regs.sigma <> String.length State_tag.zero then
+    Error "sigma register is not a 32-byte quantity"
+  else begin
+    match t.regs.last with
+    | Some last when String.length last <> String.length State_tag.zero ->
+        Error "last register is not a 32-byte quantity"
+    | Some _ | None -> Ok ()
+  end
+
+let debug_corrupt_assignment t = t.next_assigned <- t.next_assigned + 1
+
+let sanitize_epochs t ~round =
+  if Sanitize.enabled () then begin
+    Sanitize.count_check ();
+    match check_epochs t with
+    | Ok () -> ()
+    | Error reason -> fail t ~round ("sanitize: " ^ reason)
+  end
+
 (* Cross the epoch boundary: snapshot the finished epoch's registers
    for storage, then reset for the new epoch. *)
 let roll_epoch t ~new_epoch =
+  if Sanitize.enabled () then begin
+    Sanitize.count_check ();
+    if new_epoch <= t.known_epoch then
+      Sanitize.violation "epoch roll not monotone (%d -> %d)" t.known_epoch new_epoch
+  end;
   t.pending_backup <- Some (sign_backup t ~epoch:t.known_epoch ~regs:t.regs);
   t.regs <- { sigma = State_tag.zero; last = None; gctr = t.regs.gctr };
   t.known_epoch <- new_epoch
@@ -80,7 +118,7 @@ let verify_epoch t ~round ~epoch ~(prev_states : Message.epoch_backup list)
         && List.for_all (backup_signature_valid t) prev_states)
   then fail t ~round (Printf.sprintf "epoch %d: forged register backup" epoch)
   else begin
-    let active = List.filter (fun (b : Message.epoch_backup) -> b.last <> State_tag.zero) states in
+    let active = List.filter (fun (b : Message.epoch_backup) -> not (String.equal b.last State_tag.zero)) states in
     if List.length active < List.length states then begin
       (* A user without operations in the epoch breaks the activity
          assumption; the theorem's bound does not apply, so skip the
@@ -97,7 +135,7 @@ let verify_epoch t ~round ~epoch ~(prev_states : Message.epoch_backup list)
         else begin
           match
             List.filter
-              (fun (b : Message.epoch_backup) -> b.last <> State_tag.zero)
+              (fun (b : Message.epoch_backup) -> not (String.equal b.last State_tag.zero))
               prev_states
           with
           | [] -> None
@@ -124,7 +162,7 @@ let verify_epoch t ~round ~epoch ~(prev_states : Message.epoch_backup list)
           in
           let path_ok =
             List.exists
-              (fun (b : Message.epoch_backup) -> State_tag.xor init b.last = x)
+              (fun (b : Message.epoch_backup) -> Crypto.Ctime.equal (State_tag.xor init b.last) x)
               active
           in
           if not path_ok then
@@ -145,7 +183,11 @@ let handle_epoch_states t ~round states =
   t.awaiting_states <- false;
   if not (User_base.terminated t.base) then begin
     let epoch = t.next_assigned in
-    let find e = try List.assoc e states with Not_found -> [] in
+    let find e =
+      match List.find_opt (fun (e', _) -> Int.equal e' e) states with
+      | Some (_, backups) -> backups
+      | None -> []
+    in
     let prev_states = if epoch = 0 then [] else find (epoch - 1) in
     verify_epoch t ~round ~epoch ~prev_states ~states:(find epoch);
     if not (User_base.terminated t.base) then t.next_assigned <- t.next_assigned + t.config.n
@@ -190,6 +232,7 @@ let handle_response t ~round ~(answer : Vo.answer) ~vo ~ctr ~last_user ~epoch ~e
                     last = Some new_tag;
                     gctr = ctr + 1;
                   };
+                sanitize_epochs t ~round;
                 User_base.complete t.base ~round ~answer ~roots:(old_root, new_root) ()
               end
         end)

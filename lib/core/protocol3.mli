@@ -52,3 +52,18 @@ val known_epoch : t -> int
 val epochs_verified : t -> int
 (** Number of epoch checks this user has completed (as assigned
     verifier). *)
+
+(** {2 Runtime sanitizer}
+
+    Validates the epoch bookkeeping the protocol assumes but never
+    re-derives: epochs only roll forward, and the verifier assignment
+    walks [user, user+n, user+2n, ...] in lockstep with the number of
+    epochs verified. Runs automatically after every register update
+    while {!Sanitize.enabled}; a violation terminates the user with an
+    alarm. *)
+
+val check_epochs : t -> (unit, string) result
+
+val debug_corrupt_assignment : t -> unit
+(** Knock the verifier assignment off its arithmetic progression —
+    sanitizer test hook. *)

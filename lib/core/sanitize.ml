@@ -1,0 +1,33 @@
+(* Process-wide toggle for the runtime invariant sanitizers.
+
+   The static pass (tools/lint) pins the invariants it can see
+   syntactically; this layer covers what it cannot: data that goes
+   stale at runtime (a Merkle node whose cached digest no longer
+   matches its bytes, a corrupted XOR register, a history that stopped
+   being monotone). The checks cost real work — digest recomputation
+   over the whole tree — so they are off by default and armed by the
+   test suite, `tcvs simulate --sanitize`, or TCVS_SANITIZE=1. *)
+
+exception Violation of string
+
+let env_default =
+  match Sys.getenv_opt "TCVS_SANITIZE" with
+  | None | Some ("" | "0" | "false" | "off") -> false
+  | Some _ -> true
+
+let state = ref env_default
+let enabled () = !state
+let set_enabled b = state := b
+
+let obs_scope = Obs.Scope.v "sanitize"
+let c_checks = Obs.counter ~scope:obs_scope "checks_run"
+let c_violations = Obs.counter ~scope:obs_scope "violations"
+
+let count_check () = Obs.incr c_checks
+
+let violation fmt =
+  Printf.ksprintf
+    (fun reason ->
+      Obs.incr c_violations;
+      raise (Violation reason))
+    fmt

@@ -34,7 +34,9 @@ type t = {
   queue : (int * Vo.op * Message.piggyback list) Queue.t;
   mutable awaiting_sig_on : branch option;
   mutable discard_next_sig : bool;
-  epoch_store : (int * int, Message.epoch_backup) Hashtbl.t;
+  (* Per-epoch register backups, kept sorted by user (one slot per
+     user, re-backup replaces) so [states_for] is deterministic. *)
+  epoch_store : (int, Message.epoch_backup list) Hashtbl.t;
   mutable token_log : Message.token_record list; (* newest first *)
   mutable total_ops : int; (* across branches; drives adversary triggers *)
 }
@@ -50,6 +52,7 @@ let c_rollbacks = Obs.counter ~scope:obs_scope "rollback_fires"
 let c_fork_activations = Obs.counter ~scope:obs_scope "fork_activations"
 let c_backups_stored = Obs.counter ~scope:obs_scope "backups_stored"
 let c_state_requests = Obs.counter ~scope:obs_scope "state_requests_served"
+let c_bitrot = Obs.counter ~scope:obs_scope "bitrot_fires"
 
 let snapshot_of b = (b.db, b.ctr, b.last_user, b.root_sig)
 
@@ -78,7 +81,7 @@ let copy_branch b =
     history = b.history;
   }
 
-let in_group user group = List.mem user group
+let in_group user group = List.exists (Int.equal user) group
 
 (* A stealthy fork waits for a moment when the branch state is
    presentable: in Signed mode that means the latest root signature has
@@ -95,7 +98,8 @@ let maybe_activate_fork t =
         Obs.incr c_fork_activations
       end
   | Adversary.Honest | Adversary.Tamper_value _ | Adversary.Drop_update _
-  | Adversary.Rollback _ | Adversary.Stall _ | Adversary.Freeze_epoch _ ->
+  | Adversary.Rollback _ | Adversary.Stall _ | Adversary.Freeze_epoch _
+  | Adversary.Bitrot _ ->
       ()
 
 let branch_for t ~user =
@@ -127,20 +131,97 @@ let tampered_op (op : Vo.op) : Vo.op =
 let store_backup t (b : Message.epoch_backup) =
   (* The untrusted server stores blindly; verifiers check signatures. *)
   Obs.incr c_backups_stored;
-  Hashtbl.replace t.epoch_store (b.backup_epoch, b.backup_user) b
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.epoch_store b.backup_epoch) in
+  let others =
+    List.filter
+      (fun (e : Message.epoch_backup) -> not (Int.equal e.backup_user b.backup_user))
+      existing
+  in
+  let backups =
+    List.sort
+      (fun (a : Message.epoch_backup) b -> Int.compare a.backup_user b.backup_user)
+      (b :: others)
+  in
+  Hashtbl.replace t.epoch_store b.backup_epoch backups
 
 let states_for t epochs =
   List.map
     (fun epoch ->
-      let backups =
-        Hashtbl.fold
-          (fun (e, _) backup acc -> if e = epoch then backup :: acc else acc)
-          t.epoch_store []
-        |> List.sort (fun (a : Message.epoch_backup) b ->
-               Stdlib.compare a.backup_user b.backup_user)
-      in
-      (epoch, backups))
+      (epoch, Option.value ~default:[] (Hashtbl.find_opt t.epoch_store epoch)))
     epochs
+
+(* ---- Runtime sanitizers --------------------------------------------- *)
+
+(* History snapshots are newest-first pre-operation states, so under an
+   honest continuation (Honest, and Bitrot — which applies operations
+   honestly before corrupting storage) the counters must strictly
+   decrease down the list. Rollback/Tamper/Fork legitimately break
+   monotonicity, so only the cap is checked for them. *)
+let check_branch_history t b ~label =
+  let cap = max 1 t.config.history_cap in
+  if List.length b.history > cap then
+    Error
+      (Printf.sprintf "%s: history holds %d snapshots, cap is %d" label
+         (List.length b.history) cap)
+  else begin
+    let monotone_expected =
+      match t.config.adversary with
+      | Adversary.Honest | Adversary.Bitrot _ -> true
+      | Adversary.Tamper_value _ | Adversary.Drop_update _ | Adversary.Fork _
+      | Adversary.Rollback _ | Adversary.Stall _ | Adversary.Freeze_epoch _ ->
+          false
+    in
+    if not monotone_expected then Ok ()
+    else begin
+      let rec strictly_decreasing prev = function
+        | [] -> Ok ()
+        | (_, ctr, _, _) :: rest ->
+            if ctr >= prev then
+              Error
+                (Printf.sprintf "%s: history counter %d not below successor %d" label ctr
+                   prev)
+            else strictly_decreasing ctr rest
+      in
+      strictly_decreasing b.ctr b.history
+    end
+  end
+
+let check_history t =
+  match check_branch_history t t.main ~label:"main branch" with
+  | Error _ as e -> e
+  | Ok () -> (
+      match t.forked with
+      | None -> Ok ()
+      | Some fork -> check_branch_history t fork ~label:"forked branch")
+
+let check_invariants t =
+  let check_db label db =
+    match T.check_invariants db with
+    | Ok () -> Ok ()
+    | Error e -> Error (Printf.sprintf "%s: %s" label e)
+  in
+  match check_db "main branch db" t.main.db with
+  | Error _ as e -> e
+  | Ok () -> (
+      let fork_ok =
+        match t.forked with
+        | None -> Ok ()
+        | Some fork -> check_db "forked branch db" fork.db
+      in
+      match fork_ok with Error _ as e -> e | Ok () -> check_history t)
+
+(* Validate the stored state after every mutation; a violation becomes
+   a simulator alarm attributed to the server (there is no user to
+   blame — the state itself went bad). Only the first alarm matters to
+   the harness, so later repeats are harmless. *)
+let sanitize_pass t =
+  if Sanitize.enabled () then begin
+    Sanitize.count_check ();
+    match check_invariants t with
+    | Ok () -> ()
+    | Error reason ->
+        Sim.Engine.alarm t.engine ~agent:Sim.Id.Server ~reason:("sanitize: " ^ reason)
+  end
 
 (* Serve one query. Fires Tamper/Drop/Rollback/Stall when the global
    operation index matches. *)
@@ -207,15 +288,27 @@ let execute_query t ~round ~user ~(op : Vo.op) ~piggyback =
       branch.ctr <- branch.ctr + 1;
       branch.last_user <- user;
       branch.root_sig <- None
+  | Adversary.Bitrot { at_op } when t.total_ops = at_op ->
+      (* Serve and apply honestly, then rot the stored bytes without
+         touching any cached digest: the tree keeps asserting the old
+         value, so clients (and the server's own digest arithmetic)
+         notice nothing. *)
+      Obs.incr c_bitrot;
+      push_history ~cap:t.config.history_cap branch pre;
+      branch.db <- T.debug_bitrot db';
+      branch.ctr <- branch.ctr + 1;
+      branch.last_user <- user;
+      branch.root_sig <- None
   | Adversary.Honest | Adversary.Tamper_value _ | Adversary.Drop_update _
   | Adversary.Fork _ | Adversary.Rollback _ | Adversary.Stall _
-  | Adversary.Freeze_epoch _ ->
+  | Adversary.Freeze_epoch _ | Adversary.Bitrot _ ->
       push_history ~cap:t.config.history_cap branch pre;
       branch.db <- db';
       branch.ctr <- branch.ctr + 1;
       branch.last_user <- user;
       branch.root_sig <- None);
   t.total_ops <- t.total_ops + 1;
+  sanitize_pass t;
   Obs.incr c_queries;
   if t.config.mode = `Signed then t.awaiting_sig_on <- Some branch;
   Sim.Engine.send t.engine ~src:Sim.Id.Server ~dst:(Sim.Id.User user) response
@@ -268,7 +361,8 @@ let handle_token_turn t ~op ~record =
       | Some op ->
           let db', _ = Sim.Oracle.trusted_answer t.main.db op in
           t.main.db <- db');
-      t.total_ops <- t.total_ops + 1);
+      t.total_ops <- t.total_ops + 1;
+      sanitize_pass t);
   t.token_log <- record :: t.token_log
 
 (* ---- Wiring --------------------------------------------------------- *)

@@ -69,3 +69,21 @@ val true_root : t -> string
 val history_length : t -> int
 (** Snapshots currently retained on the main branch — bounded by
     [config.history_cap]; exposed for tests. *)
+
+(** {2 Runtime sanitizers}
+
+    Run automatically after every mutation while {!Sanitize.enabled};
+    a failure raises a simulator alarm attributed to the server. Also
+    callable directly (tests, the harness's end-of-run backstop). *)
+
+val check_history : t -> (unit, string) result
+(** Branch history well-formedness: snapshot count within
+    [config.history_cap], and — under adversaries that apply operations
+    honestly (Honest, Bitrot) — strictly decreasing counters down the
+    newest-first snapshot list. *)
+
+val check_invariants : t -> (unit, string) result
+(** Full state validation: {!Mtree.Merkle_btree.check_invariants} on
+    every live branch database (digest recomputation from raw bytes —
+    this is what catches {!Adversary.Bitrot}) followed by
+    {!check_history}. *)

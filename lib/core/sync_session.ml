@@ -30,9 +30,14 @@ let reported t = Hashtbl.mem t.reports t.me
 let record_report t ~from_ report = Hashtbl.replace t.reports from_ report
 let reports_complete t = Hashtbl.length t.reports >= t.n
 
+(* Enumerate users 0..n-1 instead of folding over the table: the user
+   order is then fixed by construction, not by hashing. *)
 let reports t =
-  Hashtbl.fold (fun user r acc -> (user, r) :: acc) t.reports []
-  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+  List.concat
+    (List.init t.n (fun user ->
+         match Hashtbl.find_opt t.reports user with
+         | Some r -> [ (user, r) ]
+         | None -> []))
 
 let verdict_sent t = t.verdict_sent
 let mark_verdict_sent t = t.verdict_sent <- true
@@ -40,7 +45,11 @@ let record_verdict t ~from_ success = Hashtbl.replace t.verdicts from_ success
 
 let resolution t =
   if Hashtbl.length t.verdicts < t.n then `Pending
-  else if Hashtbl.fold (fun _ ok acc -> acc || ok) t.verdicts false then `Ok
+  else if
+    List.exists
+      (fun user -> Option.value ~default:false (Hashtbl.find_opt t.verdicts user))
+      (List.init t.n Fun.id)
+  then `Ok
   else `Failed
 
 let reset t =

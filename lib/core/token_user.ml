@@ -81,7 +81,7 @@ let handle_token_state t ~round ~record ~vo =
         | Error e ->
             fail t ~round (Format.asprintf "bad verification object: %a" Vo.pp_error e)
         | Ok (replayed, old_root, new_root) ->
-            if old_root <> prev_root then
+            if not (Crypto.Ctime.equal old_root prev_root) then
               fail t ~round "server state does not match the signed log head"
             else begin
               let root, op_dig =

@@ -34,7 +34,7 @@ let trace t = t.trace
 let enqueue_intent t ~round ~op =
   t.intents <-
     List.merge
-      (fun (r1, _) (r2, _) -> Stdlib.compare r1 r2)
+      (fun (r1, _) (r2, _) -> Int.compare r1 r2)
       t.intents [ (round, op) ]
 
 let pending_intents t = List.length t.intents

@@ -83,3 +83,25 @@ let check_invariants t =
       else Ok ()
 
 let depth t = Node.depth t.root
+
+(* Flip bytes in one stored value while leaving every digest (and the
+   entry's cached value digest) untouched — the "bitrot" failure mode:
+   the tree still *claims* the old bytes, so all digest arithmetic
+   stays consistent and only recomputation from the raw values
+   (check_invariants) can notice. Used by the Bitrot adversary and the
+   sanitizer tests. *)
+let debug_bitrot t =
+  let rec corrupt (n : Node.t) : Node.t =
+    match n with
+    | Node.Leaf { entries; digest } when Array.length entries > 0 ->
+        let entries = Array.copy entries in
+        let e = entries.(0) in
+        entries.(0) <- { e with Node.value = e.Node.value ^ "\x00bitrot" };
+        Node.Leaf { entries; digest }
+    | Node.Node { keys; children; digest } when Array.length children > 0 ->
+        let children = Array.copy children in
+        children.(0) <- corrupt children.(0);
+        Node.Node { keys; children; digest }
+    | Node.Leaf _ | Node.Node _ | Node.Stub _ -> n
+  in
+  { t with root = corrupt t.root }

@@ -56,7 +56,17 @@ val of_alist : ?branching:int -> (string * string) list -> t
 val keys : t -> string list
 
 val check_invariants : t -> (unit, string) result
-(** Structural and cryptographic validation; used by the test suite. *)
+(** Structural and cryptographic validation; used by the test suite
+    and, when armed, the runtime sanitizers. Recomputes every digest
+    from the raw bytes, so it catches corruption that the cached digest
+    arithmetic silently carries along. *)
+
+val debug_bitrot : t -> t
+(** Corrupt one stored value while leaving all digests (including the
+    entry's cached value digest) untouched — the stale-cache failure
+    mode that is invisible to digest arithmetic and to clients, and
+    that only {!check_invariants} detects. For the [Bitrot] adversary
+    and the sanitizer tests; never call it on a database you keep. *)
 
 val depth : t -> int
 val root : t -> Node.t

@@ -531,9 +531,9 @@ let check_invariants ~branching t =
         else if Array.length entries > max_leaf_entries ~branching then
           fail "leaf overfull (%d entries)" (Array.length entries)
         else if
-          not (Array.for_all (fun e -> e.vdigest = Crypto.Sha256.digest e.value) entries)
+          not (Array.for_all (fun e -> String.equal e.vdigest (Crypto.Sha256.digest e.value)) entries)
         then fail "entry value-digest cache inconsistent"
-        else if digest <> leaf_digest entries then fail "leaf digest mismatch"
+        else if not (String.equal digest (leaf_digest entries)) then fail "leaf digest mismatch"
         else Ok ()
     | Node { keys; children; digest } ->
         let n = Array.length children in
@@ -543,7 +543,10 @@ let check_invariants ~branching t =
         else if (not is_root) && n < min_children ~branching then
           fail "node underfull (%d children)" n
         else if n > max_children ~branching then fail "node overfull (%d children)" n
-        else if digest <> node_digest keys (Array.map (fun c -> (digest_of c : string)) children)
+        else if
+          not
+            (String.equal digest
+               (node_digest keys (Array.map (fun c -> (digest_of c : string)) children)))
         then fail "node digest mismatch"
         else begin
           let rec check_children i acc =
@@ -562,7 +565,7 @@ let check_invariants ~branching t =
   match check ~is_root:true ~lo:None ~hi:None t with
   | Error _ as e -> e
   | Ok () -> (
-      match List.sort_uniq Stdlib.compare (leaf_depths t) with
+      match List.sort_uniq Int.compare (leaf_depths t) with
       | [] | [ _ ] -> Ok ()
       | _ -> fail "leaves at differing depths")
 

@@ -13,7 +13,7 @@ let mem t user = Hashtbl.mem t.table user
 let user_count t = Hashtbl.length t.table
 
 let users t =
-  Hashtbl.fold (fun id _ acc -> id :: acc) t.table [] |> List.sort Stdlib.compare
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.table [] |> List.sort Int.compare
 
 let verify t user msg ~signature =
   match find t user with

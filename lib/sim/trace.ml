@@ -55,14 +55,11 @@ let pending t = List.filter (fun tx -> tx.completed_round = None) (transactions 
 let count t = t.next_seq
 
 let completed_count_for_user t ~user =
-  Hashtbl.fold
-    (fun _ tx acc ->
-      if tx.user = user && tx.completed_round <> None then acc + 1 else acc)
-    t.by_seq 0
+  List.length
+    (List.filter (fun tx -> tx.user = user && tx.completed_round <> None) (transactions t))
 
 let completed_after t ~round ~user =
-  Hashtbl.fold
-    (fun _ tx acc ->
-      if tx.user = user && tx.issued_round > round && tx.completed_round <> None then acc + 1
-      else acc)
-    t.by_seq 0
+  List.length
+    (List.filter
+       (fun tx -> tx.user = user && tx.issued_round > round && tx.completed_round <> None)
+       (transactions t))

@@ -1,0 +1,207 @@
+(* tcvs-lint unit tests: each rule must flag its golden bad fixture and
+   stay silent on the clean counterpart, and every suppression channel
+   (allow attribute, config directive, scope override) must work. The
+   fixtures double as the rule catalogue's executable examples. *)
+
+module C = Tcvs_lint_core.Lint_config
+module E = Tcvs_lint_core.Lint_engine
+module R = Tcvs_lint_core.Lint_rules
+
+let config_exn source =
+  match C.parse_string source with
+  | Ok config -> config
+  | Error m -> Alcotest.failf "config did not parse: %s" m
+
+let lint ?(config = C.empty) ?(file = "lib/core/fixture.ml") source =
+  E.lint_string ~config ~rules:R.all ~file source
+
+let rule_ids findings = List.map (fun (f : E.finding) -> f.rule_id) findings
+let hits rule findings = List.exists (String.equal rule) (rule_ids findings)
+
+let check_flags ?config ?file ~rule source =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s flags %S" rule source)
+    true
+    (hits rule (lint ?config ?file source))
+
+let check_clean ?config ?file source =
+  let findings = lint ?config ?file source in
+  Alcotest.(check (list string))
+    (Printf.sprintf "clean: %S" source)
+    [] (rule_ids findings)
+
+(* ---- digest-safety ---------------------------------------------------- *)
+
+let test_digest_safety_poly_eq () =
+  check_flags ~rule:"digest-safety" "let check digest other = digest = other";
+  check_flags ~rule:"digest-safety" "let stale t = t.root <> t.cached_root";
+  check_flags ~rule:"digest-safety" "let same a sigma = a == sigma"
+
+let test_digest_safety_banned_idents () =
+  check_flags ~rule:"digest-safety" "let f root roots = List.mem root roots";
+  check_flags ~rule:"digest-safety" "let c a b = compare a b";
+  check_flags ~rule:"digest-safety" "let h v = Hashtbl.hash v"
+
+let test_digest_safety_safe_operands () =
+  (* Arithmetic, lengths and argument-less constructors cannot be
+     digests; comparing them polymorphically is fine. *)
+  check_clean "let empty roots = List.length roots = 0";
+  check_clean "let missing tag = tag = None";
+  check_clean "let f digest other = String.equal digest other"
+
+let test_digest_safety_needs_suggestive_name () =
+  check_clean "let f a b = a = b"
+
+(* ---- determinism ------------------------------------------------------ *)
+
+let det_file = "lib/sim/fixture.ml"
+
+let test_determinism_flags () =
+  check_flags ~file:det_file ~rule:"determinism" "let r () = Random.int 10";
+  check_flags ~file:det_file ~rule:"determinism" "let t () = Sys.time ()";
+  check_flags ~file:det_file ~rule:"determinism" "let u () = Unix.gettimeofday ()";
+  check_flags ~file:det_file ~rule:"determinism"
+    "let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []"
+
+let test_determinism_scope () =
+  (* lib/workload is outside the determinism scope: its generator owns
+     its own PRNG discipline. *)
+  check_clean ~file:"lib/workload/fixture.ml" "let r () = Random.int 10"
+
+(* ---- logging ----------------------------------------------------------- *)
+
+let test_logging_flags () =
+  check_flags ~rule:"logging" "let f () = print_endline \"hi\"";
+  check_flags ~rule:"logging" "let f x = Printf.printf \"%d\" x";
+  check_flags ~file:"lib/mtree/fixture.ml" ~rule:"logging"
+    "let f () = Format.eprintf \"oops\""
+
+let test_logging_out_of_scope () =
+  (* Executables under bin/ may print; the rule audits lib/ only. *)
+  check_clean ~file:"bin/fixture.ml" "let f () = print_endline \"hi\""
+
+(* ---- no-catchall ------------------------------------------------------- *)
+
+let test_no_catchall_flags () =
+  check_flags ~rule:"no-catchall" "let f g = try g () with _ -> 0";
+  check_flags ~rule:"no-catchall" "let f g = try g () with e -> ignore e; 0";
+  check_flags ~rule:"no-catchall" "let f g = match g () with x -> x | exception _ -> 0"
+
+let test_no_catchall_allows_specific () =
+  check_clean "let f g = try g () with Not_found -> 0";
+  check_clean "let f g = match g () with x -> x | exception Not_found -> 0";
+  (* A guard means the handler inspects the exception. *)
+  check_clean ~file:"lib/core/fixture.ml"
+    "let f g p = try g () with e when p e -> 0"
+
+(* ---- allow attributes -------------------------------------------------- *)
+
+let test_allow_attribute_on_expression () =
+  check_clean "let f () = (print_endline [@tcvs.lint.allow \"logging\"]) \"hi\""
+
+let test_allow_attribute_on_binding () =
+  check_clean ~file:det_file
+    "let[@tcvs.lint.allow \"determinism\"] r () = Random.int 10"
+
+let test_allow_attribute_floating () =
+  check_clean
+    "[@@@tcvs.lint.allow \"digest-safety\"]\nlet check digest other = digest = other"
+
+let test_allow_attribute_is_rule_specific () =
+  (* Allowing one rule must not silence another. *)
+  check_flags ~rule:"logging"
+    "let[@tcvs.lint.allow \"determinism\"] f () = print_endline \"hi\""
+
+(* ---- config ------------------------------------------------------------ *)
+
+let test_config_rule_off () =
+  let config = config_exn "rule logging off" in
+  check_clean ~config "let f () = print_endline \"hi\"";
+  (* Other rules unaffected. *)
+  check_flags ~config ~rule:"digest-safety" "let f digest other = digest = other"
+
+let test_config_allow_path () =
+  let config = config_exn "allow logging lib/core/fixture.ml" in
+  check_clean ~config "let f () = print_endline \"hi\"";
+  check_flags ~config ~file:"lib/core/other.ml" ~rule:"logging"
+    "let f () = print_endline \"hi\""
+
+let test_config_scope_override () =
+  let config = config_exn "scope no-catchall lib/mtree" in
+  check_clean ~config "let f g = try g () with _ -> 0";
+  check_flags ~config ~file:"lib/mtree/fixture.ml" ~rule:"no-catchall"
+    "let f g = try g () with _ -> 0"
+
+let test_config_comments_and_blanks () =
+  let config = config_exn "# comment\n\n  # indented comment\nrule logging off\n" in
+  Alcotest.(check bool) "logging disabled" true (C.rule_disabled config "logging");
+  Alcotest.(check bool) "others on" false (C.rule_disabled config "determinism")
+
+(* ---- parse errors ------------------------------------------------------ *)
+
+let test_parse_error_is_a_finding () =
+  let findings = lint "let = (" in
+  Alcotest.(check (list string)) "parse-error reported" [ "parse-error" ] (rule_ids findings)
+
+(* ---- the repo itself is clean ------------------------------------------ *)
+
+let rec ml_files_under dir =
+  Sys.readdir dir |> Array.to_list |> List.sort String.compare
+  |> List.concat_map (fun entry ->
+         let path = Filename.concat dir entry in
+         if Sys.is_directory path then ml_files_under path
+         else if Filename.check_suffix entry ".ml" then [ path ]
+         else [])
+
+let test_repo_is_clean () =
+  (* dune copies the library sources next to the test binary's tree, so
+     the full lint pass can run in-sandbox. Skip silently if the layout
+     ever changes rather than fail spuriously. *)
+  match Sys.file_exists "../lib" && Sys.is_directory "../lib" with
+  | false -> ()
+  | true ->
+      let config =
+        if Sys.file_exists "../.tcvs-lint" then
+          match C.load "../.tcvs-lint" with
+          | Ok config -> config
+          | Error m -> Alcotest.failf "%s" m
+        else C.empty
+      in
+      let findings =
+        List.concat_map
+          (fun path ->
+            (* Repo-relative label: strip the leading "../". *)
+            let file = String.sub path 3 (String.length path - 3) in
+            E.lint_file ~config ~rules:R.all ~file path)
+          (ml_files_under "../lib")
+      in
+      Alcotest.(check (list string))
+        "lib/ carries zero lint findings"
+        []
+        (List.map E.to_string (E.sort findings))
+
+let suite =
+  [
+    Alcotest.test_case "digest-safety: polymorphic eq" `Quick test_digest_safety_poly_eq;
+    Alcotest.test_case "digest-safety: banned idents" `Quick test_digest_safety_banned_idents;
+    Alcotest.test_case "digest-safety: safe operands" `Quick test_digest_safety_safe_operands;
+    Alcotest.test_case "digest-safety: needs digest-like name" `Quick
+      test_digest_safety_needs_suggestive_name;
+    Alcotest.test_case "determinism: flags" `Quick test_determinism_flags;
+    Alcotest.test_case "determinism: scope" `Quick test_determinism_scope;
+    Alcotest.test_case "logging: flags" `Quick test_logging_flags;
+    Alcotest.test_case "logging: out of scope" `Quick test_logging_out_of_scope;
+    Alcotest.test_case "no-catchall: flags" `Quick test_no_catchall_flags;
+    Alcotest.test_case "no-catchall: specific handlers ok" `Quick
+      test_no_catchall_allows_specific;
+    Alcotest.test_case "allow attr: expression" `Quick test_allow_attribute_on_expression;
+    Alcotest.test_case "allow attr: binding" `Quick test_allow_attribute_on_binding;
+    Alcotest.test_case "allow attr: floating" `Quick test_allow_attribute_floating;
+    Alcotest.test_case "allow attr: rule-specific" `Quick test_allow_attribute_is_rule_specific;
+    Alcotest.test_case "config: rule off" `Quick test_config_rule_off;
+    Alcotest.test_case "config: allow path" `Quick test_config_allow_path;
+    Alcotest.test_case "config: scope override" `Quick test_config_scope_override;
+    Alcotest.test_case "config: comments" `Quick test_config_comments_and_blanks;
+    Alcotest.test_case "parse error" `Quick test_parse_error_is_a_finding;
+    Alcotest.test_case "repo lib/ is lint-clean" `Quick test_repo_is_clean;
+  ]

@@ -18,4 +18,6 @@ let () =
       ("wgraph", Test_wgraph.suite);
       ("workload", Test_workload.suite);
       ("protocols", Test_protocols.suite);
+      ("lint", Test_lint.suite);
+      ("sanitize", Test_sanitize.suite);
     ]

@@ -1,0 +1,250 @@
+(* tcvs-lint — the repo's own static-analysis pass, plus the dynamic
+   determinism smoke check.
+
+   Static mode (the default, wired to `dune build @lint`):
+
+     tcvs_lint [--root DIR] [--config FILE] [--list-rules] [FILE...]
+
+   parses every .ml under --root (or just the FILEs given) with
+   compiler-libs and runs the Lint_rules set; findings print one per
+   line, exit status 1 if any.
+
+   Dynamic mode (the ROADMAP "trace-driven regression diffs" item):
+
+     tcvs_lint --run-twice [--protocol 1|2|3|all] [--seed S]
+               [--users N] [--rounds R]
+
+   runs the honest-server harness twice with identical seeds and diffs
+   the two observability reports plus the full trace-event streams,
+   failing on the first divergence. This is the dynamic half of the
+   determinism rule: the static rule bans the usual sources of
+   nondeterminism, the double run catches whatever slips through. *)
+
+open Tcvs_lint_core
+
+let usage =
+  "tcvs_lint [--root DIR] [--config FILE] [--list-rules] [FILE...]\n\
+   tcvs_lint --run-twice [--protocol 1|2|3|all] [--seed S] [--users N] [--rounds R]"
+
+(* ---- static pass ----------------------------------------------------- *)
+
+let skip_dirs = [ "_build"; ".git"; "_opam"; ".tcvs-lint.d" ]
+
+(* Relative paths, deterministic order: rule scopes are prefix matches
+   on repo-relative paths and output order must be stable under CI. *)
+let rec walk ~root rel acc =
+  let abs = if rel = "" then root else Filename.concat root rel in
+  let entries = Sys.readdir abs in
+  Array.sort String.compare entries;
+  Array.fold_left
+    (fun acc entry ->
+      let rel = if rel = "" then entry else rel ^ "/" ^ entry in
+      let abs = Filename.concat root rel in
+      if Sys.is_directory abs then
+        if List.exists (String.equal entry) skip_dirs then acc else walk ~root rel acc
+      else if Filename.check_suffix entry ".ml" then rel :: acc
+      else acc)
+    acc entries
+
+let load_config path ~explicit =
+  if Sys.file_exists path then begin
+    match Lint_config.load path with
+    | Ok config -> config
+    | Error msg ->
+        prerr_endline ("tcvs_lint: bad config: " ^ msg);
+        exit 2
+  end
+  else if explicit then begin
+    prerr_endline ("tcvs_lint: config file not found: " ^ path);
+    exit 2
+  end
+  else Lint_config.empty
+
+let list_rules () =
+  List.iter
+    (fun (rule : Lint_engine.rule) ->
+      Printf.printf "%-14s scope: %s\n               %s\n" rule.id
+        (String.concat ", " rule.default_scope)
+        rule.summary)
+    Lint_rules.all
+
+let run_static ~root ~config_path ~explicit_config ~files =
+  let config =
+    let path =
+      if Filename.is_relative config_path then Filename.concat root config_path
+      else config_path
+    in
+    load_config path ~explicit:explicit_config
+  in
+  let files = match files with [] -> List.rev (walk ~root "" []) | files -> files in
+  let findings =
+    List.concat_map
+      (fun rel ->
+        let abs = if Filename.is_relative rel then Filename.concat root rel else rel in
+        if Sys.file_exists abs then
+          Lint_engine.lint_file ~config ~rules:Lint_rules.all ~file:rel abs
+        else begin
+          prerr_endline ("tcvs_lint: no such file: " ^ rel);
+          exit 2
+        end)
+      files
+  in
+  let findings = Lint_engine.sort findings in
+  List.iter (fun f -> print_endline (Lint_engine.to_string f)) findings;
+  match findings with
+  | [] -> 0
+  | _ ->
+      Printf.printf "%d finding%s\n" (List.length findings)
+        (if List.length findings = 1 then "" else "s");
+      1
+
+(* ---- dynamic pass: run twice, diff the evidence ---------------------- *)
+
+let protocol_of_string k epoch_len = function
+  | "1" -> Some (Tcvs.Harness.Protocol_1 { k })
+  | "2" ->
+      Some
+        (Tcvs.Harness.Protocol_2
+           { k; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user })
+  | "3" -> Some (Tcvs.Harness.Protocol_3 { epoch_len })
+  | _ -> None
+
+(* Same traffic profile as `tcvs simulate` so the smoke check exercises
+   the code path users actually run. *)
+let workload ~users ~rounds ~seed =
+  Workload.Schedule.generate
+    {
+      Workload.Schedule.default_profile with
+      Workload.Schedule.users;
+      files = 24;
+      mean_think = 4.0;
+      offline_probability = 0.02;
+      mean_offline = 30.0;
+    }
+    ~seed ~rounds
+
+let run_once ~protocol ~users ~rounds ~seed =
+  Obs.set_tracing true;
+  let events = workload ~users ~rounds ~seed in
+  let setup =
+    { (Tcvs.Harness.default_setup ~protocol ~users ~adversary:Tcvs.Adversary.Honest) with
+      Tcvs.Harness.seed }
+  in
+  let outcome = Tcvs.Harness.run setup ~events in
+  (outcome, Obs.Report.to_json (), Obs.Report.trace_lines ())
+
+let first_diff a b =
+  let rec go i = function
+    | [], [] -> None
+    | x :: xs, y :: ys -> if String.equal x y then go (i + 1) (xs, ys) else Some (i, x, y)
+    | x :: _, [] -> Some (i, x, "<missing>")
+    | [], y :: _ -> Some (i, "<missing>", y)
+  in
+  go 1 (a, b)
+
+let diff_streams ~what a b =
+  if List.equal String.equal a b then true
+  else begin
+    (match first_diff a b with
+    | Some (i, x, y) ->
+        Printf.printf "  %s diverges at line %d:\n    run 1: %s\n    run 2: %s\n" what i x y
+    | None -> ());
+    false
+  end
+
+let run_twice_one ~name ~protocol ~users ~rounds ~seed =
+  let o1, report1, trace1 = run_once ~protocol ~users ~rounds ~seed in
+  let o2, report2, trace2 = run_once ~protocol ~users ~rounds ~seed in
+  Printf.printf
+    "protocol %s: seed %S, %d users, %d rounds — run 1: %d tx / %d rounds, run 2: %d tx / %d \
+     rounds\n"
+    name seed users rounds o1.Tcvs.Harness.completed_transactions o1.Tcvs.Harness.rounds_run
+    o2.Tcvs.Harness.completed_transactions o2.Tcvs.Harness.rounds_run;
+  let report_ok =
+    diff_streams ~what:"metrics report" (String.split_on_char '\n' report1)
+      (String.split_on_char '\n' report2)
+  in
+  let trace_ok = diff_streams ~what:"trace" trace1 trace2 in
+  if report_ok && trace_ok then begin
+    Printf.printf "  identical: %d report lines, %d trace events\n"
+      (List.length (String.split_on_char '\n' report1))
+      (List.length trace1);
+    true
+  end
+  else false
+
+let run_twice ~protocols ~users ~rounds ~seed ~k ~epoch_len =
+  let selected =
+    match protocols with
+    | "all" -> [ "1"; "2"; "3" ]
+    | p -> String.split_on_char ',' p
+  in
+  let ok =
+    List.fold_left
+      (fun ok name ->
+        match protocol_of_string k epoch_len name with
+        | Some protocol -> run_twice_one ~name ~protocol ~users ~rounds ~seed && ok
+        | None ->
+            prerr_endline ("tcvs_lint: unknown protocol " ^ name ^ " (use 1, 2, 3 or all)");
+            exit 2)
+      true selected
+  in
+  if ok then begin
+    print_endline "determinism smoke: all runs byte-identical";
+    0
+  end
+  else begin
+    print_endline "determinism smoke: DIVERGENCE detected";
+    1
+  end
+
+(* ---- entry ----------------------------------------------------------- *)
+
+let () =
+  let root = ref "." in
+  let config_path = ref ".tcvs-lint" in
+  let explicit_config = ref false in
+  let do_list = ref false in
+  let do_run_twice = ref false in
+  let protocols = ref "all" in
+  let seed = ref "tcvs-lint-smoke" in
+  let users = ref 4 in
+  let rounds = ref 300 in
+  let k = ref 8 in
+  let epoch_len = ref 120 in
+  let files = ref [] in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repo root to scan (default .)");
+      ( "--config",
+        Arg.String
+          (fun path ->
+            config_path := path;
+            explicit_config := true),
+        "FILE lint config (default .tcvs-lint under --root, optional)" );
+      ("--list-rules", Arg.Set do_list, " print the rule catalogue and exit");
+      ("--run-twice", Arg.Set do_run_twice, " determinism smoke: run twice, diff evidence");
+      ( "--protocol",
+        Arg.Set_string protocols,
+        "P protocols for --run-twice: 1, 2, 3, comma list, or all (default all)" );
+      ("--seed", Arg.Set_string seed, "S PRNG seed for --run-twice");
+      ("--users", Arg.Set_int users, "N users for --run-twice (default 4)");
+      ("--rounds", Arg.Set_int rounds, "R workload length for --run-twice (default 300)");
+      ("--k", Arg.Set_int k, "K sync period for protocols 1/2 (default 8)");
+      ("--epoch-len", Arg.Set_int epoch_len, "T epoch length for protocol 3 (default 120)");
+    ]
+  in
+  Arg.parse spec (fun file -> files := file :: !files) usage;
+  if !do_list then begin
+    list_rules ();
+    exit 0
+  end;
+  let status =
+    if !do_run_twice then
+      run_twice ~protocols:!protocols ~users:!users ~rounds:!rounds ~seed:!seed ~k:!k
+        ~epoch_len:!epoch_len
+    else
+      run_static ~root:!root ~config_path:!config_path ~explicit_config:!explicit_config
+        ~files:(List.rev !files)
+  in
+  exit status

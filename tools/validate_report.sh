@@ -1,14 +1,14 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Sanity-check a tcvs --metrics JSON report.
 #
 #   tools/validate_report.sh report.json [--expect-detection]
 #
-# Checks, with no dependency beyond POSIX sh + grep:
+# Checks, with no dependency beyond bash + grep:
 #   - the schema marker and the required sections are present;
 #   - the headline counters every experiment reads are present;
 #   - no counter value is negative;
 #   - with --expect-detection, the run actually recorded one.
-set -eu
+set -euo pipefail
 
 report=${1:?usage: validate_report.sh report.json [--expect-detection]}
 expect_detection=${2:-}
@@ -42,7 +42,7 @@ for key in \
   require "\"$key\"" "counter $key"
 done
 
-if grep -E '": -[0-9]' "$report" >/dev/null; then
+if grep -E '": -[0-9]' "$report" > /dev/null; then
   fail "negative metric value"
 fi
 
