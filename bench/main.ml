@@ -859,6 +859,167 @@ let perf_mtree () =
   row "\nwrote %s\n" path
 
 (* ======================================================================= *)
+(* perf-store: durable store cost baseline (writes BENCH_store.json)       *)
+(* ======================================================================= *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun entry -> rm_rf (Filename.concat path entry)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let bench_dir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) ("tcvs-bench-" ^ name) in
+  rm_rf dir;
+  dir
+
+let perf_store () =
+  header "perf-store: WAL / checkpoint / recovery cost (tracked baseline, BENCH_store.json)";
+  let smoke = !smoke_mode in
+  let quota = if smoke then 0.02 else 0.25 in
+  let m name f = measure_ns ~quota name f in
+  (* WAL append: the per-mutation durability tax, with and without
+     fsync. *)
+  let payload_sizes = if smoke then [ 64 ] else [ 64; 1024 ] in
+  row "%-16s %-14s %-14s\n" "payload bytes" "append" "append+fsync";
+  let wal_results =
+    List.map
+      (fun bytes ->
+        let payload = String.make bytes 'p' in
+        let dir = bench_dir "wal" in
+        Unix.mkdir dir 0o755;
+        let w = Store.Wal.open_writer (Filename.concat dir "bench.wal") in
+        let lsn = ref 0 in
+        let append_ns =
+          m "append" (fun () ->
+              incr lsn;
+              Store.Wal.append w ~lsn:!lsn ~payload)
+        in
+        let fsync_ns =
+          measure_ns ~quota:(if smoke then 0.02 else 0.1) "append-fsync" (fun () ->
+              incr lsn;
+              Store.Wal.append ~fsync:true w ~lsn:!lsn ~payload)
+        in
+        Store.Wal.close_writer w;
+        rm_rf dir;
+        row "%-16d %s %s\n" bytes (pp_ns append_ns) (pp_ns fsync_ns);
+        (bytes, append_ns, fsync_ns))
+      payload_sizes
+  in
+  (* Checkpoint: serialising every shard tree + bookkeeping as a new
+     generation. *)
+  let ckpt_sizes = if smoke then [ 512 ] else [ 1024; 16384 ] in
+  row "\n%-10s %-8s %-14s\n" "entries" "shards" "checkpoint";
+  let ckpt_results =
+    List.concat_map
+      (fun entries ->
+        let initial =
+          List.init entries (fun i -> (Printf.sprintf "k%06d" i, String.make 64 'v'))
+        in
+        List.map
+          (fun shards ->
+            let dir = bench_dir "ckpt" in
+            let store =
+              match
+                Store.create_or_open ~checkpoint_every:max_int ~dir ~branching:16 ~shards
+                  ~initial ()
+              with
+              | Ok (s, _) -> s
+              | Error e -> failwith e
+            in
+            let db = Store.db store in
+            let ckpt_ns = m "checkpoint" (fun () -> Store.checkpoint store ~db) in
+            Store.close store;
+            rm_rf dir;
+            row "%-10d %-8d %s\n" entries shards (pp_ns ckpt_ns);
+            (entries, shards, ckpt_ns))
+          (if smoke then [ 4 ] else [ 1; 4 ]))
+      ckpt_sizes
+  in
+  (* Recovery: latest snapshot + WAL tail replay, as a function of how
+     much tail the crash left unsnapshotted. *)
+  let tails = if smoke then [ 64 ] else [ 256; 1024; 4096 ] in
+  let snap_entries = if smoke then 256 else 1024 in
+  row "\n%-18s %-14s %-14s %s\n" "snapshot entries" "tail ops" "recover" "root";
+  let recovery_results =
+    List.map
+      (fun tail ->
+        let dir = bench_dir "recover" in
+        let initial =
+          List.init snap_entries (fun i -> (Printf.sprintf "k%06d" i, String.make 64 'v'))
+        in
+        let store =
+          match
+            Store.create_or_open ~checkpoint_every:max_int ~dir ~branching:16 ~shards:4
+              ~initial ()
+          with
+          | Ok (s, _) -> s
+          | Error e -> failwith e
+        in
+        let db = ref (Store.db store) in
+        for i = 1 to tail do
+          let op =
+            Vo.Set (Printf.sprintf "k%06d" (i mod snap_entries), String.make 64 'n')
+          in
+          let db', _ = Store.Shard_db.apply !db op in
+          db := db';
+          Store.log_op store ~db:db' ~op ~ctr:i ~last_user:(i mod 4)
+        done;
+        let recover_ns = m "recover" (fun () -> ignore (Store.recover store)) in
+        let root_match =
+          match Store.recover store with
+          | Ok r ->
+              String.equal
+                (Store.Shard_db.root_digest r.Store.db)
+                (Store.Shard_db.root_digest !db)
+          | Error _ -> false
+        in
+        Store.close store;
+        rm_rf dir;
+        row "%-18d %-14d %s %s\n" snap_entries tail (pp_ns recover_ns)
+          (if root_match then "identical" else "MISMATCH");
+        (tail, recover_ns, root_match))
+      tails
+  in
+  (* Machine-readable trajectory for later PRs to beat. *)
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf "{\n  \"experiment\": \"perf-store\",\n";
+  Printf.bprintf buf "  \"quota_s\": %g,\n  \"smoke\": %b,\n" quota smoke;
+  Printf.bprintf buf "  \"wal_append\": [\n";
+  List.iteri
+    (fun i (bytes, append_ns, fsync_ns) ->
+      Printf.bprintf buf
+        "    { \"payload_bytes\": %d, \"append_ns\": %.1f, \"append_fsync_ns\": %.1f }%s\n"
+        bytes append_ns fsync_ns
+        (if i < List.length wal_results - 1 then "," else ""))
+    wal_results;
+  Printf.bprintf buf "  ],\n  \"checkpoint\": [\n";
+  List.iteri
+    (fun i (entries, shards, ckpt_ns) ->
+      Printf.bprintf buf
+        "    { \"entries\": %d, \"shards\": %d, \"checkpoint_ns\": %.1f }%s\n" entries
+        shards ckpt_ns
+        (if i < List.length ckpt_results - 1 then "," else ""))
+    ckpt_results;
+  Printf.bprintf buf "  ],\n  \"recovery\": [\n";
+  List.iteri
+    (fun i (tail, recover_ns, root_match) ->
+      Printf.bprintf buf
+        "    { \"snapshot_entries\": %d, \"wal_tail_ops\": %d, \"recover_ns\": %.1f, \
+         \"root_digest_match\": %b }%s\n"
+        snap_entries tail recover_ns root_match
+        (if i < List.length recovery_results - 1 then "," else ""))
+    recovery_results;
+  Printf.bprintf buf "  ]\n}\n";
+  let path = "BENCH_store.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  row "\nwrote %s\n" path
+
+(* ======================================================================= *)
 (* Registry and entry point                                                *)
 (* ======================================================================= *)
 
@@ -885,6 +1046,7 @@ let experiments =
     ("ext-batch", "extension: atomic multi-key commits", ext_batch);
     ("ext-global-k", "extension: global-k sync trigger", ext_global_k);
     ("perf-mtree", "Merkle hot-path tracked baseline (BENCH_mtree.json)", perf_mtree);
+    ("perf-store", "durable store tracked baseline (BENCH_store.json)", perf_store);
   ]
 
 let () =

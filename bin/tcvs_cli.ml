@@ -115,9 +115,29 @@ let adversary_arg =
     "Server behaviour: honest, tamper:N, drop:N, fork:N, rollback:N:DEPTH, \
      bitrot:N (N = operation index at which the attack fires; bitrot \
      silently corrupts stored bytes under stale digests and is only \
-     caught with $(b,--sanitize))."
+     caught with $(b,--sanitize)), crash:R, rollback-crash:R (R = round at \
+     which the server crashes and restarts from its durable store; both \
+     require $(b,--store); the rollback variant recovers from the stale \
+     previous snapshot generation and must be detected)."
   in
   Arg.(value & opt string "honest" & info [ "adversary"; "a" ] ~docv:"ADV" ~doc)
+
+let store_arg =
+  let doc =
+    "Run the server on a durable store (per-shard write-ahead logs + \
+     checksummed snapshots) rooted at $(docv). Created on first use; on an \
+     existing directory the database is recovered from disk and re-baselined. \
+     Required by the crash adversaries."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let shards_arg =
+  let doc =
+    "Partition the server database into $(docv) key-range shards, each with \
+     its own Merkle tree (and WAL file under $(b,--store)). The exchanged \
+     root digest composes the sorted shard roots; verdicts are unchanged."
+  in
+  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc)
 
 let sanitize_arg =
   let doc =
@@ -151,6 +171,14 @@ let parse_adversary ~users s =
   | [ "bitrot"; n ] -> (
       match int_of_string_opt n with
       | Some at_op -> Ok (Adversary.Bitrot { at_op })
+      | None -> fail ())
+  | [ "crash"; r ] -> (
+      match int_of_string_opt r with
+      | Some at_round -> Ok (Adversary.Crash { at_round })
+      | None -> fail ())
+  | [ "rollback-crash"; r ] -> (
+      match int_of_string_opt r with
+      | Some at_round -> Ok (Adversary.Rollback_crash { at_round })
       | None -> fail ())
   | _ -> fail ()
 
@@ -194,7 +222,7 @@ let print_outcome protocol adversary (o : Harness.outcome) =
 
 let simulate_cmd =
   let run seed users rounds k epoch_len protocol_str adversary_str sanitize verbosity
-      metrics trace_file =
+      metrics trace_file store_dir shards =
     Log_setup.install ~level:verbosity ();
     if sanitize then Sanitize.set_enabled true;
     match
@@ -205,12 +233,23 @@ let simulate_cmd =
         Printf.eprintf "error: %s\n" m;
         exit 2
     | Ok protocol, Ok adversary ->
+        (match adversary with
+        | (Adversary.Crash _ | Adversary.Rollback_crash _) when store_dir = None ->
+            Printf.eprintf "error: %s needs a durable store; pass --store DIR\n"
+              (Adversary.name adversary);
+            exit 2
+        | _ -> ());
         (* Arm tracing before the run; the flag survives the harness's
            registry reset. *)
         if trace_file <> None then Obs.set_tracing true;
         let events = generated_workload ~users ~rounds ~seed in
         let setup =
-          { (Harness.default_setup ~protocol ~users ~adversary) with Harness.seed }
+          {
+            (Harness.default_setup ~protocol ~users ~adversary) with
+            Harness.seed;
+            store_dir;
+            shards;
+          }
         in
         let outcome = Harness.run setup ~events in
         (* Write the machine-readable artefacts before the human
@@ -227,7 +266,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ seed_arg $ users_arg $ rounds_arg $ k_arg $ epoch_arg $ protocol_arg
-      $ adversary_arg $ sanitize_arg $ verbosity_arg $ metrics_arg $ trace_arg)
+      $ adversary_arg $ sanitize_arg $ verbosity_arg $ metrics_arg $ trace_arg
+      $ store_arg $ shards_arg)
 
 (* ---- matrix -------------------------------------------------------------- *)
 

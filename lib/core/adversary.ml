@@ -7,6 +7,8 @@ type t =
   | Stall of { at_op : int }
   | Freeze_epoch of { at_epoch : int }
   | Bitrot of { at_op : int }
+  | Crash of { at_round : int }
+  | Rollback_crash of { at_round : int }
 
 let name = function
   | Honest -> "honest"
@@ -21,6 +23,8 @@ let name = function
   | Stall { at_op } -> Printf.sprintf "stall@%d" at_op
   | Freeze_epoch { at_epoch } -> Printf.sprintf "freeze-epoch@%d" at_epoch
   | Bitrot { at_op } -> Printf.sprintf "bitrot@%d" at_op
+  | Crash { at_round } -> Printf.sprintf "crash@r%d" at_round
+  | Rollback_crash { at_round } -> Printf.sprintf "rollback-crash@r%d" at_round
 
 let pp fmt t = Format.pp_print_string fmt (name t)
 
@@ -29,3 +33,11 @@ let violation_op = function
   | Tamper_value { at_op } | Drop_update { at_op } | Rollback { at_op; _ } -> Some at_op
   | Fork { at_op; _ } | Stall { at_op } | Bitrot { at_op } -> Some at_op
   | Freeze_epoch _ -> None (* the violation is time-based, not op-indexed *)
+  | Crash _ -> None (* an honest failure: recovery loses nothing *)
+  | Rollback_crash _ -> None (* round-indexed, see [violation_round] *)
+
+let violation_round = function
+  | Rollback_crash { at_round } -> Some at_round
+  | Honest | Tamper_value _ | Drop_update _ | Fork _ | Rollback _ | Stall _
+  | Freeze_epoch _ | Bitrot _ | Crash _ ->
+      None

@@ -55,6 +55,21 @@ type t =
           construction; the runtime sanitizers
           ({!Mtree.Merkle_btree.check_invariants} via [--sanitize])
           catch it by recomputing digests from the raw values. *)
+  | Crash of { at_round : int }
+      (** An {e honest} failure, not an attack: at simulation round
+          [at_round] the server process dies and restarts from its
+          durable store ({!Store}), replaying the latest snapshot plus
+          the WAL tail. Recovery is byte-identical, so every protocol
+          must stay quiet — this is the control experiment for
+          [Rollback_crash]. Requires the server to run with a store. *)
+  | Rollback_crash of { at_round : int }
+      (** The storage-level replay attack: at round [at_round] the
+          server crashes and "recovers" from the {e previous} snapshot
+          generation, discarding the WAL tail — indistinguishable, at
+          the storage layer, from an honest crash. The rewound
+          state/counter re-issues old (root, ctr) pairs, which is
+          exactly what Protocols I–III's counter/signature machinery
+          must flag. Requires the server to run with a store. *)
 
 val name : t -> string
 val pp : Format.formatter -> t -> unit
@@ -62,3 +77,8 @@ val pp : Format.formatter -> t -> unit
 val violation_op : t -> int option
 (** The operation index at which the violation first occurs, [None]
     for [Honest]. For detection-delay measurements. *)
+
+val violation_round : t -> int option
+(** For round-indexed strategies ([Rollback_crash]): the simulation
+    round at which the violation occurs. [None] elsewhere — including
+    [Crash], which is honest and must not be flagged at all. *)

@@ -34,6 +34,9 @@ type setup = {
   tail_rounds : int;
   response_timeout : int option;
   history_cap : int;
+  store_dir : string option;
+  shards : int option;
+  store_checkpoint_every : int;
 }
 
 let file_key i = Printf.sprintf "src/file_%04d.ml" i
@@ -54,6 +57,9 @@ let default_setup ~protocol ~users ~adversary =
     tail_rounds = 400;
     response_timeout = Some 64;
     history_cap = Server.default_history_cap;
+    store_dir = None;
+    shards = None;
+    store_checkpoint_every = 64;
   }
 
 type outcome = {
@@ -101,14 +107,45 @@ let run_common setup ~script =
   Obs.set_meta "adversary" (Adversary.name setup.adversary);
   Obs.set_meta "users" (string_of_int setup.users);
   Obs.set_meta "seed" setup.seed;
+  (* Durable store (tentpole): create or reopen before anything reads
+     the initial state — on a reopen, the recovered contents *are* the
+     initial state every agent (and the oracle) must agree on. The
+     directory path stays out of the Obs meta so same-seed reports are
+     byte-identical regardless of where the store lives. *)
+  let store, initial =
+    match setup.store_dir with
+    | None -> (None, setup.initial)
+    | Some dir -> (
+        match
+          Store.create_or_open ~checkpoint_every:setup.store_checkpoint_every
+            ~dir ~branching:setup.branching
+            ~shards:(Option.value ~default:1 setup.shards)
+            ~initial:setup.initial ()
+        with
+        | Error e -> failwith ("harness: store: " ^ e)
+        | Ok (s, `Fresh) -> (Some s, setup.initial)
+        | Ok (s, `Reopened) -> (Some s, Store.Shard_db.to_alist (Store.db s)))
+  in
   let engine =
     Sim.Engine.create ~measure:Message.encoded_size ~classify:Message.kind ()
   in
   let trace = Sim.Trace.create () in
   let rng = Crypto.Prng.create ~seed:setup.seed in
   let keyring, signers = Pki.Keyring.setup ~scheme:setup.scheme ~users:setup.users rng in
-  let initial_db = Mtree.Merkle_btree.of_alist ~branching:setup.branching setup.initial in
-  let initial_root = Mtree.Merkle_btree.root_digest initial_db in
+  let initial_db =
+    match store with
+    | Some s -> Store.db s
+    | None ->
+        Store.Shard_db.create ~branching:setup.branching
+          ~shards:(Option.value ~default:1 setup.shards)
+          initial
+  in
+  if store <> None || setup.shards <> None then
+    Obs.set_meta "shards" (string_of_int (Store.Shard_db.shard_count initial_db));
+  (* For N ≥ 2 shards this is the composed root (one extra hash level
+     over the sorted shard roots) — the digest every protocol user
+     treats as M(D₀). *)
+  let initial_root = Store.Shard_db.root_digest initial_db in
   let mode, epoch_len =
     match setup.protocol with
     | Protocol_1 _ -> (`Signed, None)
@@ -122,7 +159,7 @@ let run_common setup ~script =
     | _ -> None
   in
   let server =
-    Server.create
+    Server.create ?store ?shards:setup.shards
       {
         Server.mode;
         epoch_len;
@@ -130,7 +167,7 @@ let run_common setup ~script =
         adversary = setup.adversary;
         history_cap = setup.history_cap;
       }
-      ~engine ~initial:setup.initial ~initial_root_sig
+      ~engine ~initial ~initial_root_sig
   in
   let bases =
     Array.init setup.users (fun user ->
@@ -198,8 +235,20 @@ let run_common setup ~script =
         Sim.Engine.alarm engine ~agent:Sim.Id.Server ~reason:("sanitize: " ^ reason)
   end;
   let alarms = Sim.Engine.alarms engine in
-  let oracle = Sim.Oracle.replay ~branching:setup.branching ~initial:setup.initial trace in
+  let oracle =
+    (* A sharded run exchanges composed roots, so the oracle must
+       replay against a sharded database too — single-tree replay
+       would false-flag every transition. *)
+    if Store.Shard_db.shard_count initial_db > 1 then
+      Sim.Oracle.replay_with ~init:initial_db ~apply:Store.Shard_db.apply
+        ~root:Store.Shard_db.root_digest trace
+    else Sim.Oracle.replay ~branching:setup.branching ~initial trace
+  in
+  (match store with Some s -> Store.close s | None -> ());
   let violation_round =
+    match Adversary.violation_round setup.adversary with
+    | Some r -> Some r
+    | None -> (
     match Adversary.violation_op setup.adversary with
     | None -> None
     | Some at_op -> (
@@ -213,7 +262,7 @@ let run_common setup ~script =
         with
         | Some tx -> (
             match tx.completed_round with Some r -> Some r | None -> Some tx.issued_round)
-        | None -> None)
+        | None -> None))
   in
   let detection_round =
     match alarms with [] -> None | a :: _ -> Some a.Sim.Engine.at_round

@@ -39,13 +39,22 @@ type setup = {
   history_cap : int;
       (** server-side bound on retained per-branch rollback snapshots
           (see {!Server.config}) *)
+  store_dir : string option;
+      (** when set, run the server on a durable {!Store} rooted here
+          (created on first use, recovered on reopen); required by the
+          [Crash] / [Rollback_crash] adversaries *)
+  shards : int option;
+      (** key-range shards for the server database (default 1; implies
+          the per-shard [server.s<i>.*] observability scopes) *)
+  store_checkpoint_every : int;
+      (** logged operations between automatic store checkpoints *)
 }
 
 val default_setup : protocol:protocol -> users:int -> adversary:Adversary.t -> setup
 (** HMAC-shared signatures (cheap, adequate for protocol-behaviour
     experiments), branching 8, 32 initial files, seed derived from the
     protocol and adversary names, 400 tail rounds, 64-round response
-    timeout. *)
+    timeout, no store, one shard, checkpoint every 64 ops. *)
 
 val file_key : int -> string
 (** Database key for workload file index [i]. *)

@@ -1,5 +1,5 @@
-module T = Mtree.Merkle_btree
 module Vo = Mtree.Vo
+module Sdb = Store.Shard_db
 
 type mode = [ `Signed | `Plain | `Token ]
 
@@ -15,17 +15,21 @@ type config = {
    attack maintains two of these. [history] (newest first) holds the
    pre-operation snapshots that Rollback rewinds to. *)
 type branch = {
-  mutable db : T.t;
+  mutable db : Sdb.t;
   mutable ctr : int;
   mutable last_user : int;
   mutable root_sig : string option;
-  mutable history : (T.t * int * int * string option) list;
+  mutable history : (Sdb.t * int * int * string option) list;
 }
 
 type t = {
   config : config;
   engine : Message.t Sim.Engine.t;
   initial_root : string;
+  (* Retained so a crash-recovery that rewinds to the pristine state
+     can re-seed Protocol I's bootstrap signature. *)
+  initial_root_sig : string option;
+  store : Store.t option;
   main : branch;
   mutable forked : branch option;
   (* The paper's server is serial: one query at a time, in arrival
@@ -39,6 +43,11 @@ type t = {
   epoch_store : (int, Message.epoch_backup list) Hashtbl.t;
   mutable token_log : Message.token_record list; (* newest first *)
   mutable total_ops : int; (* across branches; drives adversary triggers *)
+  mutable crashed : bool; (* Crash/Rollback_crash are one-shot *)
+  (* Present only on store/sharded runs, so legacy single-tree reports
+     keep their exact metric set: per-shard routing counters plus the
+     aggregate. *)
+  route_counters : (Obs.counter array * Obs.counter) option;
 }
 
 let default_history_cap = 64
@@ -53,6 +62,7 @@ let c_fork_activations = Obs.counter ~scope:obs_scope "fork_activations"
 let c_backups_stored = Obs.counter ~scope:obs_scope "backups_stored"
 let c_state_requests = Obs.counter ~scope:obs_scope "state_requests_served"
 let c_bitrot = Obs.counter ~scope:obs_scope "bitrot_fires"
+let c_crashes = Obs.counter ~scope:obs_scope "crash_fires"
 
 let snapshot_of b = (b.db, b.ctr, b.last_user, b.root_sig)
 
@@ -99,7 +109,7 @@ let maybe_activate_fork t =
       end
   | Adversary.Honest | Adversary.Tamper_value _ | Adversary.Drop_update _
   | Adversary.Rollback _ | Adversary.Stall _ | Adversary.Freeze_epoch _
-  | Adversary.Bitrot _ ->
+  | Adversary.Bitrot _ | Adversary.Crash _ | Adversary.Rollback_crash _ ->
       ()
 
 let branch_for t ~user =
@@ -144,6 +154,20 @@ let store_backup t (b : Message.epoch_backup) =
   in
   Hashtbl.replace t.epoch_store b.backup_epoch backups
 
+let log_backup_to_store t (b : Message.epoch_backup) =
+  match t.store with
+  | None -> ()
+  | Some store ->
+      Store.log_backup store
+        {
+          Store.user = b.backup_user;
+          epoch = b.backup_epoch;
+          sigma = b.sigma;
+          last = b.last;
+          gctr = b.backup_gctr;
+          signature = b.backup_signature;
+        }
+
 let states_for t epochs =
   List.map
     (fun epoch ->
@@ -153,8 +177,9 @@ let states_for t epochs =
 (* ---- Runtime sanitizers --------------------------------------------- *)
 
 (* History snapshots are newest-first pre-operation states, so under an
-   honest continuation (Honest, and Bitrot — which applies operations
-   honestly before corrupting storage) the counters must strictly
+   honest continuation (Honest, Bitrot — which applies operations
+   honestly before corrupting storage — and Crash, whose recovery is
+   loss-free and clears the history) the counters must strictly
    decrease down the list. Rollback/Tamper/Fork legitimately break
    monotonicity, so only the cap is checked for them. *)
 let check_branch_history t b ~label =
@@ -166,9 +191,10 @@ let check_branch_history t b ~label =
   else begin
     let monotone_expected =
       match t.config.adversary with
-      | Adversary.Honest | Adversary.Bitrot _ -> true
+      | Adversary.Honest | Adversary.Bitrot _ | Adversary.Crash _ -> true
       | Adversary.Tamper_value _ | Adversary.Drop_update _ | Adversary.Fork _
-      | Adversary.Rollback _ | Adversary.Stall _ | Adversary.Freeze_epoch _ ->
+      | Adversary.Rollback _ | Adversary.Stall _ | Adversary.Freeze_epoch _
+      | Adversary.Rollback_crash _ ->
           false
     in
     if not monotone_expected then Ok ()
@@ -196,7 +222,7 @@ let check_history t =
 
 let check_invariants t =
   let check_db label db =
-    match T.check_invariants db with
+    match Sdb.check_invariants db with
     | Ok () -> Ok ()
     | Error e -> Error (Printf.sprintf "%s: %s" label e)
   in
@@ -222,6 +248,33 @@ let sanitize_pass t =
     | Error reason ->
         Sim.Engine.alarm t.engine ~agent:Sim.Id.Server ~reason:("sanitize: " ^ reason)
   end
+
+(* ---- Persistence ---------------------------------------------------- *)
+
+let shards_touched db (op : Vo.op) =
+  match op with
+  | Vo.Get k | Vo.Set (k, _) | Vo.Remove k -> [ Sdb.route db k ]
+  | Vo.Range (lo, hi) ->
+      let first = Sdb.route db lo and last = Sdb.route db hi in
+      List.init (last - first + 1) (fun j -> first + j)
+  | Vo.Set_many entries ->
+      List.sort_uniq Int.compare (List.map (fun (k, _) -> Sdb.route db k) entries)
+
+let record_routing t branch op =
+  match t.route_counters with
+  | None -> ()
+  | Some (per_shard, aggregate) ->
+      List.iter (fun i -> Obs.incr per_shard.(i)) (shards_touched branch.db op);
+      Obs.incr aggregate
+
+(* Only the main branch is durable: a fork is a lie the server tells
+   some users, not state it would recover after a restart. *)
+let persist_op t branch op =
+  match t.store with
+  | Some store when branch == t.main ->
+      Store.log_op store ~db:branch.db ~op ~ctr:branch.ctr
+        ~last_user:branch.last_user
+  | Some _ | None -> ()
 
 (* Serve one query. Fires Tamper/Drop/Rollback/Stall when the global
    operation index matches. *)
@@ -259,8 +312,8 @@ let execute_query t ~round ~user ~(op : Vo.op) ~piggyback =
       | None -> ())
   | _ -> ());
   let pre = snapshot_of branch in
-  let vo = Vo.generate branch.db op in
-  let db', answer = Sim.Oracle.trusted_answer branch.db op in
+  let vo = Sdb.generate_vo branch.db op in
+  let db', answer = Sdb.apply branch.db op in
   let response =
     Message.Response
       {
@@ -277,37 +330,46 @@ let execute_query t ~round ~user ~(op : Vo.op) ~piggyback =
   | Adversary.Drop_update { at_op } when t.total_ops = at_op ->
       (* Acknowledge without applying; in Signed mode also swallow the
          signature the user is about to send, keeping the stored one
-         consistent with the frozen state. *)
+         consistent with the frozen state. Nothing reached the state,
+         so nothing reaches the log. *)
       Obs.incr c_dropped;
       t.discard_next_sig <- true
   | Adversary.Tamper_value { at_op } when t.total_ops = at_op ->
       Obs.incr c_tampered;
-      let tampered, _ = Sim.Oracle.trusted_answer branch.db (tampered_op op) in
+      let tampered, _ = Sdb.apply branch.db (tampered_op op) in
       push_history ~cap:t.config.history_cap branch pre;
       branch.db <- tampered;
       branch.ctr <- branch.ctr + 1;
       branch.last_user <- user;
-      branch.root_sig <- None
+      branch.root_sig <- None;
+      (* The WAL records what the server actually did — the tampered
+         effect — so recovery reproduces the corrupted state exactly. *)
+      persist_op t branch (tampered_op op)
   | Adversary.Bitrot { at_op } when t.total_ops = at_op ->
       (* Serve and apply honestly, then rot the stored bytes without
          touching any cached digest: the tree keeps asserting the old
          value, so clients (and the server's own digest arithmetic)
-         notice nothing. *)
+         notice nothing. The rot is in the in-memory value cache; the
+         log records the honest operation. *)
       Obs.incr c_bitrot;
       push_history ~cap:t.config.history_cap branch pre;
-      branch.db <- T.debug_bitrot db';
+      branch.db <- Sdb.debug_bitrot db';
       branch.ctr <- branch.ctr + 1;
       branch.last_user <- user;
-      branch.root_sig <- None
+      branch.root_sig <- None;
+      persist_op t branch op
   | Adversary.Honest | Adversary.Tamper_value _ | Adversary.Drop_update _
   | Adversary.Fork _ | Adversary.Rollback _ | Adversary.Stall _
-  | Adversary.Freeze_epoch _ | Adversary.Bitrot _ ->
+  | Adversary.Freeze_epoch _ | Adversary.Bitrot _ | Adversary.Crash _
+  | Adversary.Rollback_crash _ ->
       push_history ~cap:t.config.history_cap branch pre;
       branch.db <- db';
       branch.ctr <- branch.ctr + 1;
       branch.last_user <- user;
-      branch.root_sig <- None);
+      branch.root_sig <- None;
+      persist_op t branch op);
   t.total_ops <- t.total_ops + 1;
+  record_routing t branch op;
   sanitize_pass t;
   Obs.incr c_queries;
   if t.config.mode = `Signed then t.awaiting_sig_on <- Some branch;
@@ -323,7 +385,9 @@ let rec process_queue t ~round =
 let handle_query t ~round ~user ~op ~piggyback =
   List.iter
     (function
-      | Message.Backup b -> store_backup t b
+      | Message.Backup b ->
+          store_backup t b;
+          log_backup_to_store t b
       | Message.Request_states _ -> ())
     piggyback;
   Queue.add (user, op, piggyback) t.queue;
@@ -331,18 +395,99 @@ let handle_query t ~round ~user ~op ~piggyback =
 
 let handle_root_signature t ~round ~signature =
   (match t.awaiting_sig_on with
-  | Some branch when not t.discard_next_sig -> branch.root_sig <- Some signature
+  | Some branch when not t.discard_next_sig ->
+      branch.root_sig <- Some signature;
+      (match t.store with
+      | Some store when branch == t.main -> Store.log_root_sig store signature
+      | Some _ | None -> ())
   | Some _ | None -> ());
   t.discard_next_sig <- false;
   t.awaiting_sig_on <- None;
   process_queue t ~round
+
+(* ---- Crash / recovery ----------------------------------------------- *)
+
+(* Kill the server at the start of the round and restart it from the
+   durable store. Honest recovery ([Crash]) replays snapshot + WAL
+   tail; the [Rollback_crash] variant "recovers" from the previous
+   snapshot generation, silently discarding the tail.
+
+   What survives a restart is exactly what the store holds: the
+   database, the counter, the stored root signature and the epoch
+   backups. Volatile lies die with the process — a forked branch and
+   the rollback history are gone (a recovered server must not
+   re-present pre-crash branch history as fresh). The request queue is
+   modelled as preserved: in the paper's model users retransmit an
+   unanswered query, which is indistinguishable from the queue
+   surviving, and it keeps honest crashes free of spurious
+   availability timeouts. *)
+let crash_recover t ~round =
+  match t.store with
+  | None -> () (* no store, nothing to crash back onto *)
+  | Some store ->
+      Obs.incr c_crashes;
+      let result =
+        match t.config.adversary with
+        | Adversary.Rollback_crash _ -> Store.recover_stale store
+        | _ -> Store.recover store
+      in
+      let r =
+        match result with
+        | Ok r -> r
+        | Error e -> failwith ("store recovery failed: " ^ e)
+      in
+      t.main.db <- r.Store.db;
+      t.main.ctr <- r.Store.ctr;
+      t.main.last_user <- r.Store.last_user;
+      t.main.root_sig <- r.Store.root_sig;
+      t.main.history <- [];
+      t.forked <- None;
+      t.discard_next_sig <- false;
+      Hashtbl.reset t.epoch_store;
+      List.iter
+        (fun (b : Store.backup) ->
+          store_backup t
+            {
+              Message.backup_user = b.Store.user;
+              backup_epoch = b.Store.epoch;
+              sigma = b.Store.sigma;
+              last = b.Store.last;
+              backup_gctr = b.Store.gctr;
+              backup_signature = b.Store.signature;
+            })
+        r.Store.backups;
+      (match t.config.mode with
+      | `Signed ->
+          if t.main.root_sig = None then
+            if t.main.ctr = 0 then
+              (* Rewound to the pristine state: the bootstrap signature
+                 over the initial root is common knowledge. *)
+              t.main.root_sig <- t.initial_root_sig
+            else
+              (* Crashed mid-handshake: the operating user's signature
+                 is still in flight, so block the queue until it
+                 arrives — the restarted server rebuilds the waiting
+                 state from "unsigned root, non-zero counter". *)
+              t.awaiting_sig_on <- Some t.main
+          else t.awaiting_sig_on <- None
+      | `Plain | `Token -> ());
+      ignore round;
+      process_queue t ~round
+
+let maybe_crash t ~round =
+  match t.config.adversary with
+  | (Adversary.Crash { at_round } | Adversary.Rollback_crash { at_round })
+    when round = at_round && not t.crashed ->
+      t.crashed <- true;
+      crash_recover t ~round
+  | _ -> ()
 
 (* ---- Token mode ---------------------------------------------------- *)
 
 let token_head t = match t.token_log with [] -> None | r :: _ -> Some r
 
 let handle_token_query t ~user ~op =
-  let vo = Vo.generate t.main.db op in
+  let vo = Sdb.generate_vo t.main.db op in
   Sim.Engine.send t.engine ~src:Sim.Id.Server ~dst:(Sim.Id.User user)
     (Message.Token_state { record = token_head t; vo })
 
@@ -359,7 +504,7 @@ let handle_token_turn t ~op ~record =
       (match effective_op with
       | None -> ()
       | Some op ->
-          let db', _ = Sim.Oracle.trusted_answer t.main.db op in
+          let db', _ = Sdb.apply t.main.db op in
           t.main.db <- db');
       t.total_ops <- t.total_ops + 1;
       sanitize_pass t);
@@ -367,8 +512,26 @@ let handle_token_turn t ~op ~record =
 
 (* ---- Wiring --------------------------------------------------------- *)
 
-let create config ~engine ~initial ~initial_root_sig =
-  let db = T.of_alist ~branching:config.branching initial in
+let create ?store ?shards config ~engine ~initial ~initial_root_sig =
+  let db =
+    match store with
+    | Some s -> Store.db s
+    | None ->
+        let shards = Option.value ~default:1 shards in
+        Sdb.create ~branching:config.branching ~shards initial
+  in
+  let route_counters =
+    match (store, shards) with
+    | None, None -> None
+    | _ ->
+        let n = Sdb.shard_count db in
+        Some
+          ( Array.init n (fun i ->
+                Obs.counter
+                  ~scope:(Obs.Scope.v (Printf.sprintf "server.s%d" i))
+                  "ops_routed"),
+            Obs.counter ~scope:obs_scope "ops_routed" )
+  in
   let main =
     { db; ctr = 0; last_user = -1; root_sig = initial_root_sig; history = [] }
   in
@@ -376,7 +539,9 @@ let create config ~engine ~initial ~initial_root_sig =
     {
       config;
       engine;
-      initial_root = T.root_digest db;
+      initial_root = Sdb.root_digest db;
+      initial_root_sig;
+      store;
       main;
       forked = None;
       queue = Queue.create ();
@@ -385,6 +550,8 @@ let create config ~engine ~initial ~initial_root_sig =
       epoch_store = Hashtbl.create 64;
       token_log = [];
       total_ops = 0;
+      crashed = false;
+      route_counters;
     }
   in
   let on_message ~round ~src msg =
@@ -403,10 +570,16 @@ let create config ~engine ~initial ~initial_root_sig =
     | Sim.Id.Server, _ -> ()
   in
   Sim.Engine.register engine Sim.Id.Server
-    { on_message; on_activate = (fun ~round:_ -> ()) };
+    { on_message; on_activate = (fun ~round -> maybe_crash t ~round) };
   t
 
 let initial_root t = t.initial_root
 let ops_performed t = t.main.ctr
-let true_root t = T.root_digest t.main.db
+let true_root t = Sdb.root_digest t.main.db
 let history_length t = List.length t.main.history
+
+module Sharded = struct
+  let shard_count t = Sdb.shard_count t.main.db
+  let shard_roots t = Sdb.shard_roots t.main.db
+  let shard_of_key t key = Sdb.route t.main.db key
+end

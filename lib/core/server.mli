@@ -46,6 +46,8 @@ val default_history_cap : int
 type t
 
 val create :
+  ?store:Store.t ->
+  ?shards:int ->
   config ->
   engine:Message.t Sim.Engine.t ->
   initial:(string * string) list ->
@@ -54,7 +56,18 @@ val create :
 (** Build the server state and register it with the engine under
     {!Sim.Id.Server}. [initial_root_sig] seeds Protocol I with the
     elected user's signature over the initial root (the paper's
-    initialisation step). *)
+    initialisation step).
+
+    [store], when given, makes the server durable: the main branch is
+    seeded from {!Store.db} (which is [initial] on a fresh store and
+    the recovered database on a reopened one), every served operation,
+    stored root signature and epoch backup is logged to the store's
+    WAL, and the [Crash] / [Rollback_crash] adversaries become
+    meaningful. [shards], when given without a store, runs the server
+    on an in-memory {!Store.Shard_db} with that many shards. Either
+    argument also switches on the per-shard [server.s<i>.ops_routed]
+    routing counters plus the [server.ops_routed] aggregate (kept off
+    otherwise so legacy single-tree reports are byte-identical). *)
 
 val initial_root : t -> string
 (** [M(D₀)] — common knowledge among users. *)
@@ -83,7 +96,20 @@ val check_history : t -> (unit, string) result
     newest-first snapshot list. *)
 
 val check_invariants : t -> (unit, string) result
-(** Full state validation: {!Mtree.Merkle_btree.check_invariants} on
-    every live branch database (digest recomputation from raw bytes —
-    this is what catches {!Adversary.Bitrot}) followed by
-    {!check_history}. *)
+(** Full state validation: {!Store.Shard_db.check_invariants} on every
+    live branch database (digest recomputation from raw bytes — this
+    is what catches {!Adversary.Bitrot} — plus shard routing) followed
+    by {!check_history}. *)
+
+(** {2 Sharding} *)
+
+module Sharded : sig
+  val shard_count : t -> int
+  (** 1 on legacy single-tree servers. *)
+
+  val shard_roots : t -> string array
+  (** Per-shard root digests of the main branch; the signed root is
+      their composition ({!Store.Shard_db.root_digest}). *)
+
+  val shard_of_key : t -> string -> int
+end

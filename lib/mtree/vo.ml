@@ -10,7 +10,15 @@ type answer =
   | Updated
   | Entries of (string * string) list
 
-type t = { branching : int; proof : Node.t }
+(* A flat VO is the classic pruned tree. A sharded VO carries one
+   pruned proof per shard (off-path shards collapse to a stub of their
+   root) plus the shard boundaries; its root is the digest of the
+   one-level composition node over the shard roots. *)
+type body =
+  | Flat of Node.t
+  | Sharded of { boundaries : string array; parts : Node.t array }
+
+type t = { branching : int; body : body }
 
 type error = Insufficient | Malformed of string
 
@@ -19,8 +27,17 @@ let pp_error fmt = function
   | Malformed m -> Format.fprintf fmt "malformed verification object: %s" m
 
 let branching t = t.branching
-let root_node t = t.proof
-let of_node ~branching proof = { branching; proof }
+
+let root_node t =
+  match t.body with
+  | Flat proof -> proof
+  | Sharded { boundaries; parts } -> Node.make_node boundaries parts
+
+let of_node ~branching proof = { branching; body = Flat proof }
+
+let compose_root boundaries part_digests =
+  Node.digest
+    (Node.make_node boundaries (Array.map (fun d -> Node.Stub d) part_digests))
 
 let obs_scope = Obs.Scope.v "mtree"
 let c_vo_generated = Obs.counter ~scope:obs_scope "vo_generated"
@@ -90,54 +107,144 @@ let rec encoded_size_node = function
       in
       Array.fold_left (fun acc c -> acc + encoded_size_node c) acc children
 
-let size_bytes t = 3 + encoded_size_node t.proof
+let size_bytes t =
+  match t.body with
+  | Flat proof -> 3 + encoded_size_node proof
+  | Sharded { boundaries; parts } ->
+      let acc =
+        Array.fold_left (fun acc b -> acc + 4 + String.length b) (3 + 1 + 2) boundaries
+      in
+      Array.fold_left (fun acc p -> acc + encoded_size_node p) acc parts
 
-let generate tree op =
-  let root = Merkle_btree.root tree in
-  let proof =
-    match op with
-    | Get key | Set (key, _) -> prune_path ~with_siblings:false root key
-    | Set_many entries -> prune_paths ~with_siblings:false root (List.map fst entries)
-    | Remove key -> prune_path ~with_siblings:true root key
-    | Range (lo, hi) -> prune_range root ~lo ~hi
-  in
-  let vo = { branching = Merkle_btree.branching tree; proof } in
+(* Pruned proof of one tree around the access path of [op]. *)
+let prune_for_op root (op : op) =
+  match op with
+  | Get key | Set (key, _) -> prune_path ~with_siblings:false root key
+  | Set_many entries -> prune_paths ~with_siblings:false root (List.map fst entries)
+  | Remove key -> prune_path ~with_siblings:true root key
+  | Range (lo, hi) -> prune_range root ~lo ~hi
+
+let record_generated vo =
   Obs.incr c_vo_generated;
   Obs.observe h_vo_bytes (size_bytes vo);
-  Obs.observe h_proof_depth (Node.depth proof);
+  Obs.observe h_proof_depth (Node.depth (root_node vo))
+
+let generate tree op =
+  let proof = prune_for_op (Merkle_btree.root tree) op in
+  let vo = { branching = Merkle_btree.branching tree; body = Flat proof } in
+  record_generated vo;
+  vo
+
+(* Which shards does [op] touch? Same routing the replay uses. *)
+let shards_for boundaries (op : op) =
+  let route k = Node.child_index boundaries k in
+  match op with
+  | Get key | Set (key, _) | Remove key -> [ route key ]
+  | Set_many entries ->
+      List.sort_uniq Int.compare (List.map (fun (k, _) -> route k) entries)
+  | Range (lo, hi) ->
+      let first = route lo and last = route hi in
+      List.init (last - first + 1) (fun i -> first + i)
+
+(* Restrict a [Set_many] to the keys shard [i] owns; order preserved. *)
+let sub_op_for boundaries i (op : op) =
+  match op with
+  | Set_many entries ->
+      Set_many (List.filter (fun (k, _) -> Node.child_index boundaries k = i) entries)
+  | Get _ | Set _ | Remove _ | Range _ -> op
+
+let generate_sharded ~boundaries ~trees op =
+  if Array.length trees < 2 then invalid_arg "Vo.generate_sharded: need >= 2 shards";
+  if Array.length boundaries <> Array.length trees - 1 then
+    invalid_arg "Vo.generate_sharded: boundaries/shards mismatch";
+  let branching = Merkle_btree.branching trees.(0) in
+  let touched = shards_for boundaries op in
+  let parts =
+    Array.mapi
+      (fun i tree ->
+        let root = Merkle_btree.root tree in
+        if List.exists (Int.equal i) touched then
+          prune_for_op root (sub_op_for boundaries i op)
+        else Node.Stub (Node.digest root))
+      trees
+  in
+  let vo = { branching; body = Sharded { boundaries; parts } } in
+  record_generated vo;
   vo
 
 (* ---- Replay (client side) ----------------------------------------- *)
 
-let apply t op =
-  Obs.incr c_vo_replays;
-  let old_root = Node.digest t.proof in
+(* Flat replay of [op] on one pruned tree: the answer and the tree's
+   new root digest. *)
+let replay_flat ~branching proof op =
+  let old_root = Node.digest proof in
   match op with
-  | Get key -> (
-      match Node.find t.proof key with
-      | value -> Ok (Value value, old_root, old_root)
-      | exception Node.Insufficient_proof -> Error Insufficient)
-  | Range (lo, hi) -> (
-      match Node.range t.proof ~lo ~hi with
-      | entries -> Ok (Entries entries, old_root, old_root)
-      | exception Node.Insufficient_proof -> Error Insufficient)
+  | Get key -> (Value (Node.find proof key), old_root)
+  | Range (lo, hi) -> (Entries (Node.range proof ~lo ~hi), old_root)
   | Set (key, value) -> (
-      match Node.insert ~branching:t.branching t.proof ~key ~value with
-      | Node.Ok_one n -> Ok (Updated, old_root, Node.digest n)
+      match Node.insert ~branching proof ~key ~value with
+      | Node.Ok_one n -> (Updated, Node.digest n)
       | Node.Split (l, sep, r) ->
-          Ok (Updated, old_root, Node.digest (Node.make_node [| sep |] [| l; r |]))
-      | exception Node.Insufficient_proof -> Error Insufficient)
-  | Set_many entries -> (
+          (Updated, Node.digest (Node.make_node [| sep |] [| l; r |])))
+  | Set_many entries ->
       (* Path-sharing batch replay: shared upper levels of the pruned
          tree are re-hashed once for the whole batch. *)
-      match Node.insert_many ~branching:t.branching t.proof entries with
-      | n -> Ok (Updated, old_root, Node.digest n)
-      | exception Node.Insufficient_proof -> Error Insufficient)
+      (Updated, Node.digest (Node.insert_many ~branching proof entries))
   | Remove key -> (
-      match Node.delete ~branching:t.branching t.proof ~key with
-      | None -> Ok (Updated, old_root, old_root)
-      | Some n -> Ok (Updated, old_root, Node.digest (Node.collapse_root n))
-      | exception Node.Insufficient_proof -> Error Insufficient)
+      match Node.delete ~branching proof ~key with
+      | None -> (Updated, old_root)
+      | Some n -> (Updated, Node.digest (Node.collapse_root n)))
+
+(* Sharded replay: route the operation to its shards, replay each
+   owning part flat, then recompose the shard roots under the same
+   one-level composition node the server signs. The composition is
+   deliberately NOT an ordinary B⁺-node insert: a shard-root split must
+   stay inside the shard (mirroring the server's independent trees),
+   never be absorbed into the composition level. *)
+let replay_sharded ~branching ~boundaries ~parts op =
+  let old_digests = Array.map Node.digest parts in
+  let old_root = compose_root boundaries old_digests in
+  let touched = shards_for boundaries op in
+  let new_digests = Array.copy old_digests in
+  let answers =
+    List.map
+      (fun i ->
+        let answer, new_d =
+          replay_flat ~branching parts.(i) (sub_op_for boundaries i op)
+        in
+        new_digests.(i) <- new_d;
+        answer)
+      touched
+  in
+  let answer =
+    match op with
+    | Get _ | Set _ | Set_many _ | Remove _ -> (
+        match answers with
+        | [] -> Updated (* Set_many [] touches no shard *)
+        | a :: _ -> a)
+    | Range _ ->
+        (* Shards partition the key space in order, so per-shard range
+           results concatenate (touched is ascending). *)
+        Entries
+          (List.concat_map
+             (function Entries es -> es | Value _ | Updated -> [])
+             answers)
+  in
+  (answer, old_root, compose_root boundaries new_digests)
+
+let apply t op =
+  Obs.incr c_vo_replays;
+  match
+    match t.body with
+    | Flat proof ->
+        let old_root = Node.digest proof in
+        let answer, new_root = replay_flat ~branching:t.branching proof op in
+        (answer, old_root, new_root)
+    | Sharded { boundaries; parts } ->
+        replay_sharded ~branching:t.branching ~boundaries ~parts op
+  with
+  | result -> Ok result
+  | exception Node.Insufficient_proof -> Error Insufficient
 
 (* ---- Statistics ---------------------------------------------------- *)
 
@@ -147,7 +254,12 @@ let rec stub_count_node = function
   | Node.Node { children; _ } ->
       Array.fold_left (fun acc c -> acc + stub_count_node c) 0 children
 
-let stub_count t = stub_count_node t.proof
+let fold_parts f t =
+  match t.body with
+  | Flat proof -> f proof
+  | Sharded { parts; _ } -> Array.fold_left (fun acc p -> acc + f p) 0 parts
+
+let stub_count t = fold_parts stub_count_node t
 
 let rec materialized_nodes_node = function
   | Node.Stub _ -> 0
@@ -155,11 +267,14 @@ let rec materialized_nodes_node = function
   | Node.Node { children; _ } ->
       Array.fold_left (fun acc c -> acc + materialized_nodes_node c) 1 children
 
-let materialized_nodes t = materialized_nodes_node t.proof
+let materialized_nodes t = fold_parts materialized_nodes_node t
 
 (* ---- Wire format ---------------------------------------------------
 
    header: 'V' u16(branching)
+   body:   node
+         | 'H' u16(nparts) { frame(boundary) }*   (nparts-1 boundaries)
+               { node }+                          (nparts shard proofs)
    node:   'S' 32-byte digest
          | 'L' u16(count) { frame(key) frame(value) }*
          | 'N' u16(nkeys) { frame(key) }* { node }+   (nkeys+1 children)
@@ -199,7 +314,13 @@ let encode t =
   let buf = Buffer.create 1024 in
   Buffer.add_char buf 'V';
   put_u16 buf t.branching;
-  encode_node buf t.proof;
+  (match t.body with
+  | Flat proof -> encode_node buf proof
+  | Sharded { boundaries; parts } ->
+      Buffer.add_char buf 'H';
+      put_u16 buf (Array.length parts);
+      Array.iter (put_frame buf) boundaries;
+      Array.iter (encode_node buf) parts);
   Buffer.contents buf
 
 exception Decode_error of string
@@ -256,10 +377,26 @@ let decode s =
   match
     if get_char () <> 'V' then raise (Decode_error "bad header");
     let branching = get_u16 () in
-    let proof = node () in
+    let body =
+      if !pos < String.length s && s.[!pos] = 'H' then begin
+        pos := !pos + 1;
+        let nparts = get_u16 () in
+        if nparts < 2 then raise (Decode_error "sharded VO needs >= 2 parts");
+        let boundaries = Array.init (nparts - 1) (fun _ -> get_frame ()) in
+        if
+          not
+            (Array.for_all Fun.id
+               (Array.init (max 0 (nparts - 2)) (fun i ->
+                    String.compare boundaries.(i) boundaries.(i + 1) < 0)))
+        then raise (Decode_error "shard boundaries not sorted");
+        let parts = Array.init nparts (fun _ -> node ()) in
+        Sharded { boundaries; parts }
+      end
+      else Flat (node ())
+    in
     if !pos <> String.length s then raise (Decode_error "trailing bytes");
     if branching < 4 then raise (Decode_error "bad branching");
-    { branching; proof }
+    { branching; body }
   with
   | t -> Some t
   | exception Decode_error _ -> None

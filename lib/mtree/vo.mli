@@ -45,11 +45,26 @@ val generate : Merkle_btree.t -> op -> t
     the union of paths for [Set_many] — plus one-level-deep siblings
     for [Remove], which may rebalance. *)
 
+val generate_sharded :
+  boundaries:string array -> trees:Merkle_btree.t array -> op -> t
+(** Server side, sharded store: one pruned proof per shard the
+    operation touches (routed by [boundaries], which must have one
+    fewer element than [trees]); untouched shards collapse to a stub of
+    their root digest. The VO's root is the digest of the one-level
+    composition node over the shard roots — the digest a sharded
+    server signs and exchanges. Requires at least two shards (one
+    shard is just {!generate}).
+    @raise Invalid_argument on a boundary/shard count mismatch. *)
+
 val apply : t -> op -> (answer * string * string, error) result
 (** Client side: [apply vo op] replays [op] and returns
     [(answer, old_root_digest, new_root_digest)]. For read-only ops the
     two digests are equal. The caller is responsible for comparing
-    [old_root_digest] with its trusted [M(D)]. *)
+    [old_root_digest] with its trusted [M(D)]. On a sharded VO the
+    replay routes the operation to its owning shards, replays each part
+    with the flat algorithms, and recomposes the shard roots — so a
+    shard-root split stays inside the shard, exactly as on the
+    server. *)
 
 val branching : t -> int
 val size_bytes : t -> int
@@ -69,7 +84,14 @@ val encode : t -> string
 val decode : string -> t option
 
 val of_node : branching:int -> Node.t -> t
-(** Wrap an existing (possibly pruned) node as a VO — used by tests and
-    by adversaries that craft VOs directly. *)
+(** Wrap an existing (possibly pruned) node as a flat VO — used by
+    tests and by adversaries that craft VOs directly. *)
 
 val root_node : t -> Node.t
+(** The proof tree; for a sharded VO, the one-level composition node
+    over the shard proofs (whose digest is the VO's root). *)
+
+val compose_root : string array -> string array -> string
+(** [compose_root boundaries shard_roots] — digest of the composition
+    node; shared with the sharded store so server and client cannot
+    disagree on the extra hash level by construction. *)

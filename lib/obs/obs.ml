@@ -15,6 +15,9 @@ let bucket_count = 63
 
 type histogram = {
   h_name : string;
+  (* Volatile histograms hold wall-clock measurements; they are
+     queryable but never rendered into the deterministic report. *)
+  h_volatile : bool;
   mutable count : int;
   mutable sum : int;
   mutable min_v : int;
@@ -57,7 +60,7 @@ let incr ?(by = 1) c = c.c <- c.c + by
 let record_max c v = if v > c.c then c.c <- v
 let counter_value c = c.c
 
-let histogram ?scope name =
+let histogram ?scope ?(volatile = false) name =
   let name = full_name scope name in
   match Hashtbl.find_opt registry name with
   | Some (Histogram h) -> h
@@ -66,6 +69,7 @@ let histogram ?scope name =
       let h =
         {
           h_name = name;
+          h_volatile = volatile;
           count = 0;
           sum = 0;
           min_v = max_int;
@@ -265,7 +269,10 @@ module Report = struct
     in
     let histograms =
       List.filter_map
-        (fun (n, m) -> match m with Histogram h when h.count > 0 -> Some (n, h) | _ -> None)
+        (fun (n, m) ->
+          match m with
+          | Histogram h when h.count > 0 && not h.h_volatile -> Some (n, h)
+          | _ -> None)
         metrics
     in
     let metas =

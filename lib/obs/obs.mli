@@ -53,7 +53,12 @@ val record_max : counter -> int -> unit
 
 val counter_value : counter -> int
 
-val histogram : ?scope:Scope.t -> string -> histogram
+val histogram : ?scope:Scope.t -> ?volatile:bool -> string -> histogram
+(** With [~volatile:true], the histogram is registered as wall-clock
+    data: it can be read back through {!stats}/{!histogram_count} (the
+    store benchmark does), but {!Report.to_json} omits it, so real I/O
+    latencies never perturb the byte-identical same-seed reports. *)
+
 val observe : histogram -> int -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> int

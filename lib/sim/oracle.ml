@@ -22,22 +22,22 @@ let trusted_answer db (op : Vo.op) =
   | Vo.Remove k -> (T.remove db k, Vo.Updated)
   | Vo.Range (lo, hi) -> (db, Vo.Entries (T.range db ~lo ~hi))
 
-let replay ?branching ~initial trace =
-  let db = ref (T.of_alist ?branching initial) in
+let replay_with ~init ~apply ~root trace =
+  let db = ref init in
   let first_deviation = ref None in
   List.iter
     (fun (tx : Trace.transaction) ->
       match tx.answer with
       | None -> () (* incomplete: availability handled by the caller *)
       | Some reported ->
-          let pre_root = T.root_digest !db in
-          let db', expected = trusted_answer !db tx.op in
+          let pre_root = root !db in
+          let db', expected = apply !db tx.op in
           db := db';
           let roots_consistent =
             match tx.roots with
             | None -> true
             | Some (old_root, new_root) ->
-                old_root = pre_root && new_root = T.root_digest !db
+                String.equal old_root pre_root && String.equal new_root (root !db)
           in
           if
             ((not (answers_equal expected reported)) || not roots_consistent)
@@ -47,5 +47,10 @@ let replay ?branching ~initial trace =
   {
     deviated = !first_deviation <> None;
     first_deviation = !first_deviation;
-    trusted_final_root = T.root_digest !db;
+    trusted_final_root = root !db;
   }
+
+let replay ?branching ~initial trace =
+  replay_with
+    ~init:(T.of_alist ?branching initial)
+    ~apply:trusted_answer ~root:T.root_digest trace

@@ -41,4 +41,16 @@ val replay : ?branching:int -> initial:(string * string) list -> Trace.t -> verd
     [initial] and replays [trace]'s completed transactions in issue
     order. *)
 
+val replay_with :
+  init:'db ->
+  apply:('db -> Mtree.Vo.op -> 'db * Mtree.Vo.answer) ->
+  root:('db -> string) ->
+  Trace.t ->
+  verdict
+(** Generalised replay over any trusted executor — the sharded store
+    records composed (multi-shard) root digests in its traces, which a
+    single-tree replay would wrongly flag; the harness passes the
+    matching executor instead. {!replay} is [replay_with] over
+    {!trusted_answer}. *)
+
 val answers_equal : Mtree.Vo.answer -> Mtree.Vo.answer -> bool

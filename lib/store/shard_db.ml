@@ -1,0 +1,107 @@
+module T = Mtree.Merkle_btree
+module Vo = Mtree.Vo
+
+type t = { map : Shard_map.t; shards : T.t array }
+
+let of_map map initial =
+  let branching = Shard_map.branching map in
+  let n = Shard_map.shards map in
+  if n = 1 then { map; shards = [| T.of_alist ~branching initial |] }
+  else begin
+    let buckets = Array.make n [] in
+    (* Later bindings win, as in [T.of_alist]: distribute in order,
+       prepend, then reverse per bucket. *)
+    List.iter
+      (fun ((k, _) as binding) ->
+        let i = Shard_map.route map k in
+        buckets.(i) <- binding :: buckets.(i))
+      initial;
+    let shards =
+      Array.map (fun bucket -> T.of_alist ~branching (List.rev bucket)) buckets
+    in
+    { map; shards }
+  end
+
+let create ?(branching = 16) ~shards initial =
+  of_map (Shard_map.create ~branching ~shards ~keys:(List.map fst initial)) initial
+
+let of_trees map trees =
+  if Array.length trees <> Shard_map.shards map then
+    invalid_arg "Shard_db.of_trees: shard count mismatch";
+  { map; shards = trees }
+
+let map t = t.map
+let branching t = Shard_map.branching t.map
+let shard_count t = Array.length t.shards
+let trees t = t.shards
+let route t key = Shard_map.route t.map key
+let size t = Array.fold_left (fun acc s -> acc + T.size s) 0 t.shards
+let shard_roots t = Array.map T.root_digest t.shards
+
+let root_digest t =
+  if Array.length t.shards = 1 then T.root_digest t.shards.(0)
+  else Vo.compose_root (Shard_map.boundaries t.map) (shard_roots t)
+
+let with_shard t i tree =
+  let shards = Array.copy t.shards in
+  shards.(i) <- tree;
+  { t with shards }
+
+(* Mirrors [Sim.Oracle.trusted_answer], routed per shard. *)
+let apply t (op : Vo.op) =
+  match op with
+  | Vo.Get k -> (t, Vo.Value (T.find t.shards.(route t k) k))
+  | Vo.Set (k, v) ->
+      let i = route t k in
+      (with_shard t i (T.set t.shards.(i) ~key:k ~value:v), Vo.Updated)
+  | Vo.Set_many entries ->
+      let touched =
+        List.sort_uniq Int.compare (List.map (fun (k, _) -> route t k) entries)
+      in
+      let t' =
+        List.fold_left
+          (fun acc i ->
+            let mine = List.filter (fun (k, _) -> route t k = i) entries in
+            with_shard acc i (T.set_many acc.shards.(i) mine))
+          t touched
+      in
+      (t', Vo.Updated)
+  | Vo.Remove k ->
+      let i = route t k in
+      (with_shard t i (T.remove t.shards.(i) k), Vo.Updated)
+  | Vo.Range (lo, hi) ->
+      let first = route t lo and last = route t hi in
+      let entries =
+        List.concat (List.init (last - first + 1) (fun j -> T.range t.shards.(first + j) ~lo ~hi))
+      in
+      (t, Vo.Entries entries)
+
+let generate_vo t op =
+  if Array.length t.shards = 1 then Vo.generate t.shards.(0) op
+  else Vo.generate_sharded ~boundaries:(Shard_map.boundaries t.map) ~trees:t.shards op
+
+let to_alist t = List.concat_map T.to_alist (Array.to_list t.shards)
+
+let check_invariants t =
+  let rec go i =
+    if i = Array.length t.shards then Ok ()
+    else begin
+      match T.check_invariants t.shards.(i) with
+      | Error e -> Error (Printf.sprintf "shard %d: %s" i e)
+      | Ok () -> (
+          match
+            List.find_opt (fun k -> route t k <> i) (T.keys t.shards.(i))
+          with
+          | Some k -> Error (Printf.sprintf "shard %d: misrouted key %S" i k)
+          | None -> go (i + 1))
+    end
+  in
+  go 0
+
+let debug_bitrot t =
+  let rec go i =
+    if i = Array.length t.shards then t
+    else if T.size t.shards.(i) > 0 then with_shard t i (T.debug_bitrot t.shards.(i))
+    else go (i + 1)
+  in
+  go 0

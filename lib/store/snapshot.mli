@@ -1,0 +1,17 @@
+(** Checksummed snapshot files, written atomically (tmp + rename).
+
+    On-disk layout: an 8-byte magic ["TCVSSNP1"], the first 8 bytes of
+    [SHA-256(payload)], then the payload. The payload codecs (shard
+    entry arrays, bookkeeping meta) live in {!Store}; this module only
+    guarantees that a snapshot read back is exactly the snapshot
+    written, or an error. *)
+
+val write : string -> payload:string -> unit
+(** Write to [path ^ ".tmp"], then rename over [path] — a crash between
+    the two leaves the previous snapshot intact. Records
+    [store.snapshot.writes] and the volatile [store.snapshot.write_us]
+    histogram. *)
+
+val read : string -> (string, string) result
+(** The payload, or [Error] when the file is missing, the magic is
+    wrong, or the checksum fails. *)

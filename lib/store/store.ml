@@ -1,0 +1,642 @@
+(* [Store] is the library's main module: re-export the siblings so
+   consumers can reach [Store.Shard_db], [Store.Wal], ... *)
+module Shard_map = Shard_map
+module Shard_db = Shard_db
+module Wal = Wal
+module Snapshot = Snapshot
+
+module T = Mtree.Merkle_btree
+module Vo = Mtree.Vo
+module W = Wire.W
+module R = Wire.R
+
+let src = Logs.Src.create "tcvs.store" ~doc:"Durable server store"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let obs_scope = Obs.Scope.v "store"
+let c_ops_logged = Obs.counter ~scope:obs_scope "ops_logged"
+let c_checkpoints = Obs.counter ~scope:obs_scope "checkpoints"
+let c_recoveries = Obs.counter ~scope:obs_scope "recoveries"
+let c_stale_recoveries = Obs.counter ~scope:obs_scope "stale_recoveries"
+let h_recover_us = Obs.histogram ~scope:obs_scope ~volatile:true "recover_us"
+let h_checkpoint_us = Obs.histogram ~scope:obs_scope ~volatile:true "checkpoint_us"
+
+let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+let ( let* ) = Result.bind
+
+type backup = {
+  user : int;
+  epoch : int;
+  sigma : string;
+  last : string;
+  gctr : int;
+  signature : string;
+}
+
+type recovered = {
+  db : Shard_db.t;
+  ctr : int;
+  last_user : int;
+  root_sig : string option;
+  backups : backup list;
+}
+
+type meta = {
+  m_ctr : int;
+  m_last_user : int;
+  m_root_sig : string option;
+  m_next_lsn : int;
+  m_backups : backup list;
+}
+
+type t = {
+  dir : string;
+  map : Shard_map.t;
+  fsync : bool;
+  checkpoint_every : int;
+  mutable gen : int;
+  mutable next_lsn : int;
+  mutable shard_writers : Wal.writer array;
+  mutable meta_writer : Wal.writer;
+  (* Mirror of the bookkeeping the meta log describes, so a checkpoint
+     can serialise it without asking the server. *)
+  mutable ctr : int;
+  mutable last_user : int;
+  mutable root_sig : string option;
+  mutable backups : backup list;
+  mutable ops_since_checkpoint : int;
+  mutable opened_db : Shard_db.t;
+  mutable closed : bool;
+}
+
+(* ---- paths ---------------------------------------------------------- *)
+
+let ( // ) = Filename.concat
+let manifest_path dir = dir // "MANIFEST"
+let current_path dir = dir // "CURRENT"
+let shard_snap dir i g = dir // Printf.sprintf "shard%d.%d.snap" i g
+let shard_wal dir i g = dir // Printf.sprintf "shard%d.%d.wal" i g
+let meta_snap dir g = dir // Printf.sprintf "meta.%d.snap" g
+let meta_wal dir g = dir // Printf.sprintf "meta.%d.wal" g
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let remove_if_exists path = if Sys.file_exists path then Sys.remove path
+
+let delete_generation dir ~shards g =
+  for i = 0 to shards - 1 do
+    remove_if_exists (shard_snap dir i g);
+    remove_if_exists (shard_wal dir i g)
+  done;
+  remove_if_exists (meta_snap dir g);
+  remove_if_exists (meta_wal dir g)
+
+let write_current dir g =
+  let tmp = current_path dir ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (string_of_int g);
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc);
+  close_out oc;
+  Sys.rename tmp (current_path dir)
+
+let read_current dir =
+  let path = current_path dir in
+  if not (Sys.file_exists path) then Error (path ^ ": missing")
+  else begin
+    let ic = open_in_bin path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match int_of_string_opt (String.trim contents) with
+    | Some g when g >= 0 -> Ok g
+    | _ -> Error (path ^ ": unreadable generation number")
+  end
+
+(* ---- codecs --------------------------------------------------------- *)
+
+let encode_op w (op : Vo.op) =
+  match op with
+  | Vo.Get k ->
+      W.u8 w 0;
+      W.str w k
+  | Vo.Set (k, v) ->
+      W.u8 w 1;
+      W.str w k;
+      W.str w v
+  | Vo.Set_many entries ->
+      W.u8 w 2;
+      W.list w
+        (fun (k, v) ->
+          W.str w k;
+          W.str w v)
+        entries
+  | Vo.Remove k ->
+      W.u8 w 3;
+      W.str w k
+  | Vo.Range (lo, hi) ->
+      W.u8 w 4;
+      W.str w lo;
+      W.str w hi
+
+let decode_op r : Vo.op =
+  match R.u8 r with
+  | 0 -> Vo.Get (R.str r)
+  | 1 ->
+      let k = R.str r in
+      Vo.Set (k, R.str r)
+  | 2 ->
+      Vo.Set_many
+        (R.list r (fun r ->
+             let k = R.str r in
+             (k, R.str r)))
+  | 3 -> Vo.Remove (R.str r)
+  | 4 ->
+      let lo = R.str r in
+      Vo.Range (lo, R.str r)
+  | n -> failwith (Printf.sprintf "unknown op tag %d" n)
+
+(* [last_user] can be -1 (no user yet); shift by one for the unsigned
+   wire field. *)
+let encode_op_record ~op ~ctr ~last_user =
+  let w = W.create () in
+  encode_op w op;
+  W.u32 w ctr;
+  W.u32 w (last_user + 1);
+  W.contents w
+
+let decode_op_record payload =
+  Wire.decode payload (fun r ->
+      let op = decode_op r in
+      let ctr = R.u32 r in
+      let last_user = R.u32 r - 1 in
+      (op, ctr, last_user))
+
+let encode_backup w b =
+  W.u16 w b.user;
+  W.u32 w b.epoch;
+  W.str w b.sigma;
+  W.str w b.last;
+  W.u32 w b.gctr;
+  W.str w b.signature
+
+let decode_backup r =
+  let user = R.u16 r in
+  let epoch = R.u32 r in
+  let sigma = R.str r in
+  let last = R.str r in
+  let gctr = R.u32 r in
+  let signature = R.str r in
+  { user; epoch; sigma; last; gctr; signature }
+
+let encode_sig_record s =
+  let w = W.create () in
+  W.u8 w 1;
+  W.str w s;
+  W.contents w
+
+let encode_backup_record b =
+  let w = W.create () in
+  W.u8 w 2;
+  encode_backup w b;
+  W.contents w
+
+let decode_meta_record payload =
+  Wire.decode payload (fun r ->
+      match R.u8 r with
+      | 1 -> `Sig (R.str r)
+      | 2 -> `Backup (decode_backup r)
+      | n -> failwith (Printf.sprintf "unknown meta tag %d" n))
+
+let sort_backups backups =
+  List.sort (fun a b -> compare (a.epoch, a.user) (b.epoch, b.user)) backups
+
+let replace_backup backups b =
+  b :: List.filter (fun x -> not (x.user = b.user && x.epoch = b.epoch)) backups
+
+(* ---- snapshots ------------------------------------------------------ *)
+
+let write_shard_snapshot dir g i tree =
+  let w = W.create () in
+  W.u16 w i;
+  W.str w (T.root_digest tree);
+  W.list w
+    (fun (k, v) ->
+      W.str w k;
+      W.str w v)
+    (T.to_alist tree);
+  Snapshot.write (shard_snap dir i g) ~payload:(W.contents w)
+
+let load_shard_snapshot dir g ~branching i =
+  let path = shard_snap dir i g in
+  let* payload = Snapshot.read path in
+  let decoded =
+    Wire.decode payload (fun r ->
+        let idx = R.u16 r in
+        let root = R.str r in
+        let entries =
+          R.list r (fun r ->
+              let k = R.str r in
+              (k, R.str r))
+        in
+        (idx, root, entries))
+  in
+  match decoded with
+  | None -> Error (path ^ ": malformed shard snapshot")
+  | Some (idx, _, _) when idx <> i ->
+      Error (Printf.sprintf "%s: shard index mismatch (found %d)" path idx)
+  | Some (_, root, entries) -> (
+      match T.of_sorted_array ~branching (Array.of_list entries) with
+      | tree ->
+          (* Bulk load is node-for-node identical to the incremental
+             build, so this equality pins byte-identical recovery. *)
+          if String.equal (T.root_digest tree) root then Ok tree
+          else Error (path ^ ": recovered root digest mismatch")
+      | exception Invalid_argument msg -> Error (path ^ ": " ^ msg))
+
+let write_meta_snapshot dir g m =
+  let w = W.create () in
+  W.u32 w m.m_ctr;
+  W.u32 w (m.m_last_user + 1);
+  (match m.m_root_sig with
+  | None -> W.u8 w 0
+  | Some s ->
+      W.u8 w 1;
+      W.str w s);
+  W.u64 w m.m_next_lsn;
+  W.list w (fun b -> encode_backup w b) (sort_backups m.m_backups);
+  Snapshot.write (meta_snap dir g) ~payload:(W.contents w)
+
+let load_meta_snapshot dir g =
+  let path = meta_snap dir g in
+  let* payload = Snapshot.read path in
+  match
+    Wire.decode payload (fun r ->
+        let ctr = R.u32 r in
+        let last_user = R.u32 r - 1 in
+        let root_sig =
+          match R.u8 r with
+          | 0 -> None
+          | 1 -> Some (R.str r)
+          | n -> failwith (Printf.sprintf "bad sig tag %d" n)
+        in
+        let next_lsn = R.u64 r in
+        let backups = R.list r decode_backup in
+        {
+          m_ctr = ctr;
+          m_last_user = last_user;
+          m_root_sig = root_sig;
+          m_next_lsn = next_lsn;
+          m_backups = backups;
+        })
+  with
+  | None -> Error (path ^ ": malformed meta snapshot")
+  | Some m -> Ok m
+
+let load_snapshots dir ~map g =
+  let shards = Shard_map.shards map and branching = Shard_map.branching map in
+  let rec load_trees i acc =
+    if i = shards then Ok (Array.of_list (List.rev acc))
+    else
+      let* tree = load_shard_snapshot dir g ~branching i in
+      load_trees (i + 1) (tree :: acc)
+  in
+  let* trees = load_trees 0 [] in
+  let* m = load_meta_snapshot dir g in
+  Ok (Shard_db.of_trees map trees, m)
+
+(* ---- WAL replay ----------------------------------------------------- *)
+
+let read_wal_events dir ~shards g =
+  let rec shard_events i acc =
+    if i = shards then Ok acc
+    else
+      let path = shard_wal dir i g in
+      let* { Wal.records; _ } = Wal.read path in
+      let rec decode_all records acc =
+        match records with
+        | [] -> Ok acc
+        | (lsn, payload) :: rest -> (
+            match decode_op_record payload with
+            | None ->
+                Error (Printf.sprintf "%s: malformed record at lsn %d" path lsn)
+            | Some record -> decode_all rest ((lsn, `Op record) :: acc))
+      in
+      let* acc = decode_all records acc in
+      shard_events (i + 1) acc
+  in
+  let* events = shard_events 0 [] in
+  let path = meta_wal dir g in
+  let* { Wal.records; _ } = Wal.read path in
+  let rec decode_meta records acc =
+    match records with
+    | [] -> Ok acc
+    | (lsn, payload) :: rest -> (
+        match decode_meta_record payload with
+        | None -> Error (Printf.sprintf "%s: malformed record at lsn %d" path lsn)
+        | Some ev -> decode_meta rest ((lsn, ev) :: acc))
+  in
+  let* events = decode_meta records events in
+  Ok (List.sort (fun (a, _) (b, _) -> Int.compare a b) events)
+
+let load_generation dir ~map g =
+  let* db0, m = load_snapshots dir ~map g in
+  let* events = read_wal_events dir ~shards:(Shard_map.shards map) g in
+  let db, ctr, last_user, root_sig, backups, watermark =
+    List.fold_left
+      (fun (db, ctr, last_user, root_sig, backups, watermark) (lsn, ev) ->
+        let watermark = max watermark (lsn + 1) in
+        match ev with
+        | `Op (op, ctr', last_user') ->
+            let db, _answer = Shard_db.apply db op in
+            (db, ctr', last_user', None, backups, watermark)
+        | `Sig s -> (db, ctr, last_user, Some s, backups, watermark)
+        | `Backup b ->
+            (db, ctr, last_user, root_sig, replace_backup backups b, watermark))
+      (db0, m.m_ctr, m.m_last_user, m.m_root_sig, m.m_backups, m.m_next_lsn)
+      events
+  in
+  Ok
+    ( db,
+      {
+        m_ctr = ctr;
+        m_last_user = last_user;
+        m_root_sig = root_sig;
+        m_next_lsn = watermark;
+        m_backups = backups;
+      } )
+
+(* ---- writer lifecycle ----------------------------------------------- *)
+
+let open_writers dir ~shards g =
+  ( Array.init shards (fun i -> Wal.open_writer (shard_wal dir i g)),
+    Wal.open_writer (meta_wal dir g) )
+
+let close_writers t =
+  Array.iter Wal.close_writer t.shard_writers;
+  Wal.close_writer t.meta_writer
+
+let reopen_writers t =
+  let shard_writers, meta_writer =
+    open_writers t.dir ~shards:(Shard_map.shards t.map) t.gen
+  in
+  t.shard_writers <- shard_writers;
+  t.meta_writer <- meta_writer
+
+(* ---- accessors ------------------------------------------------------ *)
+
+let db t = t.opened_db
+let shard_map t = t.map
+let generation t = t.gen
+let dir t = t.dir
+
+let fresh_lsn t =
+  let lsn = t.next_lsn in
+  t.next_lsn <- lsn + 1;
+  lsn
+
+(* ---- checkpoint ----------------------------------------------------- *)
+
+let checkpoint t ~db =
+  let t0 = now_us () in
+  let shards = Shard_map.shards t.map in
+  let g' = t.gen + 1 in
+  Array.iteri (fun i tree -> write_shard_snapshot t.dir g' i tree) (Shard_db.trees db);
+  write_meta_snapshot t.dir g'
+    {
+      m_ctr = t.ctr;
+      m_last_user = t.last_user;
+      m_root_sig = t.root_sig;
+      m_next_lsn = t.next_lsn;
+      m_backups = t.backups;
+    };
+  write_current t.dir g';
+  close_writers t;
+  let old = t.gen in
+  t.gen <- g';
+  reopen_writers t;
+  if old > 0 then delete_generation t.dir ~shards (old - 1);
+  t.ops_since_checkpoint <- 0;
+  Obs.incr c_checkpoints;
+  Obs.observe h_checkpoint_us (now_us () - t0);
+  Log.debug (fun m -> m "%s: checkpointed generation %d" t.dir g')
+
+(* ---- logging -------------------------------------------------------- *)
+
+let sub_records map (op : Vo.op) =
+  match op with
+  | Vo.Get k | Vo.Set (k, _) | Vo.Remove k -> [ (Shard_map.route map k, op) ]
+  | Vo.Range (lo, _) ->
+      (* Reads are logged for counter bookkeeping only; one record, on
+         the low bound's shard, is enough. *)
+      [ (Shard_map.route map lo, op) ]
+  | Vo.Set_many [] ->
+      (* Touches no shard, but the executed op still advanced the
+         counter: log one empty record so recovery replays the ctr
+         bump. *)
+      [ (0, op) ]
+  | Vo.Set_many entries ->
+      let touched =
+        List.sort_uniq Int.compare
+          (List.map (fun (k, _) -> Shard_map.route map k) entries)
+      in
+      List.map
+        (fun i ->
+          ( i,
+            Vo.Set_many
+              (List.filter (fun (k, _) -> Shard_map.route map k = i) entries) ))
+        touched
+
+let log_op t ~db ~op ~ctr ~last_user =
+  t.ctr <- ctr;
+  t.last_user <- last_user;
+  t.root_sig <- None;
+  List.iter
+    (fun (i, sub) ->
+      Wal.append t.shard_writers.(i) ~fsync:t.fsync ~lsn:(fresh_lsn t)
+        ~payload:(encode_op_record ~op:sub ~ctr ~last_user))
+    (sub_records t.map op);
+  Obs.incr c_ops_logged;
+  t.ops_since_checkpoint <- t.ops_since_checkpoint + 1;
+  if t.ops_since_checkpoint >= t.checkpoint_every then checkpoint t ~db
+
+let log_root_sig t s =
+  t.root_sig <- Some s;
+  Wal.append t.meta_writer ~fsync:t.fsync ~lsn:(fresh_lsn t)
+    ~payload:(encode_sig_record s)
+
+let log_backup t b =
+  t.backups <- replace_backup t.backups b;
+  Wal.append t.meta_writer ~fsync:t.fsync ~lsn:(fresh_lsn t)
+    ~payload:(encode_backup_record b)
+
+(* ---- recovery ------------------------------------------------------- *)
+
+let recovered_of db m =
+  {
+    db;
+    ctr = m.m_ctr;
+    last_user = m.m_last_user;
+    root_sig = m.m_root_sig;
+    backups = sort_backups m.m_backups;
+  }
+
+let adopt_meta t m =
+  t.ctr <- m.m_ctr;
+  t.last_user <- m.m_last_user;
+  t.root_sig <- m.m_root_sig;
+  t.backups <- m.m_backups;
+  t.next_lsn <- m.m_next_lsn
+
+let recover t =
+  let t0 = now_us () in
+  close_writers t;
+  match load_generation t.dir ~map:t.map t.gen with
+  | Error _ as e ->
+      reopen_writers t;
+      e
+  | Ok (db, m) ->
+      adopt_meta t m;
+      reopen_writers t;
+      Obs.incr c_recoveries;
+      Obs.observe h_recover_us (now_us () - t0);
+      Log.info (fun f ->
+          f "%s: recovered generation %d (ctr %d)" t.dir t.gen m.m_ctr);
+      Ok (recovered_of db m)
+
+let recover_stale t =
+  let shards = Shard_map.shards t.map in
+  close_writers t;
+  let stale =
+    if t.gen > 0 && Sys.file_exists (meta_snap t.dir (t.gen - 1)) then t.gen - 1
+    else t.gen
+  in
+  match load_snapshots t.dir ~map:t.map stale with
+  | Error _ as e ->
+      reopen_writers t;
+      e
+  | Ok (db, m) ->
+      (* Adversarially present the stale snapshot as the whole history:
+         discard every WAL record after it and flip CURRENT back. *)
+      for i = 0 to shards - 1 do
+        Wal.reset (shard_wal t.dir i stale)
+      done;
+      Wal.reset (meta_wal t.dir stale);
+      write_current t.dir stale;
+      if stale <> t.gen then delete_generation t.dir ~shards t.gen;
+      t.gen <- stale;
+      adopt_meta t m;
+      t.ops_since_checkpoint <- 0;
+      reopen_writers t;
+      Obs.incr c_stale_recoveries;
+      Log.info (fun f ->
+          f "%s: rolled back to stale generation %d (ctr %d)" t.dir stale m.m_ctr);
+      Ok (recovered_of db m)
+
+(* ---- open ----------------------------------------------------------- *)
+
+let fresh_meta ~next_lsn =
+  {
+    m_ctr = 0;
+    m_last_user = -1;
+    m_root_sig = None;
+    m_next_lsn = next_lsn;
+    m_backups = [];
+  }
+
+let baseline t db m =
+  (* Write generation [t.gen]'s snapshots from scratch (store creation
+     and reopen re-baselining). *)
+  Array.iteri
+    (fun i tree -> write_shard_snapshot t.dir t.gen i tree)
+    (Shard_db.trees db);
+  write_meta_snapshot t.dir t.gen m;
+  write_current t.dir t.gen
+
+let create_or_open ?(fsync = false) ?(checkpoint_every = 64) ~dir ~branching
+    ~shards ~initial () =
+  if checkpoint_every < 1 then Error "checkpoint_every must be >= 1"
+  else begin
+    mkdir_p dir;
+    if not (Sys.is_directory dir) then Error (dir ^ ": not a directory")
+    else if not (Sys.file_exists (manifest_path dir)) then begin
+      let map = Shard_map.create ~branching ~shards ~keys:(List.map fst initial) in
+      let db = Shard_db.of_map map initial in
+      Snapshot.write (manifest_path dir) ~payload:(Shard_map.encode map);
+      let m = fresh_meta ~next_lsn:0 in
+      let shard_writers, meta_writer = open_writers dir ~shards 0 in
+      let t =
+        {
+          dir;
+          map;
+          fsync;
+          checkpoint_every;
+          gen = 0;
+          next_lsn = 0;
+          shard_writers;
+          meta_writer;
+          ctr = 0;
+          last_user = -1;
+          root_sig = None;
+          backups = [];
+          ops_since_checkpoint = 0;
+          opened_db = db;
+          closed = false;
+        }
+      in
+      baseline t db m;
+      Log.info (fun f -> f "%s: fresh store, %d shard(s)" dir shards);
+      Ok (t, `Fresh)
+    end
+    else begin
+      let* manifest = Snapshot.read (manifest_path dir) in
+      match Shard_map.decode manifest with
+      | None -> Error (manifest_path dir ^ ": malformed manifest")
+      | Some map ->
+          let shards = Shard_map.shards map in
+          let* g = read_current dir in
+          let* db, m = load_generation dir ~map g in
+          (* Durable data outlives the run; session bookkeeping does
+             not: re-baseline the recovered database as a fresh
+             generation with fresh bookkeeping. *)
+          let g' = g + 1 in
+          let m' = fresh_meta ~next_lsn:m.m_next_lsn in
+          let shard_writers, meta_writer = open_writers dir ~shards g' in
+          let t =
+            {
+              dir;
+              map;
+              fsync;
+              checkpoint_every;
+              gen = g';
+              next_lsn = m.m_next_lsn;
+              shard_writers;
+              meta_writer;
+              ctr = 0;
+              last_user = -1;
+              root_sig = None;
+              backups = [];
+              ops_since_checkpoint = 0;
+              opened_db = db;
+              closed = false;
+            }
+          in
+          baseline t db m';
+          delete_generation dir ~shards g;
+          if g > 0 then delete_generation dir ~shards (g - 1);
+          Log.info (fun f ->
+              f "%s: reopened store (%d entries), re-baselined as generation %d"
+                dir (Shard_db.size db) g');
+          Ok (t, `Reopened)
+    end
+  end
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_writers t
+  end

@@ -1,0 +1,113 @@
+(** The durable store: WAL + snapshots + generations, per shard.
+
+    Directory layout (one store per directory):
+
+    {v
+    MANIFEST            branching, shard count, shard boundaries
+    CURRENT             ASCII generation number (tmp+rename updates)
+    shard<i>.<g>.snap   shard i's tree at the start of generation g
+    shard<i>.<g>.wal    shard i's mutations since snapshot g
+    meta.<g>.snap       bookkeeping at the start of generation g
+                        (ctr, last user, root signature, LSN watermark,
+                        epoch backups)
+    meta.<g>.wal        bookkeeping events since snapshot g
+    v}
+
+    Every server mutation is appended to the owning shard's WAL (a
+    multi-shard [Set_many] fans out, one record per shard); root
+    signatures and epoch backups go to the meta WAL. Records carry a
+    store-wide monotone LSN, so recovery can merge all logs back into
+    one replay order. A checkpoint serialises every shard tree plus the
+    bookkeeping as generation [g+1], flips CURRENT, starts empty WALs
+    and retains exactly one previous generation (the one
+    {!recover_stale} rolls back to).
+
+    Recovery = latest valid snapshot + WAL tail replay, with shard
+    trees rebuilt by [Merkle_btree.of_sorted_array] — bulk load is
+    node-for-node identical to incremental insertion, so recovered
+    root digests are byte-identical to the pre-crash roots (pinned by
+    tests). Torn WAL tails are truncated with a logged warning;
+    mid-log corruption is a hard error (see {!Wal}). *)
+
+module Shard_map = Shard_map
+module Shard_db = Shard_db
+module Wal = Wal
+module Snapshot = Snapshot
+
+type backup = {
+  user : int;
+  epoch : int;
+  sigma : string;
+  last : string;
+  gctr : int;
+  signature : string;
+}
+(** Mirror of the protocol-III register backup (the store speaks its
+    own wire type so [lib/core] depends on the store, never the
+    reverse). *)
+
+type recovered = {
+  db : Shard_db.t;
+  ctr : int;
+  last_user : int;
+  root_sig : string option;
+  backups : backup list;  (** sorted by (epoch, user) *)
+}
+
+type t
+
+val create_or_open :
+  ?fsync:bool ->
+  ?checkpoint_every:int ->
+  dir:string ->
+  branching:int ->
+  shards:int ->
+  initial:(string * string) list ->
+  unit ->
+  (t * [ `Fresh | `Reopened ], string) result
+(** Fresh directory: fix the shard map from [initial]'s keys, write the
+    MANIFEST and generation 0, start logging. Existing directory:
+    recover the data (MANIFEST's shard map and [branching]/[shards]
+    win over the arguments), then re-baseline it as a new generation
+    with fresh bookkeeping (ctr 0, no signature, no backups) — durable
+    data outlives a run, session bookkeeping does not. [fsync]
+    (default false) syncs the WAL on every append; [checkpoint_every]
+    (default 64) is the number of logged operations between automatic
+    checkpoints. *)
+
+val db : t -> Shard_db.t
+(** The database state as of {!create_or_open} — what a server should
+    start serving from. *)
+
+val shard_map : t -> Shard_map.t
+val generation : t -> int
+val dir : t -> string
+
+val log_op :
+  t -> db:Shard_db.t -> op:Mtree.Vo.op -> ctr:int -> last_user:int -> unit
+(** Log one executed operation ([ctr]/[last_user] are the
+    post-operation values; reads are logged too — they advance the
+    counter). [db] is the post-operation database, used when this
+    append crosses the [checkpoint_every] threshold and triggers an
+    automatic checkpoint. *)
+
+val log_root_sig : t -> string -> unit
+val log_backup : t -> backup -> unit
+
+val checkpoint : t -> db:Shard_db.t -> unit
+(** Force a checkpoint of [db] plus the current bookkeeping mirror. *)
+
+val recover : t -> (recovered, string) result
+(** Honest crash recovery: latest snapshot generation + WAL tail, in
+    LSN order. The store keeps logging to the same generation
+    afterwards. *)
+
+val recover_stale : t -> (recovered, string) result
+(** Adversarial recovery: load the {e previous} generation's snapshot
+    (generation 0's initial state when no checkpoint has happened yet),
+    discard every WAL record after it, and rewind the store's own
+    logging state to match — the [rollback-crash] adversary. The
+    resulting counter/root regression is exactly what Protocols
+    I–III must flag. *)
+
+val close : t -> unit

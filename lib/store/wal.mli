@@ -1,0 +1,49 @@
+(** Framed, checksummed write-ahead log files.
+
+    On-disk record frame (all integers big-endian, via [Wire]):
+
+    {v [u32 len] [4-byte checksum] [u64 lsn] [len bytes payload] v}
+
+    where the checksum is the first 4 bytes of [SHA-256(lsn || payload)].
+    The payload is opaque at this layer; {!Store} owns the payload
+    codecs. LSNs are assigned by the caller and must be monotonically
+    increasing per run so multi-file logs (one per shard plus a meta
+    log) can be merged into a single replay order.
+
+    Failure policy on read:
+    - a {e torn tail} — a final record whose frame runs past the end of
+      the file, or whose checksum fails with nothing after it — is the
+      signature of a crash mid-append: the tail is truncated in place
+      and reading succeeds with [truncated = true] (and a logged
+      warning);
+    - a checksum failure on a record with {e more data after it} cannot
+      be a torn append: it is silent corruption in the middle of the
+      log, and reading fails hard. *)
+
+type writer
+
+val open_writer : string -> writer
+(** Open (creating if absent) for append. *)
+
+val append : ?fsync:bool -> writer -> lsn:int -> payload:string -> unit
+(** Append one record; flushes the channel, and additionally fsyncs the
+    file when [fsync] (default [false] — the simulator and tests favour
+    speed; the benchmark measures both). Records
+    [store.wal.appends] / [store.wal.fsyncs] counters and volatile
+    wall-clock histograms [store.wal.append_us] / [store.wal.fsync_us]. *)
+
+val close_writer : writer -> unit
+
+type read_result = { records : (int * string) list; truncated : bool }
+(** [(lsn, payload)] in file order; [truncated] when a torn tail was
+    dropped (the file has been truncated to the last valid record). *)
+
+val read : string -> (read_result, string) result
+(** Read every record of the file ([Ok { records = []; _ }] when the
+    file does not exist — an empty log). [Error] on mid-log
+    corruption. *)
+
+val reset : string -> unit
+(** Truncate the file to empty (creating it if absent) — used when a
+    checkpoint starts a fresh generation, and by the stale-recovery
+    path that adversarially discards a log tail. *)

@@ -15,6 +15,7 @@ let () =
       ("vcs", Test_vcs.suite);
       ("wire", Test_wire.suite);
       ("sim", Test_sim.suite);
+      ("store", Test_store.suite);
       ("wgraph", Test_wgraph.suite);
       ("workload", Test_workload.suite);
       ("protocols", Test_protocols.suite);

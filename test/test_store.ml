@@ -1,0 +1,553 @@
+(* The durable store: WAL framing and failure policy, snapshots, shard
+   maps, crash recovery (byte-identical roots, pinned), stale-recovery
+   rollback, reopen re-baselining, and the crash adversaries end to end
+   through the harness. *)
+
+open Tcvs
+module T = Mtree.Merkle_btree
+module Vo = Mtree.Vo
+module S = Workload.Schedule
+
+(* ---- scratch directories -------------------------------------------- *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun entry -> rm_rf (Filename.concat path entry)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir name =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tcvs-store-test-%d-%s" (Unix.getpid ()) name)
+  in
+  rm_rf dir;
+  dir
+
+(* ---- WAL ------------------------------------------------------------- *)
+
+let wal_path dir = Filename.concat dir "test.wal"
+
+let with_wal name records =
+  let dir = fresh_dir name in
+  Unix.mkdir dir 0o755;
+  let path = wal_path dir in
+  let w = Store.Wal.open_writer path in
+  List.iter (fun (lsn, payload) -> Store.Wal.append w ~lsn ~payload) records;
+  Store.Wal.close_writer w;
+  path
+
+let read_ok path =
+  match Store.Wal.read path with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "unexpected WAL read error: %s" e
+
+let test_wal_empty () =
+  let dir = fresh_dir "wal-empty" in
+  let r = read_ok (Filename.concat dir "absent.wal") in
+  Alcotest.(check int) "no records" 0 (List.length r.Store.Wal.records);
+  Alcotest.(check bool) "not truncated" false r.Store.Wal.truncated
+
+let test_wal_roundtrip () =
+  let records = [ (0, "alpha"); (1, String.make 300 'x'); (2, "") ] in
+  let path = with_wal "wal-roundtrip" records in
+  let r = read_ok path in
+  Alcotest.(check (list (pair int string))) "records round-trip" records r.Store.Wal.records;
+  Alcotest.(check bool) "not truncated" false r.Store.Wal.truncated
+
+let chop path bytes =
+  let len = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (len - bytes)
+
+let flip_byte path off =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
+(* Frame layout: 16-byte header + payload. *)
+let frame_size payload = 16 + String.length payload
+
+let test_wal_torn_tail () =
+  let path = with_wal "wal-torn" [ (0, "first"); (1, "second-record") ] in
+  chop path 4;
+  let r = read_ok path in
+  Alcotest.(check (list (pair int string))) "tail dropped" [ (0, "first") ] r.Store.Wal.records;
+  Alcotest.(check bool) "flagged truncated" true r.Store.Wal.truncated;
+  (* The torn bytes were physically removed: a second read is clean. *)
+  let r2 = read_ok path in
+  Alcotest.(check (list (pair int string))) "repaired" [ (0, "first") ] r2.Store.Wal.records;
+  Alcotest.(check bool) "no longer truncated" false r2.Store.Wal.truncated
+
+let test_wal_midlog_corruption () =
+  let path = with_wal "wal-corrupt" [ (0, "first"); (1, "second"); (2, "third") ] in
+  (* Flip a payload byte of the middle record: data follows, so this
+     cannot be a torn append — it must be a hard error. *)
+  flip_byte path (frame_size "first" + 16);
+  (match Store.Wal.read path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mid-log corruption must be a hard error")
+
+let test_wal_corrupt_final_is_torn () =
+  let path = with_wal "wal-corrupt-final" [ (0, "first"); (1, "second") ] in
+  flip_byte path (frame_size "first" + 16);
+  let r = read_ok path in
+  Alcotest.(check (list (pair int string))) "final record dropped" [ (0, "first") ]
+    r.Store.Wal.records;
+  Alcotest.(check bool) "flagged truncated" true r.Store.Wal.truncated
+
+(* ---- snapshots ------------------------------------------------------- *)
+
+let test_snapshot_roundtrip () =
+  let dir = fresh_dir "snap" in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "x.snap" in
+  let payload = "payload \x00 with binary \xff bytes" in
+  Store.Snapshot.write path ~payload;
+  (match Store.Snapshot.read path with
+  | Ok p -> Alcotest.(check string) "payload round-trips" payload p
+  | Error e -> Alcotest.fail e);
+  flip_byte path 20;
+  (match Store.Snapshot.read path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt snapshot must not read back");
+  match Store.Snapshot.read (Filename.concat dir "missing.snap") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing snapshot must be an error"
+
+(* ---- shard map / shard db ------------------------------------------- *)
+
+let initial_files n =
+  List.init n (fun i -> (Printf.sprintf "src/file_%02d.ml" i, Printf.sprintf "v0-%d" i))
+
+let test_shard_map_routing () =
+  let keys = List.map fst (initial_files 32) in
+  let map = Store.Shard_map.create ~branching:8 ~shards:4 ~keys in
+  let boundaries = Store.Shard_map.boundaries map in
+  Alcotest.(check int) "3 boundaries" 3 (Array.length boundaries);
+  Array.iteri
+    (fun i b -> if i > 0 then Alcotest.(check bool) "strictly sorted" true (boundaries.(i - 1) < b))
+    boundaries;
+  List.iter
+    (fun k ->
+      let i = Store.Shard_map.route map k in
+      Alcotest.(check bool) "route in range" true (i >= 0 && i < 4);
+      if i > 0 then Alcotest.(check bool) "above lower boundary" true (k >= boundaries.(i - 1));
+      if i < 3 then Alcotest.(check bool) "below upper boundary" true (k < boundaries.(i)))
+    keys;
+  (match Store.Shard_map.decode (Store.Shard_map.encode map) with
+  | Some map' -> Alcotest.(check bool) "encode/decode round-trips" true (Store.Shard_map.equal map map')
+  | None -> Alcotest.fail "shard map decode failed");
+  (* Few distinct keys: the byte-space fallback still yields a valid map. *)
+  let tiny = Store.Shard_map.create ~branching:8 ~shards:4 ~keys:[ "only" ] in
+  Alcotest.(check int) "fallback boundaries" 3 (Array.length (Store.Shard_map.boundaries tiny))
+
+let test_single_shard_is_flat () =
+  let initial = initial_files 20 in
+  let db = Store.Shard_db.create ~branching:8 ~shards:1 initial in
+  let flat = T.of_alist ~branching:8 initial in
+  Alcotest.(check string) "one shard root = flat tree root (byte-identical)"
+    (Crypto.Hex.encode (T.root_digest flat))
+    (Crypto.Hex.encode (Store.Shard_db.root_digest db))
+
+let ops_script : Vo.op list =
+  [
+    Vo.Set ("src/file_03.ml", "A1");
+    Vo.Set ("zzz/new.ml", "Z1");
+    Vo.Set_many [ ("src/file_00.ml", "B1"); ("src/file_19.ml", "B2"); ("alpha", "B3") ];
+    Vo.Get "src/file_05.ml";
+    Vo.Remove "src/file_07.ml";
+    Vo.Range ("src/file_00.ml", "src/file_09.ml");
+    Vo.Set ("src/file_11.ml", "C1");
+    Vo.Set_many [];
+  ]
+
+let test_shard_db_matches_oracle () =
+  let initial = initial_files 20 in
+  let sharded = ref (Store.Shard_db.create ~branching:8 ~shards:4 initial) in
+  let flat = ref (T.of_alist ~branching:8 initial) in
+  List.iter
+    (fun op ->
+      let sdb', sa = Store.Shard_db.apply !sharded op in
+      let fdb', fa = Sim.Oracle.trusted_answer !flat op in
+      sharded := sdb';
+      flat := fdb';
+      Alcotest.(check bool) "answers agree" true (Sim.Oracle.answers_equal sa fa))
+    ops_script;
+  Alcotest.(check (list (pair string string))) "contents agree"
+    (T.to_alist !flat)
+    (Store.Shard_db.to_alist !sharded);
+  match Store.Shard_db.check_invariants !sharded with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* ---- store lifecycle ------------------------------------------------- *)
+
+let expect_fresh = function
+  | Ok (s, `Fresh) -> s
+  | Ok (_, `Reopened) -> Alcotest.fail "expected a fresh store"
+  | Error e -> Alcotest.fail e
+
+let expect_reopened = function
+  | Ok (s, `Reopened) -> s
+  | Ok (_, `Fresh) -> Alcotest.fail "expected a reopened store"
+  | Error e -> Alcotest.fail e
+
+let expect_recovered = function
+  | Ok r -> r
+  | Error e -> Alcotest.failf "recovery failed: %s" e
+
+(* Apply [ops] through the shard db while logging each to the store,
+   exactly as the server does. Returns the final database. *)
+let apply_logged store db0 ops =
+  List.fold_left
+    (fun (db, i) op ->
+      let db, _answer = Store.Shard_db.apply db op in
+      Store.log_op store ~db ~op ~ctr:(i + 1) ~last_user:(i mod 3);
+      (db, i + 1))
+    (db0, 0) ops
+  |> fst
+
+(* Pins the exact 4-shard composed root digest after [ops_script] over
+   [initial_files 20] — recovery, bulk load and shard composition must
+   all keep reproducing these bytes. *)
+let pinned_final_root = "423c5f1b9734fc617ec6ea4acaba47b698449e3b8de6f36f3688b66ef0304c24"
+
+let test_store_crash_recovery_root () =
+  let dir = fresh_dir "recover" in
+  let initial = initial_files 20 in
+  let store =
+    expect_fresh (Store.create_or_open ~dir ~branching:8 ~shards:4 ~initial ())
+  in
+  let db = apply_logged store (Store.db store) ops_script in
+  let live_root = Store.Shard_db.root_digest db in
+  Alcotest.(check string) "live root is pinned" pinned_final_root
+    (Crypto.Hex.encode live_root);
+  let r = expect_recovered (Store.recover store) in
+  Alcotest.(check string) "recovered root byte-identical"
+    (Crypto.Hex.encode live_root)
+    (Crypto.Hex.encode (Store.Shard_db.root_digest r.Store.db));
+  Alcotest.(check int) "counter recovered" (List.length ops_script) r.Store.ctr;
+  Alcotest.(check int) "last user recovered" ((List.length ops_script - 1) mod 3)
+    r.Store.last_user;
+  (* Recovery = snapshot + replay must also equal a from-scratch bulk
+     load of the final contents (of_sorted_array is node-for-node the
+     incremental tree). *)
+  let rebuilt =
+    Store.Shard_db.of_map (Store.shard_map store) (Store.Shard_db.to_alist db)
+  in
+  Alcotest.(check string) "fresh bulk load agrees"
+    (Crypto.Hex.encode live_root)
+    (Crypto.Hex.encode (Store.Shard_db.root_digest rebuilt));
+  Store.close store
+
+let test_store_recovery_across_checkpoints () =
+  let dir = fresh_dir "recover-ckpt" in
+  let initial = initial_files 20 in
+  let store =
+    expect_fresh
+      (Store.create_or_open ~checkpoint_every:3 ~dir ~branching:8 ~shards:4 ~initial ())
+  in
+  let db = apply_logged store (Store.db store) ops_script in
+  Alcotest.(check bool) "auto-checkpoints advanced the generation" true
+    (Store.generation store > 0);
+  let r = expect_recovered (Store.recover store) in
+  Alcotest.(check string) "root byte-identical across checkpoint + tail"
+    (Crypto.Hex.encode (Store.Shard_db.root_digest db))
+    (Crypto.Hex.encode (Store.Shard_db.root_digest r.Store.db));
+  (* Snapshot + empty tail: checkpoint, then recover with no WAL records
+     after it. *)
+  Store.checkpoint store ~db;
+  let r2 = expect_recovered (Store.recover store) in
+  Alcotest.(check string) "snapshot-only recovery agrees"
+    (Crypto.Hex.encode (Store.Shard_db.root_digest db))
+    (Crypto.Hex.encode (Store.Shard_db.root_digest r2.Store.db));
+  Store.close store
+
+let test_store_recovery_torn_tail () =
+  let dir = fresh_dir "recover-torn" in
+  let initial = initial_files 20 in
+  let store =
+    expect_fresh (Store.create_or_open ~dir ~branching:8 ~shards:4 ~initial ())
+  in
+  let db = apply_logged store (Store.db store) ops_script in
+  Store.close store;
+  (* A crash mid-append leaves a partial frame on some shard's log;
+     recovery (via reopen) must shrug it off. *)
+  let target = Filename.concat dir "shard0.0.wal" in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 target in
+  output_string oc "\x00\x00\x01";
+  close_out oc;
+  let store2 = expect_reopened (Store.create_or_open ~dir ~branching:8 ~shards:4 ~initial ()) in
+  Alcotest.(check string) "torn tail dropped, state intact"
+    (Crypto.Hex.encode (Store.Shard_db.root_digest db))
+    (Crypto.Hex.encode (Store.Shard_db.root_digest (Store.db store2)));
+  Store.close store2
+
+let test_store_stale_recovery_rewinds () =
+  let dir = fresh_dir "stale" in
+  let initial = initial_files 20 in
+  let store =
+    expect_fresh (Store.create_or_open ~dir ~branching:8 ~shards:4 ~initial ())
+  in
+  let half, rest =
+    (List.filteri (fun i _ -> i < 4) ops_script, List.filteri (fun i _ -> i >= 4) ops_script)
+  in
+  let db1 = apply_logged store (Store.db store) half in
+  Store.checkpoint store ~db:db1;
+  let db2 =
+    List.fold_left
+      (fun (db, i) op ->
+        let db, _ = Store.Shard_db.apply db op in
+        Store.log_op store ~db ~op ~ctr:(i + 1) ~last_user:(i mod 3);
+        (db, i + 1))
+      (db1, List.length half) rest
+    |> fst
+  in
+  let r = expect_recovered (Store.recover_stale store) in
+  (* The stale generation is the pre-checkpoint baseline: everything —
+     even the checkpointed half — is adversarially forgotten. *)
+  Alcotest.(check string) "rewound to the initial baseline"
+    (Crypto.Hex.encode (Store.Shard_db.root_digest (Store.Shard_db.create ~branching:8 ~shards:4 initial)))
+    (Crypto.Hex.encode (Store.Shard_db.root_digest r.Store.db));
+  Alcotest.(check int) "counter rewound" 0 r.Store.ctr;
+  Alcotest.(check bool) "state regressed" true
+    (not
+       (String.equal
+          (Store.Shard_db.root_digest r.Store.db)
+          (Store.Shard_db.root_digest db2)));
+  (* And the store keeps working from the rewound state. *)
+  let db', _ = Store.Shard_db.apply r.Store.db (Vo.Set ("post/crash.ml", "P1")) in
+  Store.log_op store ~db:db' ~op:(Vo.Set ("post/crash.ml", "P1")) ~ctr:1 ~last_user:0;
+  let r2 = expect_recovered (Store.recover store) in
+  Alcotest.(check string) "post-rollback writes recoverable"
+    (Crypto.Hex.encode (Store.Shard_db.root_digest db'))
+    (Crypto.Hex.encode (Store.Shard_db.root_digest r2.Store.db));
+  Store.close store
+
+let test_store_reopen_rebaselines () =
+  let dir = fresh_dir "reopen" in
+  let initial = initial_files 20 in
+  let store =
+    expect_fresh (Store.create_or_open ~dir ~branching:8 ~shards:4 ~initial ())
+  in
+  let db = apply_logged store (Store.db store) ops_script in
+  let gen0 = Store.generation store in
+  Store.close store;
+  let store2 =
+    expect_reopened (Store.create_or_open ~dir ~branching:8 ~shards:4 ~initial ())
+  in
+  Alcotest.(check string) "data survives the reopen"
+    (Crypto.Hex.encode (Store.Shard_db.root_digest db))
+    (Crypto.Hex.encode (Store.Shard_db.root_digest (Store.db store2)));
+  Alcotest.(check bool) "re-baselined as a new generation" true
+    (Store.generation store2 > gen0);
+  Alcotest.(check (list (pair string string))) "contents identical"
+    (Store.Shard_db.to_alist db)
+    (Store.Shard_db.to_alist (Store.db store2));
+  Store.close store2
+
+(* ---- server crash recovery ------------------------------------------ *)
+
+(* Satellite regression: a recovered server must not re-present
+   pre-crash branch history as fresh — recovery clears it while keeping
+   counter and root byte-identical. *)
+let test_server_crash_clears_history () =
+  let dir = fresh_dir "server-history" in
+  let initial = initial_files 8 in
+  let store =
+    expect_fresh (Store.create_or_open ~dir ~branching:8 ~shards:1 ~initial ())
+  in
+  let engine = Sim.Engine.create ~measure:Message.encoded_size ~classify:Message.kind () in
+  Sim.Engine.register engine (Sim.Id.User 0)
+    {
+      Sim.Engine.on_message = (fun ~round:_ ~src:_ _ -> ());
+      on_activate = (fun ~round:_ -> ());
+    };
+  let server =
+    Server.create ~store
+      {
+        Server.mode = `Plain;
+        epoch_len = None;
+        branching = 8;
+        adversary = Adversary.Crash { at_round = 6 };
+        history_cap = 64;
+      }
+      ~engine ~initial ~initial_root_sig:None
+  in
+  List.iter
+    (fun i ->
+      Sim.Engine.send engine ~src:(Sim.Id.User 0) ~dst:Sim.Id.Server
+        (Message.Query { op = Vo.Set (Printf.sprintf "k%d" i, "v"); piggyback = [] }))
+    [ 0; 1; 2 ];
+  ignore (Sim.Engine.run_until engine ~max_rounds:3 (fun () -> false));
+  Alcotest.(check int) "ops applied pre-crash" 3 (Server.ops_performed server);
+  Alcotest.(check bool) "history non-empty pre-crash" true (Server.history_length server > 0);
+  let pre_root = Server.true_root server in
+  ignore (Sim.Engine.run_until engine ~max_rounds:10 (fun () -> false));
+  Alcotest.(check int) "history cleared by recovery" 0 (Server.history_length server);
+  Alcotest.(check string) "root byte-identical after recovery"
+    (Crypto.Hex.encode pre_root)
+    (Crypto.Hex.encode (Server.true_root server));
+  Alcotest.(check int) "counter preserved" 3 (Server.ops_performed server);
+  Alcotest.(check int) "no alarms" 0 (List.length (Sim.Engine.alarms engine))
+
+(* ---- harness: crash adversaries end to end --------------------------- *)
+
+let workload ?(users = 4) ?(rounds = 200) seed =
+  S.generate
+    {
+      S.default_profile with
+      S.users;
+      files = 24;
+      mean_think = 4.0;
+      offline_probability = 0.02;
+      mean_offline = 30.0;
+    }
+    ~seed ~rounds
+
+let protocols k =
+  [
+    Harness.Protocol_1 { k };
+    Harness.Protocol_2 { k; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user };
+    Harness.Protocol_3 { epoch_len = 120 };
+  ]
+
+let run_with_store ?shards ~dir protocol adversary events =
+  rm_rf dir;
+  let setup =
+    {
+      (Harness.default_setup ~protocol ~users:4 ~adversary) with
+      Harness.store_dir = Some dir;
+      shards;
+    }
+  in
+  Harness.run setup ~events
+
+let test_harness_crash_transparent () =
+  let events = workload "crash-clean" in
+  List.iter
+    (fun protocol ->
+      let dir = fresh_dir "harness-crash" in
+      let o =
+        run_with_store ~shards:4 ~dir protocol (Adversary.Crash { at_round = 40 }) events
+      in
+      Alcotest.(check int)
+        (Harness.protocol_name protocol ^ ": no alarms")
+        0 (List.length o.Harness.alarms);
+      Alcotest.(check bool) "oracle consistent" false o.Harness.oracle.Sim.Oracle.deviated;
+      Alcotest.(check int) "no transaction lost to the crash" o.Harness.issued_transactions
+        o.Harness.completed_transactions;
+      (match Harness.classify o with
+      | `Clean -> ()
+      | _ -> Alcotest.fail "honest crash must classify clean");
+      rm_rf dir)
+    (protocols 8)
+
+let test_harness_rollback_crash_detected () =
+  let events = workload "rollback-crash" in
+  List.iter
+    (fun protocol ->
+      let dir = fresh_dir "harness-rbc" in
+      let o =
+        run_with_store ~dir protocol (Adversary.Rollback_crash { at_round = 60 }) events
+      in
+      Alcotest.(check bool)
+        (Harness.protocol_name protocol ^ ": detected")
+        true o.Harness.detected;
+      Alcotest.(check (option int)) "violation round is the crash round" (Some 60)
+        o.Harness.violation_round;
+      (match Harness.classify o with
+      | `True_alarm -> ()
+      | _ -> Alcotest.fail "rollback-crash must classify as a true alarm");
+      rm_rf dir)
+    (protocols 8)
+
+(* ---- harness: shard-count invariance --------------------------------- *)
+
+let run_sharded ~shards protocol adversary events =
+  let setup =
+    { (Harness.default_setup ~protocol ~users:4 ~adversary) with Harness.shards = Some shards }
+  in
+  Harness.run setup ~events
+
+let test_shard_count_invariance () =
+  let events = workload "shard-invariance" in
+  let p2 = Harness.Protocol_2 { k = 8; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user } in
+  List.iter
+    (fun adversary ->
+      let o1 = run_sharded ~shards:1 p2 adversary events in
+      let o4 = run_sharded ~shards:4 p2 adversary events in
+      Alcotest.(check bool)
+        (Adversary.name adversary ^ ": same detection under 1 and 4 shards")
+        o1.Harness.detected o4.Harness.detected;
+      Alcotest.(check bool) "same classification" true
+        (Harness.classify o1 = Harness.classify o4);
+      Alcotest.(check bool) "same oracle verdict" o1.Harness.oracle.Sim.Oracle.deviated
+        o4.Harness.oracle.Sim.Oracle.deviated)
+    [
+      Adversary.Honest;
+      Adversary.Tamper_value { at_op = 10 };
+      Adversary.Drop_update { at_op = 10 };
+      Adversary.Rollback { at_op = 12; depth = 4; repeat = 1 };
+    ]
+
+let test_per_shard_scopes_in_report () =
+  let events = workload "shard-scopes" in
+  let p2 = Harness.Protocol_2 { k = 8; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user } in
+  let _o = run_sharded ~shards:4 p2 Adversary.Honest events in
+  let report = Obs.Report.to_json () in
+  let contains needle =
+    let nh = String.length report and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub report i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "meta records the shard count" true (contains "\"shards\": \"4\"");
+  Alcotest.(check bool) "per-shard scope present" true (contains "\"server.s0.ops_routed\"");
+  Alcotest.(check bool) "aggregate present" true (contains "\"server.ops_routed\"")
+
+let test_store_reports_deterministic () =
+  let events = workload "store-determinism" in
+  let p2 = Harness.Protocol_2 { k = 8; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user } in
+  let dir1 = fresh_dir "det-1" and dir2 = fresh_dir "det-2" in
+  let _o1 = run_with_store ~shards:4 ~dir:dir1 p2 Adversary.Honest events in
+  let report1 = Obs.Report.to_json () in
+  let _o2 = run_with_store ~shards:4 ~dir:dir2 p2 Adversary.Honest events in
+  let report2 = Obs.Report.to_json () in
+  Alcotest.(check string) "same-seed store runs: byte-identical reports" report1 report2;
+  rm_rf dir1;
+  rm_rf dir2
+
+let suite =
+  [
+    Alcotest.test_case "wal: empty log" `Quick test_wal_empty;
+    Alcotest.test_case "wal: round trip" `Quick test_wal_roundtrip;
+    Alcotest.test_case "wal: torn tail truncated" `Quick test_wal_torn_tail;
+    Alcotest.test_case "wal: mid-log corruption fatal" `Quick test_wal_midlog_corruption;
+    Alcotest.test_case "wal: corrupt final is torn" `Quick test_wal_corrupt_final_is_torn;
+    Alcotest.test_case "snapshot: round trip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "shard map: routing" `Quick test_shard_map_routing;
+    Alcotest.test_case "shard db: 1 shard = flat tree" `Quick test_single_shard_is_flat;
+    Alcotest.test_case "shard db: matches oracle" `Quick test_shard_db_matches_oracle;
+    Alcotest.test_case "store: crash recovery root (pinned)" `Quick test_store_crash_recovery_root;
+    Alcotest.test_case "store: recovery across checkpoints" `Quick
+      test_store_recovery_across_checkpoints;
+    Alcotest.test_case "store: recovery past a torn tail" `Quick test_store_recovery_torn_tail;
+    Alcotest.test_case "store: stale recovery rewinds" `Quick test_store_stale_recovery_rewinds;
+    Alcotest.test_case "store: reopen re-baselines" `Quick test_store_reopen_rebaselines;
+    Alcotest.test_case "server: crash clears history" `Quick test_server_crash_clears_history;
+    Alcotest.test_case "harness: crash is transparent" `Slow test_harness_crash_transparent;
+    Alcotest.test_case "harness: rollback-crash detected" `Slow
+      test_harness_rollback_crash_detected;
+    Alcotest.test_case "harness: shard-count invariance" `Slow test_shard_count_invariance;
+    Alcotest.test_case "harness: per-shard scopes" `Slow test_per_shard_scopes_in_report;
+    Alcotest.test_case "harness: store reports deterministic" `Slow
+      test_store_reports_deterministic;
+  ]

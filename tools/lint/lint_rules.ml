@@ -279,4 +279,68 @@ let no_catchall =
           | _ -> ());
   }
 
-let all = [ digest_safety; determinism; logging; no_catchall ]
+(* ---- store-io -------------------------------------------------------- *)
+
+let store_io_id = "store-io"
+
+(* Every lib/ subtree except the two sanctioned writers: lib/store owns
+   durability (WAL + snapshots, crash-safe framing), lib/obs owns
+   report emission. Ad-hoc channel writes anywhere else bypass the
+   checksummed, torn-tail-safe formats recovery depends on. *)
+let store_io_scope =
+  [
+    "lib/bignum";
+    "lib/core";
+    "lib/crypto";
+    "lib/hashsig";
+    "lib/mtree";
+    "lib/pki";
+    "lib/rsa";
+    "lib/sim";
+    "lib/vcs";
+    "lib/vdiff";
+    "lib/wgraph";
+    "lib/wire";
+    "lib/workload";
+  ]
+
+let file_write_idents =
+  [
+    "open_out";
+    "open_out_bin";
+    "open_out_gen";
+    "output_string";
+    "output_bytes";
+    "output_char";
+    "output_byte";
+    "output_value";
+  ]
+
+let store_io =
+  {
+    Lint_engine.id = store_io_id;
+    summary =
+      "no direct file writes outside lib/store (durability) and lib/obs (reports); \
+       persistent state goes through Store's checksummed WAL/snapshot formats";
+    default_scope = store_io_scope;
+    on_case = None;
+    on_expr =
+      Some
+        (fun ctx e ->
+          match e.pexp_desc with
+          | Pexp_ident { txt; _ } ->
+              let bare =
+                match lid_components txt with
+                | [ name ] | [ "Stdlib"; name ] -> name
+                | _ -> ""
+              in
+              if List.exists (String.equal bare) file_write_idents then
+                Lint_engine.report ctx store_io_id e.pexp_loc
+                  (Printf.sprintf
+                     "%s writes a file outside lib/store; durable state belongs in Store \
+                      (WAL/snapshot), reports in Obs"
+                     bare)
+          | _ -> ());
+  }
+
+let all = [ digest_safety; determinism; logging; no_catchall; store_io ]

@@ -18,13 +18,27 @@
    the two observability reports plus the full trace-event streams,
    failing on the first divergence. This is the dynamic half of the
    determinism rule: the static rule bans the usual sources of
-   nondeterminism, the double run catches whatever slips through. *)
+   nondeterminism, the double run catches whatever slips through.
+   `--store DIR` runs both passes on (separate, wiped) durable stores
+   under DIR and `--shards N` shards the server database, so the
+   persistence layer is covered by the same byte-identity bar.
+
+   Trace differ:
+
+     tcvs_lint --diff-traces A.jsonl B.jsonl
+
+   diffs two previously captured trace streams (e.g. from
+   `tcvs simulate --trace`) line by line and reports the first
+   divergence — the standalone half of --run-twice for traces captured
+   on different machines or commits. *)
 
 open Tcvs_lint_core
 
 let usage =
   "tcvs_lint [--root DIR] [--config FILE] [--list-rules] [FILE...]\n\
-   tcvs_lint --run-twice [--protocol 1|2|3|all] [--seed S] [--users N] [--rounds R]"
+   tcvs_lint --run-twice [--protocol 1|2|3|all] [--seed S] [--users N] [--rounds R]\n\
+  \           [--store DIR] [--shards N]\n\
+   tcvs_lint --diff-traces A.jsonl B.jsonl"
 
 (* ---- static pass ----------------------------------------------------- *)
 
@@ -123,12 +137,23 @@ let workload ~users ~rounds ~seed =
     }
     ~seed ~rounds
 
-let run_once ~protocol ~users ~rounds ~seed =
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun entry -> rm_rf (Filename.concat path entry)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let run_once ~protocol ~users ~rounds ~seed ~store_dir ~shards =
   Obs.set_tracing true;
+  (* A leftover store would be recovered rather than created, changing
+     the run: each pass starts from a clean directory. *)
+  (match store_dir with Some dir -> rm_rf dir | None -> ());
   let events = workload ~users ~rounds ~seed in
   let setup =
     { (Tcvs.Harness.default_setup ~protocol ~users ~adversary:Tcvs.Adversary.Honest) with
-      Tcvs.Harness.seed }
+      Tcvs.Harness.seed; store_dir; shards }
   in
   let outcome = Tcvs.Harness.run setup ~events in
   (outcome, Obs.Report.to_json (), Obs.Report.trace_lines ())
@@ -152,9 +177,17 @@ let diff_streams ~what a b =
     false
   end
 
-let run_twice_one ~name ~protocol ~users ~rounds ~seed =
-  let o1, report1, trace1 = run_once ~protocol ~users ~rounds ~seed in
-  let o2, report2, trace2 = run_once ~protocol ~users ~rounds ~seed in
+let run_twice_one ~name ~protocol ~users ~rounds ~seed ~store_dir ~shards =
+  (* Two distinct directories: report byte-identity must hold across
+     different store locations, which is why the path never enters the
+     Obs meta. *)
+  let dir n = Option.map (fun d -> Filename.concat d n) store_dir in
+  let o1, report1, trace1 =
+    run_once ~protocol ~users ~rounds ~seed ~store_dir:(dir "run1") ~shards
+  in
+  let o2, report2, trace2 =
+    run_once ~protocol ~users ~rounds ~seed ~store_dir:(dir "run2") ~shards
+  in
   Printf.printf
     "protocol %s: seed %S, %d users, %d rounds — run 1: %d tx / %d rounds, run 2: %d tx / %d \
      rounds\n"
@@ -173,7 +206,7 @@ let run_twice_one ~name ~protocol ~users ~rounds ~seed =
   end
   else false
 
-let run_twice ~protocols ~users ~rounds ~seed ~k ~epoch_len =
+let run_twice ~protocols ~users ~rounds ~seed ~k ~epoch_len ~store_dir ~shards =
   let selected =
     match protocols with
     | "all" -> [ "1"; "2"; "3" ]
@@ -183,7 +216,8 @@ let run_twice ~protocols ~users ~rounds ~seed ~k ~epoch_len =
     List.fold_left
       (fun ok name ->
         match protocol_of_string k epoch_len name with
-        | Some protocol -> run_twice_one ~name ~protocol ~users ~rounds ~seed && ok
+        | Some protocol ->
+            run_twice_one ~name ~protocol ~users ~rounds ~seed ~store_dir ~shards && ok
         | None ->
             prerr_endline ("tcvs_lint: unknown protocol " ^ name ^ " (use 1, 2, 3 or all)");
             exit 2)
@@ -197,6 +231,33 @@ let run_twice ~protocols ~users ~rounds ~seed ~k ~epoch_len =
     print_endline "determinism smoke: DIVERGENCE detected";
     1
   end
+
+(* ---- trace differ ---------------------------------------------------- *)
+
+let read_lines path =
+  if not (Sys.file_exists path) then begin
+    prerr_endline ("tcvs_lint: no such trace file: " ^ path);
+    exit 2
+  end;
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let diff_trace_files a b =
+  let lines_a = read_lines a and lines_b = read_lines b in
+  Printf.printf "diffing %s (%d lines) against %s (%d lines)\n" a (List.length lines_a) b
+    (List.length lines_b);
+  if diff_streams ~what:"trace" lines_a lines_b then begin
+    print_endline "traces identical";
+    0
+  end
+  else 1
 
 (* ---- entry ----------------------------------------------------------- *)
 
@@ -212,6 +273,10 @@ let () =
   let rounds = ref 300 in
   let k = ref 8 in
   let epoch_len = ref 120 in
+  let store = ref "" in
+  let shards = ref 0 in
+  let diff_a = ref "" in
+  let diff_b = ref "" in
   let files = ref [] in
   let spec =
     [
@@ -232,6 +297,13 @@ let () =
       ("--rounds", Arg.Set_int rounds, "R workload length for --run-twice (default 300)");
       ("--k", Arg.Set_int k, "K sync period for protocols 1/2 (default 8)");
       ("--epoch-len", Arg.Set_int epoch_len, "T epoch length for protocol 3 (default 120)");
+      ( "--store",
+        Arg.Set_string store,
+        "DIR run --run-twice on durable stores under DIR (wiped per pass)" );
+      ("--shards", Arg.Set_int shards, "N shard the server database for --run-twice");
+      ( "--diff-traces",
+        Arg.Tuple [ Arg.Set_string diff_a; Arg.Set_string diff_b ],
+        "A B diff two captured trace streams, report the first divergence" );
     ]
   in
   Arg.parse spec (fun file -> files := file :: !files) usage;
@@ -240,9 +312,12 @@ let () =
     exit 0
   end;
   let status =
-    if !do_run_twice then
+    if !diff_a <> "" || !diff_b <> "" then diff_trace_files !diff_a !diff_b
+    else if !do_run_twice then
       run_twice ~protocols:!protocols ~users:!users ~rounds:!rounds ~seed:!seed ~k:!k
         ~epoch_len:!epoch_len
+        ~store_dir:(if !store = "" then None else Some !store)
+        ~shards:(if !shards = 0 then None else Some !shards)
     else
       run_static ~root:!root ~config_path:!config_path ~explicit_config:!explicit_config
         ~files:(List.rev !files)
