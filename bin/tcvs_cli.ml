@@ -7,8 +7,12 @@
      tcvs workload   print a generated workload schedule
      tcvs session    scripted two-user CVS session (commit/checkout/log)
      tcvs inspect    build a database and show Merkle tree / VO facts
+     tcvs serve      the server as a TCP daemon over a durable store
+     tcvs client     one protocol user, over TCP, against a daemon
+     tcvs proxy      fault-injecting TCP proxy (drop/delay/dup/partition)
+     tcvs bench-net  closed-loop throughput/latency against a daemon
 
-   Everything is deterministic given --seed. *)
+   Everything is deterministic given --seed (network timing aside). *)
 
 open Cmdliner
 open Tcvs
@@ -118,7 +122,11 @@ let adversary_arg =
      caught with $(b,--sanitize)), crash:R, rollback-crash:R (R = round at \
      which the server crashes and restarts from its durable store; both \
      require $(b,--store); the rollback variant recovers from the stale \
-     previous snapshot generation and must be detected)."
+     previous snapshot generation and must be detected), torn-manifest:R, \
+     torn-manifest-hard:R (crash at round R tearing the MANIFEST mid-write; \
+     the plain variant must repair from MANIFEST.bak and recover cleanly, \
+     the hard variant wrecks the backup too and the server must halt \
+     loudly rather than serve a half-initialized shard map)."
   in
   Arg.(value & opt string "honest" & info [ "adversary"; "a" ] ~docv:"ADV" ~doc)
 
@@ -180,6 +188,14 @@ let parse_adversary ~users s =
       match int_of_string_opt r with
       | Some at_round -> Ok (Adversary.Rollback_crash { at_round })
       | None -> fail ())
+  | [ "torn-manifest"; r ] -> (
+      match int_of_string_opt r with
+      | Some at_round -> Ok (Adversary.Torn_manifest { at_round; wreck = false })
+      | None -> fail ())
+  | [ "torn-manifest-hard"; r ] -> (
+      match int_of_string_opt r with
+      | Some at_round -> Ok (Adversary.Torn_manifest { at_round; wreck = true })
+      | None -> fail ())
   | _ -> fail ()
 
 let generated_workload ~users ~rounds ~seed =
@@ -233,12 +249,6 @@ let simulate_cmd =
         Printf.eprintf "error: %s\n" m;
         exit 2
     | Ok protocol, Ok adversary ->
-        (match adversary with
-        | (Adversary.Crash _ | Adversary.Rollback_crash _) when store_dir = None ->
-            Printf.eprintf "error: %s needs a durable store; pass --store DIR\n"
-              (Adversary.name adversary);
-            exit 2
-        | _ -> ());
         (* Arm tracing before the run; the flag survives the harness's
            registry reset. *)
         if trace_file <> None then Obs.set_tracing true;
@@ -251,7 +261,17 @@ let simulate_cmd =
             shards;
           }
         in
-        let outcome = Harness.run setup ~events in
+        (match Harness.validate setup with
+        | Ok () -> ()
+        | Error e ->
+            Printf.eprintf "error: %s\n" (Harness.setup_error_message e);
+            exit 2);
+        let outcome =
+          try Harness.run setup ~events
+          with Harness.Setup_error e ->
+            Printf.eprintf "error: %s\n" (Harness.setup_error_message e);
+            exit 2
+        in
         (* Write the machine-readable artefacts before the human
            summary so a `--metrics -` report is not interleaved. *)
         (match trace_file with
@@ -428,6 +448,315 @@ let inspect_cmd =
   let doc = "Build a database and print Merkle tree / verification-object facts." in
   Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ items_arg $ branching_arg)
 
+(* ---- networking: serve / client / proxy / bench-net ---------------------- *)
+
+let parse_hostport s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      let host = String.sub s 0 i in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some port when port > 0 ->
+          Ok ((if host = "" then "127.0.0.1" else host), port)
+      | _ -> Error (Printf.sprintf "cannot parse %S as HOST:PORT" s))
+  | None -> (
+      match int_of_string_opt s with
+      | Some port when port > 0 -> Ok ("127.0.0.1", port)
+      | _ -> Error (Printf.sprintf "cannot parse %S as HOST:PORT" s))
+
+let listen_arg =
+  let doc = "Port to bind on 127.0.0.1 ($(b,0) picks an ephemeral port)." in
+  Arg.(value & opt int 0 & info [ "listen" ] ~docv:"PORT" ~doc)
+
+let port_file_arg =
+  let doc = "Write the bound port to $(docv) (tmp+rename) once listening." in
+  Arg.(value & opt (some string) None & info [ "port-file" ] ~docv:"FILE" ~doc)
+
+let connect_arg =
+  let doc = "Server address, as HOST:PORT or just PORT (host defaults to 127.0.0.1)." in
+  Arg.(required & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+
+let serve_cmd =
+  let run seed users k epoch_len protocol_str adversary_str sanitize verbosity listen
+      port_file store_dir shards tail_ticks tick_timeout max_conns exit_after =
+    Log_setup.install ~level:verbosity ();
+    if sanitize then Sanitize.set_enabled true;
+    match (protocol_conv k epoch_len protocol_str, parse_adversary ~users adversary_str) with
+    | Error (`Msg m), _ | _, Error (`Msg m) ->
+        Printf.eprintf "error: %s\n" m;
+        exit 2
+    | Ok protocol, Ok adversary -> (
+        (match adversary with
+        | (Adversary.Crash _ | Adversary.Rollback_crash _ | Adversary.Torn_manifest _)
+          when store_dir = None ->
+            Printf.eprintf "error: %s\n"
+              (Harness.setup_error_message (Harness.Store_required adversary));
+            exit 2
+        | _ -> ());
+        let cfg =
+          {
+            Net.Daemon.default_config with
+            Net.Daemon.listen_port = listen;
+            port_file;
+            store_dir;
+            shards = Option.value ~default:1 shards;
+            protocol;
+            users;
+            seed;
+            adversary;
+            max_conns;
+            tick_timeout;
+            tail_ticks;
+            exit_after_session = exit_after;
+          }
+        in
+        match Net.Daemon.run cfg with
+        | Ok () -> ()
+        | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            exit 1)
+  in
+  let tail_ticks_arg =
+    let doc = "All-drained rounds to run before a clean session end." in
+    Arg.(value & opt int 64 & info [ "tail-ticks" ] ~docv:"N" ~doc)
+  in
+  let tick_timeout_arg =
+    let doc = "Seconds before an unanswered Tick is re-sent." in
+    Arg.(value & opt float 0.5 & info [ "tick-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_conns_arg =
+    let doc = "Connection limit; excess connections are rejected busy." in
+    Arg.(value & opt int 64 & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let exit_after_arg =
+    let doc = "Keep serving after a lockstep session ends (default: exit)." in
+    Term.(const not $ Arg.(value & flag & info [ "stay" ] ~doc))
+  in
+  let doc = "Serve the Trusted-CVS server as a TCP daemon over a durable store." in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ seed_arg $ users_arg $ k_arg $ epoch_arg $ protocol_arg
+      $ adversary_arg $ sanitize_arg $ verbosity_arg $ listen_arg $ port_file_arg
+      $ store_arg $ shards_arg $ tail_ticks_arg $ tick_timeout_arg $ max_conns_arg
+      $ exit_after_arg)
+
+let client_cmd =
+  let run seed users rounds k epoch_len protocol_str verbosity connect user shards
+      response_timeout sync_timeout max_reconnects =
+    Log_setup.install ~level:verbosity ();
+    match (protocol_conv k epoch_len protocol_str, parse_hostport connect) with
+    | Error (`Msg m), _ | _, Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 2
+    | Ok protocol, Ok (host, port) -> (
+        (* Same generator as `simulate`, lowered with the same global
+           write numbering — verdicts are comparable byte-for-byte. *)
+        let script =
+          Harness.script_of_events (generated_workload ~users ~rounds ~seed)
+        in
+        let cfg =
+          {
+            (Net.Client.default_config ~user ~port) with
+            Net.Client.host;
+            users;
+            protocol;
+            seed;
+            script;
+            shards = Option.value ~default:1 shards;
+            response_timeout = Some response_timeout;
+            sync_timeout;
+            max_reconnects;
+          }
+        in
+        match Net.Client.run cfg with
+        | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            exit 1
+        | Ok v ->
+            Printf.printf "user          : %d\n" user;
+            Printf.printf "rounds        : %d\n" v.Net.Client.v_rounds;
+            Printf.printf "reconnects    : %d\n" v.Net.Client.v_reconnects;
+            Printf.printf "session       : %s%s\n"
+              (if v.Net.Client.v_session_alarmed then "ALARMED" else "clean")
+              (if v.Net.Client.v_session_reason = "" then ""
+               else " (" ^ v.Net.Client.v_session_reason ^ ")");
+            List.iter
+              (fun (round, reason) ->
+                Printf.printf "local alarm   : round %d: %s\n" round reason)
+              v.Net.Client.v_local_alarms;
+            Printf.printf "verdict       : %s\n"
+              (if v.Net.Client.v_alarmed then "ALARM" else "clean");
+            exit (if v.Net.Client.v_alarmed then 3 else 0))
+  in
+  let user_arg =
+    let doc = "This client's user id (0-based; each id connects exactly once)." in
+    Arg.(required & opt (some int) None & info [ "user"; "u" ] ~docv:"ID" ~doc)
+  in
+  let response_timeout_arg =
+    let doc = "Alarm when a transaction gets no response within $(docv) rounds." in
+    Arg.(value & opt int 64 & info [ "response-timeout" ] ~docv:"ROUNDS" ~doc)
+  in
+  let sync_timeout_arg =
+    let doc =
+      "Protocol II: alarm when a sync session stays unresolved for $(docv) \
+       rounds (partial synchrony on the external channel; required to detect \
+       a partitioned broadcast network)."
+    in
+    Arg.(value & opt (some int) None & info [ "sync-timeout" ] ~docv:"ROUNDS" ~doc)
+  in
+  let max_reconnects_arg =
+    let doc = "Reconnection attempts (exponential backoff) before giving up." in
+    Arg.(value & opt int 8 & info [ "max-reconnects" ] ~docv:"N" ~doc)
+  in
+  let doc = "Run one protocol user against a tcvs serve daemon." in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const run $ seed_arg $ users_arg $ rounds_arg $ k_arg $ epoch_arg $ protocol_arg
+      $ verbosity_arg $ connect_arg $ user_arg $ shards_arg $ response_timeout_arg
+      $ sync_timeout_arg $ max_reconnects_arg)
+
+let proxy_cmd =
+  let parse_partition s =
+    let ints x = String.split_on_char ',' x |> List.filter_map int_of_string_opt in
+    match String.split_on_char '@' s with
+    | [ groups; r ] -> (
+        match (String.split_on_char '|' groups, int_of_string_opt r) with
+        | [ a; b ], Some from_round -> Ok (ints a, ints b, from_round)
+        | _ -> Error (Printf.sprintf "cannot parse partition %S (want A,..|B,..@ROUND)" s))
+    | _ -> Error (Printf.sprintf "cannot parse partition %S (want A,..|B,..@ROUND)" s)
+  in
+  let run verbosity listen port_file connect seed drop delay duplicate partition_str =
+    Log_setup.install ~level:verbosity ();
+    let partition =
+      match partition_str with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (parse_partition s)
+    in
+    match (parse_hostport connect, partition) with
+    | Error m, _ | _, Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 2
+    | Ok (dst_host, dst_port), Ok partition -> (
+        let cfg =
+          {
+            (Net.Proxy.default_config ~dst_port) with
+            Net.Proxy.listen_port = listen;
+            port_file;
+            dst_host;
+            seed;
+            faults = { Net.Proxy.drop; delay; duplicate; partition };
+          }
+        in
+        match Net.Proxy.run cfg with
+        | Ok () -> ()
+        | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            exit 1)
+  in
+  let prob name doc = Arg.(value & opt float 0. & info [ name ] ~docv:"P" ~doc) in
+  let partition_arg =
+    let doc =
+      "Partition the broadcast relay between user groups from a round on, e.g. \
+       $(b,0,1|2,3\\@40): server-to-client Delivers crossing the cut are dropped."
+    in
+    Arg.(value & opt (some string) None & info [ "partition" ] ~docv:"SPEC" ~doc)
+  in
+  let doc =
+    "Fault-injecting TCP proxy between tcvs clients and a tcvs serve daemon \
+     (drops, delays, duplicates and partitions payload frames; Figure 1 over \
+     real sockets)."
+  in
+  Cmd.v (Cmd.info "proxy" ~doc)
+    Term.(
+      const run $ verbosity_arg $ listen_arg $ port_file_arg $ connect_arg $ seed_arg
+      $ prob "drop" "Drop each payload frame with probability $(docv)."
+      $ prob "delay" "Delay each payload frame to the next round boundary with probability $(docv)."
+      $ prob "duplicate" "Forward each payload frame twice with probability $(docv)."
+      $ partition_arg)
+
+let bench_net_cmd =
+  let run verbosity connect users conns_str ops files zipf_s write_ratio seed out =
+    Log_setup.install ~level:verbosity ();
+    let conns_list = String.split_on_char ',' conns_str |> List.filter_map int_of_string_opt in
+    match parse_hostport connect with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 2
+    | Ok (host, port) ->
+        let results =
+          List.map
+            (fun conns ->
+              match
+                Net.Client.bench ~host ~port ~users ~conns ~ops_per_conn:ops ~files
+                  ~zipf_s ~write_ratio ~seed
+              with
+              | Error e ->
+                  Printf.eprintf "error: bench with %d conns: %s\n" conns e;
+                  exit 1
+              | Ok r ->
+                  Printf.printf
+                    "conns %3d: %6d ops in %6.2fs  %8.1f ops/s  p50 %6.3fms  p95 %6.3fms  p99 %6.3fms\n%!"
+                    r.Net.Client.b_conns r.Net.Client.b_ops r.Net.Client.b_seconds
+                    r.Net.Client.b_throughput r.Net.Client.b_p50_ms
+                    r.Net.Client.b_p95_ms r.Net.Client.b_p99_ms;
+                  r)
+            conns_list
+        in
+        let buf = Buffer.create 1024 in
+        Printf.bprintf buf "{\n  \"experiment\": \"bench-net\",\n";
+        Printf.bprintf buf "  \"ops_per_conn\": %d,\n  \"files\": %d,\n" ops files;
+        Printf.bprintf buf "  \"zipf_s\": %.2f,\n  \"write_ratio\": %.2f,\n" zipf_s
+          write_ratio;
+        Printf.bprintf buf "  \"seed\": \"%s\",\n  \"results\": [\n" (String.escaped seed);
+        List.iteri
+          (fun i (r : Net.Client.bench_result) ->
+            Printf.bprintf buf
+              "    { \"conns\": %d, \"ops\": %d, \"seconds\": %.3f, \
+               \"throughput_ops_s\": %.1f, \"latency_ms\": { \"mean\": %.3f, \
+               \"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f } }%s\n"
+              r.Net.Client.b_conns r.Net.Client.b_ops r.Net.Client.b_seconds
+              r.Net.Client.b_throughput r.Net.Client.b_mean_ms r.Net.Client.b_p50_ms
+              r.Net.Client.b_p95_ms r.Net.Client.b_p99_ms
+              (if i = List.length results - 1 then "" else ","))
+          results;
+        Printf.bprintf buf "  ]\n}\n";
+        let oc = open_out out in
+        Buffer.output_buffer oc buf;
+        close_out oc;
+        Printf.printf "wrote %s\n" out
+  in
+  let conns_arg =
+    let doc = "Comma-separated concurrent-connection counts to sweep." in
+    Arg.(value & opt string "1,4,16" & info [ "conns" ] ~docv:"LIST" ~doc)
+  in
+  let ops_arg =
+    let doc = "Closed-loop operations per connection." in
+    Arg.(value & opt int 200 & info [ "ops" ] ~docv:"N" ~doc)
+  in
+  let files_arg =
+    let doc = "Key space size (must match the daemon's --files default of 32)." in
+    Arg.(value & opt int 32 & info [ "files" ] ~docv:"N" ~doc)
+  in
+  let zipf_arg =
+    let doc = "Zipf exponent for key popularity (0 = uniform)." in
+    Arg.(value & opt float 1.1 & info [ "zipf-s" ] ~docv:"S" ~doc)
+  in
+  let write_ratio_arg =
+    let doc = "Fraction of operations that are writes." in
+    Arg.(value & opt float 0.2 & info [ "write-ratio" ] ~docv:"P" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the JSON results to $(docv)." in
+    Arg.(value & opt string "BENCH_net.json" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "Closed-loop throughput/latency benchmark against a tcvs serve daemon \
+     (free-mode connections, Zipf-distributed keys)."
+  in
+  Cmd.v (Cmd.info "bench-net" ~doc)
+    Term.(
+      const run $ verbosity_arg $ connect_arg $ users_arg $ conns_arg $ ops_arg
+      $ files_arg $ zipf_arg $ write_ratio_arg $ seed_arg $ out_arg)
+
 (* ---- entry ----------------------------------------------------------------- *)
 
 let () =
@@ -438,4 +767,8 @@ let () =
   let info = Cmd.info "tcvs" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ simulate_cmd; matrix_cmd; workload_cmd; session_cmd; inspect_cmd ]))
+       (Cmd.group info
+          [
+            simulate_cmd; matrix_cmd; workload_cmd; session_cmd; inspect_cmd;
+            serve_cmd; client_cmd; proxy_cmd; bench_net_cmd;
+          ]))

@@ -9,6 +9,7 @@ type t =
   | Bitrot of { at_op : int }
   | Crash of { at_round : int }
   | Rollback_crash of { at_round : int }
+  | Torn_manifest of { at_round : int; wreck : bool }
 
 let name = function
   | Honest -> "honest"
@@ -25,6 +26,8 @@ let name = function
   | Bitrot { at_op } -> Printf.sprintf "bitrot@%d" at_op
   | Crash { at_round } -> Printf.sprintf "crash@r%d" at_round
   | Rollback_crash { at_round } -> Printf.sprintf "rollback-crash@r%d" at_round
+  | Torn_manifest { at_round; wreck } ->
+      Printf.sprintf "torn-manifest%s@r%d" (if wreck then "-hard" else "") at_round
 
 let pp fmt t = Format.pp_print_string fmt (name t)
 
@@ -35,9 +38,11 @@ let violation_op = function
   | Freeze_epoch _ -> None (* the violation is time-based, not op-indexed *)
   | Crash _ -> None (* an honest failure: recovery loses nothing *)
   | Rollback_crash _ -> None (* round-indexed, see [violation_round] *)
+  | Torn_manifest _ -> None (* round-indexed, see [violation_round] *)
 
 let violation_round = function
   | Rollback_crash { at_round } -> Some at_round
+  | Torn_manifest { at_round; wreck } -> if wreck then Some at_round else None
   | Honest | Tamper_value _ | Drop_update _ | Fork _ | Rollback _ | Stall _
   | Freeze_epoch _ | Bitrot _ | Crash _ ->
       None

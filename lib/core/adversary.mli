@@ -70,6 +70,13 @@ type t =
           state/counter re-issues old (root, ctr) pairs, which is
           exactly what Protocols I–III's counter/signature machinery
           must flag. Requires the server to run with a store. *)
+  | Torn_manifest of { at_round : int; wreck : bool }
+      (** A crash that tears the store's MANIFEST mid-write before the
+          restart. With [wreck = false] the backup copy survives and
+          recovery must repair silently — every protocol stays quiet,
+          like {!Crash}. With [wreck = true] the backup is torn too:
+          recovery must fail loudly (server alarm + halt) rather than
+          serve a half-initialized shard map. Requires a store. *)
 
 val name : t -> string
 val pp : Format.formatter -> t -> unit
@@ -79,6 +86,8 @@ val violation_op : t -> int option
     for [Honest]. For detection-delay measurements. *)
 
 val violation_round : t -> int option
-(** For round-indexed strategies ([Rollback_crash]): the simulation
-    round at which the violation occurs. [None] elsewhere — including
-    [Crash], which is honest and must not be flagged at all. *)
+(** For round-indexed strategies ([Rollback_crash], and [Torn_manifest]
+    with [wreck]): the simulation round at which the violation occurs.
+    [None] elsewhere — including [Crash] and the repairable
+    [Torn_manifest], which are honest and must not be flagged at
+    all. *)

@@ -33,6 +33,7 @@ type setup = {
   seed : string;
   tail_rounds : int;
   response_timeout : int option;
+  sync_timeout : int option;
   history_cap : int;
   store_dir : string option;
   shards : int option;
@@ -56,6 +57,7 @@ let default_setup ~protocol ~users ~adversary =
     seed = Printf.sprintf "%s/%s/%d" (protocol_name protocol) (Adversary.name adversary) users;
     tail_rounds = 400;
     response_timeout = Some 64;
+    sync_timeout = None;
     history_cap = Server.default_history_cap;
     store_dir = None;
     shards = None;
@@ -94,10 +96,87 @@ let op_of_intent ~user ~write_counts (intent : Workload.Schedule.intent) =
 
 type scripted = { at : int; by : int; what : Vo.op }
 
+let script_of_events events =
+  let write_counts = Hashtbl.create 64 in
+  List.map
+    (fun (ev : Workload.Schedule.event) ->
+      {
+        at = ev.round;
+        by = ev.user;
+        what = op_of_intent ~user:ev.user ~write_counts ev.intent;
+      })
+    events
+
+(* ---- Setup validation ----------------------------------------------- *)
+
+type setup_error =
+  | Store_required of Adversary.t
+  | Store_failed of string
+
+exception Setup_error of setup_error
+
+let setup_error_message = function
+  | Store_required adv ->
+      Printf.sprintf
+        "adversary %s crashes and restarts the server, which only means \
+         something with a durable store to recover from; rerun with \
+         --store DIR (and optionally --shards N)"
+        (Adversary.name adv)
+  | Store_failed e -> Printf.sprintf "store setup failed: %s" e
+
+let adversary_requires_store = function
+  | Adversary.Crash _ | Adversary.Rollback_crash _ | Adversary.Torn_manifest _ ->
+      true
+  | Adversary.Honest | Adversary.Tamper_value _ | Adversary.Drop_update _
+  | Adversary.Fork _ | Adversary.Rollback _ | Adversary.Stall _
+  | Adversary.Freeze_epoch _ | Adversary.Bitrot _ ->
+      false
+
+let validate setup =
+  if adversary_requires_store setup.adversary && setup.store_dir = None then
+    Error (Store_required setup.adversary)
+  else Ok ()
+
 let obs_scope = Obs.Scope.v "detection"
 let oracle_scope = Obs.Scope.v "oracle"
 
+(* ---- User construction ---------------------------------------------- *)
+
+let build_user setup ~initial_root ~engine ~trace ~keyring ~signers ~user =
+  match setup.protocol with
+  | Protocol_1 { k } ->
+      Protocol1.base
+        (Protocol1.create
+           { Protocol1.n = setup.users; k; initial_root; elected_signer = 0 }
+           ~user ~engine ~trace ~keyring ~signer:signers.(user))
+  | Protocol_2 { k; tag_mode; check_gctr; sync_trigger } ->
+      let p2 =
+        Protocol2.create
+          { Protocol2.n = setup.users; k; initial_root; tag_mode; check_gctr;
+            sync_trigger }
+          ~user ~engine ~trace
+      in
+      Protocol2.set_sync_timeout p2 ~rounds:setup.sync_timeout;
+      Protocol2.base p2
+  | Protocol_3 { epoch_len } ->
+      Protocol3.base
+        (Protocol3.create
+           {
+             Protocol3.n = setup.users;
+             epoch_len;
+             initial_root;
+             check_epoch_progress = true;
+           }
+           ~user ~engine ~trace ~keyring ~signer:signers.(user))
+  | Token_baseline { slot_len } ->
+      Token_user.base
+        (Token_user.create
+           { Token_user.n = setup.users; slot_len; initial_root }
+           ~user ~engine ~trace ~keyring ~signer:signers.(user))
+  | Unverified -> Plain_user.base (Plain_user.create ~user ~engine ~trace)
+
 let run_common setup ~script =
+  (match validate setup with Ok () -> () | Error e -> raise (Setup_error e));
   (* Every harness run owns the whole registry: reset, then stamp the
      run's identity so a snapshot taken at any later point says what it
      measured. The reset is what makes same-seed reports byte-identical
@@ -122,7 +201,7 @@ let run_common setup ~script =
             ~shards:(Option.value ~default:1 setup.shards)
             ~initial:setup.initial ()
         with
-        | Error e -> failwith ("harness: store: " ^ e)
+        | Error e -> raise (Setup_error (Store_failed e))
         | Ok (s, `Fresh) -> (Some s, setup.initial)
         | Ok (s, `Reopened) -> (Some s, Store.Shard_db.to_alist (Store.db s)))
   in
@@ -171,34 +250,7 @@ let run_common setup ~script =
   in
   let bases =
     Array.init setup.users (fun user ->
-        match setup.protocol with
-        | Protocol_1 { k } ->
-            Protocol1.base
-              (Protocol1.create
-                 { Protocol1.n = setup.users; k; initial_root; elected_signer = 0 }
-                 ~user ~engine ~trace ~keyring ~signer:signers.(user))
-        | Protocol_2 { k; tag_mode; check_gctr; sync_trigger } ->
-            Protocol2.base
-              (Protocol2.create
-                 { Protocol2.n = setup.users; k; initial_root; tag_mode; check_gctr;
-                   sync_trigger }
-                 ~user ~engine ~trace)
-        | Protocol_3 { epoch_len } ->
-            Protocol3.base
-              (Protocol3.create
-                 {
-                   Protocol3.n = setup.users;
-                   epoch_len;
-                   initial_root;
-                   check_epoch_progress = true;
-                 }
-                 ~user ~engine ~trace ~keyring ~signer:signers.(user))
-        | Token_baseline { slot_len } ->
-            Token_user.base
-              (Token_user.create
-                 { Token_user.n = setup.users; slot_len; initial_root }
-                 ~user ~engine ~trace ~keyring ~signer:signers.(user))
-        | Unverified -> Plain_user.base (Plain_user.create ~user ~engine ~trace))
+        build_user setup ~initial_root ~engine ~trace ~keyring ~signers ~user)
   in
   Array.iter (fun b -> User_base.set_response_timeout b ~rounds:setup.response_timeout) bases;
   (* Enqueue the whole script up front; intents are round-gated. *)
@@ -343,15 +395,7 @@ let run_common setup ~script =
 
 let run_script setup ~script = run_common setup ~script
 
-let run setup ~events =
-  let write_counts = Hashtbl.create 64 in
-  let script =
-    List.map
-      (fun (ev : Workload.Schedule.event) ->
-        { at = ev.round; by = ev.user; what = op_of_intent ~user:ev.user ~write_counts ev.intent })
-      events
-  in
-  run_common setup ~script
+let run setup ~events = run_common setup ~script:(script_of_events events)
 
 let classify outcome =
   let violation = outcome.violation_round <> None in

@@ -36,6 +36,10 @@ type setup = {
       (** availability-violation detection: alarm when a transaction
           gets no response within this many rounds (the paper's
           b*-bounded transaction time made checkable); [None] disables *)
+  sync_timeout : int option;
+      (** Protocol II only: alarm when a sync session stays unresolved
+          this many rounds ({!Protocol2.set_sync_timeout}); [None]
+          (the default) is the bare paper protocol *)
   history_cap : int;
       (** server-side bound on retained per-branch rollback snapshots
           (see {!Server.config}) *)
@@ -87,9 +91,47 @@ type outcome = {
           transaction, in completion order *)
 }
 
+type setup_error =
+  | Store_required of Adversary.t
+      (** a crash-and-restart adversary was configured without a
+          durable store to recover from *)
+  | Store_failed of string  (** the store could not be created/opened *)
+
+exception Setup_error of setup_error
+(** Raised by {!run} / {!run_script} on misconfiguration — the single
+    typed error path for store-requiring setups (the CLI catches it and
+    prints {!setup_error_message}). *)
+
+val setup_error_message : setup_error -> string
+(** Actionable one-line message, e.g. naming the flag to add. *)
+
+val validate : setup -> (unit, setup_error) result
+(** The checks {!run} performs up front, callable separately (the CLI
+    validates before touching the filesystem). *)
+
 val run : setup -> events:Workload.Schedule.event list -> outcome
 
 type scripted = { at : int; by : int; what : Mtree.Vo.op }
+
+val script_of_events : Workload.Schedule.event list -> scripted list
+(** The deterministic intent→operation lowering {!run} applies:
+    write contents are numbered per file {e globally} across users, so
+    any party that knows the full schedule (e.g. a remote client
+    process holding its slice of the workload) derives byte-identical
+    operations. *)
+
+val build_user :
+  setup ->
+  initial_root:string ->
+  engine:Message.t Sim.Engine.t ->
+  trace:Sim.Trace.t ->
+  keyring:Pki.Keyring.t ->
+  signers:Pki.Signer.t array ->
+  user:int ->
+  User_base.t
+(** Construct one protocol user exactly as {!run} would — exported so
+    a remote client process ({!Net}) can host the same agent over a
+    local engine. *)
 
 val run_script : setup -> script:scripted list -> outcome
 (** Like {!run} but with explicit database operations instead of

@@ -37,6 +37,12 @@ type t = {
      the algebra Lemma 4.1 rests on — which is what the sanitizer
      recomputes from scratch to catch a silently corrupted register. *)
   mutable tag_ledger : string list;
+  mutable sync_timeout : int option;
+  (* Partial synchrony on the external channel: a sync session that
+     stays unresolved this many rounds means the broadcast channel is
+     partitioned or a peer is withholding its report — either way the
+     consistency guarantee is gone, so terminate. None (the default)
+     is the bare paper protocol. *)
 }
 
 let base t = t.base
@@ -45,6 +51,7 @@ let last t = t.regs.last
 let gctr t = t.regs.gctr
 let syncs_completed t = t.syncs_completed
 let me t = User_base.user t.base
+let set_sync_timeout t ~rounds = t.sync_timeout <- rounds
 
 let broadcast t msg =
   Sim.Engine.broadcast (User_base.engine t.base) ~src:(Sim.Id.User (me t)) msg
@@ -198,6 +205,7 @@ let create config ~user ~engine ~trace =
       sync = Sync_session.create ~n:config.n ~me:user;
       c_my_syncs = Obs.counter ~scope:Obs.Scope.(obs_scope / Printf.sprintf "u%d" user) "syncs";
       tag_ledger = [];
+      sync_timeout = None;
     }
   in
   let on_message ~round ~src msg =
@@ -225,6 +233,15 @@ let create config ~user ~engine ~trace =
   let on_activate ~round =
     if not (User_base.terminated t.base) then begin
       User_base.check_timeout t.base ~round;
+      (match (t.sync_timeout, Sync_session.started_round t.sync) with
+      | Some limit, Some started
+        when Sync_session.active t.sync && round - started > limit ->
+          fail t ~round
+            (Printf.sprintf
+               "protocol-2 sync stuck for %d rounds — external broadcast \
+                channel partitioned or a peer is withholding its report"
+               (round - started))
+      | _ -> ());
       report_if_needed t;
       if not (Sync_session.active t.sync) then
         ignore (User_base.issue t.base ~round ~piggyback:[])

@@ -52,6 +52,14 @@ val create :
   t
 
 val base : t -> User_base.t
+
+val set_sync_timeout : t -> rounds:int option -> unit
+(** Partial synchrony on the {e external} channel: terminate with an
+    alarm when a sync session stays unresolved for more than [rounds]
+    rounds — a partitioned broadcast channel (the supporting move of
+    the Figure 1 attack) or a withholding peer. [None] (the default)
+    is the bare paper protocol, which blocks forever instead. *)
+
 val sigma : t -> string
 val last : t -> string option
 val gctr : t -> int

@@ -44,6 +44,10 @@ type t = {
   mutable token_log : Message.token_record list; (* newest first *)
   mutable total_ops : int; (* across branches; drives adversary triggers *)
   mutable crashed : bool; (* Crash/Rollback_crash are one-shot *)
+  mutable halted : bool;
+  (* Set when recovery fails (unrecoverable MANIFEST): the server has
+     alarmed and refuses to serve anything rather than answer from a
+     half-initialized shard map. *)
   (* Present only on store/sharded runs, so legacy single-tree reports
      keep their exact metric set: per-shard routing counters plus the
      aggregate. *)
@@ -109,7 +113,8 @@ let maybe_activate_fork t =
       end
   | Adversary.Honest | Adversary.Tamper_value _ | Adversary.Drop_update _
   | Adversary.Rollback _ | Adversary.Stall _ | Adversary.Freeze_epoch _
-  | Adversary.Bitrot _ | Adversary.Crash _ | Adversary.Rollback_crash _ ->
+  | Adversary.Bitrot _ | Adversary.Crash _ | Adversary.Rollback_crash _
+  | Adversary.Torn_manifest _ ->
       ()
 
 let branch_for t ~user =
@@ -191,7 +196,9 @@ let check_branch_history t b ~label =
   else begin
     let monotone_expected =
       match t.config.adversary with
-      | Adversary.Honest | Adversary.Bitrot _ | Adversary.Crash _ -> true
+      | Adversary.Honest | Adversary.Bitrot _ | Adversary.Crash _
+      | Adversary.Torn_manifest _ ->
+          true
       | Adversary.Tamper_value _ | Adversary.Drop_update _ | Adversary.Fork _
       | Adversary.Rollback _ | Adversary.Stall _ | Adversary.Freeze_epoch _
       | Adversary.Rollback_crash _ ->
@@ -361,7 +368,7 @@ let execute_query t ~round ~user ~(op : Vo.op) ~piggyback =
   | Adversary.Honest | Adversary.Tamper_value _ | Adversary.Drop_update _
   | Adversary.Fork _ | Adversary.Rollback _ | Adversary.Stall _
   | Adversary.Freeze_epoch _ | Adversary.Bitrot _ | Adversary.Crash _
-  | Adversary.Rollback_crash _ ->
+  | Adversary.Rollback_crash _ | Adversary.Torn_manifest _ ->
       push_history ~cap:t.config.history_cap branch pre;
       branch.db <- db';
       branch.ctr <- branch.ctr + 1;
@@ -421,6 +428,43 @@ let handle_root_signature t ~round ~signature =
    unanswered query, which is indistinguishable from the queue
    surviving, and it keeps honest crashes free of spurious
    availability timeouts. *)
+let adopt_recovered t (r : Store.recovered) =
+  t.main.db <- r.Store.db;
+  t.main.ctr <- r.Store.ctr;
+  t.main.last_user <- r.Store.last_user;
+  t.main.root_sig <- r.Store.root_sig;
+  t.main.history <- [];
+  t.forked <- None;
+  t.discard_next_sig <- false;
+  Hashtbl.reset t.epoch_store;
+  List.iter
+    (fun (b : Store.backup) ->
+      store_backup t
+        {
+          Message.backup_user = b.Store.user;
+          backup_epoch = b.Store.epoch;
+          sigma = b.Store.sigma;
+          last = b.Store.last;
+          backup_gctr = b.Store.gctr;
+          backup_signature = b.Store.signature;
+        })
+    r.Store.backups;
+  match t.config.mode with
+  | `Signed ->
+      if t.main.root_sig = None then
+        if t.main.ctr = 0 then
+          (* Rewound to the pristine state: the bootstrap signature
+             over the initial root is common knowledge. *)
+          t.main.root_sig <- t.initial_root_sig
+        else
+          (* Crashed mid-handshake: the operating user's signature
+             is still in flight, so block the queue until it
+             arrives — the restarted server rebuilds the waiting
+             state from "unsigned root, non-zero counter". *)
+          t.awaiting_sig_on <- Some t.main
+      else t.awaiting_sig_on <- None
+  | `Plain | `Token -> ()
+
 let crash_recover t ~round =
   match t.store with
   | None -> () (* no store, nothing to crash back onto *)
@@ -429,54 +473,28 @@ let crash_recover t ~round =
       let result =
         match t.config.adversary with
         | Adversary.Rollback_crash _ -> Store.recover_stale store
+        | Adversary.Torn_manifest { wreck; _ } ->
+            Store.debug_tear_manifest ~dir:(Store.dir store) ~wreck_backup:wreck;
+            Store.recover_reload store
         | _ -> Store.recover store
       in
-      let r =
-        match result with
-        | Ok r -> r
-        | Error e -> failwith ("store recovery failed: " ^ e)
-      in
-      t.main.db <- r.Store.db;
-      t.main.ctr <- r.Store.ctr;
-      t.main.last_user <- r.Store.last_user;
-      t.main.root_sig <- r.Store.root_sig;
-      t.main.history <- [];
-      t.forked <- None;
-      t.discard_next_sig <- false;
-      Hashtbl.reset t.epoch_store;
-      List.iter
-        (fun (b : Store.backup) ->
-          store_backup t
-            {
-              Message.backup_user = b.Store.user;
-              backup_epoch = b.Store.epoch;
-              sigma = b.Store.sigma;
-              last = b.Store.last;
-              backup_gctr = b.Store.gctr;
-              backup_signature = b.Store.signature;
-            })
-        r.Store.backups;
-      (match t.config.mode with
-      | `Signed ->
-          if t.main.root_sig = None then
-            if t.main.ctr = 0 then
-              (* Rewound to the pristine state: the bootstrap signature
-                 over the initial root is common knowledge. *)
-              t.main.root_sig <- t.initial_root_sig
-            else
-              (* Crashed mid-handshake: the operating user's signature
-                 is still in flight, so block the queue until it
-                 arrives — the restarted server rebuilds the waiting
-                 state from "unsigned root, non-zero counter". *)
-              t.awaiting_sig_on <- Some t.main
-          else t.awaiting_sig_on <- None
-      | `Plain | `Token -> ());
-      ignore round;
-      process_queue t ~round
+      (match result with
+      | Error e ->
+          (* An unrecoverable store is a loud failure, never a
+             half-initialized shard map served as truth: alarm as the
+             server and stop answering anything. *)
+          t.halted <- true;
+          Sim.Engine.alarm t.engine ~agent:Sim.Id.Server
+            ~reason:("store recovery failed: " ^ e)
+      | Ok r ->
+          adopt_recovered t r;
+          process_queue t ~round)
 
 let maybe_crash t ~round =
   match t.config.adversary with
-  | (Adversary.Crash { at_round } | Adversary.Rollback_crash { at_round })
+  | ( Adversary.Crash { at_round }
+    | Adversary.Rollback_crash { at_round }
+    | Adversary.Torn_manifest { at_round; _ } )
     when round = at_round && not t.crashed ->
       t.crashed <- true;
       crash_recover t ~round
@@ -512,7 +530,7 @@ let handle_token_turn t ~op ~record =
 
 (* ---- Wiring --------------------------------------------------------- *)
 
-let create ?store ?shards config ~engine ~initial ~initial_root_sig =
+let create ?store ?shards ?resume_from config ~engine ~initial ~initial_root_sig =
   let db =
     match store with
     | Some s -> Store.db s
@@ -551,11 +569,22 @@ let create ?store ?shards config ~engine ~initial ~initial_root_sig =
       token_log = [];
       total_ops = 0;
       crashed = false;
+      halted = false;
       route_counters;
     }
   in
+  (match resume_from with
+  | None -> ()
+  | Some r ->
+      (* A reopened daemon store: adopt the recovered bookkeeping so the
+         restarted server continues the same session (ctr, last user,
+         root signature, epoch backups) instead of re-baselining. *)
+      adopt_recovered t r;
+      t.total_ops <- r.Store.ctr);
   let on_message ~round ~src msg =
-    match (src, msg) with
+    if t.halted then ()
+    else
+      match (src, msg) with
     | Sim.Id.User user, Message.Query { op; piggyback } ->
         if config.mode = `Token then handle_token_query t ~user ~op
         else handle_query t ~round ~user ~op ~piggyback
@@ -575,6 +604,7 @@ let create ?store ?shards config ~engine ~initial ~initial_root_sig =
 
 let initial_root t = t.initial_root
 let ops_performed t = t.main.ctr
+let halted t = t.halted
 let true_root t = Sdb.root_digest t.main.db
 let history_length t = List.length t.main.history
 

@@ -48,6 +48,7 @@ type t
 val create :
   ?store:Store.t ->
   ?shards:int ->
+  ?resume_from:Store.recovered ->
   config ->
   engine:Message.t Sim.Engine.t ->
   initial:(string * string) list ->
@@ -67,7 +68,17 @@ val create :
     on an in-memory {!Store.Shard_db} with that many shards. Either
     argument also switches on the per-shard [server.s<i>.ops_routed]
     routing counters plus the [server.ops_routed] aggregate (kept off
-    otherwise so legacy single-tree reports are byte-identical). *)
+    otherwise so legacy single-tree reports are byte-identical).
+
+    [resume_from], when given (the network daemon's {!Store.resume}
+    path), adopts the recovered bookkeeping — ctr, last user, root
+    signature, epoch backups — so a restarted server continues the same
+    session instead of re-baselining. *)
+
+val halted : t -> bool
+(** True once recovery has failed unrecoverably: the server has raised
+    a simulator alarm and silently drops every subsequent message
+    rather than serve a half-initialized shard map. *)
 
 val initial_root : t -> string
 (** [M(D₀)] — common knowledge among users. *)

@@ -1,0 +1,99 @@
+(** The Trusted-CVS network client.
+
+    {!run} hosts one {e real} protocol agent ({!Tcvs.Harness.build_user}
+    — the same construction the in-process harness uses) over a
+    client-local simulator engine and bridges it to a {!Daemon} over
+    TCP. The daemon's [Tick] frames drive the local engine, so the
+    distributed session advances in lockstep with every other client
+    and the agent cannot tell it left the single-process simulator:
+    detection verdicts on a given seed and workload match the
+    in-process harness.
+
+    Reliability: every [Request]/[Publish] is retransmitted on a
+    jittered exponential tick backoff (deterministic under the seeded
+    PRNG) until acknowledged; received [Deliver]s are deduplicated on
+    [(src, sseq)] and always re-acked. If the connection drops, the
+    client reconnects with capped exponential backoff and re-runs the
+    handshake; a [Welcome] whose store generation regressed — the
+    daemon restarted on rolled-back state — raises a local alarm, so a
+    [kill -9]-and-rollback is observed just like the in-process
+    [rollback-crash:R] adversary, while an honest restart (same or
+    advanced generation, counters intact) passes revalidation and the
+    session continues cleanly. *)
+
+type config = {
+  host : string;
+  port : int;
+  user : int;
+  users : int;
+  protocol : Tcvs.Harness.protocol;
+  files : int;
+  branching : int;
+  shards : int;
+  seed : string;  (** must match the daemon's and every peer's *)
+  script : Tcvs.Harness.scripted list;
+      (** the {e full} session script ({!Tcvs.Harness.script_of_events}
+          numbering needs every user's writes); the client enqueues
+          only its own entries *)
+  response_timeout : int option;
+  sync_timeout : int option;
+  connect_timeout : float;  (** seconds, per connect + handshake *)
+  max_reconnects : int;
+  reconnect_backoff : float;  (** base seconds; doubles per attempt *)
+  retrans_ticks : int;  (** base retransmission backoff, in ticks *)
+  max_frame : int;
+  watchdog : float;
+      (** seconds of silence on an established lockstep link before the
+          client declares it wedged and reconnects *)
+}
+
+val default_config : user:int -> port:int -> config
+(** Loopback host, 4 users, protocol II (k=8), 32 files, branching 8,
+    1 shard, empty script, 64-round response timeout, no sync timeout,
+    5 s connect timeout, 8 reconnects with 0.25 s base backoff, 4-tick
+    retransmission base. *)
+
+type verdict = {
+  v_alarmed : bool;  (** local alarm or session-wide alarm *)
+  v_local_alarms : (int * string) list;  (** (round, reason), oldest first *)
+  v_session_alarmed : bool;
+  v_session_reason : string;  (** the daemon's [Session_end] reason *)
+  v_rounds : int;
+  v_reconnects : int;
+}
+
+val run : config -> (verdict, string) result
+(** Drive the session to its [Session_end]. [Error] is an environment
+    failure (cannot connect, handshake rejected, reconnect budget
+    exhausted) — never a detection verdict. *)
+
+(** {2 Free-mode benchmarking} *)
+
+type bench_result = {
+  b_conns : int;
+  b_ops : int;
+  b_seconds : float;
+  b_throughput : float;  (** ops/second, wall-clock *)
+  b_mean_ms : float;
+  b_p50_ms : float;
+  b_p95_ms : float;
+  b_p99_ms : float;
+}
+
+val bench :
+  host:string ->
+  port:int ->
+  users:int ->
+  conns:int ->
+  ops_per_conn:int ->
+  files:int ->
+  zipf_s:float ->
+  write_ratio:float ->
+  seed:string ->
+  (bench_result, string) result
+(** Closed-loop load: [conns] concurrent free-mode connections (user
+    ids [0..conns-1]; [conns <= users], the daemon's session size),
+    each keeping exactly one query in flight for [ops_per_conn]
+    operations. Keys are Zipf([zipf_s])-distributed over [files];
+    [write_ratio] of operations are writes. Latency is wall-clock,
+    request sent → reply parsed. *)

@@ -1,0 +1,91 @@
+let obs_scope = Obs.Scope.v "net"
+let c_frames_sent = Obs.counter ~scope:obs_scope "frames_sent"
+let c_frames_received = Obs.counter ~scope:obs_scope "frames_received"
+let c_bytes_sent = Obs.counter ~scope:obs_scope "bytes_sent"
+let c_bytes_received = Obs.counter ~scope:obs_scope "bytes_received"
+let c_decode_errors = Obs.counter ~scope:obs_scope "decode_errors"
+
+type t = {
+  sock : Unix.file_descr;
+  max_frame : int;
+  mutable rbuf : string; (* received, not yet parsed *)
+  mutable wbuf : string; (* encoded, not yet written *)
+  mutable at_eof : bool;
+}
+
+let create ?(max_frame = Codec.default_max_frame) sock =
+  Unix.set_nonblock sock;
+  { sock; max_frame; rbuf = ""; wbuf = ""; at_eof = false }
+
+let fd t = t.sock
+let eof t = t.at_eof
+
+(* Single-threaded process: one scratch buffer serves every connection. *)
+let scratch = Bytes.create 65536
+
+let fill t =
+  if not t.at_eof then
+    let rec loop () =
+      match Unix.read t.sock scratch 0 (Bytes.length scratch) with
+      | 0 -> t.at_eof <- true
+      | n ->
+          t.rbuf <- t.rbuf ^ Bytes.sub_string scratch 0 n;
+          Obs.incr c_bytes_received ~by:n;
+          if n = Bytes.length scratch then loop ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error (_, _, _) -> t.at_eof <- true
+    in
+    loop ()
+
+let pop t =
+  if String.length t.rbuf < Codec.header_len then Ok None
+  else
+    match
+      Codec.decode_header ~max_frame:t.max_frame
+        (String.sub t.rbuf 0 Codec.header_len)
+    with
+    | Error e ->
+        Obs.incr c_decode_errors;
+        Error e
+    | Ok (len, checksum) ->
+        if String.length t.rbuf < Codec.header_len + len then Ok None
+        else begin
+          let body = String.sub t.rbuf Codec.header_len len in
+          t.rbuf <-
+            String.sub t.rbuf (Codec.header_len + len)
+              (String.length t.rbuf - Codec.header_len - len);
+          match Codec.decode_body ~checksum body with
+          | Ok f ->
+              Obs.incr c_frames_received;
+              Ok (Some f)
+          | Error e ->
+              Obs.incr c_decode_errors;
+              Error e
+        end
+
+let send t frame =
+  Obs.incr c_frames_sent;
+  t.wbuf <- t.wbuf ^ Codec.encode_frame frame
+
+let flush t =
+  let len = String.length t.wbuf in
+  if len > 0 && not t.at_eof then
+    match Unix.write_substring t.sock t.wbuf 0 len with
+    | n ->
+        Obs.incr c_bytes_sent ~by:n;
+        t.wbuf <- String.sub t.wbuf n (len - n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error (_, _, _) -> t.at_eof <- true
+
+let want_write t = String.length t.wbuf > 0 && not t.at_eof
+let pending_out t = String.length t.wbuf
+(* Marking eof here is load-bearing: a closed connection must never be
+   offered to select again (EBADF), and the select loops prune on
+   {!eof}. *)
+let close t =
+  t.at_eof <- true;
+  try Unix.close t.sock with Unix.Unix_error _ -> ()

@@ -1,0 +1,684 @@
+let src = Logs.Src.create "tcvs.net.daemon" ~doc:"Trusted-CVS TCP daemon"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+module Message = Tcvs.Message
+module Harness = Tcvs.Harness
+module Server = Tcvs.Server
+module Adversary = Tcvs.Adversary
+
+let obs_scope = Obs.Scope.v "net.daemon"
+let c_requests = Obs.counter ~scope:obs_scope "requests_executed"
+let c_dedup_hits = Obs.counter ~scope:obs_scope "dedup_hits"
+let c_lost_replies = Obs.counter ~scope:obs_scope "lost_replies"
+let c_relays = Obs.counter ~scope:obs_scope "publishes_relayed"
+let c_ticks = Obs.counter ~scope:obs_scope "ticks"
+let c_accepts = Obs.counter ~scope:obs_scope "connections_accepted"
+
+type config = {
+  listen_port : int;
+  port_file : string option;
+  store_dir : string option;
+  shards : int;
+  branching : int;
+  files : int;
+  protocol : Harness.protocol;
+  users : int;
+  seed : string;
+  adversary : Adversary.t;
+  max_conns : int;
+  max_frame : int;
+  tick_timeout : float;
+  tail_ticks : int;
+  checkpoint_every : int;
+  exit_after_session : bool;
+}
+
+let default_config =
+  {
+    listen_port = 0;
+    port_file = None;
+    store_dir = None;
+    shards = 1;
+    branching = 8;
+    files = 32;
+    protocol = Harness.Protocol_2
+        { k = 8; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user };
+    users = 4;
+    seed = "net-session";
+    adversary = Adversary.Honest;
+    max_conns = 64;
+    max_frame = Codec.default_max_frame;
+    tick_timeout = 0.5;
+    tail_ticks = 64;
+    checkpoint_every = 64;
+    exit_after_session = true;
+  }
+
+let stop_requested = ref false
+
+type session = {
+  conn : Conn.t;
+  peer : string;
+  mutable user : int; (* -1 before Hello *)
+  mutable role : Codec.role option;
+  mutable said_bye : bool;
+}
+
+type relay = { r_msg : Message.t; r_pending : (int, unit) Hashtbl.t }
+
+type state = {
+  cfg : config;
+  engine : Message.t Sim.Engine.t;
+  server : Server.t;
+  store : Store.t option;
+  boot_id : string;
+  outbox : (int * Message.t) Queue.t; (* server→user messages captured by stubs *)
+  mutable sessions : session list;
+  vseq : (int, int) Hashtbl.t; (* per-user highest injected request seq *)
+  reply_cache : (int, int * string) Hashtbl.t; (* user → (seq, encoded reply) *)
+  outstanding : (int, int) Hashtbl.t; (* user → injected query seq awaiting reply *)
+  relays : (int * int, relay) Hashtbl.t; (* (src, sseq) → broadcast relay state *)
+  u_done : int array; (* per-user last Tick_done round *)
+  u_drained : bool array;
+  u_alarmed : bool array;
+  mutable round : int;
+  mutable ticking : bool;
+  mutable tick_sent_at : float;
+  mutable drain_ticks : int;
+  mutable free_pending : bool; (* a free-role query awaits execution *)
+  mutable session_over : bool;
+  mutable ended_at : float;
+}
+
+let mode_of_protocol = function
+  | Harness.Protocol_1 _ -> (`Signed, None)
+  | Harness.Protocol_2 _ | Harness.Unverified -> (`Plain, None)
+  | Harness.Protocol_3 { epoch_len } -> (`Plain, Some epoch_len)
+  | Harness.Token_baseline _ -> (`Token, None)
+
+let session_for_user st u =
+  List.find_opt (fun s -> s.user = u && not (Conn.eof s.conn)) st.sessions
+
+let lockstep s = s.role = Some Codec.Lockstep
+
+let lockstep_joined st =
+  let joined = Array.make st.cfg.users false in
+  List.iter (fun s -> if lockstep s && s.user >= 0 then joined.(s.user) <- true) st.sessions;
+  Array.for_all Fun.id joined
+
+let has_role st role =
+  List.exists (fun s -> s.role = Some role) st.sessions
+
+let welcome st =
+  Codec.Welcome
+    {
+      w_version = Codec.protocol_version;
+      w_boot_id = st.boot_id;
+      w_generation = (match st.store with Some s -> Store.generation s | None -> 0);
+      w_ctr = Server.ops_performed st.server;
+      w_users = st.cfg.users;
+      w_shards = st.cfg.shards;
+      w_round = st.round;
+      w_root = Server.true_root st.server;
+    }
+
+let reject sess code detail =
+  Conn.send sess.conn (Codec.Error_frame { code; detail });
+  Conn.flush sess.conn;
+  Conn.close sess.conn
+
+(* ---- Reply capture --------------------------------------------------- *)
+
+let drain_outbox st =
+  while not (Queue.is_empty st.outbox) do
+    let u, msg = Queue.pop st.outbox in
+    match Hashtbl.find_opt st.outstanding u with
+    | Some seq -> (
+        Hashtbl.remove st.outstanding u;
+        let payload = Codec.encode_message msg in
+        Hashtbl.replace st.reply_cache u (seq, payload);
+        (match st.store with
+        | Some s -> Store.log_reply s ~user:u ~seq ~payload
+        | None -> ());
+        Obs.incr c_requests;
+        Log.debug (fun f -> f "u%d: reply for seq %d" u seq);
+        match session_for_user st u with
+        | Some sess -> Conn.send sess.conn (Codec.Reply { seq; msg })
+        | None -> () (* disconnected; the cached reply answers the re-request *))
+    | None ->
+        Log.warn (fun f -> f "response for u%d with no outstanding request" u)
+  done
+
+(* ---- Frame handling -------------------------------------------------- *)
+
+let handle_hello st sess (h : Codec.hello) =
+  if h.Codec.h_version <> Codec.protocol_version then
+    reject sess Codec.Version_mismatch
+      (Printf.sprintf "server speaks protocol %d, client sent %d"
+         Codec.protocol_version h.Codec.h_version)
+  else if h.Codec.h_user < 0 || h.Codec.h_user >= st.cfg.users then
+    reject sess Codec.Bad_user
+      (Printf.sprintf "user %d out of range [0, %d)" h.Codec.h_user st.cfg.users)
+  else if h.Codec.h_users <> st.cfg.users then
+    reject sess Codec.Bad_user
+      (Printf.sprintf "client expects %d users, session has %d" h.Codec.h_users
+         st.cfg.users)
+  else if session_for_user st h.Codec.h_user <> None then
+    reject sess Codec.Bad_user
+      (Printf.sprintf "user %d is already connected" h.Codec.h_user)
+  else if
+    (* one daemon serves one kind of session at a time *)
+    match h.Codec.h_role with
+    | Codec.Lockstep -> has_role st Codec.Free
+    | Codec.Free -> has_role st Codec.Lockstep
+  then reject sess Codec.Busy "daemon is serving a session of the other role"
+  else begin
+    sess.user <- h.Codec.h_user;
+    sess.role <- Some h.Codec.h_role;
+    (* free connections are independent workloads, not resumed sessions:
+       a fresh one restarts its seq space *)
+    if h.Codec.h_role = Codec.Free then begin
+      Hashtbl.remove st.vseq sess.user;
+      Hashtbl.remove st.reply_cache sess.user;
+      Hashtbl.remove st.outstanding sess.user
+    end;
+    if not st.ticking then st.round <- max st.round h.Codec.h_round;
+    Conn.send sess.conn (welcome st);
+    Log.info (fun f ->
+        f "u%d joined (%s, round %d) from %s" sess.user
+          (match h.Codec.h_role with Codec.Lockstep -> "lockstep" | Codec.Free -> "free")
+          h.Codec.h_round sess.peer);
+    (* a reconnect mid-round: let the client catch up immediately *)
+    if st.ticking && h.Codec.h_role = Codec.Lockstep then
+      Conn.send sess.conn (Codec.Tick { round = st.round })
+  end
+
+let handle_request st sess ~seq ~msg =
+  let u = sess.user in
+  let last = Option.value ~default:(-1) (Hashtbl.find_opt st.vseq u) in
+  match msg with
+  | Message.Query _ ->
+      if Hashtbl.find_opt st.outstanding u = Some seq then
+        () (* injected, reply still being computed — retransmission noise *)
+      else if seq <= last then begin
+        Obs.incr c_dedup_hits;
+        Log.debug (fun f -> f "u%d: duplicate query seq %d, resending reply" u seq);
+        match Hashtbl.find_opt st.reply_cache u with
+        | Some (s, payload) when s = seq -> (
+            match Codec.decode_message payload with
+            | Some m -> Conn.send sess.conn (Codec.Reply { seq; msg = m })
+            | None ->
+                Obs.incr c_lost_replies;
+                Conn.send sess.conn
+                  (Codec.Error_frame
+                     { code = Codec.Lost_reply; detail = "cached reply undecodable" }))
+        | _ ->
+            (* The at-most-once residue: the op's WAL record survived a
+               crash but the reply cache write did not. Never re-execute
+               — surface it loudly and let the client alarm. *)
+            Obs.incr c_lost_replies;
+            Conn.send sess.conn
+              (Codec.Error_frame
+                 {
+                   code = Codec.Lost_reply;
+                   detail =
+                     Printf.sprintf
+                       "request %d was executed before a crash but its reply was \
+                        lost"
+                       seq;
+                 })
+      end
+      else if Hashtbl.mem st.outstanding u then begin
+        Log.debug (fun f ->
+            f "u%d: query seq %d while seq %d outstanding" u seq
+              (Option.value ~default:(-1) (Hashtbl.find_opt st.outstanding u)));
+        Conn.send sess.conn
+          (Codec.Error_frame
+             {
+               code = Codec.Protocol_violation;
+               detail = "a second query while one is outstanding";
+             })
+      end
+      else begin
+        Log.debug (fun f -> f "u%d: query seq %d injected (round %d)" u seq st.round);
+        Hashtbl.replace st.vseq u seq;
+        (match st.store with
+        | Some s -> Store.declare_origin s ~user:u ~seq
+        | None -> ());
+        Hashtbl.replace st.outstanding u seq;
+        Sim.Engine.send st.engine ~src:(Sim.Id.User u) ~dst:Sim.Id.Server msg;
+        if sess.role = Some Codec.Free then st.free_pending <- true
+      end
+  | Message.Root_signature _ | Message.Token_take_turn _ ->
+      (* At-least-once is safe here: the server ignores a signature it is
+         not waiting for, so the ack can race a retransmission. *)
+      if seq > last then begin
+        Hashtbl.replace st.vseq u seq;
+        Sim.Engine.send st.engine ~src:(Sim.Id.User u) ~dst:Sim.Id.Server msg
+      end;
+      Conn.send sess.conn (Codec.Ack { seq })
+  | _ ->
+      Conn.send sess.conn
+        (Codec.Error_frame
+           {
+             code = Codec.Protocol_violation;
+             detail = "request carries a server-to-user message";
+           })
+
+let deliver_to st v ~src ~sseq msg =
+  match session_for_user st v with
+  | Some sv -> Conn.send sv.conn (Codec.Deliver { src; sseq; msg })
+  | None -> ()
+
+let handle_publish st sess ~seq ~msg =
+  let u = sess.user in
+  match Hashtbl.find_opt st.relays (u, seq) with
+  | Some r ->
+      (* duplicate Publish: the publisher has not seen our Ack yet *)
+      Hashtbl.iter (fun v () -> deliver_to st v ~src:u ~sseq:seq msg) r.r_pending
+  | None ->
+      let pending = Hashtbl.create 8 in
+      for v = 0 to st.cfg.users - 1 do
+        if v <> u then Hashtbl.replace pending v ()
+      done;
+      if Hashtbl.length pending = 0 then Conn.send sess.conn (Codec.Ack { seq })
+      else begin
+        Obs.incr c_relays;
+        Hashtbl.replace st.relays (u, seq) { r_msg = msg; r_pending = pending };
+        Hashtbl.iter (fun v () -> deliver_to st v ~src:u ~sseq:seq msg) pending
+      end
+
+let handle_deliver_ack st sess ~psrc ~sseq =
+  match Hashtbl.find_opt st.relays (psrc, sseq) with
+  | None -> ()
+  | Some r ->
+      Hashtbl.remove r.r_pending sess.user;
+      if Hashtbl.length r.r_pending = 0 then begin
+        Hashtbl.remove st.relays (psrc, sseq);
+        (* the Publish is only acknowledged once every recipient has
+           acknowledged its Deliver — end-to-end reliable broadcast *)
+        match session_for_user st psrc with
+        | Some sp -> Conn.send sp.conn (Codec.Ack { seq = sseq })
+        | None -> ()
+      end
+
+let handle_frame st sess frame =
+  match (sess.role, frame) with
+  | None, Codec.Hello h -> handle_hello st sess h
+  | None, _ ->
+      reject sess Codec.Protocol_violation "first frame must be Hello"
+  | Some _, Codec.Hello _ ->
+      reject sess Codec.Protocol_violation "second Hello on a connection"
+  | Some _, Codec.Request { seq; msg } -> handle_request st sess ~seq ~msg
+  | Some _, Codec.Publish { seq; msg } -> handle_publish st sess ~seq ~msg
+  | Some _, Codec.Deliver_ack { src = psrc; sseq } ->
+      handle_deliver_ack st sess ~psrc ~sseq
+  | Some _, Codec.Tick_done { round = r; drained; alarmed } ->
+      if sess.user >= 0 && r = st.round then begin
+        st.u_done.(sess.user) <- r;
+        st.u_drained.(sess.user) <- drained;
+        st.u_alarmed.(sess.user) <- alarmed
+      end
+      else
+        Log.debug (fun f ->
+            f "u%d: stale tick_done r=%d at round %d ignored" sess.user r
+              st.round)
+  | Some _, Codec.Bye -> sess.said_bye <- true
+  | Some _, (Codec.Welcome _ | Codec.Reply _ | Codec.Deliver _ | Codec.Tick _
+            | Codec.Session_end _) ->
+      reject sess Codec.Protocol_violation "server-to-client frame from a client"
+  | Some _, (Codec.Ack _ | Codec.Error_frame _) -> ()
+
+(* ---- The round clock ------------------------------------------------- *)
+
+let begin_tick st =
+  st.round <- st.round + 1;
+  Obs.incr c_ticks;
+  st.tick_sent_at <- Unix.gettimeofday ();
+  (* retransmit undelivered broadcasts before announcing the round *)
+  Hashtbl.iter
+    (fun (psrc, sseq) r ->
+      Hashtbl.iter (fun v () -> deliver_to st v ~src:psrc ~sseq r.r_msg) r.r_pending)
+    st.relays;
+  List.iter
+    (fun s ->
+      if lockstep s && s.user >= 0 then Conn.send s.conn (Codec.Tick { round = st.round }))
+    st.sessions
+
+let end_session st ~alarmed ~reason =
+  st.session_over <- true;
+  st.ended_at <- Unix.gettimeofday ();
+  Log.info (fun f -> f "session over at round %d: %s" st.round reason);
+  List.iter
+    (fun s ->
+      if s.user >= 0 then
+        Conn.send s.conn (Codec.Session_end { round = st.round; alarmed; reason }))
+    st.sessions
+
+let tick_complete st =
+  let ok = ref true in
+  for u = 0 to st.cfg.users - 1 do
+    if st.u_done.(u) < st.round then ok := false
+  done;
+  !ok
+
+let finish_round st =
+  (* two steps: the first delivers this round's requests to the server
+     (which executes and sends), the second delivers its responses to
+     the capture stubs *)
+  Sim.Engine.step st.engine;
+  Sim.Engine.step st.engine;
+  drain_outbox st;
+  let server_alarmed = Sim.Engine.first_alarm st.engine <> None in
+  let any_alarm = server_alarmed || Array.exists Fun.id st.u_alarmed in
+  let daemon_idle =
+    Hashtbl.length st.outstanding = 0
+    && Hashtbl.length st.relays = 0
+    && Queue.is_empty st.outbox
+  in
+  let all_drained = Array.for_all Fun.id st.u_drained && daemon_idle in
+  if any_alarm then
+    end_session st ~alarmed:true
+      ~reason:(if server_alarmed then "server-alarm" else "client-alarm")
+  else if all_drained then begin
+    st.drain_ticks <- st.drain_ticks + 1;
+    if st.drain_ticks >= st.cfg.tail_ticks then
+      end_session st ~alarmed:false ~reason:"drained"
+    else begin_tick st
+  end
+  else begin
+    st.drain_ticks <- 0;
+    begin_tick st
+  end
+
+(* ---- Setup ----------------------------------------------------------- *)
+
+let make_boot_id () =
+  let raw =
+    Printf.sprintf "%f-%d" (Unix.gettimeofday ()) (Unix.getpid ())
+  in
+  let hex = Buffer.create 16 in
+  String.iteri
+    (fun i c -> if i < 8 then Buffer.add_string hex (Printf.sprintf "%02x" (Char.code c)))
+    (Crypto.Sha256.digest raw);
+  Buffer.contents hex
+
+let write_port_file path port =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (string_of_int port);
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp path
+
+let open_store cfg =
+  match cfg.store_dir with
+  | None -> Ok (None, None)
+  | Some dir ->
+      if Store.manifest_exists dir then
+        match Store.resume ~checkpoint_every:cfg.checkpoint_every ~dir () with
+        | Ok (s, r) -> Ok (Some s, Some r)
+        | Error e -> Error e
+      else (
+        match
+          Store.create_or_open ~checkpoint_every:cfg.checkpoint_every ~dir
+            ~branching:cfg.branching ~shards:cfg.shards
+            ~initial:(Harness.initial_files cfg.files) ()
+        with
+        | Ok (s, _) -> Ok (Some s, None)
+        | Error e -> Error e)
+
+let build_state cfg =
+  match open_store cfg with
+  | Error e -> Error ("store: " ^ e)
+  | Ok (store, resume_from) ->
+      let engine =
+        Sim.Engine.create ~measure:Message.encoded_size ~classify:Message.kind ()
+      in
+      let initial = Harness.initial_files cfg.files in
+      let mode, epoch_len = mode_of_protocol cfg.protocol in
+      let initial_root_sig =
+        match cfg.protocol with
+        | Harness.Protocol_1 _ ->
+            (* same deterministic PKI ceremony as the clients *)
+            let rng = Crypto.Prng.create ~seed:cfg.seed in
+            let _, signers =
+              Pki.Keyring.setup
+                ~scheme:(Pki.Signer.Hmac_shared { key = "experiment-shared-key" })
+                ~users:cfg.users rng
+            in
+            let db =
+              match store with
+              | Some s -> Store.db s
+              | None ->
+                  Store.Shard_db.create ~branching:cfg.branching ~shards:cfg.shards
+                    initial
+            in
+            Some
+              (Tcvs.Protocol1.initial_signature ~signer:signers.(0)
+                 ~root:(Store.Shard_db.root_digest db))
+        | _ -> None
+      in
+      let server =
+        Server.create ?store ~shards:cfg.shards ?resume_from
+          {
+            Server.mode;
+            epoch_len;
+            branching = cfg.branching;
+            adversary = cfg.adversary;
+            history_cap = Server.default_history_cap;
+          }
+          ~engine ~initial ~initial_root_sig
+      in
+      let outbox = Queue.create () in
+      for u = 0 to cfg.users - 1 do
+        Sim.Engine.register engine (Sim.Id.User u)
+          {
+            Sim.Engine.on_message =
+              (fun ~round:_ ~src msg ->
+                if src = Sim.Id.Server then Queue.add (u, msg) outbox);
+            on_activate = (fun ~round:_ -> ());
+          }
+      done;
+      let st =
+        {
+          cfg;
+          engine;
+          server;
+          store;
+          boot_id = make_boot_id ();
+          outbox;
+          sessions = [];
+          vseq = Hashtbl.create 16;
+          reply_cache = Hashtbl.create 16;
+          outstanding = Hashtbl.create 16;
+          relays = Hashtbl.create 64;
+          u_done = Array.make (max cfg.users 1) (-1);
+          u_drained = Array.make (max cfg.users 1) false;
+          u_alarmed = Array.make (max cfg.users 1) false;
+          round = 0;
+          ticking = false;
+          tick_sent_at = 0.;
+          drain_ticks = 0;
+          free_pending = false;
+          session_over = false;
+          ended_at = 0.;
+        }
+      in
+      (match resume_from with
+      | None -> ()
+      | Some (r : Store.recovered) ->
+          List.iter (fun (u, s) -> Hashtbl.replace st.vseq u s) r.Store.seqs;
+          List.iter
+            (fun (u, s, payload) -> Hashtbl.replace st.reply_cache u (s, payload))
+            r.Store.replies;
+          Log.info (fun f ->
+              f "resumed store: generation %d, ctr %d, %d user seqs"
+                (match store with Some s -> Store.generation s | None -> 0)
+                r.Store.ctr (List.length r.Store.seqs)));
+      Ok st
+
+(* ---- Main loop ------------------------------------------------------- *)
+
+let prune_sessions st =
+  let dead, live =
+    List.partition (fun s -> Conn.eof s.conn || s.said_bye) st.sessions
+  in
+  List.iter
+    (fun s ->
+      if s.user >= 0 then Log.info (fun f -> f "u%d disconnected" s.user);
+      Conn.close s.conn)
+    dead;
+  st.sessions <- live
+
+let accept_pending st listen_fd =
+  let rec loop () =
+    match Unix.accept listen_fd with
+    | fd, addr ->
+        let peer =
+          match addr with
+          | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+          | Unix.ADDR_UNIX p -> p
+        in
+        let conn = Conn.create ~max_frame:st.cfg.max_frame fd in
+        let sess = { conn; peer; user = -1; role = None; said_bye = false } in
+        if List.length st.sessions >= st.cfg.max_conns then
+          reject sess Codec.Busy
+            (Printf.sprintf "connection limit %d reached" st.cfg.max_conns)
+        else begin
+          Obs.incr c_accepts;
+          st.sessions <- sess :: st.sessions
+        end;
+        loop ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+  in
+  loop ()
+
+let read_session st sess =
+  Conn.fill sess.conn;
+  let rec pump () =
+    if not st.session_over then
+      match Conn.pop sess.conn with
+      | Ok None -> ()
+      | Ok (Some frame) ->
+          handle_frame st sess frame;
+          pump ()
+      | Error e ->
+          Log.warn (fun f ->
+              f "u%d: bad frame: %s — closing" sess.user (Codec.error_to_string e));
+          reject sess Codec.Protocol_violation (Codec.error_to_string e)
+  in
+  pump ()
+
+let run cfg =
+  stop_requested := false;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let on_stop = Sys.Signal_handle (fun _ -> stop_requested := true) in
+  Sys.set_signal Sys.sigterm on_stop;
+  Sys.set_signal Sys.sigint on_stop;
+  match build_state cfg with
+  | Error e -> Error e
+  | Ok st -> (
+      let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+      match
+        Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, cfg.listen_port))
+      with
+      | exception Unix.Unix_error (err, _, _) ->
+          Unix.close listen_fd;
+          Error
+            (Printf.sprintf "cannot bind 127.0.0.1:%d: %s" cfg.listen_port
+               (Unix.error_message err))
+      | () ->
+          Unix.listen listen_fd 64;
+          Unix.set_nonblock listen_fd;
+          let port =
+            match Unix.getsockname listen_fd with
+            | Unix.ADDR_INET (_, p) -> p
+            | Unix.ADDR_UNIX _ -> cfg.listen_port
+          in
+          Option.iter (fun path -> write_port_file path port) cfg.port_file;
+          Log.app (fun f ->
+              f "listening on 127.0.0.1:%d (boot %s, %d users, %s)" port st.boot_id
+                cfg.users
+                (Harness.protocol_name cfg.protocol));
+          let rec loop () =
+            if !stop_requested && not st.session_over then
+              end_session st ~alarmed:false ~reason:"sigterm-drain";
+            prune_sessions st;
+            (* session lifecycle *)
+            if st.session_over then begin
+              List.iter (fun s -> Conn.flush s.conn) st.sessions;
+              let flushed =
+                List.for_all (fun s -> Conn.pending_out s.conn = 0) st.sessions
+              in
+              if
+                flushed || st.sessions = []
+                || Unix.gettimeofday () -. st.ended_at > 2.0
+              then begin
+                List.iter (fun s -> Conn.close s.conn) st.sessions;
+                Unix.close listen_fd;
+                (match st.store with Some s -> Store.close s | None -> ());
+                Ok ()
+              end
+              else select_and_continue ()
+            end
+            else begin
+              if (not st.ticking) && lockstep_joined st && st.cfg.users > 0
+                 && has_role st Codec.Lockstep
+              then begin
+                st.ticking <- true;
+                Log.info (fun f -> f "all %d users joined — starting round clock" st.cfg.users);
+                begin_tick st
+              end;
+              if st.ticking then begin
+                if tick_complete st then finish_round st
+                else if Unix.gettimeofday () -. st.tick_sent_at > cfg.tick_timeout
+                then begin
+                  (* a Tick or Tick_done was lost to a reconnect — re-announce *)
+                  st.tick_sent_at <- Unix.gettimeofday ();
+                  List.iter
+                    (fun s ->
+                      if lockstep s && s.user >= 0 && st.u_done.(s.user) < st.round
+                      then begin
+                        Log.debug (fun f ->
+                            f "re-tick round %d to u%d (done %d)" st.round
+                              s.user st.u_done.(s.user));
+                        Conn.send s.conn (Codec.Tick { round = st.round })
+                      end)
+                    st.sessions
+                end
+              end;
+              if st.free_pending then begin
+                st.free_pending <- false;
+                Sim.Engine.step st.engine;
+                Sim.Engine.step st.engine;
+                drain_outbox st
+              end;
+              select_and_continue ()
+            end
+          and select_and_continue () =
+            let rfds = listen_fd :: List.map (fun s -> Conn.fd s.conn) st.sessions in
+            let wfds =
+              List.filter_map
+                (fun s -> if Conn.want_write s.conn then Some (Conn.fd s.conn) else None)
+                st.sessions
+            in
+            let readable, writable, _ =
+              try Unix.select rfds wfds [] 0.05
+              with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+            in
+            if List.mem listen_fd readable then accept_pending st listen_fd;
+            List.iter
+              (fun s -> if List.mem (Conn.fd s.conn) readable then read_session st s)
+              st.sessions;
+            List.iter
+              (fun s -> if List.mem (Conn.fd s.conn) writable then Conn.flush s.conn)
+              st.sessions;
+            (* opportunistic flush for freshly queued frames *)
+            List.iter (fun s -> Conn.flush s.conn) st.sessions;
+            loop ()
+          in
+          loop ())

@@ -1,0 +1,67 @@
+(** The Trusted-CVS server as a standalone TCP daemon.
+
+    One process, one [Unix.select] loop, no threads. The daemon embeds
+    the existing {!Tcvs.Server} agent in a private simulator engine and
+    bridges it to the network: client [Request] frames are injected as
+    engine messages, the engine is stepped, and captured server
+    responses go back out as [Reply] frames — so WAL durability,
+    sharding, crash recovery and every adversary hook work unchanged.
+
+    Two serving modes, never mixed on one daemon:
+
+    - {e Lockstep}: the daemon is the round clock for a distributed
+      protocol session. Each round it sends [Tick] to every client,
+      collects their frames until all have answered [Tick_done], then
+      steps the engine twice (one step delivers requests to the server,
+      the next delivers its responses back to the capture stubs).
+      User-to-user broadcasts arrive as [Publish] frames and are
+      relayed as [Deliver]s; a [Publish] is only acknowledged once
+      {e every} recipient has acknowledged its [Deliver], so the
+      external channel stays reliable end-to-end across daemon crashes
+      (receivers deduplicate on [(src, sseq)]).
+
+    - {e Free}: bench clients; each [Request] is executed on arrival.
+
+    Exactly-once across restarts: the network seq of each executed
+    query rides in the op's WAL records ({!Store.declare_origin}) and
+    the encoded reply is durably cached ({!Store.log_reply}), so a
+    retransmitted request after a [kill -9] gets the cached reply
+    instead of a second execution. The unavoidable residue — op logged,
+    daemon died before caching the reply — surfaces as a loud
+    [Lost_reply] error frame, never a silent re-execution. *)
+
+type config = {
+  listen_port : int;  (** 0 picks an ephemeral port *)
+  port_file : string option;
+      (** written (tmp+rename) with the bound port once listening *)
+  store_dir : string option;
+      (** durable store; resumed in place when it already exists *)
+  shards : int;
+  branching : int;
+  files : int;  (** initial database: {!Tcvs.Harness.initial_files} *)
+  protocol : Tcvs.Harness.protocol;
+  users : int;  (** lockstep session size / max free client id + 1 *)
+  seed : string;  (** must match the clients' — PKI + workload *)
+  adversary : Tcvs.Adversary.t;
+  max_conns : int;
+  max_frame : int;
+  tick_timeout : float;  (** seconds before a [Tick] is re-sent *)
+  tail_ticks : int;
+      (** extra all-drained rounds before a clean [Session_end] (time
+          for trailing syncs, mirroring the harness's tail) *)
+  checkpoint_every : int;
+  exit_after_session : bool;
+      (** exit once the lockstep session ends (smoke runs); free-mode
+          daemons serve until SIGTERM either way *)
+}
+
+val default_config : config
+(** Port 0, no store, 1 shard, branching 8, 32 files, protocol II
+    (k=8), 4 users, honest adversary, 64 connections, 1 MiB frames,
+    0.5 s tick timeout, 64 tail ticks. *)
+
+val run : config -> (unit, string) result
+(** Serve until the session ends (lockstep, with [exit_after_session]),
+    or until SIGTERM/SIGINT — which triggers a graceful drain: every
+    connected client gets a [Session_end], buffers are flushed, then
+    the daemon exits. *)

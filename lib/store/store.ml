@@ -19,6 +19,8 @@ let c_ops_logged = Obs.counter ~scope:obs_scope "ops_logged"
 let c_checkpoints = Obs.counter ~scope:obs_scope "checkpoints"
 let c_recoveries = Obs.counter ~scope:obs_scope "recoveries"
 let c_stale_recoveries = Obs.counter ~scope:obs_scope "stale_recoveries"
+let c_resumes = Obs.counter ~scope:obs_scope "resumes"
+let c_manifest_repairs = Obs.counter ~scope:obs_scope "manifest_repairs"
 let h_recover_us = Obs.histogram ~scope:obs_scope ~volatile:true "recover_us"
 let h_checkpoint_us = Obs.histogram ~scope:obs_scope ~volatile:true "checkpoint_us"
 
@@ -40,6 +42,8 @@ type recovered = {
   last_user : int;
   root_sig : string option;
   backups : backup list;
+  seqs : (int * int) list;
+  replies : (int * int * string) list;
 }
 
 type meta = {
@@ -48,6 +52,11 @@ type meta = {
   m_root_sig : string option;
   m_next_lsn : int;
   m_backups : backup list;
+  (* Network-session bookkeeping (PR 5): highest request seq executed
+     per user, and the last reply payload per user — what makes a
+     client retransmission across a daemon restart exactly-once. *)
+  m_seqs : (int * int) list;  (* sorted by user *)
+  m_replies : (int * (int * string)) list;  (* user -> (seq, payload) *)
 }
 
 type t = {
@@ -65,6 +74,12 @@ type t = {
   mutable last_user : int;
   mutable root_sig : string option;
   mutable backups : backup list;
+  mutable seqs : (int * int) list;
+  mutable replies : (int * (int * string)) list;
+  (* Origins declared by the network daemon for the ops it is about to
+     inject this round; [log_op] attaches and consumes them, so the WAL
+     record itself carries the (user, request seq) provenance. *)
+  mutable origins : (int * int) list;
   mutable ops_since_checkpoint : int;
   mutable opened_db : Shard_db.t;
   mutable closed : bool;
@@ -74,6 +89,7 @@ type t = {
 
 let ( // ) = Filename.concat
 let manifest_path dir = dir // "MANIFEST"
+let manifest_bak_path dir = dir // "MANIFEST.bak"
 let current_path dir = dir // "CURRENT"
 let shard_snap dir i g = dir // Printf.sprintf "shard%d.%d.snap" i g
 let shard_wal dir i g = dir // Printf.sprintf "shard%d.%d.wal" i g
@@ -116,6 +132,61 @@ let read_current dir =
     | Some g when g >= 0 -> Ok g
     | _ -> Error (path ^ ": unreadable generation number")
   end
+
+(* ---- manifest ------------------------------------------------------- *)
+
+(* The MANIFEST is written exactly once, at store creation, with a
+   .bak twin. A torn MANIFEST (truncated mid-write by a filesystem
+   that reordered the rename) is repaired from the twin — or, if both
+   are damaged, recovery fails loudly: a store must never serve a
+   half-initialized shard map. *)
+
+let write_manifest dir ~payload =
+  Snapshot.write (manifest_path dir) ~payload;
+  Snapshot.write (manifest_bak_path dir) ~payload
+
+let read_manifest dir =
+  let try_read path =
+    match Snapshot.read path with
+    | Error _ as e -> e
+    | Ok payload -> (
+        match Shard_map.decode payload with
+        | Some map -> Ok (payload, map)
+        | None -> Error (path ^ ": malformed manifest"))
+  in
+  match try_read (manifest_path dir) with
+  | Ok (_, map) -> Ok map
+  | Error primary -> (
+      match try_read (manifest_bak_path dir) with
+      | Ok (payload, map) ->
+          Snapshot.write (manifest_path dir) ~payload;
+          Obs.incr c_manifest_repairs;
+          Log.warn (fun f ->
+              f "%s: repaired torn MANIFEST from backup (%s)" dir primary);
+          Ok map
+      | Error backup ->
+          Error
+            (Printf.sprintf
+               "%s: manifest unrecoverable — refusing to serve a \
+                half-initialized shard map (%s; backup: %s)"
+               dir primary backup))
+
+let manifest_exists dir =
+  Sys.file_exists (manifest_path dir) || Sys.file_exists (manifest_bak_path dir)
+
+(* Adversary hook: simulate a torn mid-write MANIFEST (and, for the
+   unrepairable variant, a damaged backup too) before a restart. *)
+let debug_tear_manifest ~dir ~wreck_backup =
+  let tear path =
+    if Sys.file_exists path then begin
+      let len = (Unix.stat path).Unix.st_size in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd (max 1 (len / 2));
+      Unix.close fd
+    end
+  in
+  tear (manifest_path dir);
+  if wreck_backup then tear (manifest_bak_path dir)
 
 (* ---- codecs --------------------------------------------------------- *)
 
@@ -161,12 +232,19 @@ let decode_op r : Vo.op =
   | n -> failwith (Printf.sprintf "unknown op tag %d" n)
 
 (* [last_user] can be -1 (no user yet); shift by one for the unsigned
-   wire field. *)
-let encode_op_record ~op ~ctr ~last_user =
+   wire field. [origin] is the (user, request seq) provenance of a
+   network-submitted operation — [None] for in-process runs. *)
+let encode_op_record ~op ~ctr ~last_user ~origin =
   let w = W.create () in
   encode_op w op;
   W.u32 w ctr;
   W.u32 w (last_user + 1);
+  (match origin with
+  | None -> W.u8 w 0
+  | Some (user, seq) ->
+      W.u8 w 1;
+      W.u16 w user;
+      W.u32 w seq);
   W.contents w
 
 let decode_op_record payload =
@@ -174,7 +252,15 @@ let decode_op_record payload =
       let op = decode_op r in
       let ctr = R.u32 r in
       let last_user = R.u32 r - 1 in
-      (op, ctr, last_user))
+      let origin =
+        match R.u8 r with
+        | 0 -> None
+        | 1 ->
+            let user = R.u16 r in
+            Some (user, R.u32 r)
+        | n -> failwith (Printf.sprintf "bad origin tag %d" n)
+      in
+      (op, ctr, last_user, origin))
 
 let encode_backup w b =
   W.u16 w b.user;
@@ -205,11 +291,23 @@ let encode_backup_record b =
   encode_backup w b;
   W.contents w
 
+let encode_reply_record ~user ~seq ~payload =
+  let w = W.create () in
+  W.u8 w 3;
+  W.u16 w user;
+  W.u32 w seq;
+  W.str w payload;
+  W.contents w
+
 let decode_meta_record payload =
   Wire.decode payload (fun r ->
       match R.u8 r with
       | 1 -> `Sig (R.str r)
       | 2 -> `Backup (decode_backup r)
+      | 3 ->
+          let user = R.u16 r in
+          let seq = R.u32 r in
+          `Reply (user, seq, R.str r)
       | n -> failwith (Printf.sprintf "unknown meta tag %d" n))
 
 let sort_backups backups =
@@ -217,6 +315,17 @@ let sort_backups backups =
 
 let replace_backup backups b =
   b :: List.filter (fun x -> not (x.user = b.user && x.epoch = b.epoch)) backups
+
+(* Per-user maps kept as sorted assoc lists: user counts are small, and
+   lists keep snapshot encoding deterministic without Hashtbl order. *)
+let set_assoc user v l =
+  List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    ((user, v) :: List.remove_assoc user l)
+
+let bump_seq seqs (user, seq) =
+  match List.assoc_opt user seqs with
+  | Some prev when prev >= seq -> seqs
+  | _ -> set_assoc user seq seqs
 
 (* ---- snapshots ------------------------------------------------------ *)
 
@@ -269,6 +378,17 @@ let write_meta_snapshot dir g m =
       W.str w s);
   W.u64 w m.m_next_lsn;
   W.list w (fun b -> encode_backup w b) (sort_backups m.m_backups);
+  W.list w
+    (fun (user, seq) ->
+      W.u16 w user;
+      W.u32 w seq)
+    m.m_seqs;
+  W.list w
+    (fun (user, (seq, payload)) ->
+      W.u16 w user;
+      W.u32 w seq;
+      W.str w payload)
+    m.m_replies;
   Snapshot.write (meta_snap dir g) ~payload:(W.contents w)
 
 let load_meta_snapshot dir g =
@@ -286,12 +406,25 @@ let load_meta_snapshot dir g =
         in
         let next_lsn = R.u64 r in
         let backups = R.list r decode_backup in
+        let seqs =
+          R.list r (fun r ->
+              let user = R.u16 r in
+              (user, R.u32 r))
+        in
+        let replies =
+          R.list r (fun r ->
+              let user = R.u16 r in
+              let seq = R.u32 r in
+              (user, (seq, R.str r)))
+        in
         {
           m_ctr = ctr;
           m_last_user = last_user;
           m_root_sig = root_sig;
           m_next_lsn = next_lsn;
           m_backups = backups;
+          m_seqs = seqs;
+          m_replies = replies;
         })
   with
   | None -> Error (path ^ ": malformed meta snapshot")
@@ -346,29 +479,26 @@ let read_wal_events dir ~shards g =
 let load_generation dir ~map g =
   let* db0, m = load_snapshots dir ~map g in
   let* events = read_wal_events dir ~shards:(Shard_map.shards map) g in
-  let db, ctr, last_user, root_sig, backups, watermark =
+  let db, m =
     List.fold_left
-      (fun (db, ctr, last_user, root_sig, backups, watermark) (lsn, ev) ->
-        let watermark = max watermark (lsn + 1) in
+      (fun (db, m) (lsn, ev) ->
+        let m = { m with m_next_lsn = max m.m_next_lsn (lsn + 1) } in
         match ev with
-        | `Op (op, ctr', last_user') ->
+        | `Op (op, ctr', last_user', origin) ->
             let db, _answer = Shard_db.apply db op in
-            (db, ctr', last_user', None, backups, watermark)
-        | `Sig s -> (db, ctr, last_user, Some s, backups, watermark)
-        | `Backup b ->
-            (db, ctr, last_user, root_sig, replace_backup backups b, watermark))
-      (db0, m.m_ctr, m.m_last_user, m.m_root_sig, m.m_backups, m.m_next_lsn)
-      events
+            let seqs =
+              match origin with None -> m.m_seqs | Some o -> bump_seq m.m_seqs o
+            in
+            ( db,
+              { m with m_ctr = ctr'; m_last_user = last_user'; m_root_sig = None;
+                m_seqs = seqs } )
+        | `Sig s -> (db, { m with m_root_sig = Some s })
+        | `Backup b -> (db, { m with m_backups = replace_backup m.m_backups b })
+        | `Reply (user, seq, payload) ->
+            (db, { m with m_replies = set_assoc user (seq, payload) m.m_replies }))
+      (db0, m) events
   in
-  Ok
-    ( db,
-      {
-        m_ctr = ctr;
-        m_last_user = last_user;
-        m_root_sig = root_sig;
-        m_next_lsn = watermark;
-        m_backups = backups;
-      } )
+  Ok (db, m)
 
 (* ---- writer lifecycle ----------------------------------------------- *)
 
@@ -413,6 +543,8 @@ let checkpoint t ~db =
       m_root_sig = t.root_sig;
       m_next_lsn = t.next_lsn;
       m_backups = t.backups;
+      m_seqs = t.seqs;
+      m_replies = t.replies;
     };
   write_current t.dir g';
   close_writers t;
@@ -455,10 +587,21 @@ let log_op t ~db ~op ~ctr ~last_user =
   t.ctr <- ctr;
   t.last_user <- last_user;
   t.root_sig <- None;
+  (* A declared origin is consumed by the operation the daemon injected
+     for that user; every fan-out sub-record repeats it (replay-time
+     [bump_seq] is idempotent). *)
+  let origin =
+    match List.assoc_opt last_user t.origins with
+    | None -> None
+    | Some seq ->
+        t.origins <- List.remove_assoc last_user t.origins;
+        t.seqs <- bump_seq t.seqs (last_user, seq);
+        Some (last_user, seq)
+  in
   List.iter
     (fun (i, sub) ->
       Wal.append t.shard_writers.(i) ~fsync:t.fsync ~lsn:(fresh_lsn t)
-        ~payload:(encode_op_record ~op:sub ~ctr ~last_user))
+        ~payload:(encode_op_record ~op:sub ~ctr ~last_user ~origin))
     (sub_records t.map op);
   Obs.incr c_ops_logged;
   t.ops_since_checkpoint <- t.ops_since_checkpoint + 1;
@@ -474,6 +617,19 @@ let log_backup t b =
   Wal.append t.meta_writer ~fsync:t.fsync ~lsn:(fresh_lsn t)
     ~payload:(encode_backup_record b)
 
+let declare_origin t ~user ~seq = t.origins <- set_assoc user seq t.origins
+
+let log_reply t ~user ~seq ~payload =
+  t.replies <- set_assoc user (seq, payload) t.replies;
+  Wal.append t.meta_writer ~fsync:t.fsync ~lsn:(fresh_lsn t)
+    ~payload:(encode_reply_record ~user ~seq ~payload)
+
+let last_seqs t = t.seqs
+let cached_reply t ~user =
+  match List.assoc_opt user t.replies with
+  | None -> None
+  | Some (seq, payload) -> Some (seq, payload)
+
 (* ---- recovery ------------------------------------------------------- *)
 
 let recovered_of db m =
@@ -483,6 +639,8 @@ let recovered_of db m =
     last_user = m.m_last_user;
     root_sig = m.m_root_sig;
     backups = sort_backups m.m_backups;
+    seqs = m.m_seqs;
+    replies = List.map (fun (user, (seq, payload)) -> (user, seq, payload)) m.m_replies;
   }
 
 let adopt_meta t m =
@@ -490,6 +648,9 @@ let adopt_meta t m =
   t.last_user <- m.m_last_user;
   t.root_sig <- m.m_root_sig;
   t.backups <- m.m_backups;
+  t.seqs <- m.m_seqs;
+  t.replies <- m.m_replies;
+  t.origins <- [];
   t.next_lsn <- m.m_next_lsn
 
 let recover t =
@@ -546,6 +707,8 @@ let fresh_meta ~next_lsn =
     m_root_sig = None;
     m_next_lsn = next_lsn;
     m_backups = [];
+    m_seqs = [];
+    m_replies = [];
   }
 
 let baseline t db m =
@@ -563,10 +726,10 @@ let create_or_open ?(fsync = false) ?(checkpoint_every = 64) ~dir ~branching
   else begin
     mkdir_p dir;
     if not (Sys.is_directory dir) then Error (dir ^ ": not a directory")
-    else if not (Sys.file_exists (manifest_path dir)) then begin
+    else if not (manifest_exists dir) then begin
       let map = Shard_map.create ~branching ~shards ~keys:(List.map fst initial) in
       let db = Shard_db.of_map map initial in
-      Snapshot.write (manifest_path dir) ~payload:(Shard_map.encode map);
+      write_manifest dir ~payload:(Shard_map.encode map);
       let m = fresh_meta ~next_lsn:0 in
       let shard_writers, meta_writer = open_writers dir ~shards 0 in
       let t =
@@ -583,6 +746,9 @@ let create_or_open ?(fsync = false) ?(checkpoint_every = 64) ~dir ~branching
           last_user = -1;
           root_sig = None;
           backups = [];
+          seqs = [];
+          replies = [];
+          origins = [];
           ops_since_checkpoint = 0;
           opened_db = db;
           closed = false;
@@ -593,47 +759,102 @@ let create_or_open ?(fsync = false) ?(checkpoint_every = 64) ~dir ~branching
       Ok (t, `Fresh)
     end
     else begin
-      let* manifest = Snapshot.read (manifest_path dir) in
-      match Shard_map.decode manifest with
-      | None -> Error (manifest_path dir ^ ": malformed manifest")
-      | Some map ->
-          let shards = Shard_map.shards map in
-          let* g = read_current dir in
-          let* db, m = load_generation dir ~map g in
-          (* Durable data outlives the run; session bookkeeping does
-             not: re-baseline the recovered database as a fresh
-             generation with fresh bookkeeping. *)
-          let g' = g + 1 in
-          let m' = fresh_meta ~next_lsn:m.m_next_lsn in
-          let shard_writers, meta_writer = open_writers dir ~shards g' in
-          let t =
-            {
-              dir;
-              map;
-              fsync;
-              checkpoint_every;
-              gen = g';
-              next_lsn = m.m_next_lsn;
-              shard_writers;
-              meta_writer;
-              ctr = 0;
-              last_user = -1;
-              root_sig = None;
-              backups = [];
-              ops_since_checkpoint = 0;
-              opened_db = db;
-              closed = false;
-            }
-          in
-          baseline t db m';
-          delete_generation dir ~shards g;
-          if g > 0 then delete_generation dir ~shards (g - 1);
-          Log.info (fun f ->
-              f "%s: reopened store (%d entries), re-baselined as generation %d"
-                dir (Shard_db.size db) g');
-          Ok (t, `Reopened)
+      let* map = read_manifest dir in
+      let shards = Shard_map.shards map in
+      let* g = read_current dir in
+      let* db, m = load_generation dir ~map g in
+      (* Durable data outlives the run; session bookkeeping does
+         not: re-baseline the recovered database as a fresh
+         generation with fresh bookkeeping. *)
+      let g' = g + 1 in
+      let m' = fresh_meta ~next_lsn:m.m_next_lsn in
+      let shard_writers, meta_writer = open_writers dir ~shards g' in
+      let t =
+        {
+          dir;
+          map;
+          fsync;
+          checkpoint_every;
+          gen = g';
+          next_lsn = m.m_next_lsn;
+          shard_writers;
+          meta_writer;
+          ctr = 0;
+          last_user = -1;
+          root_sig = None;
+          backups = [];
+          seqs = [];
+          replies = [];
+          origins = [];
+          ops_since_checkpoint = 0;
+          opened_db = db;
+          closed = false;
+        }
+      in
+      baseline t db m';
+      delete_generation dir ~shards g;
+      if g > 0 then delete_generation dir ~shards (g - 1);
+      Log.info (fun f ->
+          f "%s: reopened store (%d entries), re-baselined as generation %d"
+            dir (Shard_db.size db) g');
+      Ok (t, `Reopened)
     end
   end
+
+(* A daemon restart must look like the same session continuing — same
+   generation, same counter, same pending session bookkeeping — not a
+   re-baselined fresh run (that is what makes an honest `kill -9` +
+   restart invisible to the protocol layer, and a rollback visible). *)
+let resume ?(fsync = false) ?(checkpoint_every = 64) ~dir () =
+  if checkpoint_every < 1 then Error "checkpoint_every must be >= 1"
+  else if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (dir ^ ": no store to resume")
+  else if not (manifest_exists dir) then Error (dir ^ ": no MANIFEST")
+  else
+    let* map = read_manifest dir in
+    let shards = Shard_map.shards map in
+    let* g = read_current dir in
+    let* db, m = load_generation dir ~map g in
+    let shard_writers, meta_writer = open_writers dir ~shards g in
+    let t =
+      {
+        dir;
+        map;
+        fsync;
+        checkpoint_every;
+        gen = g;
+        next_lsn = m.m_next_lsn;
+        shard_writers;
+        meta_writer;
+        ctr = m.m_ctr;
+        last_user = m.m_last_user;
+        root_sig = m.m_root_sig;
+        backups = m.m_backups;
+        seqs = m.m_seqs;
+        replies = m.m_replies;
+        origins = [];
+        ops_since_checkpoint = 0;
+        opened_db = db;
+        closed = false;
+      }
+    in
+    Obs.incr c_resumes;
+    Log.info (fun f ->
+        f "%s: resumed generation %d (ctr %d, %d entries)" dir g m.m_ctr
+          (Shard_db.size db));
+    Ok (t, recovered_of db m)
+
+(* Like {!recover}, but re-read the MANIFEST from disk first — the
+   recovery path a real restart takes, which the torn-manifest
+   adversary corrupts. The shard map is immutable, so a successful
+   (possibly repaired) read must match the in-memory one. *)
+let recover_reload t =
+  match read_manifest t.dir with
+  | Error _ as e -> e
+  | Ok map ->
+      if not (String.equal (Shard_map.encode map) (Shard_map.encode t.map)) then
+        Error (t.dir ^ ": MANIFEST changed shard map under a live store")
+      else recover t
 
 let close t =
   if not t.closed then begin

@@ -4,6 +4,8 @@
 
     {v
     MANIFEST            branching, shard count, shard boundaries
+    MANIFEST.bak        byte-identical backup, written first — a torn
+                        MANIFEST is repaired from it on open
     CURRENT             ASCII generation number (tmp+rename updates)
     shard<i>.<g>.snap   shard i's tree at the start of generation g
     shard<i>.<g>.wal    shard i's mutations since snapshot g
@@ -52,6 +54,12 @@ type recovered = {
   last_user : int;
   root_sig : string option;
   backups : backup list;  (** sorted by (epoch, user) *)
+  seqs : (int * int) list;
+      (** highest request seq executed per user, sorted by user — the
+          network daemon's exactly-once dedup table *)
+  replies : (int * int * string) list;
+      (** [(user, seq, payload)]: last cached reply per user, sorted by
+          user; [payload] is the net-encoded response message *)
 }
 
 type t
@@ -75,6 +83,25 @@ val create_or_open :
     (default 64) is the number of logged operations between automatic
     checkpoints. *)
 
+val manifest_exists : string -> bool
+(** Whether [dir] holds a MANIFEST (or its backup) — i.e. whether
+    {!resume} has something to resume. *)
+
+val resume :
+  ?fsync:bool ->
+  ?checkpoint_every:int ->
+  dir:string ->
+  unit ->
+  (t * recovered, string) result
+(** Reopen an existing store {e in place}: recover the latest
+    generation and keep logging to it, preserving the session
+    bookkeeping (ctr, last user, root signature, backups, seqs, reply
+    cache) instead of re-baselining like {!create_or_open}. This is
+    what a restarted network daemon uses — the store generation stays
+    the same, so clients can distinguish an honest restart (generation
+    unchanged or advanced) from a rollback (generation regressed).
+    Errors if the directory or MANIFEST is missing. *)
+
 val db : t -> Shard_db.t
 (** The database state as of {!create_or_open} — what a server should
     start serving from. *)
@@ -94,6 +121,24 @@ val log_op :
 val log_root_sig : t -> string -> unit
 val log_backup : t -> backup -> unit
 
+val declare_origin : t -> user:int -> seq:int -> unit
+(** Tag the {e next} {!log_op} for [user] with the network-level
+    request seq that caused it. The origin rides in the op's WAL
+    records, so replay rebuilds the per-user dedup table
+    ({!last_seqs}) — the daemon never executes the same request
+    twice across a crash. *)
+
+val log_reply : t -> user:int -> seq:int -> payload:string -> unit
+(** Durably cache the reply for [user]'s request [seq] (one cached
+    reply per user — retransmissions only ever ask for the latest).
+    Appended to the meta WAL and carried through snapshots. *)
+
+val last_seqs : t -> (int * int) list
+(** Per-user highest executed request seq, sorted by user. *)
+
+val cached_reply : t -> user:int -> (int * string) option
+(** The latest durably cached reply for [user], as [(seq, payload)]. *)
+
 val checkpoint : t -> db:Shard_db.t -> unit
 (** Force a checkpoint of [db] plus the current bookkeeping mirror. *)
 
@@ -101,6 +146,19 @@ val recover : t -> (recovered, string) result
 (** Honest crash recovery: latest snapshot generation + WAL tail, in
     LSN order. The store keeps logging to the same generation
     afterwards. *)
+
+val recover_reload : t -> (recovered, string) result
+(** {!recover}, but re-read the MANIFEST from disk first (repairing a
+    torn one from MANIFEST.bak when possible). A MANIFEST that cannot
+    be recovered — or that no longer matches the shard map this store
+    was opened with — is a hard error: the store refuses to serve a
+    half-initialized shard map. Exercised by the [torn-manifest]
+    adversaries. *)
+
+val debug_tear_manifest : dir:string -> wreck_backup:bool -> unit
+(** Test/adversary hook: truncate the MANIFEST mid-write (to half its
+    length). With [wreck_backup], truncate MANIFEST.bak too, making the
+    damage unrepairable. *)
 
 val recover_stale : t -> (recovered, string) result
 (** Adversarial recovery: load the {e previous} generation's snapshot

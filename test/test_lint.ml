@@ -94,6 +94,25 @@ let test_no_catchall_allows_specific () =
   check_clean ~file:"lib/core/fixture.ml"
     "let f g p = try g () with e when p e -> 0"
 
+(* ---- net-io ------------------------------------------------------------ *)
+
+let test_net_io_flags () =
+  check_flags ~file:"lib/mtree/fixture.ml" ~rule:"net-io"
+    "let s () = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0";
+  check_flags ~file:"lib/wire/fixture.ml" ~rule:"net-io"
+    "let r fd buf = Unix.read fd buf 0 1";
+  check_flags ~file:"lib/crypto/fixture.ml" ~rule:"net-io"
+    "let t () = Unix.gettimeofday ()"
+
+let test_net_io_sanctioned_dirs () =
+  (* lib/net owns sockets, lib/store owns durable fds, lib/obs owns
+     report emission; the rule stays silent there (determinism still
+     covers lib/obs separately). *)
+  check_clean ~file:"lib/net/fixture.ml"
+    "let s () = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0";
+  check_clean ~file:"lib/store/fixture.ml" "let f path = Unix.openfile path [] 0o644";
+  check_clean ~file:"bin/fixture.ml" "let t () = Unix.gettimeofday ()"
+
 (* ---- allow attributes -------------------------------------------------- *)
 
 let test_allow_attribute_on_expression () =
@@ -194,6 +213,8 @@ let suite =
     Alcotest.test_case "no-catchall: flags" `Quick test_no_catchall_flags;
     Alcotest.test_case "no-catchall: specific handlers ok" `Quick
       test_no_catchall_allows_specific;
+    Alcotest.test_case "net-io: flags" `Quick test_net_io_flags;
+    Alcotest.test_case "net-io: sanctioned dirs" `Quick test_net_io_sanctioned_dirs;
     Alcotest.test_case "allow attr: expression" `Quick test_allow_attribute_on_expression;
     Alcotest.test_case "allow attr: binding" `Quick test_allow_attribute_on_binding;
     Alcotest.test_case "allow attr: floating" `Quick test_allow_attribute_floating;

@@ -16,6 +16,7 @@ let () =
       ("wire", Test_wire.suite);
       ("sim", Test_sim.suite);
       ("store", Test_store.suite);
+      ("net", Test_net.suite);
       ("wgraph", Test_wgraph.suite);
       ("workload", Test_workload.suite);
       ("protocols", Test_protocols.suite);

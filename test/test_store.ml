@@ -354,6 +354,111 @@ let test_store_reopen_rebaselines () =
     (Store.Shard_db.to_alist (Store.db store2));
   Store.close store2
 
+(* ---- torn MANIFEST --------------------------------------------------- *)
+
+let test_store_torn_manifest_repaired () =
+  let dir = fresh_dir "torn" in
+  let initial = initial_files 20 in
+  let store =
+    expect_fresh (Store.create_or_open ~dir ~branching:8 ~shards:4 ~initial ())
+  in
+  let db = apply_logged store (Store.db store) ops_script in
+  Store.debug_tear_manifest ~dir ~wreck_backup:false;
+  let r = expect_recovered (Store.recover_reload store) in
+  Alcotest.(check string) "repaired from MANIFEST.bak, root intact"
+    (Crypto.Hex.encode (Store.Shard_db.root_digest db))
+    (Crypto.Hex.encode (Store.Shard_db.root_digest r.Store.db));
+  Alcotest.(check int) "counter intact" (List.length ops_script) r.Store.ctr;
+  Store.close store;
+  (* The repair is durable: a later cold reopen sees a whole MANIFEST. *)
+  Alcotest.(check bool) "manifest present" true (Store.manifest_exists dir);
+  let store2 =
+    expect_reopened (Store.create_or_open ~dir ~branching:8 ~shards:4 ~initial ())
+  in
+  Alcotest.(check string) "cold reopen after repair"
+    (Crypto.Hex.encode (Store.Shard_db.root_digest db))
+    (Crypto.Hex.encode (Store.Shard_db.root_digest (Store.db store2)));
+  Store.close store2
+
+let test_store_torn_manifest_wrecked_fatal () =
+  let dir = fresh_dir "torn-hard" in
+  let initial = initial_files 20 in
+  let store =
+    expect_fresh (Store.create_or_open ~dir ~branching:8 ~shards:4 ~initial ())
+  in
+  ignore (apply_logged store (Store.db store) ops_script);
+  Store.debug_tear_manifest ~dir ~wreck_backup:true;
+  (match Store.recover_reload store with
+  | Ok _ -> Alcotest.fail "recovery served a half-initialized shard map"
+  | Error _ -> ());
+  Store.close store
+
+(* ---- resume: the daemon's restart path ------------------------------- *)
+
+let test_store_resume_preserves_bookkeeping () =
+  let dir = fresh_dir "resume" in
+  let initial = initial_files 20 in
+  let store =
+    expect_fresh (Store.create_or_open ~dir ~branching:8 ~shards:4 ~initial ())
+  in
+  (* Log ops as the network daemon does: tagged with their request
+     origin, replies durably cached. *)
+  let db =
+    List.fold_left
+      (fun (db, i) op ->
+        let user = i mod 3 in
+        Store.declare_origin store ~user ~seq:(100 + i);
+        let db, _ = Store.Shard_db.apply db op in
+        Store.log_op store ~db ~op ~ctr:(i + 1) ~last_user:user;
+        Store.log_reply store ~user ~seq:(100 + i)
+          ~payload:(Printf.sprintf "reply-%d" i);
+        (db, i + 1))
+      (Store.db store, 0)
+      ops_script
+    |> fst
+  in
+  let n = List.length ops_script in
+  let gen = Store.generation store in
+  Store.close store;
+  let store2, r =
+    match Store.resume ~dir () with
+    | Ok x -> x
+    | Error e -> Alcotest.failf "resume failed: %s" e
+  in
+  (* Unlike create_or_open, resume keeps the generation — clients use a
+     generation regression as the rollback detector. *)
+  Alcotest.(check int) "generation preserved" gen (Store.generation store2);
+  Alcotest.(check string) "root preserved"
+    (Crypto.Hex.encode (Store.Shard_db.root_digest db))
+    (Crypto.Hex.encode (Store.Shard_db.root_digest r.Store.db));
+  Alcotest.(check int) "counter preserved" n r.Store.ctr;
+  (* ops_script has 8 ops over users 0,1,2: user u's last op is the
+     largest i with i mod 3 = u. *)
+  let expect_seq u =
+    let rec last best i = if i >= n then best else last (if i mod 3 = u then i else best) (i + 1) in
+    100 + last (-1) 0
+  in
+  Alcotest.(check (list (pair int int)))
+    "per-user dedup seqs recovered"
+    [ (0, expect_seq 0); (1, expect_seq 1); (2, expect_seq 2) ]
+    r.Store.seqs;
+  List.iter
+    (fun (u, seq, payload) ->
+      Alcotest.(check int) (Printf.sprintf "u%d cached seq" u) (expect_seq u) seq;
+      Alcotest.(check string)
+        (Printf.sprintf "u%d cached payload" u)
+        (Printf.sprintf "reply-%d" (expect_seq u - 100))
+        payload)
+    r.Store.replies;
+  Alcotest.(check int) "one cached reply per user" 3 (List.length r.Store.replies);
+  (* And the resumed store keeps answering the dedup queries live. *)
+  Alcotest.(check (list (pair int int))) "last_seqs live" r.Store.seqs
+    (Store.last_seqs store2);
+  (match Store.cached_reply store2 ~user:1 with
+  | Some (seq, _) -> Alcotest.(check int) "cached_reply live" (expect_seq 1) seq
+  | None -> Alcotest.fail "no cached reply for user 1");
+  Store.close store2
+
 (* ---- server crash recovery ------------------------------------------ *)
 
 (* Satellite regression: a recovered server must not re-present
@@ -470,6 +575,88 @@ let test_harness_rollback_crash_detected () =
       rm_rf dir)
     (protocols 8)
 
+let test_harness_torn_manifest_repaired_quiet () =
+  let events = workload "torn-clean" in
+  List.iter
+    (fun protocol ->
+      let dir = fresh_dir "harness-torn" in
+      let o =
+        run_with_store ~shards:4 ~dir protocol
+          (Adversary.Torn_manifest { at_round = 40; wreck = false })
+          events
+      in
+      Alcotest.(check int)
+        (Harness.protocol_name protocol ^ ": no alarms")
+        0 (List.length o.Harness.alarms);
+      (match Harness.classify o with
+      | `Clean -> ()
+      | _ -> Alcotest.fail "repairable torn MANIFEST must classify clean");
+      rm_rf dir)
+    (protocols 8)
+
+let test_harness_torn_manifest_wreck_halts () =
+  let events = workload "torn-hard" in
+  List.iter
+    (fun protocol ->
+      let dir = fresh_dir "harness-torn-hard" in
+      let o =
+        run_with_store ~shards:4 ~dir protocol
+          (Adversary.Torn_manifest { at_round = 40; wreck = true })
+          events
+      in
+      Alcotest.(check bool)
+        (Harness.protocol_name protocol ^ ": detected")
+        true o.Harness.detected;
+      Alcotest.(check bool) "recovery failure surfaced loudly" true
+        (List.exists
+           (fun (a : Sim.Engine.alarm_record) ->
+             let n = String.length "store recovery failed" in
+             String.length a.Sim.Engine.reason >= n
+             && String.equal (String.sub a.Sim.Engine.reason 0 n) "store recovery failed")
+           o.Harness.alarms);
+      (match Harness.classify o with
+      | `True_alarm -> ()
+      | _ -> Alcotest.fail "wrecked MANIFEST must classify as a true alarm");
+      rm_rf dir)
+    (protocols 8)
+
+(* ---- harness: storeless crash adversaries are refused ----------------- *)
+
+let test_harness_storeless_crash_refused () =
+  List.iter
+    (fun adversary ->
+      let setup =
+        Harness.default_setup
+          ~protocol:(Harness.Protocol_2 { k = 8; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user })
+          ~users:4 ~adversary
+      in
+      (match Harness.validate setup with
+      | Error (Harness.Store_required a) ->
+          Alcotest.(check string) "names the adversary" (Adversary.name adversary)
+            (Adversary.name a);
+          (* The message must tell the operator what to do, not just
+             what went wrong. *)
+          let msg = Harness.setup_error_message (Harness.Store_required a) in
+          Alcotest.(check bool) "mentions --store" true
+            (let rec has i =
+               i + 7 <= String.length msg
+               && (String.equal (String.sub msg i 7) "--store" || has (i + 1))
+             in
+             has 0)
+      | Error (Harness.Store_failed _) -> Alcotest.fail "wrong error"
+      | Ok () -> Alcotest.fail "storeless crash adversary accepted");
+      match
+        Harness.run setup ~events:(workload ~rounds:20 "storeless")
+      with
+      | exception Harness.Setup_error (Harness.Store_required _) -> ()
+      | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+      | _ -> Alcotest.fail "run proceeded without a store")
+    [
+      Adversary.Crash { at_round = 10 };
+      Adversary.Rollback_crash { at_round = 10 };
+      Adversary.Torn_manifest { at_round = 10; wreck = true };
+    ]
+
 (* ---- harness: shard-count invariance --------------------------------- *)
 
 let run_sharded ~shards protocol adversary events =
@@ -542,8 +729,19 @@ let suite =
     Alcotest.test_case "store: recovery past a torn tail" `Quick test_store_recovery_torn_tail;
     Alcotest.test_case "store: stale recovery rewinds" `Quick test_store_stale_recovery_rewinds;
     Alcotest.test_case "store: reopen re-baselines" `Quick test_store_reopen_rebaselines;
+    Alcotest.test_case "store: torn MANIFEST repaired" `Quick test_store_torn_manifest_repaired;
+    Alcotest.test_case "store: wrecked MANIFEST fatal" `Quick
+      test_store_torn_manifest_wrecked_fatal;
+    Alcotest.test_case "store: resume preserves bookkeeping" `Quick
+      test_store_resume_preserves_bookkeeping;
     Alcotest.test_case "server: crash clears history" `Quick test_server_crash_clears_history;
     Alcotest.test_case "harness: crash is transparent" `Slow test_harness_crash_transparent;
+    Alcotest.test_case "harness: torn MANIFEST transparent" `Slow
+      test_harness_torn_manifest_repaired_quiet;
+    Alcotest.test_case "harness: wrecked MANIFEST halts loudly" `Slow
+      test_harness_torn_manifest_wreck_halts;
+    Alcotest.test_case "harness: storeless crash refused" `Quick
+      test_harness_storeless_crash_refused;
     Alcotest.test_case "harness: rollback-crash detected" `Slow
       test_harness_rollback_crash_detected;
     Alcotest.test_case "harness: shard-count invariance" `Slow test_shard_count_invariance;

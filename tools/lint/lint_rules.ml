@@ -343,4 +343,52 @@ let store_io =
           | _ -> ());
   }
 
-let all = [ digest_safety; determinism; logging; no_catchall; store_io ]
+(* ---- net-io ---------------------------------------------------------- *)
+
+let net_io_id = "net-io"
+
+(* Unix (sockets, fds, select, signals, wall clock) is the I/O surface
+   the deterministic core must never see: lib/net owns sockets and the
+   event loop, lib/store owns durable file descriptors, lib/obs owns
+   report emission. A Unix call anywhere else either breaks seed
+   reproducibility or smuggles in an unframed I/O path that the fault
+   proxy and the crash adversaries cannot exercise. *)
+let net_io_scope =
+  [
+    "lib/bignum";
+    "lib/core";
+    "lib/crypto";
+    "lib/hashsig";
+    "lib/mtree";
+    "lib/pki";
+    "lib/rsa";
+    "lib/sim";
+    "lib/vcs";
+    "lib/vdiff";
+    "lib/wgraph";
+    "lib/wire";
+    "lib/workload";
+  ]
+
+let net_io =
+  {
+    Lint_engine.id = net_io_id;
+    summary =
+      "no Unix socket/file primitives in lib/ outside lib/net (sockets), lib/store \
+       (durability) and lib/obs (reports)";
+    default_scope = net_io_scope;
+    on_case = None;
+    on_expr =
+      Some
+        (fun ctx e ->
+          match e.pexp_desc with
+          | Pexp_ident { txt; _ } when String.equal (lid_head txt) "Unix" ->
+              Lint_engine.report ctx net_io_id e.pexp_loc
+                (Printf.sprintf
+                   "%s reaches the OS from pure library code; sockets belong in lib/net, \
+                    durable fds in lib/store, report emission in lib/obs"
+                   (lid_string txt))
+          | _ -> ());
+  }
+
+let all = [ digest_safety; determinism; logging; no_catchall; store_io; net_io ]

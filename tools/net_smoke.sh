@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# Loopback smoke for the network stack (lib/net): a real daemon, real
+# clients and the fault proxy on 127.0.0.1.
+#
+#   1. Full protocol-II session: 4 client processes through a proxy
+#      injecting 10% drops / 5% duplicates, with a kill -9 of the
+#      daemon mid-session and a restart from the same store — clients
+#      must reconnect, the session must finish clean (exit 0).
+#   2. Figure 1 over TCP: a forking server plus a proxy partition of
+#      the external broadcast channel — every client must raise a TRUE
+#      ALARM (exit 3).
+#   3. bench-net: closed-loop throughput/latency sweep over free-mode
+#      connections, writing BENCH_net.json.
+#
+# Usage: tools/net_smoke.sh   (from the repository root, after a build)
+
+set -euo pipefail
+
+CLI=${CLI:-_build/default/bin/tcvs_cli.exe}
+SEED=net-smoke
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/tcvs-net-smoke.XXXXXX")
+PIDS=()
+
+cleanup() {
+  for pid in ${PIDS[@]+"${PIDS[@]}"}; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# wait_port FILE: poll for a --port-file and print the bound port.
+wait_port() {
+  for _ in $(seq 1 200); do
+    if [ -s "$1" ]; then
+      cat "$1"
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "timed out waiting for port file $1" >&2
+  return 1
+}
+
+echo "== 1. proxied session with drops, kill -9 and restart =="
+
+"$CLI" serve --store "$WORK/store" --shards 4 --users 4 --seed "$SEED" \
+  --listen 0 --port-file "$WORK/daemon.port" &
+DAEMON=$!
+PIDS+=("$DAEMON")
+DPORT=$(wait_port "$WORK/daemon.port")
+
+"$CLI" proxy --connect "127.0.0.1:$DPORT" --listen 0 \
+  --port-file "$WORK/proxy.port" --drop 0.10 --duplicate 0.05 \
+  --seed "$SEED" &
+PROXY=$!
+PIDS+=("$PROXY")
+PPORT=$(wait_port "$WORK/proxy.port")
+
+CLIENTS=()
+for u in 0 1 2 3; do
+  "$CLI" client --connect "127.0.0.1:$PPORT" --user "$u" --users 4 \
+    --shards 4 --rounds 3000 --seed "$SEED" &
+  CLIENTS+=("$!")
+  PIDS+=("$!")
+done
+
+sleep 2
+echo "-- kill -9 the daemon mid-session --"
+kill -9 "$DAEMON"
+wait "$DAEMON" 2>/dev/null || true
+
+# Restart on the same port, resuming the same store: clients observe a
+# new boot id, revalidate the handshake and replay unacked frames.
+"$CLI" serve --store "$WORK/store" --shards 4 --users 4 --seed "$SEED" \
+  --listen "$DPORT" --port-file "$WORK/daemon2.port" &
+DAEMON=$!
+PIDS+=("$DAEMON")
+wait_port "$WORK/daemon2.port" >/dev/null
+
+for pid in "${CLIENTS[@]}"; do
+  wait "$pid" # set -e: any non-zero client verdict fails the smoke
+done
+wait "$DAEMON"
+kill "$PROXY" 2>/dev/null || true
+wait "$PROXY" 2>/dev/null || true
+echo "-- all 4 clients finished clean across the restart --"
+
+echo "== 2. Figure 1 over TCP: fork + partitioned broadcast channel =="
+
+"$CLI" serve --users 4 --seed "$SEED" --adversary fork:12 \
+  --listen 0 --port-file "$WORK/fig1.port" &
+DAEMON=$!
+PIDS+=("$DAEMON")
+DPORT=$(wait_port "$WORK/fig1.port")
+
+"$CLI" proxy --connect "127.0.0.1:$DPORT" --listen 0 \
+  --port-file "$WORK/fig1-proxy.port" --partition '0,1|2,3@1' \
+  --seed "$SEED" &
+PROXY=$!
+PIDS+=("$PROXY")
+PPORT=$(wait_port "$WORK/fig1-proxy.port")
+
+CLIENTS=()
+for u in 0 1 2 3; do
+  "$CLI" client --connect "127.0.0.1:$PPORT" --user "$u" --users 4 \
+    --rounds 300 --sync-timeout 60 --seed "$SEED" &
+  CLIENTS+=("$!")
+  PIDS+=("$!")
+done
+
+for pid in "${CLIENTS[@]}"; do
+  rc=0
+  wait "$pid" || rc=$?
+  if [ "$rc" -ne 3 ]; then
+    echo "expected a TRUE ALARM (exit 3) from every client, got $rc" >&2
+    exit 1
+  fi
+done
+wait "$DAEMON" 2>/dev/null || true
+kill "$PROXY" 2>/dev/null || true
+wait "$PROXY" 2>/dev/null || true
+echo "-- all 4 clients alarmed: TRUE ALARM over real sockets --"
+
+echo "== 3. bench-net: closed-loop sweep into BENCH_net.json =="
+
+"$CLI" serve --store "$WORK/bench-store" --shards 4 --users 16 \
+  --seed "$SEED" --listen 0 --port-file "$WORK/bench.port" --stay &
+DAEMON=$!
+PIDS+=("$DAEMON")
+DPORT=$(wait_port "$WORK/bench.port")
+
+"$CLI" bench-net --connect "127.0.0.1:$DPORT" --users 16 \
+  --conns 1,4,16 --ops 200 --seed "$SEED" --out BENCH_net.json
+
+kill "$DAEMON" 2>/dev/null || true
+wait "$DAEMON" 2>/dev/null || true
+
+grep -q '"throughput_ops_s"' BENCH_net.json
+echo "== net smoke passed =="
