@@ -908,6 +908,75 @@ let perf_store () =
         (bytes, append_ns, fsync_ns))
       payload_sizes
   in
+  (* Group commit: ns/op when [batch] staged records share one flush
+     and one fsync. The WAL-level sweep isolates the durability tax
+     (directly comparable to the append rows above); the store-level
+     sweep is end-to-end — Merkle apply + record fan-out + round flush
+     with fsync, i.e. what one server round actually pays per op. *)
+  let append_floor_ns, append_fsync_ns =
+    match wal_results with
+    | (_, append_ns, fsync_ns) :: _ -> (append_ns, fsync_ns)
+    | [] -> (nan, nan)
+  in
+  let batches = if smoke then [ 1; 8 ] else [ 1; 8; 64; 256 ] in
+  row "\n%-8s %-14s %-12s %-14s\n" "batch" "wal ns/op" "vs append" "store ns/op";
+  let gc_results =
+    List.map
+      (fun batch ->
+        let payload = String.make 64 'p' in
+        let dir = bench_dir "group-commit-wal" in
+        Unix.mkdir dir 0o755;
+        let w = Store.Wal.open_writer (Filename.concat dir "gc.wal") in
+        let lsn = ref 0 in
+        let wal_batch_ns =
+          m "wal-group-commit" (fun () ->
+              for _ = 1 to batch do
+                incr lsn;
+                Store.Wal.stage w ~lsn:!lsn ~payload
+              done;
+              ignore (Store.Wal.flush ~fsync:true w))
+        in
+        Store.Wal.close_writer w;
+        rm_rf dir;
+        let wal_per_op_ns = wal_batch_ns /. float_of_int batch in
+        let dir = bench_dir "group-commit-store" in
+        let initial =
+          List.init 1024 (fun i -> (Printf.sprintf "k%06d" i, String.make 64 'v'))
+        in
+        let store =
+          match
+            Store.create_or_open ~fsync:true ~durability:Store.Per_round
+              ~checkpoint_every:max_int ~dir ~branching:16 ~shards:4 ~initial ()
+          with
+          | Ok (s, _) -> s
+          | Error e -> failwith e
+        in
+        let db = ref (Store.db store) in
+        let i = ref 0 in
+        let round_ns =
+          m "store-group-commit" (fun () ->
+              for _ = 1 to batch do
+                incr i;
+                let op =
+                  Vo.Set (Printf.sprintf "k%06d" (!i mod 1024), String.make 64 'n')
+                in
+                let db', _ = Store.Shard_db.apply !db op in
+                db := db';
+                Store.log_op store ~db:db' ~op ~ctr:!i ~last_user:(!i mod 4)
+              done;
+              Store.flush store)
+        in
+        let store_per_op_ns = round_ns /. float_of_int batch in
+        Store.close store;
+        rm_rf dir;
+        row "%-8d %s %10.2fx %s\n" batch (pp_ns wal_per_op_ns)
+          (wal_per_op_ns /. append_floor_ns)
+          (pp_ns store_per_op_ns);
+        (batch, wal_per_op_ns, store_per_op_ns))
+      batches
+  in
+  row "(append+fsync, unbatched: %s — the tax group commit amortises)\n"
+    (pp_ns append_fsync_ns);
   (* Checkpoint: serialising every shard tree + bookkeeping as a new
      generation. *)
   let ckpt_sizes = if smoke then [ 512 ] else [ 1024; 16384 ] in
@@ -983,6 +1052,53 @@ let perf_store () =
         (tail, recover_ns, root_match))
       tails
   in
+  (* Recovery vs run length: incremental checkpoints + segment
+     compaction bound the replayed tail, so recovery cost should stay
+     flat as the run grows instead of scaling with total ops logged. *)
+  let run_lens = if smoke then [ 256 ] else [ 4096; 16384; 65536 ] in
+  row "\n%-12s %-14s %-12s %s\n" "run ops" "recover" "generation" "root";
+  let runlen_results =
+    List.map
+      (fun run_len ->
+        let dir = bench_dir "runlen" in
+        let initial =
+          List.init 1024 (fun i -> (Printf.sprintf "k%06d" i, String.make 64 'v'))
+        in
+        let store =
+          match
+            Store.create_or_open ~durability:(Store.Every_n 64)
+              ~segment_bytes:(1 lsl 16) ~dir ~branching:16 ~shards:4 ~initial ()
+          with
+          | Ok (s, _) -> s
+          | Error e -> failwith e
+        in
+        let db = ref (Store.db store) in
+        for i = 1 to run_len do
+          let op =
+            Vo.Set (Printf.sprintf "k%06d" (i mod 1024), String.make 64 'n')
+          in
+          let db', _ = Store.Shard_db.apply !db op in
+          db := db';
+          Store.log_op store ~db:db' ~op ~ctr:i ~last_user:(i mod 4)
+        done;
+        Store.flush store;
+        let recover_ns = m "recover" (fun () -> ignore (Store.recover store)) in
+        let root_match =
+          match Store.recover store with
+          | Ok r ->
+              String.equal
+                (Store.Shard_db.root_digest r.Store.db)
+                (Store.Shard_db.root_digest !db)
+          | Error _ -> false
+        in
+        let generation = Store.generation store in
+        Store.close store;
+        rm_rf dir;
+        row "%-12d %s %-12d %s\n" run_len (pp_ns recover_ns) generation
+          (if root_match then "identical" else "MISMATCH");
+        (run_len, recover_ns, generation, root_match))
+      run_lens
+  in
   (* Machine-readable trajectory for later PRs to beat. *)
   let buf = Buffer.create 2048 in
   Printf.bprintf buf "{\n  \"experiment\": \"perf-store\",\n";
@@ -995,6 +1111,17 @@ let perf_store () =
         bytes append_ns fsync_ns
         (if i < List.length wal_results - 1 then "," else ""))
     wal_results;
+  Printf.bprintf buf "  ],\n  \"group_commit\": [\n";
+  List.iteri
+    (fun i (batch, wal_per_op_ns, store_per_op_ns) ->
+      Printf.bprintf buf
+        "    { \"batch\": %d, \"wal_ns_per_op\": %.1f, \"vs_append\": %.2f, \
+         \"store_ns_per_op\": %.1f }%s\n"
+        batch wal_per_op_ns
+        (wal_per_op_ns /. append_floor_ns)
+        store_per_op_ns
+        (if i < List.length gc_results - 1 then "," else ""))
+    gc_results;
   Printf.bprintf buf "  ],\n  \"checkpoint\": [\n";
   List.iteri
     (fun i (entries, shards, ckpt_ns) ->
@@ -1012,6 +1139,15 @@ let perf_store () =
         snap_entries tail recover_ns root_match
         (if i < List.length recovery_results - 1 then "," else ""))
     recovery_results;
+  Printf.bprintf buf "  ],\n  \"recovery_vs_run_length\": [\n";
+  List.iteri
+    (fun i (run_len, recover_ns, generation, root_match) ->
+      Printf.bprintf buf
+        "    { \"run_ops\": %d, \"recover_ns\": %.1f, \"generation\": %d, \
+         \"root_digest_match\": %b }%s\n"
+        run_len recover_ns generation root_match
+        (if i < List.length runlen_results - 1 then "," else ""))
+    runlen_results;
   Printf.bprintf buf "  ]\n}\n";
   let path = "BENCH_store.json" in
   let oc = open_out path in

@@ -7,6 +7,7 @@
      tcvs workload   print a generated workload schedule
      tcvs session    scripted two-user CVS session (commit/checkout/log)
      tcvs inspect    build a database and show Merkle tree / VO facts
+     tcvs store-inspect  read-only dump of a durable store directory
      tcvs serve      the server as a TCP daemon over a durable store
      tcvs client     one protocol user, over TCP, against a daemon
      tcvs proxy      fault-injecting TCP proxy (drop/delay/dup/partition)
@@ -126,7 +127,11 @@ let adversary_arg =
      torn-manifest-hard:R (crash at round R tearing the MANIFEST mid-write; \
      the plain variant must repair from MANIFEST.bak and recover cleanly, \
      the hard variant wrecks the backup too and the server must halt \
-     loudly rather than serve a half-initialized shard map)."
+     loudly rather than serve a half-initialized shard map), \
+     checkpoint-crash:R (crash mid-checkpoint, next-generation snapshot \
+     leftovers unpublished), compact-crash:R, compact-crash-late:R (crash \
+     mid-compaction, before / after the atomic bases publish; all three \
+     are honest crashes that must recover byte-identically)."
   in
   Arg.(value & opt string "honest" & info [ "adversary"; "a" ] ~docv:"ADV" ~doc)
 
@@ -146,6 +151,38 @@ let shards_arg =
      root digest composes the sorted shard roots; verdicts are unchanged."
   in
   Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc)
+
+let durability_conv =
+  let parse s =
+    match Store.durability_of_string s with
+    | Ok d -> Ok d
+    | Error m -> Error (`Msg m)
+  in
+  let print fmt d = Format.pp_print_string fmt (Store.durability_to_string d) in
+  Arg.conv (parse, print)
+
+let durability_arg =
+  let doc =
+    "WAL group-commit cadence under $(b,--store): $(b,per-op) (flush every \
+     logged record — the default, and the mode recovery digests are pinned \
+     in), $(b,per-round) (one group commit per simulation round / daemon \
+     tick), or $(b,every:N) (flush once N records are staged)."
+  in
+  Arg.(value & opt durability_conv Store.Per_op & info [ "durability" ] ~docv:"MODE" ~doc)
+
+let segment_bytes_arg =
+  let doc =
+    "Roll a WAL segment once it exceeds $(docv) bytes (default 1 MiB, min \
+     256). Small values exercise rotation and compaction in short runs."
+  in
+  Arg.(value & opt (some int) None & info [ "segment-bytes" ] ~docv:"BYTES" ~doc)
+
+let compact_after_arg =
+  let doc =
+    "Compact a stream's sealed WAL segments into its base snapshot once \
+     $(docv) of them have accumulated (default 2)."
+  in
+  Arg.(value & opt (some int) None & info [ "compact-after" ] ~docv:"N" ~doc)
 
 let sanitize_arg =
   let doc =
@@ -196,6 +233,18 @@ let parse_adversary ~users s =
       match int_of_string_opt r with
       | Some at_round -> Ok (Adversary.Torn_manifest { at_round; wreck = true })
       | None -> fail ())
+  | [ "checkpoint-crash"; r ] -> (
+      match int_of_string_opt r with
+      | Some at_round -> Ok (Adversary.Checkpoint_crash { at_round })
+      | None -> fail ())
+  | [ "compact-crash"; r ] -> (
+      match int_of_string_opt r with
+      | Some at_round -> Ok (Adversary.Compact_crash { at_round; published = false })
+      | None -> fail ())
+  | [ "compact-crash-late"; r ] -> (
+      match int_of_string_opt r with
+      | Some at_round -> Ok (Adversary.Compact_crash { at_round; published = true })
+      | None -> fail ())
   | _ -> fail ()
 
 let generated_workload ~users ~rounds ~seed =
@@ -238,7 +287,7 @@ let print_outcome protocol adversary (o : Harness.outcome) =
 
 let simulate_cmd =
   let run seed users rounds k epoch_len protocol_str adversary_str sanitize verbosity
-      metrics trace_file store_dir shards =
+      metrics trace_file store_dir shards durability segment_bytes compact_after =
     Log_setup.install ~level:verbosity ();
     if sanitize then Sanitize.set_enabled true;
     match
@@ -259,6 +308,9 @@ let simulate_cmd =
             Harness.seed;
             store_dir;
             shards;
+            store_durability = durability;
+            store_segment_bytes = segment_bytes;
+            store_compact_segments = compact_after;
           }
         in
         (match Harness.validate setup with
@@ -287,7 +339,7 @@ let simulate_cmd =
     Term.(
       const run $ seed_arg $ users_arg $ rounds_arg $ k_arg $ epoch_arg $ protocol_arg
       $ adversary_arg $ sanitize_arg $ verbosity_arg $ metrics_arg $ trace_arg
-      $ store_arg $ shards_arg)
+      $ store_arg $ shards_arg $ durability_arg $ segment_bytes_arg $ compact_after_arg)
 
 (* ---- matrix -------------------------------------------------------------- *)
 
@@ -448,6 +500,70 @@ let inspect_cmd =
   let doc = "Build a database and print Merkle tree / verification-object facts." in
   Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ items_arg $ branching_arg)
 
+(* ---- store-inspect -------------------------------------------------------- *)
+
+let store_inspect_cmd =
+  let run dir =
+    match Store.inspect ~dir with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 1
+    | Ok info ->
+        Printf.printf "store         : %s\n" info.Store.info_dir;
+        Printf.printf "manifest      : %s\n" info.Store.info_manifest;
+        Printf.printf "shards        : %d (branching %d)\n" info.Store.info_shards
+          info.Store.info_branching;
+        Printf.printf "generation    : %d\n" info.Store.info_generation;
+        Printf.printf "next-lsn      : %d\n" info.Store.info_next_lsn;
+        let bad = ref 0 in
+        List.iter
+          (fun (s : Store.stream_info) ->
+            Printf.printf
+              "stream %-8s: base %s asof %d (%s)%s first-seg %d segments %d\n"
+              s.Store.str_name s.Store.str_base_file s.Store.str_base_asof
+              (if s.Store.str_base_ok then "ok" else "BAD")
+              (if s.Store.str_compacted then " compacted" else "")
+              s.Store.str_first_seg
+              (List.length s.Store.str_segments);
+            if not s.Store.str_base_ok then incr bad;
+            List.iter
+              (fun (g : Store.segment_info) ->
+                Printf.printf
+                  "  segment %s: %d records, lsn %d..%d, %d bytes, %s, %s\n"
+                  g.Store.seg_file g.Store.seg_records g.Store.seg_lsn_lo
+                  g.Store.seg_lsn_hi g.Store.seg_bytes
+                  (if g.Store.seg_sealed then "sealed" else "active")
+                  g.Store.seg_status;
+                (* a torn tail is legal only on the active segment *)
+                if g.Store.seg_status <> "ok"
+                   && (g.Store.seg_sealed || g.Store.seg_status <> "torn tail")
+                then incr bad)
+              s.Store.str_segments)
+          info.Store.info_streams;
+        Printf.printf "live-segments : %d\n" info.Store.info_live_segments;
+        (match info.Store.info_orphans with
+        | [] -> Printf.printf "orphans       : none\n"
+        | l ->
+            Printf.printf "orphans       : %d (%s)\n" (List.length l)
+              (String.concat ", " l));
+        if !bad > 0 then begin
+          Printf.printf "verdict       : %d damaged file(s)\n" !bad;
+          exit 3
+        end
+        else Printf.printf "verdict       : ok\n"
+  in
+  let dir_arg =
+    let doc = "Store directory to inspect." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let doc =
+    "Inspect a durable store directory without touching it: manifest, \
+     generation, per-stream base snapshots and WAL segments (record counts, \
+     LSN ranges, checksum status), orphaned crash leftovers. Exits 3 when \
+     any sealed segment or base snapshot is damaged."
+  in
+  Cmd.v (Cmd.info "store-inspect" ~doc) Term.(const run $ dir_arg)
+
 (* ---- networking: serve / client / proxy / bench-net ---------------------- *)
 
 let parse_hostport s =
@@ -477,7 +593,7 @@ let connect_arg =
 
 let serve_cmd =
   let run seed users k epoch_len protocol_str adversary_str sanitize verbosity listen
-      port_file store_dir shards tail_ticks tick_timeout max_conns exit_after =
+      port_file store_dir shards durability tail_ticks tick_timeout max_conns exit_after =
     Log_setup.install ~level:verbosity ();
     if sanitize then Sanitize.set_enabled true;
     match (protocol_conv k epoch_len protocol_str, parse_adversary ~users adversary_str) with
@@ -486,7 +602,9 @@ let serve_cmd =
         exit 2
     | Ok protocol, Ok adversary -> (
         (match adversary with
-        | (Adversary.Crash _ | Adversary.Rollback_crash _ | Adversary.Torn_manifest _)
+        | ( Adversary.Crash _ | Adversary.Rollback_crash _
+          | Adversary.Torn_manifest _ | Adversary.Checkpoint_crash _
+          | Adversary.Compact_crash _ )
           when store_dir = None ->
             Printf.eprintf "error: %s\n"
               (Harness.setup_error_message (Harness.Store_required adversary));
@@ -506,6 +624,7 @@ let serve_cmd =
             max_conns;
             tick_timeout;
             tail_ticks;
+            durability;
             exit_after_session = exit_after;
           }
         in
@@ -536,8 +655,8 @@ let serve_cmd =
     Term.(
       const run $ seed_arg $ users_arg $ k_arg $ epoch_arg $ protocol_arg
       $ adversary_arg $ sanitize_arg $ verbosity_arg $ listen_arg $ port_file_arg
-      $ store_arg $ shards_arg $ tail_ticks_arg $ tick_timeout_arg $ max_conns_arg
-      $ exit_after_arg)
+      $ store_arg $ shards_arg $ durability_arg $ tail_ticks_arg $ tick_timeout_arg
+      $ max_conns_arg $ exit_after_arg)
 
 let client_cmd =
   let run seed users rounds k epoch_len protocol_str verbosity connect user shards
@@ -770,5 +889,5 @@ let () =
        (Cmd.group info
           [
             simulate_cmd; matrix_cmd; workload_cmd; session_cmd; inspect_cmd;
-            serve_cmd; client_cmd; proxy_cmd; bench_net_cmd;
+            store_inspect_cmd; serve_cmd; client_cmd; proxy_cmd; bench_net_cmd;
           ]))

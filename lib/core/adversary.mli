@@ -77,6 +77,23 @@ type t =
           like {!Crash}. With [wreck = true] the backup is torn too:
           recovery must fail loudly (server alarm + halt) rather than
           serve a half-initialized shard map. Requires a store. *)
+  | Checkpoint_crash of { at_round : int }
+      (** An honest crash striking {e mid-checkpoint}: at round
+          [at_round] the server dies after the next generation's first
+          snapshot files were written (one complete, one half-written
+          .tmp) but before bases/CURRENT published the generation.
+          Recovery must land on the old generation, ignore the
+          leftovers, and replay to a byte-identical state — every
+          protocol stays quiet, like {!Crash}. Requires a store. *)
+  | Compact_crash of { at_round : int; published : bool }
+      (** An honest crash striking {e mid-compaction}. With
+          [published = false] the compaction snapshot was written but
+          the atomic bases rewrite never happened (an orphan file);
+          with [published = true] the new base is durable but the
+          folded segments were not yet deleted (stale segments).
+          Either way recovery must reach the same state a clean run
+          would — the compaction publish protocol is what makes both
+          windows safe. Requires a store. *)
 
 val name : t -> string
 val pp : Format.formatter -> t -> unit

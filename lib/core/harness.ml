@@ -38,6 +38,9 @@ type setup = {
   store_dir : string option;
   shards : int option;
   store_checkpoint_every : int;
+  store_durability : Store.durability;
+  store_segment_bytes : int option;
+  store_compact_segments : int option;
 }
 
 let file_key i = Printf.sprintf "src/file_%04d.ml" i
@@ -62,6 +65,9 @@ let default_setup ~protocol ~users ~adversary =
     store_dir = None;
     shards = None;
     store_checkpoint_every = 64;
+    store_durability = Store.Per_op;
+    store_segment_bytes = None;
+    store_compact_segments = None;
   }
 
 type outcome = {
@@ -125,7 +131,8 @@ let setup_error_message = function
   | Store_failed e -> Printf.sprintf "store setup failed: %s" e
 
 let adversary_requires_store = function
-  | Adversary.Crash _ | Adversary.Rollback_crash _ | Adversary.Torn_manifest _ ->
+  | Adversary.Crash _ | Adversary.Rollback_crash _ | Adversary.Torn_manifest _
+  | Adversary.Checkpoint_crash _ | Adversary.Compact_crash _ ->
       true
   | Adversary.Honest | Adversary.Tamper_value _ | Adversary.Drop_update _
   | Adversary.Fork _ | Adversary.Rollback _ | Adversary.Stall _
@@ -197,6 +204,9 @@ let run_common setup ~script =
     | Some dir -> (
         match
           Store.create_or_open ~checkpoint_every:setup.store_checkpoint_every
+            ~durability:setup.store_durability
+            ?segment_bytes:setup.store_segment_bytes
+            ?compact_segments:setup.store_compact_segments
             ~dir ~branching:setup.branching
             ~shards:(Option.value ~default:1 setup.shards)
             ~initial:setup.initial ()

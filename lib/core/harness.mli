@@ -52,6 +52,16 @@ type setup = {
           the per-shard [server.s<i>.*] observability scopes) *)
   store_checkpoint_every : int;
       (** logged operations between automatic store checkpoints *)
+  store_durability : Store.durability;
+      (** group-commit flush cadence (default {!Store.Per_op} — the
+          pinned-digest mode; [Per_round] defers all WAL flushing to
+          the round-boundary group commit) *)
+  store_segment_bytes : int option;
+      (** WAL segment roll threshold ([None] = store default, 1 MiB);
+          set small to exercise rotation/compaction in short runs *)
+  store_compact_segments : int option;
+      (** sealed segments per stream before auto-compaction ([None] =
+          store default, 2) *)
 }
 
 val default_setup : protocol:protocol -> users:int -> adversary:Adversary.t -> setup

@@ -114,7 +114,8 @@ let maybe_activate_fork t =
   | Adversary.Honest | Adversary.Tamper_value _ | Adversary.Drop_update _
   | Adversary.Rollback _ | Adversary.Stall _ | Adversary.Freeze_epoch _
   | Adversary.Bitrot _ | Adversary.Crash _ | Adversary.Rollback_crash _
-  | Adversary.Torn_manifest _ ->
+  | Adversary.Torn_manifest _ | Adversary.Checkpoint_crash _
+  | Adversary.Compact_crash _ ->
       ()
 
 let branch_for t ~user =
@@ -197,7 +198,8 @@ let check_branch_history t b ~label =
     let monotone_expected =
       match t.config.adversary with
       | Adversary.Honest | Adversary.Bitrot _ | Adversary.Crash _
-      | Adversary.Torn_manifest _ ->
+      | Adversary.Torn_manifest _ | Adversary.Checkpoint_crash _
+      | Adversary.Compact_crash _ ->
           true
       | Adversary.Tamper_value _ | Adversary.Drop_update _ | Adversary.Fork _
       | Adversary.Rollback _ | Adversary.Stall _ | Adversary.Freeze_epoch _
@@ -368,7 +370,8 @@ let execute_query t ~round ~user ~(op : Vo.op) ~piggyback =
   | Adversary.Honest | Adversary.Tamper_value _ | Adversary.Drop_update _
   | Adversary.Fork _ | Adversary.Rollback _ | Adversary.Stall _
   | Adversary.Freeze_epoch _ | Adversary.Bitrot _ | Adversary.Crash _
-  | Adversary.Rollback_crash _ | Adversary.Torn_manifest _ ->
+  | Adversary.Rollback_crash _ | Adversary.Torn_manifest _
+  | Adversary.Checkpoint_crash _ | Adversary.Compact_crash _ ->
       push_history ~cap:t.config.history_cap branch pre;
       branch.db <- db';
       branch.ctr <- branch.ctr + 1;
@@ -476,6 +479,17 @@ let crash_recover t ~round =
         | Adversary.Torn_manifest { wreck; _ } ->
             Store.debug_tear_manifest ~dir:(Store.dir store) ~wreck_backup:wreck;
             Store.recover_reload store
+        | Adversary.Checkpoint_crash _ ->
+            (* Die mid-checkpoint: next-gen snapshot leftovers on disk,
+               generation never published. Recovery must ignore them. *)
+            Store.debug_partial_checkpoint store ~db:t.main.db;
+            Store.recover store
+        | Adversary.Compact_crash { published; _ } ->
+            (* Die mid-compaction, before ([published = false]) or after
+               the atomic bases rewrite. Both windows must recover to
+               the state a clean run would reach. *)
+            Store.debug_partial_compact store ~publish:published;
+            Store.recover store
         | _ -> Store.recover store
       in
       (match result with
@@ -494,7 +508,9 @@ let maybe_crash t ~round =
   match t.config.adversary with
   | ( Adversary.Crash { at_round }
     | Adversary.Rollback_crash { at_round }
-    | Adversary.Torn_manifest { at_round; _ } )
+    | Adversary.Torn_manifest { at_round; _ }
+    | Adversary.Checkpoint_crash { at_round }
+    | Adversary.Compact_crash { at_round; _ } )
     when round = at_round && not t.crashed ->
       t.crashed <- true;
       crash_recover t ~round
@@ -598,8 +614,17 @@ let create ?store ?shards ?resume_from config ~engine ~initial ~initial_root_sig
         () (* external channel traffic never reaches the server *)
     | Sim.Id.Server, _ -> ()
   in
-  Sim.Engine.register engine Sim.Id.Server
-    { on_message; on_activate = (fun ~round -> maybe_crash t ~round) };
+  let on_activate ~round =
+    (* Round boundary = the group-commit point: flush staged WAL
+       records (and run any due compaction) before the adversary gets
+       a chance to crash us, so Per_round durability loses nothing at
+       a boundary crash. *)
+    (match t.store with
+    | Some store when not t.halted -> Store.flush store
+    | Some _ | None -> ());
+    maybe_crash t ~round
+  in
+  Sim.Engine.register engine Sim.Id.Server { on_message; on_activate };
   t
 
 let initial_root t = t.initial_root

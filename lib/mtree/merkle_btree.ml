@@ -59,6 +59,10 @@ let of_sorted_array ?(branching = 16) entries =
   in
   { root; branching; count = Array.length entries }
 
+let of_root ?(branching = 16) root =
+  if branching < 4 then invalid_arg "Merkle_btree.of_root: branching must be >= 4";
+  { root; branching; count = Node.entry_count root }
+
 let of_alist ?branching entries =
   (* Later bindings win, as with a fold of [set]; the sorted dedup
      feeds the bottom-up bulk loader. *)

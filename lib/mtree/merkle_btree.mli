@@ -53,6 +53,16 @@ val of_alist : ?branching:int -> (string * string) list -> t
 (** Sorts (later bindings win, matching a fold of {!set}) and bulk
     loads via {!of_sorted_array}. *)
 
+val of_root : ?branching:int -> Node.t -> t
+(** Wrap an existing node as a tree. A tree's shape depends on its
+    insertion history, so deserialisers that must reproduce the exact
+    live root digest (e.g. the store's shard snapshots) rebuild the
+    stored structure node-for-node and wrap it here; bulk-loading the
+    same bindings would generally yield a different shape and digest.
+    The node must be stub-free.
+    @raise Insufficient_proof on a tree containing stubs (entry count
+    is taken from the structure). *)
+
 val keys : t -> string list
 
 val check_invariants : t -> (unit, string) result

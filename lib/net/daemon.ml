@@ -30,6 +30,7 @@ type config = {
   tick_timeout : float;
   tail_ticks : int;
   checkpoint_every : int;
+  durability : Store.durability;
   exit_after_session : bool;
 }
 
@@ -51,6 +52,10 @@ let default_config =
     tick_timeout = 0.5;
     tail_ticks = 64;
     checkpoint_every = 64;
+    (* Per_op keeps kill -9 at any instant loss-free for acknowledged
+       requests — the at-most-once guarantee the smoke tests pin.
+       Per_round trades that window for one fsync per tick. *)
+    durability = Store.Per_op;
     exit_after_session = true;
   }
 
@@ -369,6 +374,10 @@ let finish_round st =
   Sim.Engine.step st.engine;
   Sim.Engine.step st.engine;
   drain_outbox st;
+  (* Group-commit point: everything this tick staged (ops, origins,
+     cached replies) becomes durable together before the next Tick is
+     announced — under Per_round this is the tick's only flush. *)
+  (match st.store with Some s -> Store.flush s | None -> ());
   let server_alarmed = Sim.Engine.first_alarm st.engine <> None in
   let any_alarm = server_alarmed || Array.exists Fun.id st.u_alarmed in
   let daemon_idle =
@@ -416,12 +425,16 @@ let open_store cfg =
   | None -> Ok (None, None)
   | Some dir ->
       if Store.manifest_exists dir then
-        match Store.resume ~checkpoint_every:cfg.checkpoint_every ~dir () with
+        match
+          Store.resume ~checkpoint_every:cfg.checkpoint_every
+            ~durability:cfg.durability ~dir ()
+        with
         | Ok (s, r) -> Ok (Some s, Some r)
         | Error e -> Error e
       else (
         match
-          Store.create_or_open ~checkpoint_every:cfg.checkpoint_every ~dir
+          Store.create_or_open ~checkpoint_every:cfg.checkpoint_every
+            ~durability:cfg.durability ~dir
             ~branching:cfg.branching ~shards:cfg.shards
             ~initial:(Harness.initial_files cfg.files) ()
         with
@@ -655,7 +668,10 @@ let run cfg =
                 st.free_pending <- false;
                 Sim.Engine.step st.engine;
                 Sim.Engine.step st.engine;
-                drain_outbox st
+                drain_outbox st;
+                (* free-role requests have no round clock, so each batch
+                   is its own group commit *)
+                match st.store with Some s -> Store.flush s | None -> ()
               end;
               select_and_continue ()
             end

@@ -50,6 +50,12 @@ type config = {
       (** extra all-drained rounds before a clean [Session_end] (time
           for trailing syncs, mirroring the harness's tail) *)
   checkpoint_every : int;
+  durability : Store.durability;
+      (** WAL flush cadence. {!Store.Per_op} (the default) keeps
+          [kill -9] at any instant loss-free for acknowledged requests;
+          {!Store.Per_round} group-commits each tick — everything a
+          tick staged becomes durable together at [finish_round],
+          before the next [Tick] is announced. *)
   exit_after_session : bool;
       (** exit once the lockstep session ends (smoke runs); free-mode
           daemons serve until SIGTERM either way *)

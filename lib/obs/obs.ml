@@ -7,7 +7,14 @@ module Scope = struct
   let name s = s
 end
 
-type counter = { c_name : string; mutable c : int }
+type counter = {
+  c_name : string;
+  (* Volatile counters track physical-I/O event counts (flushes,
+     fsyncs, segment rolls) that legitimately vary across durability
+     modes; they are queryable but never rendered into the report. *)
+  c_volatile : bool;
+  mutable c : int;
+}
 
 (* 63 power-of-two buckets cover every OCaml int; bucket [i] counts
    values v with 2^(i-1) <= v < 2^i (v <= 0 lands in bucket 0). *)
@@ -46,13 +53,13 @@ let mismatch name existing wanted =
     (Printf.sprintf "Obs: %S is registered as a %s, not a %s" name
        (kind_name existing) wanted)
 
-let counter ?scope name =
+let counter ?scope ?(volatile = false) name =
   let name = full_name scope name in
   match Hashtbl.find_opt registry name with
   | Some (Counter c) -> c
   | Some m -> mismatch name m "counter"
   | None ->
-      let c = { c_name = name; c = 0 } in
+      let c = { c_name = name; c_volatile = volatile; c = 0 } in
       Hashtbl.replace registry name (Counter c);
       c
 
@@ -259,7 +266,10 @@ module Report = struct
     let metrics = sorted_metrics () in
     let counters =
       List.filter_map
-        (fun (n, m) -> match m with Counter c when c.c <> 0 -> Some (n, c) | _ -> None)
+        (fun (n, m) ->
+          match m with
+          | Counter c when c.c <> 0 && not c.c_volatile -> Some (n, c)
+          | _ -> None)
         metrics
     in
     let gauges =

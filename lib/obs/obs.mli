@@ -40,9 +40,14 @@ type histogram
 (** Distribution summary: count, sum, min, max and power-of-two
     buckets. Values are dimensionless integers (bytes, rounds, ops). *)
 
-val counter : ?scope:Scope.t -> string -> counter
+val counter : ?scope:Scope.t -> ?volatile:bool -> string -> counter
 (** Get-or-create the counter [scope.name] in the global registry.
     Handles stay valid across {!reset} (which only zeroes values).
+    With [~volatile:true], the counter tracks physical-I/O event counts
+    (flushes, fsyncs, segment rolls) that legitimately differ across
+    store durability modes: it stays readable through {!counter_value}
+    and {!value}, but {!Report.to_json} omits it so same-seed reports
+    are byte-identical whatever the flush cadence.
     @raise Invalid_argument if the name is registered as another kind. *)
 
 val incr : ?by:int -> counter -> unit

@@ -1,5 +1,9 @@
 let obs_scope = Obs.Scope.v "store.snapshot"
-let c_writes = Obs.counter ~scope:obs_scope "writes"
+
+(* Volatile: compaction (which writes snapshots) is triggered by flush
+   cadence, so the write count legitimately differs across durability
+   modes; it must not reach the deterministic report. *)
+let c_writes = Obs.counter ~scope:obs_scope ~volatile:true "writes"
 let h_write_us = Obs.histogram ~scope:obs_scope ~volatile:true "write_us"
 
 let magic = "TCVSSNP1"

@@ -6,6 +6,7 @@ module Wal = Wal
 module Snapshot = Snapshot
 
 module T = Mtree.Merkle_btree
+module N = Mtree.Node
 module Vo = Mtree.Vo
 module W = Wire.W
 module R = Wire.R
@@ -21,8 +22,19 @@ let c_recoveries = Obs.counter ~scope:obs_scope "recoveries"
 let c_stale_recoveries = Obs.counter ~scope:obs_scope "stale_recoveries"
 let c_resumes = Obs.counter ~scope:obs_scope "resumes"
 let c_manifest_repairs = Obs.counter ~scope:obs_scope "manifest_repairs"
+
+(* Segment rolls and compactions are triggered by flush cadence, so
+   their counts legitimately differ across durability modes: volatile,
+   like the wall-clock histograms. *)
+let c_rolls = Obs.counter ~scope:obs_scope ~volatile:true "segment_rolls"
+let c_compactions = Obs.counter ~scope:obs_scope ~volatile:true "compactions"
 let h_recover_us = Obs.histogram ~scope:obs_scope ~volatile:true "recover_us"
 let h_checkpoint_us = Obs.histogram ~scope:obs_scope ~volatile:true "checkpoint_us"
+
+let gc_scope = Obs.Scope.v "store.group_commit"
+let h_batch_records = Obs.histogram ~scope:gc_scope ~volatile:true "batch_records"
+let h_batch_bytes = Obs.histogram ~scope:gc_scope ~volatile:true "batch_bytes"
+let h_flush_us = Obs.histogram ~scope:gc_scope ~volatile:true "flush_us"
 
 let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
 let ( let* ) = Result.bind
@@ -59,15 +71,90 @@ type meta = {
   m_replies : (int * (int * string)) list;  (* user -> (seq, payload) *)
 }
 
+(* When records reach the OS. [Per_op] flushes (and under [fsync],
+   syncs) after every logged record — the pre-group-commit behaviour,
+   byte for byte. [Per_round] stages everything and relies on the
+   caller invoking {!flush} at round boundaries: one flush + one fsync
+   per dirty stream per round, however many records the round logged.
+   [Every_n n] flushes every stream once [n] records are staged. *)
+type durability = Per_op | Per_round | Every_n of int
+
+let durability_to_string = function
+  | Per_op -> "per-op"
+  | Per_round -> "per-round"
+  | Every_n n -> Printf.sprintf "every:%d" n
+
+let durability_of_string s =
+  match s with
+  | "per-op" -> Ok Per_op
+  | "per-round" -> Ok Per_round
+  | _ -> (
+      match String.index_opt s ':' with
+      | Some i when String.equal (String.sub s 0 i) "every" -> (
+          match
+            int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+          with
+          | Some n when n >= 1 -> Ok (Every_n n)
+          | _ -> Error (s ^ ": batch size must be a positive integer"))
+      | _ ->
+          Error
+            (Printf.sprintf "%s: unknown durability (per-op | per-round | every:N)"
+               s))
+
+(* A [base] is the snapshot a stream's live log is relative to: the
+   file, the highest LSN whose effects it folds in ([-1] for a fresh
+   store), and the scalar bookkeeping as of that point. The per-stream
+   bases live in the generation's [bases.<g>] control file, which is
+   what lets compaction advance one stream's base without rewriting
+   anything else. *)
+type base = {
+  b_file : string;  (* snapshot basename, relative to the store dir *)
+  b_asof : int;
+  b_ctr : int;
+  b_last_user : int;
+  b_sig : string option;
+}
+
+(* State stashed when a segment rolls, so a later compaction can fold
+   every sealed segment into a snapshot without replaying them: the
+   shard's tree (or the meta stream's lists) exactly as of the roll
+   point. Correct because every record after [se_asof] is still in
+   live segments and gets replayed on top. *)
+type seal = {
+  se_tree : T.t option;  (* [Some] for shard streams, [None] for meta *)
+  se_backups : backup list;
+  se_seqs : (int * int) list;
+  se_replies : (int * (int * string)) list;
+  se_asof : int;
+  se_ctr : int;
+  se_last_user : int;
+  se_sig : string option;
+}
+
+(* One rotated log: shard [i]'s op log, or the meta log. Live segments
+   are [st_first_seg .. st_seg]; everything below [st_first_seg] has
+   been folded into [st_base]. *)
+type stream = {
+  st_name : string;  (* "shard<i>" or "meta" *)
+  st_shard : int option;
+  mutable st_writer : Wal.writer;
+  mutable st_seg : int;  (* active segment index *)
+  mutable st_first_seg : int;  (* first live segment *)
+  mutable st_base : base;
+  mutable st_seal : seal option;
+}
+
 type t = {
   dir : string;
   map : Shard_map.t;
   fsync : bool;
+  durability : durability;
   checkpoint_every : int;
+  segment_bytes : int;
+  compact_segments : int;  (* sealed segments that trigger auto-compaction *)
   mutable gen : int;
   mutable next_lsn : int;
-  mutable shard_writers : Wal.writer array;
-  mutable meta_writer : Wal.writer;
+  mutable streams : stream array;  (* shards + 1 entries; meta last *)
   (* Mirror of the bookkeeping the meta log describes, so a checkpoint
      can serialise it without asking the server. *)
   mutable ctr : int;
@@ -80,6 +167,16 @@ type t = {
      inject this round; [log_op] attaches and consumes them, so the WAL
      record itself carries the (user, request seq) provenance. *)
   mutable origins : (int * int) list;
+  (* Shards with ops logged since the last checkpoint — the ones whose
+     snapshot an incremental checkpoint must rewrite. *)
+  mutable dirty : bool array;
+  (* The database as of the last logged op: what a segment roll seals
+     for later compaction. *)
+  mutable last_db : Shard_db.t;
+  mutable staged_since_flush : int;
+  (* Snapshot files the previous generation's bases still reference —
+     compaction must not delete those out from under recover_stale. *)
+  mutable prev_referenced : string list;
   mutable ops_since_checkpoint : int;
   mutable opened_db : Shard_db.t;
   mutable closed : bool;
@@ -91,10 +188,9 @@ let ( // ) = Filename.concat
 let manifest_path dir = dir // "MANIFEST"
 let manifest_bak_path dir = dir // "MANIFEST.bak"
 let current_path dir = dir // "CURRENT"
-let shard_snap dir i g = dir // Printf.sprintf "shard%d.%d.snap" i g
-let shard_wal dir i g = dir // Printf.sprintf "shard%d.%d.wal" i g
-let meta_snap dir g = dir // Printf.sprintf "meta.%d.snap" g
-let meta_wal dir g = dir // Printf.sprintf "meta.%d.wal" g
+let bases_path dir g = dir // Printf.sprintf "bases.%d" g
+let seg_path dir name g s = dir // Printf.sprintf "%s.%d.%d.wal" name g s
+let stream_name ~shards i = if i = shards then "meta" else Printf.sprintf "shard%d" i
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -103,14 +199,6 @@ let rec mkdir_p dir =
   end
 
 let remove_if_exists path = if Sys.file_exists path then Sys.remove path
-
-let delete_generation dir ~shards g =
-  for i = 0 to shards - 1 do
-    remove_if_exists (shard_snap dir i g);
-    remove_if_exists (shard_wal dir i g)
-  done;
-  remove_if_exists (meta_snap dir g);
-  remove_if_exists (meta_wal dir g)
 
 let write_current dir g =
   let tmp = current_path dir ^ ".tmp" in
@@ -310,6 +398,109 @@ let decode_meta_record payload =
           `Reply (user, seq, R.str r)
       | n -> failwith (Printf.sprintf "unknown meta tag %d" n))
 
+(* Every segment file opens with a header record at LSN 0 naming the
+   stream, generation and segment index it belongs to — so replay can
+   never stitch a mis-rotated file into the wrong log. *)
+let seg_magic = "TCVSSEG1"
+
+let encode_seg_header ~name ~gen ~seg =
+  let w = W.create () in
+  W.str w seg_magic;
+  W.str w name;
+  W.u32 w gen;
+  W.u32 w seg;
+  W.contents w
+
+let seg_header_matches ~name ~gen ~seg payload =
+  match
+    Wire.decode payload (fun r ->
+        let magic = R.str r in
+        let n = R.str r in
+        let g = R.u32 r in
+        let s = R.u32 r in
+        (magic, n, g, s))
+  with
+  | Some (magic, n, g, s) ->
+      String.equal magic seg_magic && String.equal n name && g = gen && s = seg
+  | None -> false
+
+(* The [bases.<g>] control file: one entry per stream (shards in
+   order, then meta) recording its base snapshot. Written atomically
+   via [Snapshot.write], so compaction publishes a new base with a
+   single rename. *)
+
+let encode_bases ~gen entries =
+  let w = W.create () in
+  W.u32 w gen;
+  W.list w
+    (fun (b, first_seg) ->
+      W.str w b.b_file;
+      W.u32 w first_seg;
+      W.u64 w (b.b_asof + 1);
+      W.u32 w b.b_ctr;
+      W.u32 w (b.b_last_user + 1);
+      match b.b_sig with
+      | None -> W.u8 w 0
+      | Some s ->
+          W.u8 w 1;
+          W.str w s)
+    (Array.to_list entries);
+  W.contents w
+
+let decode_bases payload =
+  match
+    Wire.decode payload (fun r ->
+        let gen = R.u32 r in
+        let entries =
+          R.list r (fun r ->
+              let file = R.str r in
+              let first_seg = R.u32 r in
+              let asof = R.u64 r - 1 in
+              let ctr = R.u32 r in
+              let last_user = R.u32 r - 1 in
+              let sg =
+                match R.u8 r with
+                | 0 -> None
+                | 1 -> Some (R.str r)
+                | n -> failwith (Printf.sprintf "bad sig tag %d" n)
+              in
+              ( { b_file = file; b_asof = asof; b_ctr = ctr;
+                  b_last_user = last_user; b_sig = sg },
+                first_seg ))
+        in
+        (gen, Array.of_list entries))
+  with
+  | Some v -> Ok v
+  | None -> Error "malformed bases record"
+
+let read_bases dir g ~count =
+  let path = bases_path dir g in
+  let* payload = Snapshot.read path in
+  let* bgen, entries =
+    Result.map_error (fun e -> path ^ ": " ^ e) (decode_bases payload)
+  in
+  if bgen <> g then
+    Error (Printf.sprintf "%s: generation mismatch (found %d)" path bgen)
+  else if Array.length entries <> count then
+    Error
+      (Printf.sprintf "%s: expected %d stream entries, found %d" path count
+         (Array.length entries))
+  else Ok entries
+
+(* Snapshot basenames referenced by [bases.<g>], or [] when the file is
+   absent/unreadable — used to decide what garbage collection and
+   compaction may delete. *)
+let bases_files dir g =
+  if g < 0 then []
+  else
+    match Snapshot.read (bases_path dir g) with
+    | Error _ -> []
+    | Ok payload -> (
+        match decode_bases payload with
+        | Ok (_, entries) ->
+            Array.to_list (Array.map (fun (b, _) -> b.b_file) entries)
+        | Error _ -> [])
+
 let sort_backups backups =
   List.sort (fun a b -> compare (a.epoch, a.user) (b.epoch, b.user)) backups
 
@@ -329,45 +520,81 @@ let bump_seq seqs (user, seq) =
 
 (* ---- snapshots ------------------------------------------------------ *)
 
-let write_shard_snapshot dir g i tree =
+(* Shard snapshots persist the exact node structure, not just the
+   bindings: a B⁺-tree's shape depends on its insertion history and
+   the digest commits to the shape, so bulk-loading the same bindings
+   would generally produce a different root. The loader rebuilds the
+   stored structure through the smart constructors — recomputing every
+   digest from the raw bytes — and the stored root digest pins the
+   result. *)
+let rec encode_node w (n : N.t) =
+  match n with
+  | N.Leaf { entries; _ } ->
+      W.u8 w 0;
+      W.list w
+        (fun (e : N.entry) ->
+          W.str w e.N.key;
+          W.str w e.N.value)
+        (Array.to_list entries)
+  | N.Node { keys; children; _ } ->
+      W.u8 w 1;
+      W.list w (W.str w) (Array.to_list keys);
+      W.list w (encode_node w) (Array.to_list children)
+  | N.Stub _ ->
+      (* Stored trees are the server's full trees; stubs live only in
+         client-side verification objects. *)
+      invalid_arg "shard snapshot: stub in stored tree"
+
+(* Structural violations raise [Invalid_argument], which [Wire.decode]
+   maps to [None] — same failure surface as a short or garbled read. *)
+let rec decode_node r =
+  match R.u8 r with
+  | 0 ->
+      let entries =
+        Array.of_list
+          (R.list r (fun r ->
+               let key = R.str r in
+               let value = R.str r in
+               N.entry ~key ~value))
+      in
+      for i = 1 to Array.length entries - 1 do
+        if String.compare entries.(i - 1).N.key entries.(i).N.key >= 0 then
+          invalid_arg "shard snapshot: leaf entries not sorted"
+      done;
+      N.make_leaf entries
+  | 1 ->
+      let keys = Array.of_list (R.list r (fun r -> R.str r)) in
+      let children = Array.of_list (R.list r decode_node) in
+      if Array.length children < 1 || Array.length keys <> Array.length children - 1
+      then invalid_arg "shard snapshot: malformed internal node";
+      N.make_node keys children
+  | _ -> invalid_arg "shard snapshot: unknown node tag"
+
+let write_shard_snapshot_file path i tree =
   let w = W.create () in
   W.u16 w i;
   W.str w (T.root_digest tree);
-  W.list w
-    (fun (k, v) ->
-      W.str w k;
-      W.str w v)
-    (T.to_alist tree);
-  Snapshot.write (shard_snap dir i g) ~payload:(W.contents w)
+  encode_node w (T.root tree);
+  Snapshot.write path ~payload:(W.contents w)
 
-let load_shard_snapshot dir g ~branching i =
-  let path = shard_snap dir i g in
+let load_shard_snapshot_file path ~branching i =
   let* payload = Snapshot.read path in
   let decoded =
     Wire.decode payload (fun r ->
         let idx = R.u16 r in
         let root = R.str r in
-        let entries =
-          R.list r (fun r ->
-              let k = R.str r in
-              (k, R.str r))
-        in
-        (idx, root, entries))
+        let node = decode_node r in
+        (idx, root, node))
   in
   match decoded with
   | None -> Error (path ^ ": malformed shard snapshot")
   | Some (idx, _, _) when idx <> i ->
       Error (Printf.sprintf "%s: shard index mismatch (found %d)" path idx)
-  | Some (_, root, entries) -> (
-      match T.of_sorted_array ~branching (Array.of_list entries) with
-      | tree ->
-          (* Bulk load is node-for-node identical to the incremental
-             build, so this equality pins byte-identical recovery. *)
-          if String.equal (T.root_digest tree) root then Ok tree
-          else Error (path ^ ": recovered root digest mismatch")
-      | exception Invalid_argument msg -> Error (path ^ ": " ^ msg))
+  | Some (_, root, node) ->
+      if String.equal (N.digest node) root then Ok (T.of_root ~branching node)
+      else Error (path ^ ": recovered root digest mismatch")
 
-let write_meta_snapshot dir g m =
+let write_meta_snapshot_file path m =
   let w = W.create () in
   W.u32 w m.m_ctr;
   W.u32 w (m.m_last_user + 1);
@@ -389,10 +616,9 @@ let write_meta_snapshot dir g m =
       W.u32 w seq;
       W.str w payload)
     m.m_replies;
-  Snapshot.write (meta_snap dir g) ~payload:(W.contents w)
+  Snapshot.write path ~payload:(W.contents w)
 
-let load_meta_snapshot dir g =
-  let path = meta_snap dir g in
+let load_meta_snapshot_file path =
   let* payload = Snapshot.read path in
   match
     Wire.decode payload (fun r ->
@@ -430,55 +656,128 @@ let load_meta_snapshot dir g =
   | None -> Error (path ^ ": malformed meta snapshot")
   | Some m -> Ok m
 
-let load_snapshots dir ~map g =
+(* ---- segment lifecycle ---------------------------------------------- *)
+
+(* Open a segment for append, writing (and flushing) the header record
+   if the file is empty — which also repairs the corner where a crash
+   landed between file creation and the header flush. *)
+let open_segment dir ~fsync name gen seg =
+  let w = Wal.open_writer (seg_path dir name gen seg) in
+  if Wal.size w = 0 then begin
+    Wal.stage ~count:false w ~lsn:0 ~payload:(encode_seg_header ~name ~gen ~seg);
+    ignore (Wal.flush ~fsync w)
+  end;
+  w
+
+(* Walk the contiguous live segments of one stream from [first_seg],
+   validating headers and decoding records. A torn tail is legal only
+   on the last (active) segment: sealed segments were flushed whole, so
+   damage there is silent corruption and fails hard. Returns events
+   (unordered), the active segment index, and the data-record count. *)
+let read_stream_events dir ~name ~gen ~first_seg ~decode =
+  let rec go s acc n =
+    let path = seg_path dir name gen s in
+    if not (Sys.file_exists path) then Ok (acc, max first_seg (s - 1), n)
+    else
+      let* { Wal.records; truncated } = Wal.read path in
+      let sealed = Sys.file_exists (seg_path dir name gen (s + 1)) in
+      if truncated && sealed then
+        Error (path ^ ": torn tail in a sealed segment (mid-log corruption)")
+      else
+        let* records =
+          match records with
+          | [] -> Ok []  (* crash between segment creation and header flush *)
+          | (_, header) :: rest ->
+              if seg_header_matches ~name ~gen ~seg:s header then Ok rest
+              else Error (path ^ ": bad segment header")
+        in
+        let rec decode_all records acc n =
+          match records with
+          | [] -> Ok (acc, n)
+          | (lsn, payload) :: rest -> (
+              match decode payload with
+              | None ->
+                  Error (Printf.sprintf "%s: malformed record at lsn %d" path lsn)
+              | Some ev -> decode_all rest ((lsn, ev) :: acc) (n + 1))
+        in
+        let* acc, n = decode_all records acc n in
+        go (s + 1) acc n
+  in
+  go first_seg [] 0
+
+(* ---- generation replay ---------------------------------------------- *)
+
+type loaded = {
+  l_db : Shard_db.t;
+  l_meta : meta;
+  l_dirty : bool array;
+  l_entries : (base * int) array;  (* per stream: base, first live segment *)
+  l_active : int array;  (* per stream: active segment index *)
+}
+
+(* Scalar bookkeeping comes from the newest base; records a compacted
+   base already folded in must not rewind it, so replay fences ctr /
+   last_user / root_sig behind the max base asof. Tree and keyed-map
+   effects apply unconditionally: folded segments are gone (excluded
+   by first_seg), and keyed replacement is idempotent in LSN order. *)
+let newest_base entries =
+  Array.fold_left
+    (fun (a, c, lu, sg) (b, _) ->
+      if b.b_asof > a then (b.b_asof, b.b_ctr, b.b_last_user, b.b_sig)
+      else (a, c, lu, sg))
+    (-1, 0, -1, None) entries
+
+let load_generation dir ~map g =
   let shards = Shard_map.shards map and branching = Shard_map.branching map in
+  let n_streams = shards + 1 in
+  let* entries = read_bases dir g ~count:n_streams in
   let rec load_trees i acc =
     if i = shards then Ok (Array.of_list (List.rev acc))
     else
-      let* tree = load_shard_snapshot dir g ~branching i in
+      let b, _ = entries.(i) in
+      let* tree = load_shard_snapshot_file (dir // b.b_file) ~branching i in
       load_trees (i + 1) (tree :: acc)
   in
   let* trees = load_trees 0 [] in
-  let* m = load_meta_snapshot dir g in
-  Ok (Shard_db.of_trees map trees, m)
-
-(* ---- WAL replay ----------------------------------------------------- *)
-
-let read_wal_events dir ~shards g =
-  let rec shard_events i acc =
-    if i = shards then Ok acc
+  let mb, _ = entries.(shards) in
+  let* msnap = load_meta_snapshot_file (dir // mb.b_file) in
+  let guard, g_ctr, g_last, g_sig = newest_base entries in
+  let dirty = Array.make shards false in
+  let active = Array.make n_streams 0 in
+  let decode_event i payload =
+    if i < shards then
+      match decode_op_record payload with
+      | None -> None
+      | Some r -> Some (`Op r)
+    else decode_meta_record payload
+  in
+  let rec gather i acc =
+    if i = n_streams then Ok acc
     else
-      let path = shard_wal dir i g in
-      let* { Wal.records; _ } = Wal.read path in
-      let rec decode_all records acc =
-        match records with
-        | [] -> Ok acc
-        | (lsn, payload) :: rest -> (
-            match decode_op_record payload with
-            | None ->
-                Error (Printf.sprintf "%s: malformed record at lsn %d" path lsn)
-            | Some record -> decode_all rest ((lsn, `Op record) :: acc))
+      let name = stream_name ~shards i in
+      let first = snd entries.(i) in
+      let* evs, act, n =
+        read_stream_events dir ~name ~gen:g ~first_seg:first
+          ~decode:(decode_event i)
       in
-      let* acc = decode_all records acc in
-      shard_events (i + 1) acc
+      active.(i) <- act;
+      if i < shards && n > 0 then dirty.(i) <- true;
+      gather (i + 1) (List.rev_append evs acc)
   in
-  let* events = shard_events 0 [] in
-  let path = meta_wal dir g in
-  let* { Wal.records; _ } = Wal.read path in
-  let rec decode_meta records acc =
-    match records with
-    | [] -> Ok acc
-    | (lsn, payload) :: rest -> (
-        match decode_meta_record payload with
-        | None -> Error (Printf.sprintf "%s: malformed record at lsn %d" path lsn)
-        | Some ev -> decode_meta rest ((lsn, ev) :: acc))
+  let* events = gather 0 [] in
+  let events = List.sort (fun (a, _) (b, _) -> Int.compare a b) events in
+  let db0 = Shard_db.of_trees map trees in
+  let m0 =
+    {
+      m_ctr = g_ctr;
+      m_last_user = g_last;
+      m_root_sig = g_sig;
+      m_next_lsn = guard + 1;
+      m_backups = msnap.m_backups;
+      m_seqs = msnap.m_seqs;
+      m_replies = msnap.m_replies;
+    }
   in
-  let* events = decode_meta records events in
-  Ok (List.sort (fun (a, _) (b, _) -> Int.compare a b) events)
-
-let load_generation dir ~map g =
-  let* db0, m = load_snapshots dir ~map g in
-  let* events = read_wal_events dir ~shards:(Shard_map.shards map) g in
   let db, m =
     List.fold_left
       (fun (db, m) (lsn, ev) ->
@@ -489,33 +788,84 @@ let load_generation dir ~map g =
             let seqs =
               match origin with None -> m.m_seqs | Some o -> bump_seq m.m_seqs o
             in
-            ( db,
-              { m with m_ctr = ctr'; m_last_user = last_user'; m_root_sig = None;
-                m_seqs = seqs } )
-        | `Sig s -> (db, { m with m_root_sig = Some s })
+            if lsn > guard then
+              ( db,
+                { m with m_ctr = ctr'; m_last_user = last_user';
+                  m_root_sig = None; m_seqs = seqs } )
+            else (db, { m with m_seqs = seqs })
+        | `Sig s -> if lsn > guard then (db, { m with m_root_sig = Some s }) else (db, m)
         | `Backup b -> (db, { m with m_backups = replace_backup m.m_backups b })
         | `Reply (user, seq, payload) ->
             (db, { m with m_replies = set_assoc user (seq, payload) m.m_replies }))
-      (db0, m) events
+      (db0, m0) events
   in
-  Ok (db, m)
+  Ok { l_db = db; l_meta = m; l_dirty = dirty; l_entries = entries; l_active = active }
 
-(* ---- writer lifecycle ----------------------------------------------- *)
+(* ---- stream construction -------------------------------------------- *)
 
-let open_writers dir ~shards g =
-  ( Array.init shards (fun i -> Wal.open_writer (shard_wal dir i g)),
-    Wal.open_writer (meta_wal dir g) )
+let make_streams dir ~shards ~gen ~fsync entries active =
+  Array.init (shards + 1) (fun i ->
+      let base, first = entries.(i) in
+      let name = stream_name ~shards i in
+      {
+        st_name = name;
+        st_shard = (if i < shards then Some i else None);
+        st_writer = open_segment dir ~fsync name gen active.(i);
+        st_seg = active.(i);
+        st_first_seg = first;
+        st_base = base;
+        st_seal = None;
+      })
 
-let close_writers t =
-  Array.iter Wal.close_writer t.shard_writers;
-  Wal.close_writer t.meta_writer
+let base_entries t = Array.map (fun st -> (st.st_base, st.st_first_seg)) t.streams
 
-let reopen_writers t =
-  let shard_writers, meta_writer =
-    open_writers t.dir ~shards:(Shard_map.shards t.map) t.gen
+let write_bases_gen dir ~gen entries =
+  Snapshot.write (bases_path dir gen) ~payload:(encode_bases ~gen entries)
+
+let write_bases t = write_bases_gen t.dir ~gen:t.gen (base_entries t)
+
+(* ---- garbage collection --------------------------------------------- *)
+
+type gc_class = Gc_bases of int | Gc_snap of int | Gc_wal of int
+
+let classify_file f =
+  match String.split_on_char '.' f with
+  | [ "bases"; g ] -> Option.map (fun g -> Gc_bases g) (int_of_string_opt g)
+  | _ :: g :: rest -> (
+      match (int_of_string_opt g, rest) with
+      | Some g, [ "snap" ] | Some g, [ _; "snap" ] -> Some (Gc_snap g)
+      | Some g, [ _; "wal" ] -> Some (Gc_wal g)
+      | _ -> None)
+  | _ -> None
+
+(* Delete everything the current generation (in memory) and the
+   previous generation's bases file (on disk) no longer reference:
+   superseded bases files, unreferenced snapshots (including orphans a
+   crashed checkpoint or compaction left behind), segment files of
+   dead generations, and half-written .tmp files. Runs at checkpoint
+   and stale-recovery time, when both reference sets are known. *)
+let gc t ~prev =
+  let prev_refs = bases_files t.dir prev in
+  t.prev_referenced <- prev_refs;
+  let referenced =
+    prev_refs @ Array.to_list (Array.map (fun st -> st.st_base.b_file) t.streams)
   in
-  t.shard_writers <- shard_writers;
-  t.meta_writer <- meta_writer
+  let files = Sys.readdir t.dir in
+  Array.sort String.compare files;
+  Array.iter
+    (fun f ->
+      match f with
+      | "MANIFEST" | "MANIFEST.bak" | "CURRENT" -> ()
+      | _ ->
+          if Filename.check_suffix f ".tmp" then remove_if_exists (t.dir // f)
+          else (
+            match classify_file f with
+            | Some (Gc_bases g) | Some (Gc_wal g) ->
+                if g <> t.gen && g <> prev then remove_if_exists (t.dir // f)
+            | Some (Gc_snap _) ->
+                if not (List.mem f referenced) then remove_if_exists (t.dir // f)
+            | None -> ()))
+    files
 
 (* ---- accessors ------------------------------------------------------ *)
 
@@ -523,20 +873,162 @@ let db t = t.opened_db
 let shard_map t = t.map
 let generation t = t.gen
 let dir t = t.dir
+let durability t = t.durability
 
 let fresh_lsn t =
   let lsn = t.next_lsn in
   t.next_lsn <- lsn + 1;
   lsn
 
+(* ---- group commit: flush, roll, compact ----------------------------- *)
+
+(* Seal the active segment and roll to the next one. Called only with
+   an empty staging buffer (right after a flush). The seal stashes the
+   state as of the roll point so compaction can fold every sealed
+   segment without replaying it. *)
+let roll_segment t st =
+  Wal.close_writer st.st_writer;
+  let se_tree =
+    match st.st_shard with
+    | Some i -> Some (Shard_db.trees t.last_db).(i)
+    | None -> None
+  in
+  st.st_seal <-
+    Some
+      {
+        se_tree;
+        se_backups = t.backups;
+        se_seqs = t.seqs;
+        se_replies = t.replies;
+        se_asof = t.next_lsn - 1;
+        se_ctr = t.ctr;
+        se_last_user = t.last_user;
+        se_sig = t.root_sig;
+      };
+  st.st_seg <- st.st_seg + 1;
+  st.st_writer <- open_segment t.dir ~fsync:t.fsync st.st_name t.gen st.st_seg;
+  Obs.incr c_rolls;
+  Log.debug (fun f -> f "%s: %s rolled to segment %d" t.dir st.st_name st.st_seg)
+
+(* Flush one stream's staged batch — one channel flush, at most one
+   fsync, however many records the batch holds — then roll if the
+   segment outgrew its budget. *)
+let flush_stream t st =
+  let records = Wal.staged_records st.st_writer in
+  if records > 0 then begin
+    Obs.observe h_batch_records records;
+    Obs.observe h_batch_bytes (Wal.staged_bytes st.st_writer);
+    ignore (Wal.flush ~fsync:t.fsync st.st_writer);
+    if Wal.size st.st_writer >= t.segment_bytes then roll_segment t st
+  end
+
+let flush_streams t =
+  Array.iter (fun st -> flush_stream t st) t.streams;
+  t.staged_since_flush <- 0
+
+(* Fold one stream's sealed segments into a compaction snapshot: write
+   the snapshot from the seal, publish it as the stream's new base
+   with one atomic [bases.<g>] rewrite, then delete the folded
+   segments. A crash before the publish leaves an orphan snapshot
+   (ignored, gc'd later); a crash after it leaves stale segments below
+   [first_seg] (ignored, gc'd later) — recovery is correct either way. *)
+let write_compaction_snapshot t st se =
+  let snap = Printf.sprintf "%s.%d.c%d.snap" st.st_name t.gen st.st_seg in
+  (match st.st_shard with
+  | Some i ->
+      let tree =
+        match se.se_tree with
+        | Some tree -> tree
+        | None -> invalid_arg "compaction seal without tree"
+      in
+      write_shard_snapshot_file (t.dir // snap) i tree
+  | None ->
+      write_meta_snapshot_file (t.dir // snap)
+        {
+          m_ctr = se.se_ctr;
+          m_last_user = se.se_last_user;
+          m_root_sig = se.se_sig;
+          m_next_lsn = se.se_asof + 1;
+          m_backups = se.se_backups;
+          m_seqs = se.se_seqs;
+          m_replies = se.se_replies;
+        });
+  snap
+
+let compact_stream t st =
+  match st.st_seal with
+  | None -> ()
+  | Some se ->
+      let snap = write_compaction_snapshot t st se in
+      let old_base = st.st_base and old_first = st.st_first_seg in
+      st.st_base <-
+        {
+          b_file = snap;
+          b_asof = se.se_asof;
+          b_ctr = se.se_ctr;
+          b_last_user = se.se_last_user;
+          b_sig = se.se_sig;
+        };
+      st.st_first_seg <- st.st_seg;
+      st.st_seal <- None;
+      write_bases t;
+      for s = old_first to st.st_seg - 1 do
+        remove_if_exists (seg_path t.dir st.st_name t.gen s)
+      done;
+      if not (List.mem old_base.b_file t.prev_referenced) then
+        remove_if_exists (t.dir // old_base.b_file);
+      Obs.incr c_compactions;
+      Log.debug (fun f ->
+          f "%s: %s compacted segments %d..%d into %s" t.dir st.st_name old_first
+            (st.st_seg - 1) snap)
+
+let auto_compact t =
+  Array.iter
+    (fun st ->
+      if st.st_seg - st.st_first_seg >= t.compact_segments then
+        compact_stream t st)
+    t.streams
+
+(* The group-commit point: flush every stream's staged batch (the
+   network daemon and the simulated server call this once per round),
+   then fold any stream whose sealed-segment count crossed the
+   compaction threshold. *)
+let flush t =
+  let t0 = now_us () in
+  flush_streams t;
+  auto_compact t;
+  Obs.observe h_flush_us (now_us () - t0)
+
+let compact t =
+  flush_streams t;
+  Array.iter (fun st -> compact_stream t st) t.streams
+
 (* ---- checkpoint ----------------------------------------------------- *)
 
 let checkpoint t ~db =
   let t0 = now_us () in
   let shards = Shard_map.shards t.map in
+  (* Staged records must be on disk before the generation flips. *)
+  flush_streams t;
+  t.last_db <- db;
   let g' = t.gen + 1 in
-  Array.iteri (fun i tree -> write_shard_snapshot t.dir g' i tree) (Shard_db.trees db);
-  write_meta_snapshot t.dir g'
+  let asof = t.next_lsn - 1 in
+  let trees = Shard_db.trees db in
+  (* Incremental: only shards dirtied since the last checkpoint get a
+     fresh snapshot; a clean shard keeps its current base, whose file
+     may come from an older generation (the bases file carries the
+     reference across). *)
+  for i = 0 to shards - 1 do
+    if t.dirty.(i) then begin
+      let name = Printf.sprintf "shard%d.%d.snap" i g' in
+      write_shard_snapshot_file (t.dir // name) i trees.(i);
+      t.streams.(i).st_base <-
+        { b_file = name; b_asof = asof; b_ctr = t.ctr; b_last_user = t.last_user;
+          b_sig = t.root_sig }
+    end
+  done;
+  let meta_name = Printf.sprintf "meta.%d.snap" g' in
+  write_meta_snapshot_file (t.dir // meta_name)
     {
       m_ctr = t.ctr;
       m_last_user = t.last_user;
@@ -546,16 +1038,30 @@ let checkpoint t ~db =
       m_seqs = t.seqs;
       m_replies = t.replies;
     };
+  t.streams.(shards).st_base <-
+    { b_file = meta_name; b_asof = asof; b_ctr = t.ctr; b_last_user = t.last_user;
+      b_sig = t.root_sig };
+  Array.iter
+    (fun st ->
+      st.st_first_seg <- 0;
+      st.st_seal <- None)
+    t.streams;
+  write_bases_gen t.dir ~gen:g' (base_entries t);
   write_current t.dir g';
-  close_writers t;
-  let old = t.gen in
+  Array.iter (fun st -> Wal.close_writer st.st_writer) t.streams;
+  let prev = t.gen in
   t.gen <- g';
-  reopen_writers t;
-  if old > 0 then delete_generation t.dir ~shards (old - 1);
+  Array.iter
+    (fun st ->
+      st.st_seg <- 0;
+      st.st_writer <- open_segment t.dir ~fsync:t.fsync st.st_name g' 0)
+    t.streams;
+  gc t ~prev;
+  Array.fill t.dirty 0 shards false;
   t.ops_since_checkpoint <- 0;
   Obs.incr c_checkpoints;
   Obs.observe h_checkpoint_us (now_us () - t0);
-  Log.debug (fun m -> m "%s: checkpointed generation %d" t.dir g')
+  Log.debug (fun f -> f "%s: checkpointed generation %d" t.dir g')
 
 (* ---- logging -------------------------------------------------------- *)
 
@@ -583,10 +1089,28 @@ let sub_records map (op : Vo.op) =
               (List.filter (fun (k, _) -> Shard_map.route map k = i) entries) ))
         touched
 
+(* Stage one record on stream [idx], then apply the durability policy:
+   per-op flushes that stream immediately (the pre-group-commit
+   behaviour), every:N flushes all streams once N records are staged,
+   per-round leaves everything for the round-boundary {!flush}. *)
+let stage_record t idx ~payload =
+  let st = t.streams.(idx) in
+  Wal.stage st.st_writer ~lsn:(fresh_lsn t) ~payload;
+  t.staged_since_flush <- t.staged_since_flush + 1;
+  match t.durability with
+  | Per_op ->
+      flush_stream t st;
+      t.staged_since_flush <- 0
+  | Per_round -> ()
+  | Every_n n -> if t.staged_since_flush >= n then flush_streams t
+
+let meta_index t = Shard_map.shards t.map
+
 let log_op t ~db ~op ~ctr ~last_user =
   t.ctr <- ctr;
   t.last_user <- last_user;
   t.root_sig <- None;
+  t.last_db <- db;
   (* A declared origin is consumed by the operation the daemon injected
      for that user; every fan-out sub-record repeats it (replay-time
      [bump_seq] is idempotent). *)
@@ -600,8 +1124,8 @@ let log_op t ~db ~op ~ctr ~last_user =
   in
   List.iter
     (fun (i, sub) ->
-      Wal.append t.shard_writers.(i) ~fsync:t.fsync ~lsn:(fresh_lsn t)
-        ~payload:(encode_op_record ~op:sub ~ctr ~last_user ~origin))
+      t.dirty.(i) <- true;
+      stage_record t i ~payload:(encode_op_record ~op:sub ~ctr ~last_user ~origin))
     (sub_records t.map op);
   Obs.incr c_ops_logged;
   t.ops_since_checkpoint <- t.ops_since_checkpoint + 1;
@@ -609,20 +1133,17 @@ let log_op t ~db ~op ~ctr ~last_user =
 
 let log_root_sig t s =
   t.root_sig <- Some s;
-  Wal.append t.meta_writer ~fsync:t.fsync ~lsn:(fresh_lsn t)
-    ~payload:(encode_sig_record s)
+  stage_record t (meta_index t) ~payload:(encode_sig_record s)
 
 let log_backup t b =
   t.backups <- replace_backup t.backups b;
-  Wal.append t.meta_writer ~fsync:t.fsync ~lsn:(fresh_lsn t)
-    ~payload:(encode_backup_record b)
+  stage_record t (meta_index t) ~payload:(encode_backup_record b)
 
 let declare_origin t ~user ~seq = t.origins <- set_assoc user seq t.origins
 
 let log_reply t ~user ~seq ~payload =
   t.replies <- set_assoc user (seq, payload) t.replies;
-  Wal.append t.meta_writer ~fsync:t.fsync ~lsn:(fresh_lsn t)
-    ~payload:(encode_reply_record ~user ~seq ~payload)
+  stage_record t (meta_index t) ~payload:(encode_reply_record ~user ~seq ~payload)
 
 let last_seqs t = t.seqs
 let cached_reply t ~user =
@@ -653,46 +1174,114 @@ let adopt_meta t m =
   t.origins <- [];
   t.next_lsn <- m.m_next_lsn
 
+(* A crash loses whatever was staged and not yet flushed: discard the
+   buffers before closing, so the simulated restart replays exactly
+   what a real process death would have left on disk. *)
+let drop_staged_and_close t =
+  Array.iter
+    (fun st ->
+      Wal.discard st.st_writer;
+      Wal.close_writer st.st_writer)
+    t.streams;
+  t.staged_since_flush <- 0
+
+let reopen_writers t =
+  Array.iter
+    (fun st ->
+      st.st_writer <- open_segment t.dir ~fsync:t.fsync st.st_name t.gen st.st_seg)
+    t.streams
+
 let recover t =
   let t0 = now_us () in
-  close_writers t;
+  drop_staged_and_close t;
   match load_generation t.dir ~map:t.map t.gen with
   | Error _ as e ->
       reopen_writers t;
       e
-  | Ok (db, m) ->
-      adopt_meta t m;
-      reopen_writers t;
+  | Ok l ->
+      adopt_meta t l.l_meta;
+      t.last_db <- l.l_db;
+      t.dirty <- l.l_dirty;
+      Array.iteri
+        (fun i st ->
+          let base, first = l.l_entries.(i) in
+          st.st_base <- base;
+          st.st_first_seg <- first;
+          st.st_seg <- l.l_active.(i);
+          st.st_seal <- None;
+          st.st_writer <-
+            open_segment t.dir ~fsync:t.fsync st.st_name t.gen l.l_active.(i))
+        t.streams;
       Obs.incr c_recoveries;
       Obs.observe h_recover_us (now_us () - t0);
       Log.info (fun f ->
-          f "%s: recovered generation %d (ctr %d)" t.dir t.gen m.m_ctr);
-      Ok (recovered_of db m)
+          f "%s: recovered generation %d (ctr %d)" t.dir t.gen l.l_meta.m_ctr);
+      Ok (recovered_of l.l_db l.l_meta)
 
 let recover_stale t =
   let shards = Shard_map.shards t.map in
-  close_writers t;
+  drop_staged_and_close t;
   let stale =
-    if t.gen > 0 && Sys.file_exists (meta_snap t.dir (t.gen - 1)) then t.gen - 1
+    if t.gen > 0 && Sys.file_exists (bases_path t.dir (t.gen - 1)) then t.gen - 1
     else t.gen
   in
-  match load_snapshots t.dir ~map:t.map stale with
+  let load () =
+    let* entries = read_bases t.dir stale ~count:(shards + 1) in
+    let branching = Shard_map.branching t.map in
+    let rec load_trees i acc =
+      if i = shards then Ok (Array.of_list (List.rev acc))
+      else
+        let b, _ = entries.(i) in
+        let* tree = load_shard_snapshot_file (t.dir // b.b_file) ~branching i in
+        load_trees (i + 1) (tree :: acc)
+    in
+    let* trees = load_trees 0 [] in
+    let mb, _ = entries.(shards) in
+    let* msnap = load_meta_snapshot_file (t.dir // mb.b_file) in
+    Ok (entries, trees, msnap)
+  in
+  match load () with
   | Error _ as e ->
       reopen_writers t;
       e
-  | Ok (db, m) ->
-      (* Adversarially present the stale snapshot as the whole history:
-         discard every WAL record after it and flip CURRENT back. *)
-      for i = 0 to shards - 1 do
-        Wal.reset (shard_wal t.dir i stale)
-      done;
-      Wal.reset (meta_wal t.dir stale);
+  | Ok (entries, trees, msnap) ->
+      (* Adversarially present the stale bases as the whole history:
+         delete every live segment after them and flip CURRENT back. *)
+      Array.iteri
+        (fun i (_, first) ->
+          let name = stream_name ~shards i in
+          let rec wipe s =
+            let p = seg_path t.dir name stale s in
+            if Sys.file_exists p then begin
+              Sys.remove p;
+              wipe (s + 1)
+            end
+          in
+          wipe first)
+        entries;
+      let guard, g_ctr, g_last, g_sig = newest_base entries in
+      let m =
+        {
+          m_ctr = g_ctr;
+          m_last_user = g_last;
+          m_root_sig = g_sig;
+          m_next_lsn = guard + 1;
+          m_backups = msnap.m_backups;
+          m_seqs = msnap.m_seqs;
+          m_replies = msnap.m_replies;
+        }
+      in
       write_current t.dir stale;
-      if stale <> t.gen then delete_generation t.dir ~shards t.gen;
       t.gen <- stale;
+      t.streams <-
+        make_streams t.dir ~shards ~gen:stale ~fsync:t.fsync entries
+          (Array.map snd entries);
+      let db = Shard_db.of_trees t.map trees in
       adopt_meta t m;
+      t.last_db <- db;
+      t.dirty <- Array.make shards false;
       t.ops_since_checkpoint <- 0;
-      reopen_writers t;
+      gc t ~prev:(stale - 1);
       Obs.incr c_stale_recoveries;
       Log.info (fun f ->
           f "%s: rolled back to stale generation %d (ctr %d)" t.dir stale m.m_ctr);
@@ -711,138 +1300,189 @@ let fresh_meta ~next_lsn =
     m_replies = [];
   }
 
-let baseline t db m =
-  (* Write generation [t.gen]'s snapshots from scratch (store creation
-     and reopen re-baselining). *)
-  Array.iteri
-    (fun i tree -> write_shard_snapshot t.dir t.gen i tree)
-    (Shard_db.trees db);
-  write_meta_snapshot t.dir t.gen m;
+(* Write generation [t.gen]'s snapshots and bases from scratch (store
+   creation and reopen re-baselining). *)
+let baseline t ~db ~m =
+  let shards = Shard_map.shards t.map in
+  let asof = m.m_next_lsn - 1 in
+  let trees = Shard_db.trees db in
+  for i = 0 to shards - 1 do
+    let name = Printf.sprintf "shard%d.%d.snap" i t.gen in
+    write_shard_snapshot_file (t.dir // name) i trees.(i);
+    t.streams.(i).st_base <-
+      { b_file = name; b_asof = asof; b_ctr = m.m_ctr; b_last_user = m.m_last_user;
+        b_sig = m.m_root_sig }
+  done;
+  let meta_name = Printf.sprintf "meta.%d.snap" t.gen in
+  write_meta_snapshot_file (t.dir // meta_name) m;
+  t.streams.(shards).st_base <-
+    { b_file = meta_name; b_asof = asof; b_ctr = m.m_ctr;
+      b_last_user = m.m_last_user; b_sig = m.m_root_sig };
+  write_bases t;
   write_current t.dir t.gen
 
-let create_or_open ?(fsync = false) ?(checkpoint_every = 64) ~dir ~branching
-    ~shards ~initial () =
+let dummy_base = { b_file = ""; b_asof = -1; b_ctr = 0; b_last_user = -1; b_sig = None }
+
+let fresh_streams dir ~shards ~gen ~fsync =
+  make_streams dir ~shards ~gen ~fsync
+    (Array.make (shards + 1) (dummy_base, 0))
+    (Array.make (shards + 1) 0)
+
+let validate_config ~checkpoint_every ~segment_bytes ~compact_segments ~durability
+    =
   if checkpoint_every < 1 then Error "checkpoint_every must be >= 1"
+  else if segment_bytes < 256 then Error "segment_bytes must be >= 256"
+  else if compact_segments < 1 then Error "compact_segments must be >= 1"
+  else
+    match durability with
+    | Every_n n when n < 1 -> Error "every:N durability needs N >= 1"
+    | Per_op | Per_round | Every_n _ -> Ok ()
+
+let create_or_open ?(fsync = false) ?(durability = Per_op)
+    ?(checkpoint_every = 64) ?(segment_bytes = 1 lsl 20) ?(compact_segments = 2)
+    ~dir ~branching ~shards ~initial () =
+  let* () =
+    validate_config ~checkpoint_every ~segment_bytes ~compact_segments
+      ~durability
+  in
+  mkdir_p dir;
+  if not (Sys.is_directory dir) then Error (dir ^ ": not a directory")
+  else if not (manifest_exists dir) then begin
+    let map = Shard_map.create ~branching ~shards ~keys:(List.map fst initial) in
+    let db = Shard_db.of_map map initial in
+    write_manifest dir ~payload:(Shard_map.encode map);
+    let m = fresh_meta ~next_lsn:0 in
+    let t =
+      {
+        dir;
+        map;
+        fsync;
+        durability;
+        checkpoint_every;
+        segment_bytes;
+        compact_segments;
+        gen = 0;
+        next_lsn = 0;
+        streams = fresh_streams dir ~shards ~gen:0 ~fsync;
+        ctr = 0;
+        last_user = -1;
+        root_sig = None;
+        backups = [];
+        seqs = [];
+        replies = [];
+        origins = [];
+        dirty = Array.make shards false;
+        last_db = db;
+        staged_since_flush = 0;
+        prev_referenced = [];
+        ops_since_checkpoint = 0;
+        opened_db = db;
+        closed = false;
+      }
+    in
+    baseline t ~db ~m;
+    Log.info (fun f -> f "%s: fresh store, %d shard(s)" dir shards);
+    Ok (t, `Fresh)
+  end
   else begin
-    mkdir_p dir;
-    if not (Sys.is_directory dir) then Error (dir ^ ": not a directory")
-    else if not (manifest_exists dir) then begin
-      let map = Shard_map.create ~branching ~shards ~keys:(List.map fst initial) in
-      let db = Shard_db.of_map map initial in
-      write_manifest dir ~payload:(Shard_map.encode map);
-      let m = fresh_meta ~next_lsn:0 in
-      let shard_writers, meta_writer = open_writers dir ~shards 0 in
-      let t =
-        {
-          dir;
-          map;
-          fsync;
-          checkpoint_every;
-          gen = 0;
-          next_lsn = 0;
-          shard_writers;
-          meta_writer;
-          ctr = 0;
-          last_user = -1;
-          root_sig = None;
-          backups = [];
-          seqs = [];
-          replies = [];
-          origins = [];
-          ops_since_checkpoint = 0;
-          opened_db = db;
-          closed = false;
-        }
-      in
-      baseline t db m;
-      Log.info (fun f -> f "%s: fresh store, %d shard(s)" dir shards);
-      Ok (t, `Fresh)
-    end
-    else begin
-      let* map = read_manifest dir in
-      let shards = Shard_map.shards map in
-      let* g = read_current dir in
-      let* db, m = load_generation dir ~map g in
-      (* Durable data outlives the run; session bookkeeping does
-         not: re-baseline the recovered database as a fresh
-         generation with fresh bookkeeping. *)
-      let g' = g + 1 in
-      let m' = fresh_meta ~next_lsn:m.m_next_lsn in
-      let shard_writers, meta_writer = open_writers dir ~shards g' in
-      let t =
-        {
-          dir;
-          map;
-          fsync;
-          checkpoint_every;
-          gen = g';
-          next_lsn = m.m_next_lsn;
-          shard_writers;
-          meta_writer;
-          ctr = 0;
-          last_user = -1;
-          root_sig = None;
-          backups = [];
-          seqs = [];
-          replies = [];
-          origins = [];
-          ops_since_checkpoint = 0;
-          opened_db = db;
-          closed = false;
-        }
-      in
-      baseline t db m';
-      delete_generation dir ~shards g;
-      if g > 0 then delete_generation dir ~shards (g - 1);
-      Log.info (fun f ->
-          f "%s: reopened store (%d entries), re-baselined as generation %d"
-            dir (Shard_db.size db) g');
-      Ok (t, `Reopened)
-    end
+    let* map = read_manifest dir in
+    let shards = Shard_map.shards map in
+    let* g = read_current dir in
+    let* l = load_generation dir ~map g in
+    (* Durable data outlives the run; session bookkeeping does not:
+       re-baseline the recovered database as a fresh generation with
+       fresh bookkeeping. *)
+    let g' = g + 1 in
+    let m' = fresh_meta ~next_lsn:l.l_meta.m_next_lsn in
+    let t =
+      {
+        dir;
+        map;
+        fsync;
+        durability;
+        checkpoint_every;
+        segment_bytes;
+        compact_segments;
+        gen = g';
+        next_lsn = l.l_meta.m_next_lsn;
+        streams = fresh_streams dir ~shards ~gen:g' ~fsync;
+        ctr = 0;
+        last_user = -1;
+        root_sig = None;
+        backups = [];
+        seqs = [];
+        replies = [];
+        origins = [];
+        dirty = Array.make shards false;
+        last_db = l.l_db;
+        staged_since_flush = 0;
+        prev_referenced = [];
+        ops_since_checkpoint = 0;
+        opened_db = l.l_db;
+        closed = false;
+      }
+    in
+    baseline t ~db:l.l_db ~m:m';
+    (* The previous generations are dead: a reopen is a fresh session,
+       not a restart, so there is nothing to roll back to. *)
+    gc t ~prev:(-1);
+    Log.info (fun f ->
+        f "%s: reopened store (%d entries), re-baselined as generation %d" dir
+          (Shard_db.size l.l_db) g');
+    Ok (t, `Reopened)
   end
 
 (* A daemon restart must look like the same session continuing — same
    generation, same counter, same pending session bookkeeping — not a
    re-baselined fresh run (that is what makes an honest `kill -9` +
    restart invisible to the protocol layer, and a rollback visible). *)
-let resume ?(fsync = false) ?(checkpoint_every = 64) ~dir () =
-  if checkpoint_every < 1 then Error "checkpoint_every must be >= 1"
-  else if not (Sys.file_exists dir && Sys.is_directory dir) then
+let resume ?(fsync = false) ?(durability = Per_op) ?(checkpoint_every = 64)
+    ?(segment_bytes = 1 lsl 20) ?(compact_segments = 2) ~dir () =
+  let* () =
+    validate_config ~checkpoint_every ~segment_bytes ~compact_segments
+      ~durability
+  in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
     Error (dir ^ ": no store to resume")
   else if not (manifest_exists dir) then Error (dir ^ ": no MANIFEST")
   else
     let* map = read_manifest dir in
     let shards = Shard_map.shards map in
     let* g = read_current dir in
-    let* db, m = load_generation dir ~map g in
-    let shard_writers, meta_writer = open_writers dir ~shards g in
+    let* l = load_generation dir ~map g in
     let t =
       {
         dir;
         map;
         fsync;
+        durability;
         checkpoint_every;
+        segment_bytes;
+        compact_segments;
         gen = g;
-        next_lsn = m.m_next_lsn;
-        shard_writers;
-        meta_writer;
-        ctr = m.m_ctr;
-        last_user = m.m_last_user;
-        root_sig = m.m_root_sig;
-        backups = m.m_backups;
-        seqs = m.m_seqs;
-        replies = m.m_replies;
+        next_lsn = l.l_meta.m_next_lsn;
+        streams = make_streams dir ~shards ~gen:g ~fsync l.l_entries l.l_active;
+        ctr = l.l_meta.m_ctr;
+        last_user = l.l_meta.m_last_user;
+        root_sig = l.l_meta.m_root_sig;
+        backups = l.l_meta.m_backups;
+        seqs = l.l_meta.m_seqs;
+        replies = l.l_meta.m_replies;
         origins = [];
+        dirty = l.l_dirty;
+        last_db = l.l_db;
+        staged_since_flush = 0;
+        prev_referenced = bases_files dir (g - 1);
         ops_since_checkpoint = 0;
-        opened_db = db;
+        opened_db = l.l_db;
         closed = false;
       }
     in
     Obs.incr c_resumes;
     Log.info (fun f ->
-        f "%s: resumed generation %d (ctr %d, %d entries)" dir g m.m_ctr
-          (Shard_db.size db));
-    Ok (t, recovered_of db m)
+        f "%s: resumed generation %d (ctr %d, %d entries)" dir g l.l_meta.m_ctr
+          (Shard_db.size l.l_db));
+    Ok (t, recovered_of l.l_db l.l_meta)
 
 (* Like {!recover}, but re-read the MANIFEST from disk first — the
    recovery path a real restart takes, which the torn-manifest
@@ -856,8 +1496,219 @@ let recover_reload t =
         Error (t.dir ^ ": MANIFEST changed shard map under a live store")
       else recover t
 
+(* ---- crash-injection hooks (adversaries) ---------------------------- *)
+
+(* Simulate a process death mid-checkpoint: flush what a real
+   checkpoint would have flushed, write one complete next-generation
+   shard snapshot and one half-written temp file, and stop before
+   bases/CURRENT publish the new generation. Recovery must land on the
+   old generation and ignore the aliens. *)
+let debug_partial_checkpoint t ~db =
+  flush_streams t;
+  let g' = t.gen + 1 in
+  let trees = Shard_db.trees db in
+  write_shard_snapshot_file (t.dir // Printf.sprintf "shard0.%d.snap" g') 0
+    trees.(0);
+  let tmp = t.dir // Printf.sprintf "meta.%d.snap.tmp" g' in
+  let oc = open_out_bin tmp in
+  output_string oc "TCVSSNP1\x00\x00half-written";
+  close_out oc
+
+(* Simulate a process death mid-compaction. With [~publish:false] the
+   compaction snapshot exists but bases was never rewritten: an orphan
+   replay ignores. With [~publish:true] the new base is durable but
+   the folded segments were not yet deleted: recovery must start from
+   the compacted base and skip the stale segments. When nothing is
+   sealed yet, the crash only leaves a half-written temp file. *)
+let debug_partial_compact t ~publish =
+  flush_streams t;
+  let sealed =
+    Array.to_list t.streams
+    |> List.filter_map (fun st ->
+           match st.st_seal with Some se -> Some (st, se) | None -> None)
+  in
+  match sealed with
+  | [] ->
+      let tmp = t.dir // Printf.sprintf "meta.%d.c0.snap.tmp" t.gen in
+      let oc = open_out_bin tmp in
+      output_string oc "TCVSSNP1half";
+      close_out oc
+  | (st, se) :: _ ->
+      let snap = write_compaction_snapshot t st se in
+      if publish then begin
+        st.st_base <-
+          {
+            b_file = snap;
+            b_asof = se.se_asof;
+            b_ctr = se.se_ctr;
+            b_last_user = se.se_last_user;
+            b_sig = se.se_sig;
+          };
+        st.st_first_seg <- st.st_seg;
+        st.st_seal <- None;
+        write_bases t
+        (* ...and die before deleting the folded segments. *)
+      end
+
+(* ---- read-only inspection (tcvs_cli store-inspect) ------------------ *)
+
+type segment_info = {
+  seg_file : string;
+  seg_index : int;
+  seg_bytes : int;
+  seg_records : int;  (* data records, excluding the header *)
+  seg_lsn_lo : int;  (* -1 when the segment holds no data records *)
+  seg_lsn_hi : int;
+  seg_sealed : bool;
+  seg_status : string;  (* "ok" | "torn tail" | error text *)
+}
+
+type stream_info = {
+  str_name : string;
+  str_base_file : string;
+  str_base_asof : int;
+  str_base_ok : bool;
+  str_compacted : bool;  (* first live segment > 0 *)
+  str_first_seg : int;
+  str_segments : segment_info list;
+}
+
+type info = {
+  info_dir : string;
+  info_shards : int;
+  info_branching : int;
+  info_generation : int;
+  info_manifest : string;
+  info_next_lsn : int;  (* 1 + highest LSN seen across bases and segments *)
+  info_streams : stream_info list;
+  info_live_segments : int;
+  info_orphans : string list;
+}
+
+(* Strictly read-only: manifest reads skip the repair path, and segment
+   reads use [~repair:false] so a torn tail is reported, not truncated. *)
+let inspect ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (dir ^ ": no such store directory")
+  else
+    let try_map path =
+      match Snapshot.read path with
+      | Error _ as e -> e
+      | Ok payload -> (
+          match Shard_map.decode payload with
+          | Some map -> Ok map
+          | None -> Error (path ^ ": malformed manifest"))
+    in
+    let* map, manifest_status =
+      match try_map (manifest_path dir) with
+      | Ok map -> Ok (map, "ok")
+      | Error primary -> (
+          match try_map (manifest_bak_path dir) with
+          | Ok map -> Ok (map, "primary damaged, backup ok (" ^ primary ^ ")")
+          | Error backup ->
+              Error
+                (Printf.sprintf "manifest unrecoverable (%s; backup: %s)" primary
+                   backup))
+    in
+    let shards = Shard_map.shards map in
+    let* g = read_current dir in
+    let* entries = read_bases dir g ~count:(shards + 1) in
+    let accounted = ref [ "MANIFEST"; "MANIFEST.bak"; "CURRENT"; Printf.sprintf "bases.%d" g ] in
+    let account f = accounted := f :: !accounted in
+    let max_lsn = ref (-1) in
+    let streams =
+      List.init (shards + 1) (fun i ->
+          let base, first = entries.(i) in
+          let name = stream_name ~shards i in
+          account base.b_file;
+          if base.b_asof > !max_lsn then max_lsn := base.b_asof;
+          let base_ok =
+            if i < shards then
+              Result.is_ok
+                (load_shard_snapshot_file (dir // base.b_file)
+                   ~branching:(Shard_map.branching map) i)
+            else Result.is_ok (load_meta_snapshot_file (dir // base.b_file))
+          in
+          let rec segs s acc =
+            let path = seg_path dir name g s in
+            if not (Sys.file_exists path) then List.rev acc
+            else begin
+              let file = Filename.basename path in
+              account file;
+              let bytes = (Unix.stat path).Unix.st_size in
+              let sealed = Sys.file_exists (seg_path dir name g (s + 1)) in
+              let info =
+                match Wal.read ~repair:false path with
+                | Error e ->
+                    { seg_file = file; seg_index = s; seg_bytes = bytes;
+                      seg_records = 0; seg_lsn_lo = -1; seg_lsn_hi = -1;
+                      seg_sealed = sealed; seg_status = e }
+                | Ok { Wal.records; truncated } ->
+                    let data, status =
+                      match records with
+                      | [] -> ([], if truncated then "torn tail" else "ok")
+                      | (_, header) :: rest ->
+                          if seg_header_matches ~name ~gen:g ~seg:s header then
+                            (rest, if truncated then "torn tail" else "ok")
+                          else (rest, "bad segment header")
+                    in
+                    let lo, hi, n =
+                      List.fold_left
+                        (fun (lo, hi, n) (lsn, _) ->
+                          ((if lo = -1 then lsn else min lo lsn), max hi lsn, n + 1))
+                        (-1, -1, 0) data
+                    in
+                    if hi > !max_lsn then max_lsn := hi;
+                    { seg_file = file; seg_index = s; seg_bytes = bytes;
+                      seg_records = n; seg_lsn_lo = lo; seg_lsn_hi = hi;
+                      seg_sealed = sealed; seg_status = status }
+              in
+              segs (s + 1) (info :: acc)
+            end
+          in
+          {
+            str_name = name;
+            str_base_file = base.b_file;
+            str_base_asof = base.b_asof;
+            str_base_ok = base_ok;
+            str_compacted = first > 0;
+            str_first_seg = first;
+            str_segments = segs first [];
+          })
+    in
+    (* Previous-generation files are retained on purpose (stale
+       recovery rolls back to them); anything else unaccounted is an
+       orphan: crash leftovers, stale folded segments, dead bases. *)
+    let prev = g - 1 in
+    let prev_refs = bases_files dir prev in
+    let files = Sys.readdir dir in
+    Array.sort String.compare files;
+    let orphans =
+      Array.to_list files
+      |> List.filter (fun f ->
+             (not (List.mem f !accounted))
+             &&
+             match classify_file f with
+             | Some (Gc_bases g1) | Some (Gc_wal g1) -> g1 <> prev
+             | Some (Gc_snap _) -> not (List.mem f prev_refs)
+             | None -> true)
+    in
+    Ok
+      {
+        info_dir = dir;
+        info_shards = shards;
+        info_branching = Shard_map.branching map;
+        info_generation = g;
+        info_manifest = manifest_status;
+        info_next_lsn = !max_lsn + 1;
+        info_streams = streams;
+        info_live_segments =
+          List.fold_left (fun n si -> n + List.length si.str_segments) 0 streams;
+        info_orphans = orphans;
+      }
+
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    close_writers t
+    Array.iter (fun st -> Wal.close_writer st.st_writer) t.streams
   end

@@ -1,34 +1,62 @@
-(** The durable store: WAL + snapshots + generations, per shard.
+(** The durable store: group-committed, segment-rotated WALs +
+    snapshots + generations, per shard.
 
     Directory layout (one store per directory):
 
     {v
-    MANIFEST            branching, shard count, shard boundaries
-    MANIFEST.bak        byte-identical backup, written first — a torn
-                        MANIFEST is repaired from it on open
-    CURRENT             ASCII generation number (tmp+rename updates)
-    shard<i>.<g>.snap   shard i's tree at the start of generation g
-    shard<i>.<g>.wal    shard i's mutations since snapshot g
-    meta.<g>.snap       bookkeeping at the start of generation g
-                        (ctr, last user, root signature, LSN watermark,
-                        epoch backups)
-    meta.<g>.wal        bookkeeping events since snapshot g
+    MANIFEST              branching, shard count, shard boundaries
+    MANIFEST.bak          byte-identical backup, written first — a torn
+                          MANIFEST is repaired from it on open
+    CURRENT               ASCII generation number (tmp+rename updates)
+    bases.<g>             generation g's control file: one entry per
+                          stream (shards, then meta) naming its base
+                          snapshot, the first live segment, and the
+                          bookkeeping as of the base (atomic rewrite —
+                          how compaction publishes)
+    shard<i>.<g>.snap     shard i's tree at the start of generation g
+    shard<i>.<g>.c<s>.snap  compaction snapshot: shard i folded up to
+                          the start of segment s
+    shard<i>.<g>.<s>.wal  segment s of shard i's op log (checksummed
+                          header record names stream/gen/segment)
+    meta.<g>.snap         bookkeeping at the start of generation g
+    meta.<g>.c<s>.snap    compacted bookkeeping
+    meta.<g>.<s>.wal      segment s of the bookkeeping log
     v}
 
-    Every server mutation is appended to the owning shard's WAL (a
-    multi-shard [Set_many] fans out, one record per shard); root
-    signatures and epoch backups go to the meta WAL. Records carry a
-    store-wide monotone LSN, so recovery can merge all logs back into
-    one replay order. A checkpoint serialises every shard tree plus the
-    bookkeeping as generation [g+1], flips CURRENT, starts empty WALs
-    and retains exactly one previous generation (the one
-    {!recover_stale} rolls back to).
+    {b Write path (group commit).} Every server mutation is encoded
+    and {e staged} on the owning shard's log (a multi-shard [Set_many]
+    fans out, one record per shard); root signatures and epoch backups
+    go to the meta log. The {!durability} mode decides when staged
+    records reach the OS: per-op (stage+flush each record — the
+    pre-group-commit behaviour, byte for byte), per-round (everything
+    waits for the round-boundary {!flush}: one channel flush and at
+    most one fsync per dirty stream per round), or every:N. Records
+    carry a store-wide monotone LSN, so recovery can merge all logs
+    back into one replay order.
 
-    Recovery = latest valid snapshot + WAL tail replay, with shard
-    trees rebuilt by [Merkle_btree.of_sorted_array] — bulk load is
-    node-for-node identical to incremental insertion, so recovered
-    root digests are byte-identical to the pre-crash roots (pinned by
-    tests). Torn WAL tails are truncated with a logged warning;
+    {b Rotation and compaction.} A log flush that grows the active
+    segment past [segment_bytes] seals it and rolls to the next
+    segment, stashing the stream's state as of the roll point. Once a
+    stream holds [compact_segments] sealed segments, {!flush}
+    compacts them: the stash becomes a compaction snapshot, published
+    as the stream's new base by one atomic [bases.<g>] rewrite, and
+    the folded segments are deleted — bounding recovery to one
+    snapshot plus the live segments, however long the run. A crash
+    before the publish leaves an ignored orphan; after it, ignored
+    stale segments (both garbage-collected at the next checkpoint).
+
+    {b Checkpoints} are incremental: only shards with ops logged since
+    the last checkpoint get a fresh snapshot; clean shards carry their
+    base forward through the new generation's bases file. Exactly one
+    previous generation is retained (the one {!recover_stale} rolls
+    back to).
+
+    Recovery = per-stream bases + live-segment replay in LSN order,
+    with shard trees rebuilt by [Merkle_btree.of_sorted_array] — bulk
+    load is node-for-node identical to incremental insertion, so
+    recovered root digests are byte-identical to the pre-crash roots
+    (pinned by tests). Torn tails are legal only on active segments
+    (truncated with a logged warning); a torn sealed segment or
     mid-log corruption is a hard error (see {!Wal}). *)
 
 module Shard_map = Shard_map
@@ -62,11 +90,30 @@ type recovered = {
           user; [payload] is the net-encoded response message *)
 }
 
+type durability = Per_op | Per_round | Every_n of int
+(** When staged records reach the OS. [Per_op] flushes after every
+    logged record — the pre-group-commit behaviour, byte for byte
+    (the default everywhere; pinned recovery digests are taken in this
+    mode). [Per_round] defers everything to the round-boundary
+    {!flush} — one flush + at most one fsync per dirty stream per
+    round, whatever the round logged. [Every_n n] flushes all streams
+    once [n] records are staged. A crash loses whatever was staged
+    and not yet flushed — never anything a completed flush covered. *)
+
+val durability_to_string : durability -> string
+(** ["per-op"], ["per-round"], ["every:N"]. *)
+
+val durability_of_string : string -> (durability, string) result
+(** Inverse of {!durability_to_string} — the CLI flag parser. *)
+
 type t
 
 val create_or_open :
   ?fsync:bool ->
+  ?durability:durability ->
   ?checkpoint_every:int ->
+  ?segment_bytes:int ->
+  ?compact_segments:int ->
   dir:string ->
   branching:int ->
   shards:int ->
@@ -79,9 +126,12 @@ val create_or_open :
     win over the arguments), then re-baseline it as a new generation
     with fresh bookkeeping (ctr 0, no signature, no backups) — durable
     data outlives a run, session bookkeeping does not. [fsync]
-    (default false) syncs the WAL on every append; [checkpoint_every]
-    (default 64) is the number of logged operations between automatic
-    checkpoints. *)
+    (default false) syncs at every flush point; [durability] (default
+    {!Per_op}) sets the flush cadence; [checkpoint_every] (default 64)
+    is the number of logged operations between automatic checkpoints;
+    [segment_bytes] (default 1 MiB, min 256) is the roll threshold;
+    [compact_segments] (default 2) is the sealed-segment count that
+    triggers auto-compaction at the next {!flush}. *)
 
 val manifest_exists : string -> bool
 (** Whether [dir] holds a MANIFEST (or its backup) — i.e. whether
@@ -89,7 +139,10 @@ val manifest_exists : string -> bool
 
 val resume :
   ?fsync:bool ->
+  ?durability:durability ->
   ?checkpoint_every:int ->
+  ?segment_bytes:int ->
+  ?compact_segments:int ->
   dir:string ->
   unit ->
   (t * recovered, string) result
@@ -109,14 +162,15 @@ val db : t -> Shard_db.t
 val shard_map : t -> Shard_map.t
 val generation : t -> int
 val dir : t -> string
+val durability : t -> durability
 
 val log_op :
   t -> db:Shard_db.t -> op:Mtree.Vo.op -> ctr:int -> last_user:int -> unit
 (** Log one executed operation ([ctr]/[last_user] are the
     post-operation values; reads are logged too — they advance the
-    counter). [db] is the post-operation database, used when this
-    append crosses the [checkpoint_every] threshold and triggers an
-    automatic checkpoint. *)
+    counter). [db] is the post-operation database: it feeds the
+    segment-roll stash, and the checkpoint this append triggers when
+    it crosses the [checkpoint_every] threshold. *)
 
 val log_root_sig : t -> string -> unit
 val log_backup : t -> backup -> unit
@@ -131,7 +185,7 @@ val declare_origin : t -> user:int -> seq:int -> unit
 val log_reply : t -> user:int -> seq:int -> payload:string -> unit
 (** Durably cache the reply for [user]'s request [seq] (one cached
     reply per user — retransmissions only ever ask for the latest).
-    Appended to the meta WAL and carried through snapshots. *)
+    Appended to the meta log and carried through snapshots. *)
 
 val last_seqs : t -> (int * int) list
 (** Per-user highest executed request seq, sorted by user. *)
@@ -139,13 +193,30 @@ val last_seqs : t -> (int * int) list
 val cached_reply : t -> user:int -> (int * string) option
 (** The latest durably cached reply for [user], as [(seq, payload)]. *)
 
+val flush : t -> unit
+(** The group-commit point: write every stream's staged batch (one
+    channel flush + at most one fsync per dirty stream), roll segments
+    that outgrew [segment_bytes], then compact streams whose
+    sealed-segment count reached [compact_segments]. The simulated
+    server calls this at every round boundary and the network daemon
+    at the end of every tick round — under [Per_round] durability this
+    is the only flush point. A no-op when nothing is staged. *)
+
+val compact : t -> unit
+(** Flush, then force-compact every stream that has sealed segments,
+    regardless of the [compact_segments] threshold. *)
+
 val checkpoint : t -> db:Shard_db.t -> unit
-(** Force a checkpoint of [db] plus the current bookkeeping mirror. *)
+(** Force a checkpoint of [db] plus the current bookkeeping mirror.
+    Incremental: only shards dirtied since the previous checkpoint are
+    re-snapshotted; clean shards carry their base snapshot into the
+    new generation via its bases file. *)
 
 val recover : t -> (recovered, string) result
-(** Honest crash recovery: latest snapshot generation + WAL tail, in
-    LSN order. The store keeps logging to the same generation
-    afterwards. *)
+(** Honest crash recovery: staged-but-unflushed records are discarded
+    (a crash would have lost them), then the current generation is
+    replayed — per-stream bases + live segments merged in LSN order.
+    The store keeps logging to the same generation afterwards. *)
 
 val recover_reload : t -> (recovered, string) result
 (** {!recover}, but re-read the MANIFEST from disk first (repairing a
@@ -160,12 +231,74 @@ val debug_tear_manifest : dir:string -> wreck_backup:bool -> unit
     length). With [wreck_backup], truncate MANIFEST.bak too, making the
     damage unrepairable. *)
 
+val debug_partial_checkpoint : t -> db:Shard_db.t -> unit
+(** Test/adversary hook: die mid-checkpoint — flush, write one
+    complete next-generation shard snapshot and one half-written .tmp,
+    and stop before bases/CURRENT publish the new generation. A
+    subsequent {!recover} must land on the old generation and ignore
+    the leftovers (the [checkpoint-crash] adversary). *)
+
+val debug_partial_compact : t -> publish:bool -> unit
+(** Test/adversary hook: die mid-compaction. [~publish:false] crashes
+    after writing the compaction snapshot but before the bases
+    rewrite (an orphan); [~publish:true] crashes after the atomic
+    publish but before deleting the folded segments (stale segments
+    below the new first live segment). Either way a subsequent
+    {!recover} must reach the same state a clean run would (the
+    [compact-crash] adversaries). When no stream has sealed segments,
+    only a half-written .tmp is left behind. *)
+
 val recover_stale : t -> (recovered, string) result
-(** Adversarial recovery: load the {e previous} generation's snapshot
+(** Adversarial recovery: load the {e previous} generation's bases
     (generation 0's initial state when no checkpoint has happened yet),
-    discard every WAL record after it, and rewind the store's own
+    discard every log record after them, and rewind the store's own
     logging state to match — the [rollback-crash] adversary. The
     resulting counter/root regression is exactly what Protocols
     I–III must flag. *)
 
+(** {2 Read-only inspection} — the [tcvs_cli store-inspect] backend. *)
+
+type segment_info = {
+  seg_file : string;
+  seg_index : int;
+  seg_bytes : int;
+  seg_records : int;  (** data records, excluding the header *)
+  seg_lsn_lo : int;  (** -1 when the segment holds no data records *)
+  seg_lsn_hi : int;
+  seg_sealed : bool;  (** a later segment exists *)
+  seg_status : string;  (** ["ok"] | ["torn tail"] | error text *)
+}
+
+type stream_info = {
+  str_name : string;
+  str_base_file : string;
+  str_base_asof : int;
+  str_base_ok : bool;  (** base snapshot reads back valid *)
+  str_compacted : bool;  (** first live segment > 0 *)
+  str_first_seg : int;
+  str_segments : segment_info list;
+}
+
+type info = {
+  info_dir : string;
+  info_shards : int;
+  info_branching : int;
+  info_generation : int;
+  info_manifest : string;
+  info_next_lsn : int;  (** 1 + highest LSN seen across bases and segments *)
+  info_streams : stream_info list;
+  info_live_segments : int;
+  info_orphans : string list;
+      (** files belonging to neither the live nor the retained previous
+          generation: crash leftovers, stale folded segments *)
+}
+
+val inspect : dir:string -> (info, string) result
+(** Dump a store directory without mutating it: manifest state,
+    generation, per-stream bases and live segments (record counts, LSN
+    ranges, checksum status), and orphaned files. Reads manifests
+    without repairing and segments with [Wal.read ~repair:false]. *)
+
 val close : t -> unit
+(** Flush staged records (graceful shutdown, all durability modes) and
+    close every writer. *)

@@ -4,17 +4,34 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 let obs_scope = Obs.Scope.v "store.wal"
 let c_appends = Obs.counter ~scope:obs_scope "appends"
-let c_fsyncs = Obs.counter ~scope:obs_scope "fsyncs"
+let c_fsyncs = Obs.counter ~scope:obs_scope ~volatile:true "fsyncs"
+let c_flushes = Obs.counter ~scope:obs_scope ~volatile:true "flushes"
 let c_torn_truncations = Obs.counter ~scope:obs_scope "torn_truncations"
 let h_append_us = Obs.histogram ~scope:obs_scope ~volatile:true "append_us"
 let h_fsync_us = Obs.histogram ~scope:obs_scope ~volatile:true "fsync_us"
 
 let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
 
-type writer = { path : string; oc : out_channel }
+(* A writer stages encoded frames in [buf]; nothing reaches the OS
+   until {!flush}. [written] tracks bytes already on disk so the store
+   can make segment-roll decisions without stat(2) calls. *)
+type writer = {
+  path : string;
+  oc : out_channel;
+  buf : Buffer.t;
+  mutable staged : int; (* records staged and not yet flushed *)
+  mutable written : int; (* bytes flushed to the file so far *)
+}
 
 let open_writer path =
-  { path; oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path }
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  {
+    path;
+    oc;
+    buf = Buffer.create 4096;
+    staged = 0;
+    written = (Unix.stat path).Unix.st_size;
+  }
 
 let checksum ~lsn_bytes ~payload =
   String.sub (Crypto.Sha256.digest (lsn_bytes ^ payload)) 0 4
@@ -24,7 +41,11 @@ let u64_bytes v =
   Wire.W.u64 w v;
   Wire.W.contents w
 
-let append ?(fsync = false) w ~lsn ~payload =
+(* [count:false] is for segment-header records: they are framing, not
+   data, and their number depends on the flush cadence — counting them
+   would let the durability mode leak into the deterministic
+   [store.wal.appends] counter. *)
+let stage ?(count = true) w ~lsn ~payload =
   let t0 = now_us () in
   let lsn_bytes = u64_bytes lsn in
   let frame = Wire.W.create () in
@@ -32,18 +53,54 @@ let append ?(fsync = false) w ~lsn ~payload =
   Wire.W.raw frame (checksum ~lsn_bytes ~payload);
   Wire.W.raw frame lsn_bytes;
   Wire.W.raw frame payload;
-  output_string w.oc (Wire.W.contents frame);
-  flush w.oc;
-  Obs.incr c_appends;
-  Obs.observe h_append_us (now_us () - t0);
-  if fsync then begin
-    let t1 = now_us () in
-    Unix.fsync (Unix.descr_of_out_channel w.oc);
-    Obs.incr c_fsyncs;
-    Obs.observe h_fsync_us (now_us () - t1)
+  Buffer.add_string w.buf (Wire.W.contents frame);
+  w.staged <- w.staged + 1;
+  if count then begin
+    Obs.incr c_appends;
+    Obs.observe h_append_us (now_us () - t0)
   end
 
-let close_writer w = close_out w.oc
+(* Write the staged batch with one channel flush (and at most one
+   fsync) — the group-commit primitive. Returns the number of records
+   the batch held, so the store can feed its batch-size histograms. *)
+let flush ?(fsync = false) w =
+  let records = w.staged in
+  if records > 0 then begin
+    let bytes = Buffer.length w.buf in
+    output_string w.oc (Buffer.contents w.buf);
+    Buffer.clear w.buf;
+    w.staged <- 0;
+    w.written <- w.written + bytes;
+    flush w.oc;
+    Obs.incr c_flushes;
+    (* One fsync covers the whole batch; an empty batch needs none —
+       the previous flush under the same cadence already synced. *)
+    if fsync then begin
+      let t1 = now_us () in
+      Unix.fsync (Unix.descr_of_out_channel w.oc);
+      Obs.incr c_fsyncs;
+      Obs.observe h_fsync_us (now_us () - t1)
+    end
+  end;
+  records
+
+(* Drop staged records without writing them — how a simulated crash
+   models the process dying between stage and flush. *)
+let discard w =
+  Buffer.clear w.buf;
+  w.staged <- 0
+
+let staged_records w = w.staged
+let staged_bytes w = Buffer.length w.buf
+let size w = w.written + Buffer.length w.buf
+
+let append ?(fsync = false) w ~lsn ~payload =
+  stage w ~lsn ~payload;
+  ignore (flush ~fsync w)
+
+let close_writer w =
+  ignore (flush w);
+  close_out w.oc
 
 type read_result = { records : (int * string) list; truncated : bool }
 
@@ -54,15 +111,17 @@ let read_file path =
   close_in ic;
   bytes
 
-let truncate_to path len =
-  Obs.incr c_torn_truncations;
-  Log.warn (fun m -> m "%s: torn tail truncated at byte %d" path len);
-  Unix.truncate path len
+let truncate_to ~repair path len =
+  if repair then begin
+    Obs.incr c_torn_truncations;
+    Log.warn (fun m -> m "%s: torn tail truncated at byte %d" path len);
+    Unix.truncate path len
+  end
 
 (* Frame layout: u32 len | 4B checksum | u64 lsn | payload. *)
 let header_len = 4 + 4 + 8
 
-let read path =
+let read ?(repair = true) path =
   if not (Sys.file_exists path) then Ok { records = []; truncated = false }
   else begin
     let bytes = read_file path in
@@ -71,7 +130,7 @@ let read path =
     let rec go off =
       if off = total then Ok { records = List.rev !records; truncated = false }
       else if off + header_len > total then begin
-        truncate_to path off;
+        truncate_to ~repair path off;
         Ok { records = List.rev !records; truncated = true }
       end
       else begin
@@ -83,7 +142,7 @@ let read path =
         in
         let frame_end = off + header_len + len in
         if frame_end > total then begin
-          truncate_to path off;
+          truncate_to ~repair path off;
           Ok { records = List.rev !records; truncated = true }
         end
         else begin
@@ -94,7 +153,7 @@ let read path =
             if frame_end = total then begin
               (* Checksum failure on the very last record: a torn
                  append, not silent corruption. *)
-              truncate_to path off;
+              truncate_to ~repair path off;
               Ok { records = List.rev !records; truncated = true }
             end
             else

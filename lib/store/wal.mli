@@ -1,4 +1,5 @@
-(** Framed, checksummed write-ahead log files.
+(** Framed, checksummed write-ahead log files with group-commit
+    staging.
 
     On-disk record frame (all integers big-endian, via [Wire]):
 
@@ -6,9 +7,17 @@
 
     where the checksum is the first 4 bytes of [SHA-256(lsn || payload)].
     The payload is opaque at this layer; {!Store} owns the payload
-    codecs. LSNs are assigned by the caller and must be monotonically
-    increasing per run so multi-file logs (one per shard plus a meta
-    log) can be merged into a single replay order.
+    codecs (including the segment-header records that turn a sequence
+    of these files into a rotated log). LSNs are assigned by the caller
+    and must be monotonically increasing per run so multi-file logs
+    (one per shard plus a meta log) can be merged into a single replay
+    order.
+
+    A writer is a staging buffer over an append-only channel: {!stage}
+    encodes a frame in memory, {!flush} writes the whole staged batch
+    with one channel flush and at most one fsync — the group-commit
+    primitive ({!Store}'s durability modes decide the cadence).
+    {!append} is stage+flush in one call, the per-op durability path.
 
     Failure policy on read:
     - a {e torn tail} — a final record whose frame runs past the end of
@@ -25,23 +34,51 @@ type writer
 val open_writer : string -> writer
 (** Open (creating if absent) for append. *)
 
+val stage : ?count:bool -> writer -> lsn:int -> payload:string -> unit
+(** Encode one record into the staging buffer; nothing reaches the OS
+    until {!flush}. Records the [store.wal.appends] counter and the
+    volatile [store.wal.append_us] histogram unless [~count:false]
+    (used for segment-header records, whose number depends on the
+    flush cadence and must not perturb the deterministic counter). *)
+
+val flush : ?fsync:bool -> writer -> int
+(** Write the staged batch (one [output_string] + channel flush), then
+    fsync when [fsync] — one fsync per batch, however many records it
+    held. Returns the number of records flushed; an empty batch is a
+    no-op (the previous flush under the same cadence already synced).
+    Records the volatile [store.wal.flushes]/[store.wal.fsyncs]
+    counters and [store.wal.fsync_us] histogram. *)
+
+val discard : writer -> unit
+(** Drop staged records without writing them — how a simulated crash
+    models a process dying between stage and flush. *)
+
+val staged_records : writer -> int
+val staged_bytes : writer -> int
+
+val size : writer -> int
+(** Bytes the file will hold once staged data is flushed — what the
+    store's segment-roll decision reads. *)
+
 val append : ?fsync:bool -> writer -> lsn:int -> payload:string -> unit
-(** Append one record; flushes the channel, and additionally fsyncs the
-    file when [fsync] (default [false] — the simulator and tests favour
-    speed; the benchmark measures both). Records
-    [store.wal.appends] / [store.wal.fsyncs] counters and volatile
-    wall-clock histograms [store.wal.append_us] / [store.wal.fsync_us]. *)
+(** [stage] + [flush] in one call: the per-op durability path, and
+    byte-for-byte what pre-group-commit writers did ([fsync] defaults
+    to [false] — the simulator and tests favour speed; the benchmark
+    measures both). *)
 
 val close_writer : writer -> unit
+(** Flush staged records (no fsync), then close. *)
 
 type read_result = { records : (int * string) list; truncated : bool }
 (** [(lsn, payload)] in file order; [truncated] when a torn tail was
-    dropped (the file has been truncated to the last valid record). *)
+    found (and, under [repair], dropped in place). *)
 
-val read : string -> (read_result, string) result
+val read : ?repair:bool -> string -> (read_result, string) result
 (** Read every record of the file ([Ok { records = []; _ }] when the
     file does not exist — an empty log). [Error] on mid-log
-    corruption. *)
+    corruption. With [repair] (the default) a torn tail is truncated
+    in place; [~repair:false] only reports it, leaving the file
+    untouched — the read-only mode [store-inspect] uses. *)
 
 val reset : string -> unit
 (** Truncate the file to empty (creating it if absent) — used when a

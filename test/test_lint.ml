@@ -113,6 +113,23 @@ let test_net_io_sanctioned_dirs () =
   check_clean ~file:"lib/store/fixture.ml" "let f path = Unix.openfile path [] 0o644";
   check_clean ~file:"bin/fixture.ml" "let t () = Unix.gettimeofday ()"
 
+(* ---- fsync-confinement ------------------------------------------------- *)
+
+let test_fsync_confinement_flags () =
+  (* lib/net and lib/obs may use Unix freely (net-io sanctions them) but
+     still must not place their own durability barriers. *)
+  check_flags ~file:"lib/net/fixture.ml" ~rule:"fsync-confinement"
+    "let f fd = Unix.fsync fd";
+  check_flags ~file:"lib/obs/fixture.ml" ~rule:"fsync-confinement"
+    "let f fd = Unix.fdatasync fd";
+  check_flags ~file:"lib/core/fixture.ml" ~rule:"fsync-confinement"
+    "let f fd = Unix.fsync fd"
+
+let test_fsync_confinement_store_ok () =
+  check_clean ~file:"lib/store/fixture.ml" "let f fd = Unix.fsync fd";
+  (* Other Unix calls in the sanctioned dirs stay legal. *)
+  check_clean ~file:"lib/net/fixture.ml" "let f fd = Unix.close fd"
+
 (* ---- allow attributes -------------------------------------------------- *)
 
 let test_allow_attribute_on_expression () =
@@ -215,6 +232,9 @@ let suite =
       test_no_catchall_allows_specific;
     Alcotest.test_case "net-io: flags" `Quick test_net_io_flags;
     Alcotest.test_case "net-io: sanctioned dirs" `Quick test_net_io_sanctioned_dirs;
+    Alcotest.test_case "fsync-confinement: flags" `Quick test_fsync_confinement_flags;
+    Alcotest.test_case "fsync-confinement: lib/store ok" `Quick
+      test_fsync_confinement_store_ok;
     Alcotest.test_case "allow attr: expression" `Quick test_allow_attribute_on_expression;
     Alcotest.test_case "allow attr: binding" `Quick test_allow_attribute_on_binding;
     Alcotest.test_case "allow attr: floating" `Quick test_allow_attribute_floating;

@@ -281,7 +281,7 @@ let test_store_recovery_torn_tail () =
   Store.close store;
   (* A crash mid-append leaves a partial frame on some shard's log;
      recovery (via reopen) must shrug it off. *)
-  let target = Filename.concat dir "shard0.0.wal" in
+  let target = Filename.concat dir "shard0.0.0.wal" in
   let oc = open_out_gen [ Open_append; Open_binary ] 0o644 target in
   output_string oc "\x00\x00\x01";
   close_out oc;
@@ -353,6 +353,290 @@ let test_store_reopen_rebaselines () =
     (Store.Shard_db.to_alist db)
     (Store.Shard_db.to_alist (Store.db store2));
   Store.close store2
+
+(* ---- group commit: durability modes ---------------------------------- *)
+
+(* Whatever the flush cadence, a flushed store recovers to the same
+   pinned bytes Per_op produces — group commit batches the I/O, never
+   the semantics. *)
+let test_store_durability_modes_equivalent () =
+  List.iter
+    (fun (durability, name) ->
+      let dir = fresh_dir ("durability-" ^ name) in
+      let initial = initial_files 20 in
+      let store =
+        expect_fresh
+          (Store.create_or_open ~durability ~dir ~branching:8 ~shards:4 ~initial ())
+      in
+      let db = apply_logged store (Store.db store) ops_script in
+      Store.flush store;
+      let r = expect_recovered (Store.recover store) in
+      Alcotest.(check string)
+        (name ^ ": recovered root is the pinned Per_op root")
+        pinned_final_root
+        (Crypto.Hex.encode (Store.Shard_db.root_digest r.Store.db));
+      Alcotest.(check string) (name ^ ": live root agrees")
+        (Crypto.Hex.encode (Store.Shard_db.root_digest db))
+        (Crypto.Hex.encode (Store.Shard_db.root_digest r.Store.db));
+      Alcotest.(check int) (name ^ ": counter recovered") (List.length ops_script)
+        r.Store.ctr;
+      Store.close store;
+      rm_rf dir)
+    [ (Store.Per_round, "per-round"); (Store.Every_n 3, "every-3") ]
+
+(* Under deferred durability a crash loses exactly the staged-but-
+   unflushed tail — never anything a completed flush covered. *)
+let test_store_staged_tail_lost_on_crash () =
+  let dir = fresh_dir "staged-loss" in
+  let initial = initial_files 20 in
+  let store =
+    expect_fresh
+      (Store.create_or_open ~durability:Store.Per_round ~dir ~branching:8 ~shards:4
+         ~initial ())
+  in
+  let half, rest =
+    (List.filteri (fun i _ -> i < 4) ops_script, List.filteri (fun i _ -> i >= 4) ops_script)
+  in
+  let db1 = apply_logged store (Store.db store) half in
+  Store.flush store;
+  (* Stage the rest without a round boundary: a crash now loses it. *)
+  let db2 =
+    List.fold_left
+      (fun (db, i) op ->
+        let db, _ = Store.Shard_db.apply db op in
+        Store.log_op store ~db ~op ~ctr:(i + 1) ~last_user:(i mod 3);
+        (db, i + 1))
+      (db1, List.length half) rest
+    |> fst
+  in
+  let r = expect_recovered (Store.recover store) in
+  Alcotest.(check string) "recovered to the last flush point"
+    (Crypto.Hex.encode (Store.Shard_db.root_digest db1))
+    (Crypto.Hex.encode (Store.Shard_db.root_digest r.Store.db));
+  Alcotest.(check int) "counter rewound to the flush point" (List.length half) r.Store.ctr;
+  Alcotest.(check bool) "the staged tail really was dropped" true
+    (not
+       (String.equal
+          (Store.Shard_db.root_digest r.Store.db)
+          (Store.Shard_db.root_digest db2)));
+  (* The store keeps logging cleanly from the recovered state. *)
+  let db', _ = Store.Shard_db.apply r.Store.db (Vo.Set ("post/loss.ml", "L1")) in
+  Store.log_op store ~db:db' ~op:(Vo.Set ("post/loss.ml", "L1"))
+    ~ctr:(r.Store.ctr + 1) ~last_user:0;
+  Store.flush store;
+  let r2 = expect_recovered (Store.recover store) in
+  Alcotest.(check string) "post-recovery writes durable"
+    (Crypto.Hex.encode (Store.Shard_db.root_digest db'))
+    (Crypto.Hex.encode (Store.Shard_db.root_digest r2.Store.db));
+  Store.close store;
+  rm_rf dir
+
+(* ---- segment rotation + compaction ----------------------------------- *)
+
+let bulk_ops n =
+  List.init n (fun i ->
+      Vo.Set
+        ( Printf.sprintf "bulk/key_%03d.ml" i,
+          String.make 80 (Char.chr (65 + (i mod 26))) ))
+
+let test_store_rotation_compaction_equivalence () =
+  let dir = fresh_dir "rotate" in
+  let initial = initial_files 20 in
+  let store =
+    expect_fresh
+      (Store.create_or_open ~segment_bytes:256 ~compact_segments:2
+         ~checkpoint_every:1000 ~dir ~branching:8 ~shards:2 ~initial ())
+  in
+  let db = apply_logged store (Store.db store) (bulk_ops 40) in
+  Store.flush store;
+  let r = expect_recovered (Store.recover store) in
+  Alcotest.(check string) "recovery across rolls + compaction is byte-identical"
+    (Crypto.Hex.encode (Store.Shard_db.root_digest db))
+    (Crypto.Hex.encode (Store.Shard_db.root_digest r.Store.db));
+  Alcotest.(check int) "counter intact" 40 r.Store.ctr;
+  Store.close store;
+  (match Store.inspect ~dir with
+  | Error e -> Alcotest.failf "inspect failed: %s" e
+  | Ok info ->
+      Alcotest.(check int) "no checkpoint happened" 0 info.Store.info_generation;
+      (* A first live segment past index 0 proves earlier segments both
+         existed (rotation) and were folded away (compaction). *)
+      Alcotest.(check bool) "rotation sealed and retired segments" true
+        (List.exists (fun s -> s.Store.str_first_seg > 0) info.Store.info_streams);
+      Alcotest.(check bool) "at least one stream was compacted" true
+        (List.exists (fun s -> s.Store.str_compacted) info.Store.info_streams);
+      List.iter
+        (fun (s : Store.stream_info) ->
+          Alcotest.(check bool) (s.Store.str_name ^ ": base reads back") true
+            s.Store.str_base_ok;
+          List.iter
+            (fun (g : Store.segment_info) ->
+              Alcotest.(check string) (g.Store.seg_file ^ ": clean") "ok"
+                g.Store.seg_status)
+            s.Store.str_segments)
+        info.Store.info_streams);
+  (* Cold reopen replays base + live segments only — same bytes. *)
+  let store2 =
+    expect_reopened
+      (Store.create_or_open ~segment_bytes:256 ~compact_segments:2 ~dir ~branching:8
+         ~shards:2 ~initial ())
+  in
+  Alcotest.(check string) "cold reopen agrees"
+    (Crypto.Hex.encode (Store.Shard_db.root_digest db))
+    (Crypto.Hex.encode (Store.Shard_db.root_digest (Store.db store2)));
+  Store.close store2;
+  rm_rf dir
+
+(* ---- crash windows: mid-checkpoint, mid-compaction ------------------- *)
+
+let test_store_partial_checkpoint_ignored () =
+  let dir = fresh_dir "partial-ckpt" in
+  let initial = initial_files 20 in
+  let store =
+    expect_fresh
+      (Store.create_or_open ~checkpoint_every:1000 ~dir ~branching:8 ~shards:4
+         ~initial ())
+  in
+  let db = apply_logged store (Store.db store) ops_script in
+  Store.debug_partial_checkpoint store ~db;
+  let r = expect_recovered (Store.recover store) in
+  Alcotest.(check string) "recovery lands on the old generation, bytes intact"
+    pinned_final_root
+    (Crypto.Hex.encode (Store.Shard_db.root_digest r.Store.db));
+  Alcotest.(check int) "counter intact" (List.length ops_script) r.Store.ctr;
+  Store.close store;
+  (* The unpublished next-generation files are visible as orphans. *)
+  (match Store.inspect ~dir with
+  | Error e -> Alcotest.failf "inspect failed: %s" e
+  | Ok info ->
+      Alcotest.(check int) "generation unchanged" 0 info.Store.info_generation;
+      Alcotest.(check bool) "checkpoint leftovers are orphans" true
+        (info.Store.info_orphans <> []));
+  (* A cold reopen must shrug the leftovers off too. *)
+  let store2 =
+    expect_reopened (Store.create_or_open ~dir ~branching:8 ~shards:4 ~initial ())
+  in
+  Alcotest.(check string) "cold reopen ignores the leftovers"
+    pinned_final_root
+    (Crypto.Hex.encode (Store.Shard_db.root_digest (Store.db store2)));
+  Store.close store2;
+  rm_rf dir
+
+let test_store_partial_compact_recovers () =
+  List.iter
+    (fun publish ->
+      let label = if publish then "published" else "unpublished" in
+      let dir = fresh_dir ("partial-compact-" ^ label) in
+      let initial = initial_files 20 in
+      (* Roll often but never auto-compact, so sealed segments are
+         guaranteed to exist when the crash strikes. *)
+      let store =
+        expect_fresh
+          (Store.create_or_open ~segment_bytes:256 ~compact_segments:100
+             ~checkpoint_every:1000 ~dir ~branching:8 ~shards:2 ~initial ())
+      in
+      let db = apply_logged store (Store.db store) (bulk_ops 40) in
+      Store.debug_partial_compact store ~publish;
+      let r = expect_recovered (Store.recover store) in
+      Alcotest.(check string) (label ^ ": recovery byte-identical")
+        (Crypto.Hex.encode (Store.Shard_db.root_digest db))
+        (Crypto.Hex.encode (Store.Shard_db.root_digest r.Store.db));
+      Alcotest.(check int) (label ^ ": counter intact") 40 r.Store.ctr;
+      (* The store stays serviceable: log, flush, recover again. *)
+      let db', _ = Store.Shard_db.apply r.Store.db (Vo.Set ("post/compact.ml", "P1")) in
+      Store.log_op store ~db:db' ~op:(Vo.Set ("post/compact.ml", "P1")) ~ctr:41
+        ~last_user:0;
+      Store.flush store;
+      let r2 = expect_recovered (Store.recover store) in
+      Alcotest.(check string) (label ^ ": post-recovery writes durable")
+        (Crypto.Hex.encode (Store.Shard_db.root_digest db'))
+        (Crypto.Hex.encode (Store.Shard_db.root_digest r2.Store.db));
+      Store.close store;
+      rm_rf dir)
+    [ false; true ]
+
+(* ---- incremental checkpoints ----------------------------------------- *)
+
+let test_store_incremental_checkpoint () =
+  let dir = fresh_dir "incr-ckpt" in
+  let initial = initial_files 20 in
+  let store =
+    expect_fresh
+      (Store.create_or_open ~checkpoint_every:1000 ~dir ~branching:8 ~shards:4
+         ~initial ())
+  in
+  let db = apply_logged store (Store.db store) ops_script in
+  Store.checkpoint store ~db;
+  let g1 = Store.generation store in
+  (* Dirty exactly one shard, then checkpoint again. *)
+  let key = "src/file_03.ml" in
+  let dirty_shard = Store.Shard_map.route (Store.shard_map store) key in
+  let db2, _ = Store.Shard_db.apply db (Vo.Set (key, "INCR")) in
+  Store.log_op store ~db:db2 ~op:(Vo.Set (key, "INCR"))
+    ~ctr:(List.length ops_script + 1) ~last_user:0;
+  Store.checkpoint store ~db:db2;
+  let g2 = Store.generation store in
+  Alcotest.(check int) "checkpoint advanced the generation" (g1 + 1) g2;
+  (* Only the dirtied shard got a fresh snapshot file; clean shards
+     carry their base forward through the bases file. *)
+  for i = 0 to 3 do
+    let fresh_snap = Filename.concat dir (Printf.sprintf "shard%d.%d.snap" i g2) in
+    Alcotest.(check bool)
+      (Printf.sprintf "shard%d %s a generation-%d snapshot" i
+         (if i = dirty_shard then "has" else "does not have")
+         g2)
+      (i = dirty_shard)
+      (Sys.file_exists fresh_snap)
+  done;
+  Alcotest.(check bool) "meta is always re-snapshotted" true
+    (Sys.file_exists (Filename.concat dir (Printf.sprintf "meta.%d.snap" g2)));
+  let r = expect_recovered (Store.recover store) in
+  Alcotest.(check string) "recovery from the mixed-generation bases"
+    (Crypto.Hex.encode (Store.Shard_db.root_digest db2))
+    (Crypto.Hex.encode (Store.Shard_db.root_digest r.Store.db));
+  Alcotest.(check int) "counter intact" (List.length ops_script + 1) r.Store.ctr;
+  Store.close store;
+  (* Cold restart reads the same mixed bases. *)
+  let store2 =
+    expect_reopened (Store.create_or_open ~dir ~branching:8 ~shards:4 ~initial ())
+  in
+  Alcotest.(check string) "cold reopen agrees"
+    (Crypto.Hex.encode (Store.Shard_db.root_digest db2))
+    (Crypto.Hex.encode (Store.Shard_db.root_digest (Store.db store2)));
+  Store.close store2;
+  rm_rf dir
+
+(* ---- store-inspect ---------------------------------------------------- *)
+
+let test_store_inspect_layout () =
+  let dir = fresh_dir "inspect" in
+  let initial = initial_files 20 in
+  let store =
+    expect_fresh (Store.create_or_open ~dir ~branching:8 ~shards:2 ~initial ())
+  in
+  ignore (apply_logged store (Store.db store) ops_script);
+  Store.close store;
+  match Store.inspect ~dir with
+  | Error e -> Alcotest.failf "inspect failed: %s" e
+  | Ok info ->
+      Alcotest.(check int) "shards" 2 info.Store.info_shards;
+      Alcotest.(check int) "branching" 8 info.Store.info_branching;
+      Alcotest.(check int) "generation" 0 info.Store.info_generation;
+      Alcotest.(check string) "manifest" "ok" info.Store.info_manifest;
+      Alcotest.(check int) "streams = shards + meta" 3
+        (List.length info.Store.info_streams);
+      Alcotest.(check (list string)) "no orphans" [] info.Store.info_orphans;
+      List.iter
+        (fun (s : Store.stream_info) ->
+          Alcotest.(check bool) (s.Store.str_name ^ ": base ok") true s.Store.str_base_ok;
+          Alcotest.(check bool) (s.Store.str_name ^ ": not compacted") false
+            s.Store.str_compacted;
+          List.iter
+            (fun (g : Store.segment_info) ->
+              Alcotest.(check string) (g.Store.seg_file ^ ": ok") "ok" g.Store.seg_status)
+            s.Store.str_segments)
+        info.Store.info_streams;
+      rm_rf dir
 
 (* ---- torn MANIFEST --------------------------------------------------- *)
 
@@ -525,13 +809,17 @@ let protocols k =
     Harness.Protocol_3 { epoch_len = 120 };
   ]
 
-let run_with_store ?shards ~dir protocol adversary events =
+let run_with_store ?shards ?(durability = Store.Per_op) ?segment_bytes
+    ?compact_segments ~dir protocol adversary events =
   rm_rf dir;
   let setup =
     {
       (Harness.default_setup ~protocol ~users:4 ~adversary) with
       Harness.store_dir = Some dir;
       shards;
+      store_durability = durability;
+      store_segment_bytes = segment_bytes;
+      store_compact_segments = compact_segments;
     }
   in
   Harness.run setup ~events
@@ -620,6 +908,62 @@ let test_harness_torn_manifest_wreck_halts () =
       rm_rf dir)
     (protocols 8)
 
+(* ---- harness: crashes inside checkpoint / compaction windows ---------- *)
+
+let test_harness_checkpoint_crash_transparent () =
+  let events = workload "ckpt-crash" in
+  List.iter
+    (fun protocol ->
+      let dir = fresh_dir "harness-ckpt-crash" in
+      let o =
+        run_with_store ~shards:4 ~dir protocol
+          (Adversary.Checkpoint_crash { at_round = 40 })
+          events
+      in
+      Alcotest.(check int)
+        (Harness.protocol_name protocol ^ ": no alarms")
+        0 (List.length o.Harness.alarms);
+      Alcotest.(check bool) "oracle consistent" false o.Harness.oracle.Sim.Oracle.deviated;
+      Alcotest.(check int) "no transaction lost to the crash" o.Harness.issued_transactions
+        o.Harness.completed_transactions;
+      (match Harness.classify o with
+      | `Clean -> ()
+      | _ -> Alcotest.fail "mid-checkpoint crash must classify clean");
+      rm_rf dir)
+    (protocols 8)
+
+let test_harness_compact_crash_transparent () =
+  List.iter
+    (fun published ->
+      let events =
+        workload (if published then "compact-crash-late" else "compact-crash")
+      in
+      List.iter
+        (fun protocol ->
+          let dir = fresh_dir "harness-compact-crash" in
+          (* Small segments + a high compaction threshold keep sealed
+             segments around, so the crash lands in a real compaction
+             window, not an empty one. *)
+          let o =
+            run_with_store ~shards:4 ~segment_bytes:256 ~compact_segments:4 ~dir
+              protocol
+              (Adversary.Compact_crash { at_round = 40; published })
+              events
+          in
+          Alcotest.(check int)
+            (Harness.protocol_name protocol ^ ": no alarms")
+            0 (List.length o.Harness.alarms);
+          Alcotest.(check bool) "oracle consistent" false
+            o.Harness.oracle.Sim.Oracle.deviated;
+          Alcotest.(check int) "no transaction lost to the crash"
+            o.Harness.issued_transactions o.Harness.completed_transactions;
+          (match Harness.classify o with
+          | `Clean -> ()
+          | _ -> Alcotest.fail "mid-compaction crash must classify clean");
+          rm_rf dir)
+        (protocols 8))
+    [ false; true ]
+
 (* ---- harness: storeless crash adversaries are refused ----------------- *)
 
 let test_harness_storeless_crash_refused () =
@@ -655,6 +999,8 @@ let test_harness_storeless_crash_refused () =
       Adversary.Crash { at_round = 10 };
       Adversary.Rollback_crash { at_round = 10 };
       Adversary.Torn_manifest { at_round = 10; wreck = true };
+      Adversary.Checkpoint_crash { at_round = 10 };
+      Adversary.Compact_crash { at_round = 10; published = false };
     ]
 
 (* ---- harness: shard-count invariance --------------------------------- *)
@@ -712,6 +1058,33 @@ let test_store_reports_deterministic () =
   rm_rf dir1;
   rm_rf dir2
 
+(* Group commit batches fsyncs, not observable behaviour: the same
+   seeded run must emit byte-identical reports whatever the durability
+   mode (segment-header records are excluded from [store.wal.appends]
+   precisely to keep this true). *)
+let test_reports_deterministic_across_durability () =
+  let events = workload "durability-determinism" in
+  let p2 = Harness.Protocol_2 { k = 8; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user } in
+  let reports =
+    List.map
+      (fun (durability, name) ->
+        let dir = fresh_dir ("det-dur-" ^ name) in
+        let _o = run_with_store ~shards:4 ~durability ~dir p2 Adversary.Honest events in
+        let report = Obs.Report.to_json () in
+        rm_rf dir;
+        (name, report))
+      [ (Store.Per_op, "per-op"); (Store.Per_round, "per-round"); (Store.Every_n 16, "every-16") ]
+  in
+  match reports with
+  | (_, baseline) :: rest ->
+      List.iter
+        (fun (name, report) ->
+          Alcotest.(check string)
+            (name ^ ": report byte-identical to per-op")
+            baseline report)
+        rest
+  | [] -> Alcotest.fail "no durability modes ran"
+
 let suite =
   [
     Alcotest.test_case "wal: empty log" `Quick test_wal_empty;
@@ -734,6 +1107,19 @@ let suite =
       test_store_torn_manifest_wrecked_fatal;
     Alcotest.test_case "store: resume preserves bookkeeping" `Quick
       test_store_resume_preserves_bookkeeping;
+    Alcotest.test_case "store: durability modes equivalent" `Quick
+      test_store_durability_modes_equivalent;
+    Alcotest.test_case "store: staged tail lost on crash" `Quick
+      test_store_staged_tail_lost_on_crash;
+    Alcotest.test_case "store: rotation + compaction equivalence" `Quick
+      test_store_rotation_compaction_equivalence;
+    Alcotest.test_case "store: partial checkpoint ignored" `Quick
+      test_store_partial_checkpoint_ignored;
+    Alcotest.test_case "store: partial compaction recovers" `Quick
+      test_store_partial_compact_recovers;
+    Alcotest.test_case "store: incremental checkpoint" `Quick
+      test_store_incremental_checkpoint;
+    Alcotest.test_case "store: inspect reports layout" `Quick test_store_inspect_layout;
     Alcotest.test_case "server: crash clears history" `Quick test_server_crash_clears_history;
     Alcotest.test_case "harness: crash is transparent" `Slow test_harness_crash_transparent;
     Alcotest.test_case "harness: torn MANIFEST transparent" `Slow
@@ -746,6 +1132,12 @@ let suite =
       test_harness_rollback_crash_detected;
     Alcotest.test_case "harness: shard-count invariance" `Slow test_shard_count_invariance;
     Alcotest.test_case "harness: per-shard scopes" `Slow test_per_shard_scopes_in_report;
+    Alcotest.test_case "harness: checkpoint-crash transparent" `Slow
+      test_harness_checkpoint_crash_transparent;
+    Alcotest.test_case "harness: compact-crash transparent" `Slow
+      test_harness_compact_crash_transparent;
     Alcotest.test_case "harness: store reports deterministic" `Slow
       test_store_reports_deterministic;
+    Alcotest.test_case "harness: reports deterministic across durability" `Slow
+      test_reports_deterministic_across_durability;
   ]

@@ -391,4 +391,43 @@ let net_io =
           | _ -> ());
   }
 
-let all = [ digest_safety; determinism; logging; no_catchall; store_io; net_io ]
+(* ---- fsync-confinement ----------------------------------------------- *)
+
+let fsync_confinement_id = "fsync-confinement"
+
+(* Durability barriers are the group-commit scheduler's to place: one
+   fsync per dirty stream per flush, sequenced against segment rolls,
+   compaction publishes and checkpoint renames. An fsync anywhere else
+   — including lib/net and lib/obs, which net-io sanctions for other
+   Unix calls — either lies about durability (syncing a fd the store
+   still has staged records for) or silently doubles the write-path
+   cost the BENCH_store numbers pin. *)
+let fsync_confinement_scope =
+  net_io_scope @ [ "lib/net"; "lib/obs" ]
+
+let fsync_idents = [ "Unix.fsync"; "Unix.fdatasync" ]
+
+let fsync_confinement =
+  {
+    Lint_engine.id = fsync_confinement_id;
+    summary =
+      "Unix.fsync/fdatasync only inside lib/store: durability barriers belong to the \
+       store's group-commit flush, nowhere else";
+    default_scope = fsync_confinement_scope;
+    on_case = None;
+    on_expr =
+      Some
+        (fun ctx e ->
+          match e.pexp_desc with
+          | Pexp_ident { txt; _ }
+            when List.exists (String.equal (lid_string txt)) fsync_idents ->
+              Lint_engine.report ctx fsync_confinement_id e.pexp_loc
+                (Printf.sprintf
+                   "%s outside lib/store; durability barriers go through Store.flush \
+                    (group commit), never ad-hoc syncs"
+                   (lid_string txt))
+          | _ -> ());
+  }
+
+let all =
+  [ digest_safety; determinism; logging; no_catchall; store_io; net_io; fsync_confinement ]
