@@ -1156,6 +1156,130 @@ let perf_store () =
   row "\nwrote %s\n" path
 
 (* ======================================================================= *)
+(* perf-obs: telemetry hot-path baseline (writes BENCH_obs.json)           *)
+(* ======================================================================= *)
+
+(* The domain-safe registry rework moved every metric bump from a plain
+   mutable field to a per-domain cell array reached through
+   domain-local storage. These numbers pin what that indirection costs
+   on the paths protocol code hits per message (counter bump, histogram
+   observe) against the pre-rework representation — an inline mutable
+   record, measured here as the "plain" baseline — plus the per-op
+   costs the telemetry plane added on top: trace emission on and off,
+   get-or-create registry lookups, and a journal span event (one
+   formatted line plus an eagerly flushed write). *)
+
+type plain_counter = { mutable pc_count : int }
+
+type plain_hist = {
+  mutable ph_count : int;
+  mutable ph_sum : int;
+  mutable ph_min : int;
+  mutable ph_max : int;
+  ph_buckets : int array;
+}
+
+let perf_obs () =
+  header "perf-obs: telemetry hot paths ns/op (tracked baseline, BENCH_obs.json)";
+  let smoke = !smoke_mode in
+  let quota = if smoke then 0.02 else 0.25 in
+  let scope = Obs.Scope.v "bench.obs" in
+  let c = Obs.counter ~scope "bump" in
+  let h = Obs.histogram ~scope "observe" in
+  let m name f = measure_ns ~quota name f in
+  let incr_ns = m "counter-incr" (fun () -> Obs.incr c) in
+  let pc = { pc_count = 0 } in
+  let plain_incr_ns =
+    m "plain-incr" (fun () -> pc.pc_count <- pc.pc_count + 1)
+  in
+  let observe_ns =
+    let v = ref 0 in
+    m "histogram-observe" (fun () ->
+        v := (!v + 257) land 0xffff;
+        Obs.observe h !v)
+  in
+  let plain_observe_ns =
+    let ph =
+      { ph_count = 0; ph_sum = 0; ph_min = max_int; ph_max = min_int;
+        ph_buckets = Array.make 63 0 }
+    in
+    let v = ref 0 in
+    m "plain-observe" (fun () ->
+        v := (!v + 257) land 0xffff;
+        let x = !v in
+        ph.ph_count <- ph.ph_count + 1;
+        ph.ph_sum <- ph.ph_sum + x;
+        if x < ph.ph_min then ph.ph_min <- x;
+        if x > ph.ph_max then ph.ph_max <- x;
+        let rec bits acc n = if n = 0 then acc else bits (acc + 1) (n lsr 1) in
+        let i = if x <= 0 then 0 else min 62 (bits 0 x) in
+        ph.ph_buckets.(i) <- ph.ph_buckets.(i) + 1)
+  in
+  let lookup_ns =
+    m "get-or-create" (fun () -> ignore (Obs.counter ~scope "bump"))
+  in
+  Obs.set_tracing false;
+  let trace_off_ns =
+    m "trace-emit-off" (fun () -> Obs.Trace.emit ~scope ~at:1 ~name:"e" "x")
+  in
+  Obs.set_tracing true;
+  let trace_on_ns =
+    m "trace-emit-on" (fun () -> Obs.Trace.emit ~scope ~dur:2 ~at:1 ~name:"e" "x")
+  in
+  Obs.set_tracing false;
+  let journal_ns =
+    let path = Filename.temp_file "tcvs-bench-obs" ".jsonl" in
+    let j = Obs.Journal.open_ ~proc:"bench" path in
+    let ns =
+      m "journal-event" (fun () ->
+          Obs.Journal.event j ~user:0 ~span:1 ~round:7 ~ev:"client.send" "request")
+    in
+    Obs.Journal.close j;
+    Sys.remove path;
+    ns
+  in
+  Obs.reset ();
+  row "counter-incr      %s   (plain mutable %s, %4.1fx)\n" (pp_ns incr_ns)
+    (pp_ns plain_incr_ns) (incr_ns /. plain_incr_ns);
+  row "histogram-observe %s   (plain mutable %s, %4.1fx)\n" (pp_ns observe_ns)
+    (pp_ns plain_observe_ns) (observe_ns /. plain_observe_ns);
+  row "get-or-create     %s\n" (pp_ns lookup_ns);
+  row "trace-emit        %s off  %s on\n" (pp_ns trace_off_ns) (pp_ns trace_on_ns);
+  row "journal-event     %s   (formatted line + eager write)\n" (pp_ns journal_ns);
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "{\n  \"experiment\": \"perf-obs\",\n";
+  Printf.bprintf buf "  \"quota_s\": %g,\n  \"smoke\": %b,\n" quota smoke;
+  Printf.bprintf buf "  \"ns_per_op\": {\n";
+  let fields =
+    [
+      ("counter_incr", incr_ns);
+      ("plain_mutable_incr", plain_incr_ns);
+      ("histogram_observe", observe_ns);
+      ("plain_mutable_observe", plain_observe_ns);
+      ("counter_get_or_create", lookup_ns);
+      ("trace_emit_off", trace_off_ns);
+      ("trace_emit_on", trace_on_ns);
+      ("journal_event", journal_ns);
+    ]
+  in
+  List.iteri
+    (fun i (k, v) ->
+      Printf.bprintf buf "    \"%s\": %.1f%s\n" k v
+        (if i < List.length fields - 1 then "," else ""))
+    fields;
+  Printf.bprintf buf "  },\n  \"overhead\": {\n";
+  Printf.bprintf buf "    \"counter_incr_vs_plain\": %.2f,\n"
+    (incr_ns /. plain_incr_ns);
+  Printf.bprintf buf "    \"histogram_observe_vs_plain\": %.2f\n"
+    (observe_ns /. plain_observe_ns);
+  Printf.bprintf buf "  }\n}\n";
+  let path = "BENCH_obs.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  row "\nwrote %s\n" path
+
+(* ======================================================================= *)
 (* Registry and entry point                                                *)
 (* ======================================================================= *)
 
@@ -1183,6 +1307,7 @@ let experiments =
     ("ext-global-k", "extension: global-k sync trigger", ext_global_k);
     ("perf-mtree", "Merkle hot-path tracked baseline (BENCH_mtree.json)", perf_mtree);
     ("perf-store", "durable store tracked baseline (BENCH_store.json)", perf_store);
+    ("perf-obs", "telemetry hot-path tracked baseline (BENCH_obs.json)", perf_obs);
   ]
 
 let () =

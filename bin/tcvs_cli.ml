@@ -12,6 +12,9 @@
      tcvs client     one protocol user, over TCP, against a daemon
      tcvs proxy      fault-injecting TCP proxy (drop/delay/dup/partition)
      tcvs bench-net  closed-loop throughput/latency against a daemon
+     tcvs trace-join merge per-process span journals into one timeline
+     tcvs stats      scrape a daemon's admin endpoint once
+     tcvs top        refreshing terminal view of a daemon's admin endpoint
 
    Everything is deterministic given --seed (network timing aside). *)
 
@@ -591,9 +594,17 @@ let connect_arg =
   let doc = "Server address, as HOST:PORT or just PORT (host defaults to 127.0.0.1)." in
   Arg.(required & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
 
+let journal_arg =
+  let doc =
+    "Append per-operation span events to $(docv) as JSON lines; merge the \
+     journals of a daemon, proxy and clients with $(b,tcvs trace-join)."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
 let serve_cmd =
   let run seed users k epoch_len protocol_str adversary_str sanitize verbosity listen
-      port_file store_dir shards durability tail_ticks tick_timeout max_conns exit_after =
+      port_file store_dir shards durability tail_ticks tick_timeout max_conns exit_after
+      journal admin_port admin_port_file metrics =
     Log_setup.install ~level:verbosity ();
     if sanitize then Sanitize.set_enabled true;
     match (protocol_conv k epoch_len protocol_str, parse_adversary ~users adversary_str) with
@@ -626,10 +637,14 @@ let serve_cmd =
             tail_ticks;
             durability;
             exit_after_session = exit_after;
+            journal;
+            admin_port;
+            admin_port_file;
           }
         in
         match Net.Daemon.run cfg with
-        | Ok () -> ()
+        | Ok () ->
+            (match metrics with Some path -> Obs.Report.write path | None -> ())
         | Error e ->
             Printf.eprintf "error: %s\n" e;
             exit 1)
@@ -650,17 +665,31 @@ let serve_cmd =
     let doc = "Keep serving after a lockstep session ends (default: exit)." in
     Term.(const not $ Arg.(value & flag & info [ "stay" ] ~doc))
   in
+  let admin_arg =
+    let doc =
+      "Serve read-only JSON snapshots (live registry including volatile \
+       metrics, per-connection I/O gauges) on a second loopback port \
+       ($(b,0) picks an ephemeral port; scrape with $(b,tcvs stats) or \
+       $(b,tcvs top))."
+    in
+    Arg.(value & opt (some int) None & info [ "admin" ] ~docv:"PORT" ~doc)
+  in
+  let admin_port_file_arg =
+    let doc = "Write the bound admin port to $(docv) (tmp+rename)." in
+    Arg.(value & opt (some string) None & info [ "admin-port-file" ] ~docv:"FILE" ~doc)
+  in
   let doc = "Serve the Trusted-CVS server as a TCP daemon over a durable store." in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ seed_arg $ users_arg $ k_arg $ epoch_arg $ protocol_arg
       $ adversary_arg $ sanitize_arg $ verbosity_arg $ listen_arg $ port_file_arg
       $ store_arg $ shards_arg $ durability_arg $ tail_ticks_arg $ tick_timeout_arg
-      $ max_conns_arg $ exit_after_arg)
+      $ max_conns_arg $ exit_after_arg $ journal_arg $ admin_arg $ admin_port_file_arg
+      $ metrics_arg)
 
 let client_cmd =
   let run seed users rounds k epoch_len protocol_str verbosity connect user shards
-      response_timeout sync_timeout max_reconnects =
+      response_timeout sync_timeout max_reconnects journal =
     Log_setup.install ~level:verbosity ();
     match (protocol_conv k epoch_len protocol_str, parse_hostport connect) with
     | Error (`Msg m), _ | _, Error m ->
@@ -684,6 +713,7 @@ let client_cmd =
             response_timeout = Some response_timeout;
             sync_timeout;
             max_reconnects;
+            journal;
           }
         in
         match Net.Client.run cfg with
@@ -731,7 +761,7 @@ let client_cmd =
     Term.(
       const run $ seed_arg $ users_arg $ rounds_arg $ k_arg $ epoch_arg $ protocol_arg
       $ verbosity_arg $ connect_arg $ user_arg $ shards_arg $ response_timeout_arg
-      $ sync_timeout_arg $ max_reconnects_arg)
+      $ sync_timeout_arg $ max_reconnects_arg $ journal_arg)
 
 let proxy_cmd =
   let parse_partition s =
@@ -743,7 +773,8 @@ let proxy_cmd =
         | _ -> Error (Printf.sprintf "cannot parse partition %S (want A,..|B,..@ROUND)" s))
     | _ -> Error (Printf.sprintf "cannot parse partition %S (want A,..|B,..@ROUND)" s)
   in
-  let run verbosity listen port_file connect seed drop delay duplicate partition_str =
+  let run verbosity listen port_file connect seed drop delay duplicate partition_str
+      journal =
     Log_setup.install ~level:verbosity ();
     let partition =
       match partition_str with
@@ -763,6 +794,7 @@ let proxy_cmd =
             dst_host;
             seed;
             faults = { Net.Proxy.drop; delay; duplicate; partition };
+            journal;
           }
         in
         match Net.Proxy.run cfg with
@@ -790,7 +822,7 @@ let proxy_cmd =
       $ prob "drop" "Drop each payload frame with probability $(docv)."
       $ prob "delay" "Delay each payload frame to the next round boundary with probability $(docv)."
       $ prob "duplicate" "Forward each payload frame twice with probability $(docv)."
-      $ partition_arg)
+      $ partition_arg $ journal_arg)
 
 let bench_net_cmd =
   let run verbosity connect users conns_str ops files zipf_s write_ratio seed out =
@@ -876,6 +908,203 @@ let bench_net_cmd =
       const run $ verbosity_arg $ connect_arg $ users_arg $ conns_arg $ ops_arg
       $ files_arg $ zipf_arg $ write_ratio_arg $ seed_arg $ out_arg)
 
+(* ---- telemetry plane: trace-join / stats / top ----------------------------- *)
+
+let read_journal_lines path =
+  let ic = open_in_bin path in
+  let rec loop acc =
+    match input_line ic with
+    | line -> loop (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  loop []
+
+let trace_join_cmd =
+  let run files =
+    let lines =
+      List.concat_map
+        (fun path ->
+          if Sys.file_exists path then read_journal_lines path
+          else begin
+            Printf.eprintf "error: no such journal: %s\n" path;
+            exit 2
+          end)
+        files
+    in
+    let text, s = Obs.Trace_join.join lines in
+    print_string text;
+    if s.Obs.Trace_join.orphans > 0 then exit 4
+  in
+  let files_arg =
+    let doc = "Journal files (JSON lines) written with --journal, in any order." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "Merge the per-process span journals of a session (daemon, proxy, clients) \
+     into one deterministic round-ordered timeline: client queue, proxy fault \
+     plane, daemon dispatch, store flush, reply. Duplicate lines are dropped, \
+     torn tails skipped, and spans that never reached a reply are reported as \
+     orphaned (exit 4)."
+  in
+  Cmd.v (Cmd.info "trace-join" ~doc) Term.(const run $ files_arg)
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+    | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+    | _ -> raise (Failure ("cannot resolve " ^ host)))
+
+(* One admin scrape: connect, read to EOF, return the snapshot. *)
+let scrape ~host ~port =
+  match
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_INET (resolve_host host, port)) with
+    | () -> Ok fd
+    | exception Unix.Unix_error (err, _, _) ->
+        Unix.close fd;
+        Error (Unix.error_message err)
+  with
+  | Error e -> Error e
+  | Ok fd ->
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec loop () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            loop ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      in
+      loop ();
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Ok (Buffer.contents buf)
+
+let stats_cmd =
+  let run connect =
+    match parse_hostport connect with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 2
+    | Ok (host, port) -> (
+        match scrape ~host ~port with
+        | Error e ->
+            Printf.eprintf "error: cannot scrape %s:%d: %s\n" host port e;
+            exit 1
+        | Ok body -> print_string body)
+  in
+  let doc =
+    "Scrape a daemon's admin endpoint (tcvs serve --admin) once and print the \
+     JSON snapshot: round, per-connection I/O gauges, and the live metric \
+     registry including volatile counters and latency histograms."
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ connect_arg)
+
+let top_cmd =
+  let module J = Obs.Json in
+  let jint ?(default = 0) j path =
+    let rec dig j = function
+      | [] -> ( match j with J.Int n -> Some n | J.Float f -> Some (int_of_float f) | _ -> None)
+      | k :: rest -> ( match J.member k j with Some j' -> dig j' rest | None -> None)
+    in
+    Option.value ~default (dig j path)
+  in
+  let render ~host ~port body =
+    match J.parse body with
+    | Error e -> Printf.printf "unparseable snapshot: %s\n" e
+    | Ok j ->
+        Printf.printf "tcvs top — %s:%d    round %d    ticking %s    sessions %d\n"
+          host port (jint j [ "round" ])
+          (match J.member "ticking" j with Some (J.Bool b) -> string_of_bool b | _ -> "?")
+          (jint j [ "sessions" ]);
+        Printf.printf "outstanding %d    relays pending %d\n\n"
+          (jint j [ "outstanding" ])
+          (jint j [ "relays_pending" ]);
+        Printf.printf "%4s %-9s %9s %9s %11s %11s %8s %6s %4s\n" "USER" "ROLE"
+          "FRAMES_IN" "FRAMES_OUT" "BYTES_IN" "BYTES_OUT" "BACKLOG" "DEDUP" "OUT";
+        (match J.member "connections" j with
+        | Some (J.Arr conns) ->
+            List.iter
+              (fun c ->
+                Printf.printf "%4d %-9s %9d %9d %11d %11d %8d %6d %4d\n"
+                  (jint c [ "user" ])
+                  (match J.member "role" c with Some (J.Str s) -> s | _ -> "?")
+                  (jint c [ "frames_in" ]) (jint c [ "frames_out" ])
+                  (jint c [ "bytes_in" ]) (jint c [ "bytes_out" ])
+                  (jint c [ "backlog_bytes" ])
+                  (jint c [ "dedup_hits" ])
+                  (jint c [ "outstanding" ]))
+              conns
+        | _ -> ());
+        let reg = Option.value ~default:J.Null (J.member "registry" j) in
+        Printf.printf "\n%-32s %d\n%-32s %d\n%-32s %d\n%-32s %d\n"
+          "net.daemon.requests_executed"
+          (jint reg [ "counters"; "net.daemon.requests_executed" ])
+          "net.daemon.dedup_hits"
+          (jint reg [ "counters"; "net.daemon.dedup_hits" ])
+          "net.frames_received"
+          (jint reg [ "counters"; "net.frames_received" ])
+          "store.wal.fsyncs"
+          (jint reg [ "counters"; "store.wal.fsyncs" ]);
+        let hist name =
+          match J.member "histograms" reg with
+          | Some h -> (
+              match J.member name h with
+              | Some hj ->
+                  let count = jint hj [ "count" ] in
+                  Printf.printf "%-32s count %-8d mean %-10d min %-10d max %d\n" name
+                    count
+                    (if count > 0 then jint hj [ "sum" ] / count else 0)
+                    (jint hj [ "min" ]) (jint hj [ "max" ])
+              | None -> ())
+          | None -> ()
+        in
+        hist "net.daemon.round_us";
+        hist "store.wal.fsync_us"
+  in
+  let run connect interval count =
+    match parse_hostport connect with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 2
+    | Ok (host, port) ->
+        let rec loop i =
+          if count = 0 || i < count then begin
+            (match scrape ~host ~port with
+            | Error e ->
+                print_string "\027[2J\027[H";
+                Printf.printf "tcvs top — %s:%d unreachable: %s\n%!" host port e
+            | Ok body ->
+                (* clear + home between scrapes, not within, to avoid flicker *)
+                print_string "\027[2J\027[H";
+                render ~host ~port body;
+                print_string "\n(ctrl-c to quit)\n";
+                flush stdout);
+            if count = 0 || i + 1 < count then
+              ignore (Unix.select [] [] [] interval);
+            loop (i + 1)
+          end
+        in
+        loop 0
+  in
+  let interval_arg =
+    let doc = "Seconds between scrapes." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let count_arg =
+    let doc = "Stop after $(docv) scrapes (0 = run until interrupted)." in
+    Arg.(value & opt int 0 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let doc =
+    "Refreshing terminal view of a daemon's admin endpoint: live round, \
+     per-connection frame/byte/backlog gauges, dedup hits, and round / fsync \
+     latency histograms."
+  in
+  Cmd.v (Cmd.info "top" ~doc) Term.(const run $ connect_arg $ interval_arg $ count_arg)
+
 (* ---- entry ----------------------------------------------------------------- *)
 
 let () =
@@ -890,4 +1119,5 @@ let () =
           [
             simulate_cmd; matrix_cmd; workload_cmd; session_cmd; inspect_cmd;
             store_inspect_cmd; serve_cmd; client_cmd; proxy_cmd; bench_net_cmd;
+            trace_join_cmd; stats_cmd; top_cmd;
           ]))

@@ -29,6 +29,7 @@ type config = {
   retrans_ticks : int;
   max_frame : int;
   watchdog : float; (* seconds of lockstep silence before forcing a reconnect *)
+  journal : string option; (* JSONL span journal for trace-join *)
 }
 
 let default_config ~user ~port =
@@ -52,6 +53,7 @@ let default_config ~user ~port =
     retrans_ticks = 4;
     max_frame = Codec.default_max_frame;
     watchdog = 10.0;
+    journal = None;
   }
 
 type verdict = {
@@ -149,7 +151,15 @@ type session = {
   mutable last_rx : float; (* wall clock of the last complete frame *)
   mutable finished : (bool * string * int) option; (* Session_end *)
   mutable fatal : string option;
+  journal : Obs.Journal.t option;
 }
+
+let jot s ?span ?dur_us ~ev detail =
+  match s.journal with
+  | Some j ->
+      Obs.Journal.event j ~user:s.cfg.user ?span ?dur_us ~round:s.last_stepped
+        ~ev detail
+  | None -> ()
 
 let local_alarm s reason =
   Sim.Engine.alarm s.engine ~agent:(Sim.Id.User s.cfg.user) ~reason
@@ -168,6 +178,7 @@ let track_and_send s frame =
     { p_frame = frame; p_last_sent = s.last_stepped; p_attempt = 0 };
   Log.debug (fun f ->
       f "send %s seq %d (tick %d)" (Codec.frame_kind frame) seq s.last_stepped);
+  jot s ~span:seq ~ev:"client.send" (Codec.frame_kind frame);
   Conn.send s.conn frame
 
 (* The exponential backoff must stay far inside the availability bound:
@@ -184,7 +195,7 @@ let retransmit_due s ~tick =
     | None -> s.cfg.retrans_ticks * (1 lsl 6)
   in
   Hashtbl.iter
-    (fun _ p ->
+    (fun sq p ->
       let backoff = min cap (s.cfg.retrans_ticks * (1 lsl min p.p_attempt 6)) in
       let jitter = Crypto.Prng.int s.rng (s.cfg.retrans_ticks + 1) in
       if tick - p.p_last_sent >= backoff + jitter then begin
@@ -194,6 +205,10 @@ let retransmit_due s ~tick =
         Log.debug (fun f ->
             f "retransmit %s (attempt %d, tick %d)"
               (Codec.frame_kind p.p_frame) p.p_attempt tick);
+        (* same seq, hence same span id: a retransmission is more of the
+           same op, never a new one *)
+        jot s ~span:sq ~ev:"client.retransmit"
+          (Printf.sprintf "attempt %d" p.p_attempt);
         Conn.send s.conn p.p_frame
       end)
     s.unacked
@@ -228,12 +243,19 @@ let handle_tick s ~round =
       Sim.Engine.step s.engine;
       s.last_stepped <- s.last_stepped + 1
     done;
+    let ctx seq =
+      { Codec.x_round = s.last_stepped; x_user = s.cfg.user; x_span = seq }
+    in
     Queue.iter
-      (fun msg -> track_and_send s (Codec.Request { seq = next_seq s; msg }))
+      (fun msg ->
+        let seq = next_seq s in
+        track_and_send s (Codec.Request { seq; ctx = ctx seq; msg }))
       s.to_server;
     Queue.clear s.to_server;
     Queue.iter
-      (fun msg -> track_and_send s (Codec.Publish { seq = next_seq s; msg }))
+      (fun msg ->
+        let seq = next_seq s in
+        track_and_send s (Codec.Publish { seq; ctx = ctx seq; msg }))
       s.to_peers;
     Queue.clear s.to_peers;
     retransmit_due s ~tick:round;
@@ -243,17 +265,20 @@ let handle_tick s ~round =
 let handle_frame s frame =
   match frame with
   | Codec.Tick { round } -> handle_tick s ~round
-  | Codec.Reply { seq; msg } ->
+  | Codec.Reply { seq; msg; _ } ->
       if Hashtbl.mem s.unacked seq then begin
         Log.debug (fun f -> f "reply for seq %d" seq);
+        jot s ~span:seq ~ev:"client.reply" (Message.kind msg);
         Hashtbl.remove s.unacked seq;
         Queue.add (Sim.Id.Server, msg) s.inbound
       end
       else Log.debug (fun f -> f "duplicate reply for seq %d ignored" seq)
   | Codec.Ack { seq } ->
       Log.debug (fun f -> f "ack for seq %d" seq);
+      if Hashtbl.mem s.unacked seq then
+        jot s ~span:seq ~ev:"client.reply" "ack";
       Hashtbl.remove s.unacked seq
-  | Codec.Deliver { src = dsrc; sseq; msg } ->
+  | Codec.Deliver { src = dsrc; sseq; msg; _ } ->
       Conn.send s.conn (Codec.Deliver_ack { src = dsrc; sseq });
       if Hashtbl.mem s.seen (dsrc, sseq) then Obs.incr c_dup_delivers
       else begin
@@ -344,6 +369,7 @@ let reconnect s =
           match handshake s with
           | Ok () ->
               s.last_rx <- Unix.gettimeofday ();
+              jot s ~ev:"client.reconnect" (Printf.sprintf "attempt %d" i);
               Ok ()
           | Error e ->
               Conn.close s.conn;
@@ -430,6 +456,11 @@ let build_session cfg conn =
     last_rx = Unix.gettimeofday ();
     finished = None;
     fatal = None;
+    journal =
+      Option.map
+        (fun p ->
+          Obs.Journal.open_ ~proc:(Printf.sprintf "client%d" cfg.user) p)
+        cfg.journal;
   }
 
 let run cfg =
@@ -437,8 +468,12 @@ let run cfg =
   | Error e -> Error (Printf.sprintf "connect %s:%d: %s" cfg.host cfg.port e)
   | Ok fd -> (
       let s = build_session cfg (Conn.create ~max_frame:cfg.max_frame fd) in
+      let finish r =
+        (match s.journal with Some j -> Obs.Journal.close j | None -> ());
+        r
+      in
       match handshake s with
-      | Error e -> Conn.close s.conn; Error e
+      | Error e -> Conn.close s.conn; finish (Error e)
       | Ok () ->
           let rec loop () =
             match (s.finished, s.fatal) with
@@ -509,7 +544,7 @@ let run cfg =
                   loop ()
                 end
           in
-          loop ())
+          finish (loop ()))
 
 (* ---- Free-mode bench ------------------------------------------------- *)
 
@@ -557,7 +592,11 @@ let bench ~host ~port ~users ~conns ~ops_per_conn ~files ~zipf_s ~write_ratio
       bc.bc_sent_at <- Unix.gettimeofday ();
       Conn.send bc.bc_conn
         (Codec.Request
-           { seq = bc.bc_seq; msg = Message.Query { op = next_op bc; piggyback = [] } })
+           {
+             seq = bc.bc_seq;
+             ctx = { Codec.x_round = 0; x_user = bc.bc_user; x_span = bc.bc_seq };
+             msg = Message.Query { op = next_op bc; piggyback = [] };
+           })
     in
     let connect_one u =
       match connect_fd ~host ~port ~timeout:5.0 with

@@ -45,6 +45,11 @@ type config = {
   watchdog : float;
       (** seconds of silence on an established lockstep link before the
           client declares it wedged and reconnects *)
+  journal : string option;
+      (** when set, span events (client.send / client.retransmit /
+          client.reply) are appended to this JSONL file for
+          [tcvs_cli trace-join]; the span id is the request seq, reused
+          on retransmits *)
 }
 
 val default_config : user:int -> port:int -> config

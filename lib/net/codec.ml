@@ -3,7 +3,11 @@ module Vo = Mtree.Vo
 module W = Wire.W
 module R = Wire.R
 
-let protocol_version = 1
+(* v2: payload frames (Request/Publish/Reply/Deliver) carry a compact
+   trace context so any hop — including the fault proxy, which never
+   decodes message bodies — can attribute a frame to the op that caused
+   it. *)
+let protocol_version = 2
 let magic = "TCVN"
 let header_len = 12
 let default_max_frame = 1 lsl 20
@@ -36,14 +40,22 @@ type error_code =
   | Lost_reply
   | Protocol_violation
 
+(* The trace context stamped on payload frames: the round the op was
+   issued in, the originating user, and the span id (the origin's
+   sequence number — reused verbatim on retransmits, so transport
+   duplication can never mint a second span for the same op). A reply
+   or relayed deliver echoes the originating op's context verbatim.
+   [x_user] is [-1] (encoded 0xffff) when no user is attributable. *)
+type ctx = { x_round : int; x_user : int; x_span : int }
+
 type frame =
   | Hello of hello
   | Welcome of welcome
-  | Request of { seq : int; msg : Message.t }
-  | Publish of { seq : int; msg : Message.t }
+  | Request of { seq : int; ctx : ctx; msg : Message.t }
+  | Publish of { seq : int; ctx : ctx; msg : Message.t }
   | Ack of { seq : int }
-  | Reply of { seq : int; msg : Message.t }
-  | Deliver of { src : int; sseq : int; msg : Message.t }
+  | Reply of { seq : int; ctx : ctx; msg : Message.t }
+  | Deliver of { src : int; sseq : int; ctx : ctx; msg : Message.t }
   | Deliver_ack of { src : int; sseq : int }
   | Tick of { round : int }
   | Tick_done of { round : int; drained : bool; alarmed : bool }
@@ -347,6 +359,17 @@ let error_code_of_tag = function
   | 4 -> Protocol_violation
   | n -> failwith (Printf.sprintf "unknown error code %d" n)
 
+let write_ctx w (x : ctx) =
+  W.u32 w x.x_round;
+  W.u16 w (if x.x_user < 0 then 0xffff else x.x_user);
+  W.u32 w x.x_span
+
+let read_ctx r =
+  let x_round = R.u32 r in
+  let u = R.u16 r in
+  let x_span = R.u32 r in
+  { x_round; x_user = (if u = 0xffff then -1 else u); x_span }
+
 let write_frame w (f : frame) =
   match f with
   | Hello h ->
@@ -366,25 +389,29 @@ let write_frame w (f : frame) =
       W.u16 w m.w_shards;
       W.u32 w m.w_round;
       W.str w m.w_root
-  | Request { seq; msg } ->
+  | Request { seq; ctx; msg } ->
       W.u8 w 2;
       W.u32 w seq;
+      write_ctx w ctx;
       write_message w msg
-  | Publish { seq; msg } ->
+  | Publish { seq; ctx; msg } ->
       W.u8 w 3;
       W.u32 w seq;
+      write_ctx w ctx;
       write_message w msg
   | Ack { seq } ->
       W.u8 w 4;
       W.u32 w seq
-  | Reply { seq; msg } ->
+  | Reply { seq; ctx; msg } ->
       W.u8 w 5;
       W.u32 w seq;
+      write_ctx w ctx;
       write_message w msg
-  | Deliver { src; sseq; msg } ->
+  | Deliver { src; sseq; ctx; msg } ->
       W.u8 w 6;
       W.u16 w src;
       W.u32 w sseq;
+      write_ctx w ctx;
       write_message w msg
   | Deliver_ack { src; sseq } ->
       W.u8 w 7;
@@ -431,18 +458,22 @@ let read_frame r : frame =
         { w_version; w_boot_id; w_generation; w_ctr; w_users; w_shards; w_round; w_root }
   | 2 ->
       let seq = R.u32 r in
-      Request { seq; msg = read_message r }
+      let ctx = read_ctx r in
+      Request { seq; ctx; msg = read_message r }
   | 3 ->
       let seq = R.u32 r in
-      Publish { seq; msg = read_message r }
+      let ctx = read_ctx r in
+      Publish { seq; ctx; msg = read_message r }
   | 4 -> Ack { seq = R.u32 r }
   | 5 ->
       let seq = R.u32 r in
-      Reply { seq; msg = read_message r }
+      let ctx = read_ctx r in
+      Reply { seq; ctx; msg = read_message r }
   | 6 ->
       let src = R.u16 r in
       let sseq = R.u32 r in
-      Deliver { src; sseq; msg = read_message r }
+      let ctx = read_ctx r in
+      Deliver { src; sseq; ctx; msg = read_message r }
   | 7 ->
       let src = R.u16 r in
       Deliver_ack { src; sseq = R.u32 r }
@@ -460,6 +491,15 @@ let read_frame r : frame =
       Error_frame { code; detail = R.str r }
   | 12 -> Bye
   | n -> failwith (Printf.sprintf "unknown frame tag %d" n)
+
+(* The trace context of a payload frame, if it carries one — how the
+   proxy attributes frames to ops without decoding message bodies. *)
+let ctx_of_frame = function
+  | Request { ctx; _ } | Publish { ctx; _ } | Reply { ctx; _ } | Deliver { ctx; _ } ->
+      Some ctx
+  | Hello _ | Welcome _ | Ack _ | Deliver_ack _ | Tick _ | Tick_done _ | Session_end _
+  | Error_frame _ | Bye ->
+      None
 
 let frame_kind = function
   | Hello _ -> "hello"
@@ -485,12 +525,19 @@ let pp_frame fmt (f : frame) =
   | Welcome m ->
       Format.fprintf fmt "welcome(v%d, gen %d, ctr %d, %d user(s), %d shard(s))"
         m.w_version m.w_generation m.w_ctr m.w_users m.w_shards
-  | Request { seq; msg } -> Format.fprintf fmt "request#%d %a" seq Message.pp msg
-  | Publish { seq; msg } -> Format.fprintf fmt "publish#%d %a" seq Message.pp msg
+  | Request { seq; ctx; msg } ->
+      Format.fprintf fmt "request#%d[u%d#%d@r%d] %a" seq ctx.x_user ctx.x_span
+        ctx.x_round Message.pp msg
+  | Publish { seq; ctx; msg } ->
+      Format.fprintf fmt "publish#%d[u%d#%d@r%d] %a" seq ctx.x_user ctx.x_span
+        ctx.x_round Message.pp msg
   | Ack { seq } -> Format.fprintf fmt "ack#%d" seq
-  | Reply { seq; msg } -> Format.fprintf fmt "reply#%d %a" seq Message.pp msg
-  | Deliver { src; sseq; msg } ->
-      Format.fprintf fmt "deliver(u%d#%d) %a" src sseq Message.pp msg
+  | Reply { seq; ctx; msg } ->
+      Format.fprintf fmt "reply#%d[u%d#%d@r%d] %a" seq ctx.x_user ctx.x_span ctx.x_round
+        Message.pp msg
+  | Deliver { src; sseq; ctx; msg } ->
+      Format.fprintf fmt "deliver(u%d#%d)[u%d#%d@r%d] %a" src sseq ctx.x_user ctx.x_span
+        ctx.x_round Message.pp msg
   | Deliver_ack { src; sseq } -> Format.fprintf fmt "deliver-ack(u%d#%d)" src sseq
   | Tick { round } -> Format.fprintf fmt "tick(r%d)" round
   | Tick_done { round; drained; alarmed } ->

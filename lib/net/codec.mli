@@ -54,19 +54,29 @@ type error_code =
           instead of re-executing *)
   | Protocol_violation  (** unexpected frame for the connection state *)
 
+type ctx = { x_round : int; x_user : int; x_span : int }
+(** The trace context stamped on every payload frame (v2): the round
+    the op was issued in, the originating user, and the span id — the
+    origin's own sequence number, reused verbatim on retransmits, so
+    transport duplication can never mint a second span for one op.
+    Replies and relayed delivers echo the originating op's context
+    verbatim; [x_user = -1] (encoded 0xffff) means unattributable.
+    This is what lets the fault proxy journal per-op events without
+    decoding message bodies. *)
+
 type frame =
   | Hello of hello
   | Welcome of welcome
-  | Request of { seq : int; msg : Tcvs.Message.t }
+  | Request of { seq : int; ctx : ctx; msg : Tcvs.Message.t }
       (** user → server message (Query / Root_signature / token turn),
           retransmitted until the matching {!Reply} or {!Ack} arrives *)
-  | Publish of { seq : int; msg : Tcvs.Message.t }
+  | Publish of { seq : int; ctx : ctx; msg : Tcvs.Message.t }
       (** user → external broadcast channel; the daemon relays it to
           every other user as {!Deliver} and acknowledges with {!Ack} *)
   | Ack of { seq : int }
-  | Reply of { seq : int; msg : Tcvs.Message.t }
+  | Reply of { seq : int; ctx : ctx; msg : Tcvs.Message.t }
       (** server's response to {!Request} [seq]; doubles as its ack *)
-  | Deliver of { src : int; sseq : int; msg : Tcvs.Message.t }
+  | Deliver of { src : int; sseq : int; ctx : ctx; msg : Tcvs.Message.t }
       (** relayed broadcast, retransmitted until {!Deliver_ack};
           receivers dedup on (src, sseq) *)
   | Deliver_ack of { src : int; sseq : int }
@@ -89,6 +99,9 @@ val pp_frame : Format.formatter -> frame -> unit
 (** One-line human summary (payload messages via {!Tcvs.Message.pp}). *)
 
 val frame_kind : frame -> string
+
+val ctx_of_frame : frame -> ctx option
+(** The trace context of a payload frame; [None] for control frames. *)
 
 val header_len : int
 (** 12: magic + u32 length + 4-byte checksum. *)

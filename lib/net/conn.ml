@@ -5,17 +5,48 @@ let c_bytes_sent = Obs.counter ~scope:obs_scope "bytes_sent"
 let c_bytes_received = Obs.counter ~scope:obs_scope "bytes_received"
 let c_decode_errors = Obs.counter ~scope:obs_scope "decode_errors"
 
+(* Per-connection totals feeding the daemon's admin snapshot; the
+   global [net.*] counters above stay the process-wide aggregates. *)
+type io_stats = {
+  frames_in : int;
+  frames_out : int;
+  bytes_in : int;
+  bytes_out : int;
+}
+
 type t = {
   sock : Unix.file_descr;
   max_frame : int;
   mutable rbuf : string; (* received, not yet parsed *)
   mutable wbuf : string; (* encoded, not yet written *)
   mutable at_eof : bool;
+  mutable frames_in : int;
+  mutable frames_out : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
 }
 
 let create ?(max_frame = Codec.default_max_frame) sock =
   Unix.set_nonblock sock;
-  { sock; max_frame; rbuf = ""; wbuf = ""; at_eof = false }
+  {
+    sock;
+    max_frame;
+    rbuf = "";
+    wbuf = "";
+    at_eof = false;
+    frames_in = 0;
+    frames_out = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+  }
+
+let io_stats t =
+  {
+    frames_in = t.frames_in;
+    frames_out = t.frames_out;
+    bytes_in = t.bytes_in;
+    bytes_out = t.bytes_out;
+  }
 
 let fd t = t.sock
 let eof t = t.at_eof
@@ -30,6 +61,7 @@ let fill t =
       | 0 -> t.at_eof <- true
       | n ->
           t.rbuf <- t.rbuf ^ Bytes.sub_string scratch 0 n;
+          t.bytes_in <- t.bytes_in + n;
           Obs.incr c_bytes_received ~by:n;
           if n = Bytes.length scratch then loop ()
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
@@ -58,6 +90,7 @@ let pop t =
               (String.length t.rbuf - Codec.header_len - len);
           match Codec.decode_body ~checksum body with
           | Ok f ->
+              t.frames_in <- t.frames_in + 1;
               Obs.incr c_frames_received;
               Ok (Some f)
           | Error e ->
@@ -66,6 +99,7 @@ let pop t =
         end
 
 let send t frame =
+  t.frames_out <- t.frames_out + 1;
   Obs.incr c_frames_sent;
   t.wbuf <- t.wbuf ^ Codec.encode_frame frame
 
@@ -74,6 +108,7 @@ let flush t =
   if len > 0 && not t.at_eof then
     match Unix.write_substring t.sock t.wbuf 0 len with
     | n ->
+        t.bytes_out <- t.bytes_out + n;
         Obs.incr c_bytes_sent ~by:n;
         t.wbuf <- String.sub t.wbuf n (len - n)
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)

@@ -43,4 +43,15 @@ val want_write : t -> bool
 val pending_out : t -> int
 (** Bytes currently buffered for write. *)
 
+type io_stats = {
+  frames_in : int;
+  frames_out : int;
+  bytes_in : int;
+  bytes_out : int;
+}
+
+val io_stats : t -> io_stats
+(** Lifetime totals for this connection — the per-connection gauges in
+    the daemon's admin snapshot. *)
+
 val close : t -> unit

@@ -14,6 +14,11 @@ let c_relays = Obs.counter ~scope:obs_scope "publishes_relayed"
 let c_ticks = Obs.counter ~scope:obs_scope "ticks"
 let c_accepts = Obs.counter ~scope:obs_scope "connections_accepted"
 
+(* Scrape counts and round wall-clock latency are volatile: readable
+   live through the admin endpoint, never in the deterministic report. *)
+let c_admin_scrapes = Obs.counter ~scope:obs_scope ~volatile:true "admin_scrapes"
+let h_round_us = Obs.histogram ~scope:obs_scope ~volatile:true "round_us"
+
 type config = {
   listen_port : int;
   port_file : string option;
@@ -32,6 +37,9 @@ type config = {
   checkpoint_every : int;
   durability : Store.durability;
   exit_after_session : bool;
+  journal : string option; (* JSONL span journal path *)
+  admin_port : int option; (* read-only admin socket; [Some 0] = ephemeral *)
+  admin_port_file : string option;
 }
 
 let default_config =
@@ -57,6 +65,9 @@ let default_config =
        Per_round trades that window for one fsync per tick. *)
     durability = Store.Per_op;
     exit_after_session = true;
+    journal = None;
+    admin_port = None;
+    admin_port_file = None;
   }
 
 let stop_requested = ref false
@@ -67,9 +78,10 @@ type session = {
   mutable user : int; (* -1 before Hello *)
   mutable role : Codec.role option;
   mutable said_bye : bool;
+  mutable dedup_hits : int; (* per-connection, for the admin snapshot *)
 }
 
-type relay = { r_msg : Message.t; r_pending : (int, unit) Hashtbl.t }
+type relay = { r_msg : Message.t; r_ctx : Codec.ctx; r_pending : (int, unit) Hashtbl.t }
 
 type state = {
   cfg : config;
@@ -81,7 +93,9 @@ type state = {
   mutable sessions : session list;
   vseq : (int, int) Hashtbl.t; (* per-user highest injected request seq *)
   reply_cache : (int, int * string) Hashtbl.t; (* user → (seq, encoded reply) *)
-  outstanding : (int, int) Hashtbl.t; (* user → injected query seq awaiting reply *)
+  (* user → injected query (seq, trace ctx) awaiting reply; the ctx is
+     echoed verbatim on the Reply so the op keeps one span id end to end *)
+  outstanding : (int, int * Codec.ctx) Hashtbl.t;
   relays : (int * int, relay) Hashtbl.t; (* (src, sseq) → broadcast relay state *)
   u_done : int array; (* per-user last Tick_done round *)
   u_drained : bool array;
@@ -93,7 +107,13 @@ type state = {
   mutable free_pending : bool; (* a free-role query awaits execution *)
   mutable session_over : bool;
   mutable ended_at : float;
+  journal : Obs.Journal.t option;
 }
+
+let jot st ?user ?span ?dur_us ~ev detail =
+  match st.journal with
+  | Some j -> Obs.Journal.event j ?user ?span ?dur_us ~round:st.round ~ev detail
+  | None -> ()
 
 let mode_of_protocol = function
   | Harness.Protocol_1 _ -> (`Signed, None)
@@ -138,7 +158,7 @@ let drain_outbox st =
   while not (Queue.is_empty st.outbox) do
     let u, msg = Queue.pop st.outbox in
     match Hashtbl.find_opt st.outstanding u with
-    | Some seq -> (
+    | Some (seq, ctx) -> (
         Hashtbl.remove st.outstanding u;
         let payload = Codec.encode_message msg in
         Hashtbl.replace st.reply_cache u (seq, payload);
@@ -147,8 +167,9 @@ let drain_outbox st =
         | None -> ());
         Obs.incr c_requests;
         Log.debug (fun f -> f "u%d: reply for seq %d" u seq);
+        jot st ~user:u ~span:seq ~ev:"daemon.reply" (Message.kind msg);
         match session_for_user st u with
-        | Some sess -> Conn.send sess.conn (Codec.Reply { seq; msg })
+        | Some sess -> Conn.send sess.conn (Codec.Reply { seq; ctx; msg })
         | None -> () (* disconnected; the cached reply answers the re-request *))
     | None ->
         Log.warn (fun f -> f "response for u%d with no outstanding request" u)
@@ -198,20 +219,25 @@ let handle_hello st sess (h : Codec.hello) =
       Conn.send sess.conn (Codec.Tick { round = st.round })
   end
 
-let handle_request st sess ~seq ~msg =
+let handle_request st sess ~seq ~ctx ~msg =
   let u = sess.user in
   let last = Option.value ~default:(-1) (Hashtbl.find_opt st.vseq u) in
   match msg with
   | Message.Query _ ->
-      if Hashtbl.find_opt st.outstanding u = Some seq then
-        () (* injected, reply still being computed — retransmission noise *)
+      if
+        match Hashtbl.find_opt st.outstanding u with
+        | Some (s, _) -> s = seq
+        | None -> false
+      then () (* injected, reply still being computed — retransmission noise *)
       else if seq <= last then begin
         Obs.incr c_dedup_hits;
+        sess.dedup_hits <- sess.dedup_hits + 1;
+        jot st ~user:u ~span:seq ~ev:"daemon.dedup" "duplicate query";
         Log.debug (fun f -> f "u%d: duplicate query seq %d, resending reply" u seq);
         match Hashtbl.find_opt st.reply_cache u with
         | Some (s, payload) when s = seq -> (
             match Codec.decode_message payload with
-            | Some m -> Conn.send sess.conn (Codec.Reply { seq; msg = m })
+            | Some m -> Conn.send sess.conn (Codec.Reply { seq; ctx; msg = m })
             | None ->
                 Obs.incr c_lost_replies;
                 Conn.send sess.conn
@@ -236,7 +262,9 @@ let handle_request st sess ~seq ~msg =
       else if Hashtbl.mem st.outstanding u then begin
         Log.debug (fun f ->
             f "u%d: query seq %d while seq %d outstanding" u seq
-              (Option.value ~default:(-1) (Hashtbl.find_opt st.outstanding u)));
+              (match Hashtbl.find_opt st.outstanding u with
+              | Some (s, _) -> s
+              | None -> -1));
         Conn.send sess.conn
           (Codec.Error_frame
              {
@@ -246,11 +274,12 @@ let handle_request st sess ~seq ~msg =
       end
       else begin
         Log.debug (fun f -> f "u%d: query seq %d injected (round %d)" u seq st.round);
+        jot st ~user:u ~span:seq ~ev:"daemon.dispatch" (Message.kind msg);
         Hashtbl.replace st.vseq u seq;
         (match st.store with
         | Some s -> Store.declare_origin s ~user:u ~seq
         | None -> ());
-        Hashtbl.replace st.outstanding u seq;
+        Hashtbl.replace st.outstanding u (seq, ctx);
         Sim.Engine.send st.engine ~src:(Sim.Id.User u) ~dst:Sim.Id.Server msg;
         if sess.role = Some Codec.Free then st.free_pending <- true
       end
@@ -258,6 +287,7 @@ let handle_request st sess ~seq ~msg =
       (* At-least-once is safe here: the server ignores a signature it is
          not waiting for, so the ack can race a retransmission. *)
       if seq > last then begin
+        jot st ~user:u ~span:seq ~ev:"daemon.dispatch" (Message.kind msg);
         Hashtbl.replace st.vseq u seq;
         Sim.Engine.send st.engine ~src:(Sim.Id.User u) ~dst:Sim.Id.Server msg
       end;
@@ -270,17 +300,20 @@ let handle_request st sess ~seq ~msg =
              detail = "request carries a server-to-user message";
            })
 
-let deliver_to st v ~src ~sseq msg =
+let deliver_to st v ~src ~sseq ~ctx msg =
   match session_for_user st v with
-  | Some sv -> Conn.send sv.conn (Codec.Deliver { src; sseq; msg })
+  | Some sv -> Conn.send sv.conn (Codec.Deliver { src; sseq; ctx; msg })
   | None -> ()
 
-let handle_publish st sess ~seq ~msg =
+let handle_publish st sess ~seq ~ctx ~msg =
   let u = sess.user in
   match Hashtbl.find_opt st.relays (u, seq) with
   | Some r ->
-      (* duplicate Publish: the publisher has not seen our Ack yet *)
-      Hashtbl.iter (fun v () -> deliver_to st v ~src:u ~sseq:seq msg) r.r_pending
+      (* duplicate Publish: the publisher has not seen our Ack yet.
+         Re-deliver with the original ctx so the span id stays stable. *)
+      Hashtbl.iter
+        (fun v () -> deliver_to st v ~src:u ~sseq:seq ~ctx:r.r_ctx r.r_msg)
+        r.r_pending
   | None ->
       let pending = Hashtbl.create 8 in
       for v = 0 to st.cfg.users - 1 do
@@ -289,8 +322,9 @@ let handle_publish st sess ~seq ~msg =
       if Hashtbl.length pending = 0 then Conn.send sess.conn (Codec.Ack { seq })
       else begin
         Obs.incr c_relays;
-        Hashtbl.replace st.relays (u, seq) { r_msg = msg; r_pending = pending };
-        Hashtbl.iter (fun v () -> deliver_to st v ~src:u ~sseq:seq msg) pending
+        jot st ~user:u ~span:seq ~ev:"daemon.dispatch" ("publish " ^ Message.kind msg);
+        Hashtbl.replace st.relays (u, seq) { r_msg = msg; r_ctx = ctx; r_pending = pending };
+        Hashtbl.iter (fun v () -> deliver_to st v ~src:u ~sseq:seq ~ctx msg) pending
       end
 
 let handle_deliver_ack st sess ~psrc ~sseq =
@@ -314,8 +348,8 @@ let handle_frame st sess frame =
       reject sess Codec.Protocol_violation "first frame must be Hello"
   | Some _, Codec.Hello _ ->
       reject sess Codec.Protocol_violation "second Hello on a connection"
-  | Some _, Codec.Request { seq; msg } -> handle_request st sess ~seq ~msg
-  | Some _, Codec.Publish { seq; msg } -> handle_publish st sess ~seq ~msg
+  | Some _, Codec.Request { seq; ctx; msg } -> handle_request st sess ~seq ~ctx ~msg
+  | Some _, Codec.Publish { seq; ctx; msg } -> handle_publish st sess ~seq ~ctx ~msg
   | Some _, Codec.Deliver_ack { src = psrc; sseq } ->
       handle_deliver_ack st sess ~psrc ~sseq
   | Some _, Codec.Tick_done { round = r; drained; alarmed } ->
@@ -343,7 +377,9 @@ let begin_tick st =
   (* retransmit undelivered broadcasts before announcing the round *)
   Hashtbl.iter
     (fun (psrc, sseq) r ->
-      Hashtbl.iter (fun v () -> deliver_to st v ~src:psrc ~sseq r.r_msg) r.r_pending)
+      Hashtbl.iter
+        (fun v () -> deliver_to st v ~src:psrc ~sseq ~ctx:r.r_ctx r.r_msg)
+        r.r_pending)
     st.relays;
   List.iter
     (fun s ->
@@ -377,7 +413,15 @@ let finish_round st =
   (* Group-commit point: everything this tick staged (ops, origins,
      cached replies) becomes durable together before the next Tick is
      announced — under Per_round this is the tick's only flush. *)
-  (match st.store with Some s -> Store.flush s | None -> ());
+  (match st.store with
+  | Some s ->
+      let t0 = Unix.gettimeofday () in
+      Store.flush s;
+      let dur_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+      jot st ~dur_us ~ev:"daemon.flush" "group-commit"
+  | None -> ());
+  Obs.observe h_round_us
+    (int_of_float ((Unix.gettimeofday () -. st.tick_sent_at) *. 1e6));
   let server_alarmed = Sim.Engine.first_alarm st.engine <> None in
   let any_alarm = server_alarmed || Array.exists Fun.id st.u_alarmed in
   let daemon_idle =
@@ -516,6 +560,7 @@ let build_state cfg =
           free_pending = false;
           session_over = false;
           ended_at = 0.;
+          journal = Option.map (fun p -> Obs.Journal.open_ ~proc:"daemon" p) cfg.journal;
         }
       in
       (match resume_from with
@@ -530,6 +575,69 @@ let build_state cfg =
                 (match store with Some s -> Store.generation s | None -> 0)
                 r.Store.ctr (List.length r.Store.seqs)));
       Ok st
+
+(* ---- Admin endpoint --------------------------------------------------- *)
+
+(* Scrape-on-connect: accepting a connection on the admin socket sends
+   one JSON snapshot and closes. No request parsing, no admin state in
+   the select loop — the simplest protocol a `watch`-style client and
+   `tcvs_cli top` can both speak. *)
+
+let admin_snapshot st =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "{\n  \"schema\": \"tcvs-admin/1\",\n  \"round\": %d,\n  \"ticking\": %b,\n\
+    \  \"sessions\": %d,\n  \"outstanding\": %d,\n  \"relays_pending\": %d,\n\
+    \  \"connections\": ["
+    st.round st.ticking (List.length st.sessions)
+    (Hashtbl.length st.outstanding)
+    (Hashtbl.length st.relays);
+  let joined =
+    List.filter (fun s -> s.user >= 0) st.sessions
+    |> List.sort (fun a b -> Int.compare a.user b.user)
+  in
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      let io = Conn.io_stats s.conn in
+      Printf.bprintf buf
+        "\n    { \"user\": %d, \"role\": %S, \"frames_in\": %d, \"frames_out\": \
+         %d, \"bytes_in\": %d, \"bytes_out\": %d, \"backlog_bytes\": %d, \
+         \"dedup_hits\": %d, \"outstanding\": %d }"
+        s.user
+        (match s.role with Some Codec.Free -> "free" | _ -> "lockstep")
+        io.Conn.frames_in io.Conn.frames_out io.Conn.bytes_in io.Conn.bytes_out
+        (Conn.pending_out s.conn) s.dedup_hits
+        (if Hashtbl.mem st.outstanding s.user then 1 else 0))
+    joined;
+  if joined <> [] then Buffer.add_string buf "\n  ";
+  Buffer.add_string buf "],\n  \"registry\": ";
+  Buffer.add_string buf (String.trim (Obs.Report.to_json ~volatile:true ()));
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+let serve_admin st admin_fd =
+  let rec loop () =
+    match Unix.accept admin_fd with
+    | fd, _ ->
+        Obs.incr c_admin_scrapes;
+        let body = admin_snapshot st in
+        let len = String.length body in
+        let rec wr off =
+          if off < len then
+            match Unix.write_substring fd body off (len - off) with
+            | n -> wr (off + n)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> wr off
+            | exception Unix.Unix_error _ -> ()
+        in
+        wr 0;
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        loop ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+  in
+  loop ()
 
 (* ---- Main loop ------------------------------------------------------- *)
 
@@ -554,7 +662,9 @@ let accept_pending st listen_fd =
           | Unix.ADDR_UNIX p -> p
         in
         let conn = Conn.create ~max_frame:st.cfg.max_frame fd in
-        let sess = { conn; peer; user = -1; role = None; said_bye = false } in
+        let sess =
+          { conn; peer; user = -1; role = None; said_bye = false; dedup_hits = 0 }
+        in
         if List.length st.sessions >= st.cfg.max_conns then
           reject sess Codec.Busy
             (Printf.sprintf "connection limit %d reached" st.cfg.max_conns)
@@ -617,6 +727,33 @@ let run cfg =
               f "listening on 127.0.0.1:%d (boot %s, %d users, %s)" port st.boot_id
                 cfg.users
                 (Harness.protocol_name cfg.protocol));
+          let admin_fd =
+            match cfg.admin_port with
+            | None -> None
+            | Some p -> (
+                let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+                Unix.setsockopt fd Unix.SO_REUSEADDR true;
+                match Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, p)) with
+                | exception Unix.Unix_error (err, _, _) ->
+                    Unix.close fd;
+                    Log.err (fun f ->
+                        f "admin: cannot bind 127.0.0.1:%d: %s" p
+                          (Unix.error_message err));
+                    None
+                | () ->
+                    Unix.listen fd 16;
+                    Unix.set_nonblock fd;
+                    let ap =
+                      match Unix.getsockname fd with
+                      | Unix.ADDR_INET (_, ap) -> ap
+                      | Unix.ADDR_UNIX _ -> p
+                    in
+                    Option.iter
+                      (fun path -> write_port_file path ap)
+                      cfg.admin_port_file;
+                    Log.app (fun f -> f "admin endpoint on 127.0.0.1:%d" ap);
+                    Some fd)
+          in
           let rec loop () =
             if !stop_requested && not st.session_over then
               end_session st ~alarmed:false ~reason:"sigterm-drain";
@@ -633,6 +770,10 @@ let run cfg =
               then begin
                 List.iter (fun s -> Conn.close s.conn) st.sessions;
                 Unix.close listen_fd;
+                (match admin_fd with
+                | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+                | None -> ());
+                (match st.journal with Some j -> Obs.Journal.close j | None -> ());
                 (match st.store with Some s -> Store.close s | None -> ());
                 Ok ()
               end
@@ -677,6 +818,9 @@ let run cfg =
             end
           and select_and_continue () =
             let rfds = listen_fd :: List.map (fun s -> Conn.fd s.conn) st.sessions in
+            let rfds =
+              match admin_fd with Some fd -> fd :: rfds | None -> rfds
+            in
             let wfds =
               List.filter_map
                 (fun s -> if Conn.want_write s.conn then Some (Conn.fd s.conn) else None)
@@ -687,6 +831,9 @@ let run cfg =
               with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
             in
             if List.mem listen_fd readable then accept_pending st listen_fd;
+            (match admin_fd with
+            | Some fd when List.mem fd readable -> serve_admin st fd
+            | _ -> ());
             List.iter
               (fun s -> if List.mem (Conn.fd s.conn) readable then read_session st s)
               st.sessions;

@@ -59,6 +59,17 @@ type config = {
   exit_after_session : bool;
       (** exit once the lockstep session ends (smoke runs); free-mode
           daemons serve until SIGTERM either way *)
+  journal : string option;
+      (** when set, span events (daemon.dispatch / daemon.dedup /
+          daemon.reply / daemon.flush) are appended to this JSONL file
+          for [tcvs_cli trace-join] *)
+  admin_port : int option;
+      (** when set, a second loopback listener serving read-only JSON
+          snapshots: accept → one ["tcvs-admin/1"] document (round,
+          per-connection I/O gauges, live registry including volatile
+          metrics) → close. [Some 0] picks an ephemeral port. *)
+  admin_port_file : string option;
+      (** written (tmp+rename) with the bound admin port *)
 }
 
 val default_config : config

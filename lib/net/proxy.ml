@@ -26,6 +26,7 @@ type config = {
   seed : string;
   faults : faults;
   max_frame : int;
+  journal : string option;
 }
 
 let default_config ~dst_port =
@@ -37,6 +38,7 @@ let default_config ~dst_port =
     seed = "proxy";
     faults = no_faults;
     max_frame = Codec.default_max_frame;
+    journal = None;
   }
 
 type leg = { conn : Conn.t; mutable held : Codec.frame list (* newest first *) }
@@ -65,13 +67,29 @@ let crosses_partition faults link frame =
       || (List.mem psrc gb && List.mem link.user ga)
   | _ -> false
 
+(* The wire ctx is what lets the proxy attribute every fault to an op
+   without decoding message bodies: (user, span) come straight off the
+   frame header. Control frames journal nothing. *)
+let jot jnl link ~ev frame =
+  match jnl with
+  | None -> ()
+  | Some j -> (
+      match Codec.ctx_of_frame frame with
+      | None -> ()
+      | Some c ->
+          Obs.Journal.event j ~user:c.Codec.x_user ~span:c.Codec.x_span
+            ~round:link.round ~ev (Codec.frame_kind frame))
+
 (* [dst] is the leg the frame continues on; held frames are flushed
    there after the control frame that ends the round. *)
-let relay cfg link ~dst frame =
+let relay cfg jnl link ~dst frame =
   (match frame with
   | Codec.Hello h -> link.user <- h.Codec.h_user
   | Codec.Tick { round } -> link.round <- round
   | _ -> ());
+  (* physical identity: which leg the frame continues on names the
+     direction in the journal *)
+  let fwd_ev = if dst == link.server then "proxy.to_server" else "proxy.to_client" in
   if not (is_payload frame) then begin
     Obs.incr c_forwarded;
     Conn.send dst.conn frame;
@@ -79,36 +97,45 @@ let relay cfg link ~dst frame =
     List.iter (fun f -> Conn.send dst.conn f) (List.rev dst.held);
     dst.held <- []
   end
-  else if crosses_partition cfg.faults link frame then Obs.incr c_partitioned
+  else if crosses_partition cfg.faults link frame then begin
+    Obs.incr c_partitioned;
+    jot jnl link ~ev:"proxy.drop" frame
+  end
   else if cfg.faults.drop > 0. && Crypto.Prng.bernoulli link.rng ~p:cfg.faults.drop
-  then Obs.incr c_dropped
+  then begin
+    Obs.incr c_dropped;
+    jot jnl link ~ev:"proxy.drop" frame
+  end
   else if
     cfg.faults.delay > 0. && Crypto.Prng.bernoulli link.rng ~p:cfg.faults.delay
   then begin
     Obs.incr c_delayed;
+    jot jnl link ~ev:"proxy.delay" frame;
     dst.held <- frame :: dst.held
   end
   else begin
     Obs.incr c_forwarded;
     Conn.send dst.conn frame;
+    jot jnl link ~ev:fwd_ev frame;
     if
       cfg.faults.duplicate > 0.
       && Crypto.Prng.bernoulli link.rng ~p:cfg.faults.duplicate
     then begin
       Obs.incr c_duplicated;
+      jot jnl link ~ev:"proxy.duplicate" frame;
       Conn.send dst.conn frame
     end
   end
 
 let stop_requested = ref false
 
-let pump cfg link ~from ~dst =
+let pump cfg jnl link ~from ~dst =
   Conn.fill from.conn;
   let rec loop () =
     match Conn.pop from.conn with
     | Ok None -> true
     | Ok (Some frame) ->
-        relay cfg link ~dst frame;
+        relay cfg jnl link ~dst frame;
         loop ()
     | Error e ->
         Log.warn (fun f ->
@@ -171,6 +198,9 @@ let run cfg =
           let links = ref [] in
           let accepted = ref 0 in
           let rng = Crypto.Prng.create ~seed:cfg.seed in
+          let jnl =
+            Option.map (fun p -> Obs.Journal.open_ ~proc:"proxy" p) cfg.journal
+          in
           let accept_pending () =
             let rec loop () =
               match Unix.accept listen_fd with
@@ -215,6 +245,7 @@ let run cfg =
             if !stop_requested then begin
               List.iter close_link !links;
               Unix.close listen_fd;
+              (match jnl with Some j -> Obs.Journal.close j | None -> ());
               Ok ()
             end
             else begin
@@ -240,10 +271,10 @@ let run cfg =
                       (fun l ->
                         let ok =
                           (if List.mem (Conn.fd l.client.conn) readable then
-                             pump cfg l ~from:l.client ~dst:l.server
+                             pump cfg jnl l ~from:l.client ~dst:l.server
                            else true)
                           && (if List.mem (Conn.fd l.server.conn) readable then
-                                pump cfg l ~from:l.server ~dst:l.client
+                                pump cfg jnl l ~from:l.server ~dst:l.client
                               else true)
                         in
                         List.iter

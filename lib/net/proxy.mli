@@ -38,6 +38,11 @@ type config = {
   seed : string;
   faults : faults;
   max_frame : int;
+  journal : string option;
+      (** when set, per-op span events (proxy.to_server / proxy.to_client
+          / proxy.drop / proxy.delay / proxy.duplicate) are appended to
+          this JSONL file, attributed via the frame's wire trace ctx —
+          no body decoding needed *)
 }
 
 val default_config : dst_port:int -> config

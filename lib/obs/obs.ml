@@ -7,24 +7,42 @@ module Scope = struct
   let name s = s
 end
 
+(* ---- Per-domain registries ------------------------------------------ *)
+
+(* Metric handles are slots: a counter or histogram registration hands
+   out an immutable id, and every domain that touches the metric owns a
+   private cell array indexed by that id, reached through one
+   [Domain.DLS.get]. The hot path (incr/observe) therefore never takes
+   a lock and never contends on a shared cache line; readers merge the
+   per-domain cells at query/report time. Domain states are appended to
+   a global list when a domain first touches a metric and are never
+   removed, so counts survive the domain's death and the merge order is
+   the (deterministic, for sequentially spawned domains) registration
+   order. [reset] and registration take the one global mutex; both are
+   quiescent-point operations. *)
+
 type counter = {
+  c_id : int;
   c_name : string;
   (* Volatile counters track physical-I/O event counts (flushes,
      fsyncs, segment rolls) that legitimately vary across durability
      modes; they are queryable but never rendered into the report. *)
   c_volatile : bool;
-  mutable c : int;
+  (* Flipped by the first [record_max]: the per-domain cells then hold
+     one shared quantity reported by every agent, so the merge takes
+     the max instead of the sum. *)
+  mutable c_max_merge : bool;
 }
 
 (* 63 power-of-two buckets cover every OCaml int; bucket [i] counts
    values v with 2^(i-1) <= v < 2^i (v <= 0 lands in bucket 0). *)
 let bucket_count = 63
 
-type histogram = {
-  h_name : string;
-  (* Volatile histograms hold wall-clock measurements; they are
-     queryable but never rendered into the deterministic report. *)
-  h_volatile : bool;
+type histogram = { h_id : int; h_name : string; h_volatile : bool }
+
+(* One domain's view of one histogram; also the shape of a merged
+   snapshot. *)
+type hcell = {
   mutable count : int;
   mutable sum : int;
   mutable min_v : int;
@@ -32,21 +50,74 @@ type histogram = {
   buckets : int array;
 }
 
-type gauge = { g_name : string; mutable g : float; mutable g_set : bool }
+let fresh_hcell () =
+  { count = 0; sum = 0; min_v = max_int; max_v = min_int; buckets = Array.make bucket_count 0 }
 
-type metric = Counter of counter | Histogram of histogram | Gauge of gauge
+type gauge = { mutable g : float; mutable g_set : bool }
 
-let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+(* Gauges and meta are set-only and rare (end-of-run derived values),
+   so they stay global under the mutex: last write wins across domains
+   by mutex ordering. *)
+type slot = Scounter of counter | Shist of histogram | Sgauge of gauge
+
+type trace_event = { at : int; dur : int; scope : string; name : string; detail : string }
+
+type dstate = {
+  mutable ctrs : int array; (* indexed by c_id *)
+  mutable hists : hcell array; (* indexed by h_id *)
+  mutable tbuf : trace_event list; (* newest first *)
+  mutable tcount : int;
+}
+
+let mu = Mutex.create ()
+let slots : (string, slot) Hashtbl.t = Hashtbl.create 64
+let c_next = ref 0
+let h_next = ref 0
+let domains : dstate list ref = ref [] (* registration order *)
 let meta : (string, string) Hashtbl.t = Hashtbl.create 16
-let tracing_on = ref false
+let tracing_on = Atomic.make false
+
+let with_lock f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      let st = { ctrs = [||]; hists = [||]; tbuf = []; tcount = 0 } in
+      with_lock (fun () -> domains := !domains @ [ st ]);
+      st)
+
+let dstate () = Domain.DLS.get dls_key
+
+let ensure_ctr st id =
+  let n = Array.length st.ctrs in
+  if id >= n then begin
+    let fresh = Array.make (max 8 (max (id + 1) (2 * n))) 0 in
+    Array.blit st.ctrs 0 fresh 0 n;
+    st.ctrs <- fresh
+  end
+
+let ensure_hist st id =
+  let n = Array.length st.hists in
+  if id >= n then begin
+    let m = max 8 (max (id + 1) (2 * n)) in
+    let fresh = Array.init m (fun i -> if i < n then st.hists.(i) else fresh_hcell ()) in
+    st.hists <- fresh
+  end
 
 let full_name scope name =
   match scope with None | Some "" -> name | Some s -> s ^ "." ^ name
 
 let kind_name = function
-  | Counter _ -> "counter"
-  | Histogram _ -> "histogram"
-  | Gauge _ -> "gauge"
+  | Scounter _ -> "counter"
+  | Shist _ -> "histogram"
+  | Sgauge _ -> "gauge"
 
 let mismatch name existing wanted =
   invalid_arg
@@ -55,37 +126,49 @@ let mismatch name existing wanted =
 
 let counter ?scope ?(volatile = false) name =
   let name = full_name scope name in
-  match Hashtbl.find_opt registry name with
-  | Some (Counter c) -> c
-  | Some m -> mismatch name m "counter"
-  | None ->
-      let c = { c_name = name; c_volatile = volatile; c = 0 } in
-      Hashtbl.replace registry name (Counter c);
-      c
+  with_lock (fun () ->
+      match Hashtbl.find_opt slots name with
+      | Some (Scounter c) -> c
+      | Some s -> mismatch name s "counter"
+      | None ->
+          let c =
+            { c_id = !c_next; c_name = name; c_volatile = volatile; c_max_merge = false }
+          in
+          Stdlib.incr c_next;
+          Hashtbl.replace slots name (Scounter c);
+          c)
 
-let incr ?(by = 1) c = c.c <- c.c + by
-let record_max c v = if v > c.c then c.c <- v
-let counter_value c = c.c
+let incr ?(by = 1) c =
+  let st = dstate () in
+  ensure_ctr st c.c_id;
+  st.ctrs.(c.c_id) <- st.ctrs.(c.c_id) + by
+
+let record_max c v =
+  if not c.c_max_merge then c.c_max_merge <- true;
+  let st = dstate () in
+  ensure_ctr st c.c_id;
+  if v > st.ctrs.(c.c_id) then st.ctrs.(c.c_id) <- v
+
+(* Sum (or max, for record_max counters) across every domain that ever
+   touched the cell. *)
+let counter_value c =
+  List.fold_left
+    (fun acc st ->
+      let v = if c.c_id < Array.length st.ctrs then st.ctrs.(c.c_id) else 0 in
+      if c.c_max_merge then max acc v else acc + v)
+    0 !domains
 
 let histogram ?scope ?(volatile = false) name =
   let name = full_name scope name in
-  match Hashtbl.find_opt registry name with
-  | Some (Histogram h) -> h
-  | Some m -> mismatch name m "histogram"
-  | None ->
-      let h =
-        {
-          h_name = name;
-          h_volatile = volatile;
-          count = 0;
-          sum = 0;
-          min_v = max_int;
-          max_v = min_int;
-          buckets = Array.make bucket_count 0;
-        }
-      in
-      Hashtbl.replace registry name (Histogram h);
-      h
+  with_lock (fun () ->
+      match Hashtbl.find_opt slots name with
+      | Some (Shist h) -> h
+      | Some s -> mismatch name s "histogram"
+      | None ->
+          let h = { h_id = !h_next; h_name = name; h_volatile = volatile } in
+          Stdlib.incr h_next;
+          Hashtbl.replace slots name (Shist h);
+          h)
 
 let bucket_of v =
   if v <= 0 then 0
@@ -96,112 +179,162 @@ let bucket_of v =
   end
 
 let observe h v =
-  h.count <- h.count + 1;
-  h.sum <- h.sum + v;
-  if v < h.min_v then h.min_v <- v;
-  if v > h.max_v then h.max_v <- v;
-  let b = h.buckets in
+  let st = dstate () in
+  ensure_hist st h.h_id;
+  let c = st.hists.(h.h_id) in
+  c.count <- c.count + 1;
+  c.sum <- c.sum + v;
+  if v < c.min_v then c.min_v <- v;
+  if v > c.max_v then c.max_v <- v;
   let i = bucket_of v in
-  b.(i) <- b.(i) + 1
+  c.buckets.(i) <- c.buckets.(i) + 1
 
-let histogram_count h = h.count
-let histogram_sum h = h.sum
+(* Bucket-wise commutative merge: cells from different domains can be
+   folded in any order and give the same snapshot. *)
+let merged_hist h =
+  let out = fresh_hcell () in
+  List.iter
+    (fun st ->
+      if h.h_id < Array.length st.hists then begin
+        let c = st.hists.(h.h_id) in
+        if c.count > 0 then begin
+          out.count <- out.count + c.count;
+          out.sum <- out.sum + c.sum;
+          if c.min_v < out.min_v then out.min_v <- c.min_v;
+          if c.max_v > out.max_v then out.max_v <- c.max_v;
+          for i = 0 to bucket_count - 1 do
+            out.buckets.(i) <- out.buckets.(i) + c.buckets.(i)
+          done
+        end
+      end)
+    !domains;
+  out
+
+let histogram_count h = (merged_hist h).count
+let histogram_sum h = (merged_hist h).sum
 
 let set_gauge ?scope name v =
   let name = full_name scope name in
-  match Hashtbl.find_opt registry name with
-  | Some (Gauge g) ->
-      g.g <- v;
-      g.g_set <- true
-  | Some m -> mismatch name m "gauge"
-  | None -> Hashtbl.replace registry name (Gauge { g_name = name; g = v; g_set = true })
+  with_lock (fun () ->
+      match Hashtbl.find_opt slots name with
+      | Some (Sgauge g) ->
+          g.g <- v;
+          g.g_set <- true
+      | Some s -> mismatch name s "gauge"
+      | None -> Hashtbl.replace slots name (Sgauge { g = v; g_set = true }))
 
-let set_meta key v = Hashtbl.replace meta key v
+let set_meta key v = with_lock (fun () -> Hashtbl.replace meta key v)
 
 (* ---- Queries -------------------------------------------------------- *)
 
 let value name =
-  match Hashtbl.find_opt registry name with Some (Counter c) -> c.c | _ -> 0
+  match Hashtbl.find_opt slots name with
+  | Some (Scounter c) -> counter_value c
+  | _ -> 0
 
 let gauge_value name =
-  match Hashtbl.find_opt registry name with
-  | Some (Gauge g) when g.g_set -> Some g.g
+  match Hashtbl.find_opt slots name with
+  | Some (Sgauge g) when g.g_set -> Some g.g
   | _ -> None
 
 let stats name =
-  match Hashtbl.find_opt registry name with
-  | Some (Histogram h) when h.count > 0 -> Some (h.count, h.sum, h.min_v, h.max_v)
+  match Hashtbl.find_opt slots name with
+  | Some (Shist h) ->
+      let m = merged_hist h in
+      if m.count > 0 then Some (m.count, m.sum, m.min_v, m.max_v) else None
   | _ -> None
 
 (* Fold order is immaterial: the result is sorted before use. *)
 let counters_with_prefix prefix =
   Hashtbl.fold
-    (fun name m acc ->
-      match m with
-      | Counter c when c.c <> 0 && String.starts_with ~prefix name -> (name, c.c) :: acc
+    (fun name s acc ->
+      match s with
+      | Scounter c when String.starts_with ~prefix name ->
+          let v = counter_value c in
+          if v <> 0 then (name, v) :: acc else acc
       | _ -> acc)
-    registry []
+    slots []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 [@@tcvs.lint.allow "determinism"]
 
 (* ---- Trace ---------------------------------------------------------- *)
 
-let set_tracing b = tracing_on := b
-let tracing () = !tracing_on
+let set_tracing b = Atomic.set tracing_on b
+let tracing () = Atomic.get tracing_on
 
 module Trace = struct
-  type event = { at : int; dur : int; scope : string; name : string; detail : string }
-
-  let buffer : event list ref = ref [] (* newest first *)
-  let n_events = ref 0
+  type event = trace_event = {
+    at : int;
+    dur : int;
+    scope : string;
+    name : string;
+    detail : string;
+  }
 
   let emit ?(scope = Scope.root) ?(dur = 0) ~at ~name detail =
-    if !tracing_on then begin
-      buffer := { at; dur; scope = Scope.name scope; name; detail } :: !buffer;
-      Stdlib.incr n_events
+    if Atomic.get tracing_on then begin
+      let st = dstate () in
+      st.tbuf <- { at; dur; scope = Scope.name scope; name; detail } :: st.tbuf;
+      st.tcount <- st.tcount + 1
     end
-  let events () = List.rev !buffer
-  let count () = !n_events
+
+  (* Emission order within a domain; domains concatenated in
+     registration order. *)
+  let events () = List.concat_map (fun st -> List.rev st.tbuf) !domains
+  let count () = List.fold_left (fun acc st -> acc + st.tcount) 0 !domains
 end
 
 (* ---- Reset ---------------------------------------------------------- *)
 
-(* Zeroing every metric commutes, so visit order cannot matter. *)
-let[@tcvs.lint.allow "determinism"] reset () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | Counter c -> c.c <- 0
-      | Gauge g ->
-          g.g <- 0.;
-          g.g_set <- false
-      | Histogram h ->
-          h.count <- 0;
-          h.sum <- 0;
-          h.min_v <- max_int;
-          h.max_v <- min_int;
-          Array.fill h.buckets 0 bucket_count 0)
-    registry;
-  Hashtbl.reset meta;
-  Trace.buffer := [];
-  Trace.n_events := 0
+(* Zeroing every cell commutes, so visit order cannot matter. Callers
+   reset at quiescent points (between runs), never while another domain
+   is mid-increment. *)
+let reset () =
+  with_lock (fun () ->
+      List.iter
+        (fun st ->
+          Array.fill st.ctrs 0 (Array.length st.ctrs) 0;
+          Array.iter
+            (fun c ->
+              c.count <- 0;
+              c.sum <- 0;
+              c.min_v <- max_int;
+              c.max_v <- min_int;
+              Array.fill c.buckets 0 bucket_count 0)
+            st.hists;
+          st.tbuf <- [];
+          st.tcount <- 0)
+        !domains;
+      (Hashtbl.iter [@tcvs.lint.allow "determinism"])
+        (fun _ s ->
+          match s with
+          | Sgauge g ->
+              g.g <- 0.;
+              g.g_set <- false
+          | _ -> ())
+        slots;
+      Hashtbl.reset meta)
+
+(* ---- JSON escaping (shared by Report and Journal) -------------------- *)
+
+let add_escaped buf s =
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
 
 (* ---- Report --------------------------------------------------------- *)
 
 module Report = struct
-  let escape buf s =
-    String.iter
-      (fun ch ->
-        match ch with
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '\n' -> Buffer.add_string buf "\\n"
-        | '\t' -> Buffer.add_string buf "\\t"
-        | '\r' -> Buffer.add_string buf "\\r"
-        | c when Char.code c < 0x20 ->
-            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      s
+  let escape = add_escaped
 
   let key buf indent name =
     Buffer.add_string buf indent;
@@ -210,8 +343,8 @@ module Report = struct
     Buffer.add_string buf "\": "
 
   (* Fold order is immaterial: the result is sorted before use. *)
-  let sorted_metrics () =
-    Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  let sorted_slots () =
+    Hashtbl.fold (fun name s acc -> (name, s) :: acc) slots []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   [@@tcvs.lint.allow "determinism"]
 
@@ -233,10 +366,10 @@ module Report = struct
       Buffer.add_char buf '}'
     end
 
-  let histogram_json buf h =
+  let histogram_json buf (m : hcell) =
     Buffer.add_string buf
       (Printf.sprintf "{ \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \"buckets\": ["
-         h.count h.sum h.min_v h.max_v);
+         m.count m.sum m.min_v m.max_v);
     let first = ref true in
     Array.iteri
       (fun i c ->
@@ -245,7 +378,7 @@ module Report = struct
           first := false;
           Buffer.add_string buf (Printf.sprintf "[%d, %d]" i c)
         end)
-      h.buckets;
+      m.buckets;
     Buffer.add_string buf "] }"
 
   let trace_line (e : Trace.event) =
@@ -261,27 +394,33 @@ module Report = struct
 
   let trace_lines () = List.map trace_line (Trace.events ())
 
-  let to_json () =
+  (* [~volatile:true] (the live admin snapshot) also renders the
+     wall-clock metrics the deterministic report must omit. *)
+  let to_json ?(volatile = false) () =
     let buf = Buffer.create 4096 in
-    let metrics = sorted_metrics () in
+    let metrics = sorted_slots () in
     let counters =
       List.filter_map
-        (fun (n, m) ->
-          match m with
-          | Counter c when c.c <> 0 && not c.c_volatile -> Some (n, c)
+        (fun (n, s) ->
+          match s with
+          | Scounter c when volatile || not c.c_volatile ->
+              let v = counter_value c in
+              if v <> 0 then Some (n, v) else None
           | _ -> None)
         metrics
     in
     let gauges =
       List.filter_map
-        (fun (n, m) -> match m with Gauge g when g.g_set -> Some (n, g) | _ -> None)
+        (fun (n, s) -> match s with Sgauge g when g.g_set -> Some (n, g) | _ -> None)
         metrics
     in
     let histograms =
       List.filter_map
-        (fun (n, m) ->
-          match m with
-          | Histogram h when h.count > 0 && not h.h_volatile -> Some (n, h)
+        (fun (n, s) ->
+          match s with
+          | Shist h when volatile || not h.h_volatile ->
+              let m = merged_hist h in
+              if m.count > 0 then Some (n, m) else None
           | _ -> None)
         metrics
     in
@@ -297,18 +436,18 @@ module Report = struct
         escape buf v;
         Buffer.add_char buf '"');
     Buffer.add_string buf ",\n  \"counters\": ";
-    obj buf ~indent:"  " counters (fun (n, c) ->
+    obj buf ~indent:"  " counters (fun (n, v) ->
         key buf "    " n;
-        Buffer.add_string buf (string_of_int c.c));
+        Buffer.add_string buf (string_of_int v));
     Buffer.add_string buf ",\n  \"gauges\": ";
     obj buf ~indent:"  " gauges (fun (n, g) ->
         key buf "    " n;
         Buffer.add_string buf (float_str g.g));
     Buffer.add_string buf ",\n  \"histograms\": ";
-    obj buf ~indent:"  " histograms (fun (n, h) ->
+    obj buf ~indent:"  " histograms (fun (n, m) ->
         key buf "    " n;
-        histogram_json buf h);
-    if !tracing_on then begin
+        histogram_json buf m);
+    if Atomic.get tracing_on then begin
       Buffer.add_string buf ",\n  \"trace\": [";
       List.iteri
         (fun i line ->
@@ -331,4 +470,401 @@ module Report = struct
       output_string oc json;
       close_out oc
     end
+end
+
+(* ---- Json: minimal parser for the library's own formats -------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Fail of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Fail (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = Stdlib.incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect ch =
+      match peek () with
+      | Some c when c = ch -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" ch)
+    in
+    let literal word value =
+      let l = String.length word in
+      if !pos + l <= n && String.equal (String.sub s !pos l) word then begin
+        pos := !pos + l;
+        value
+      end
+      else fail "bad literal"
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              if !pos + 4 > n then fail "short unicode escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              (match int_of_string_opt ("0x" ^ hex) with
+              | None -> fail "bad unicode escape"
+              (* Our own emitters only use \u for control bytes;
+                 anything wider degrades to '?'. *)
+              | Some code -> Buffer.add_char buf (if code < 0x80 then Char.chr code else '?'))
+          | _ -> fail "unknown escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num c =
+        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while !pos < n && is_num s.[!pos] do
+        advance ()
+      done;
+      let lit = String.sub s start (!pos - start) in
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt lit with
+          | Some f -> Float f
+          | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  Arr (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            elements []
+          end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing bytes";
+      v
+    with
+    | v -> Ok v
+    | exception Fail msg -> Error msg
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+end
+
+(* ---- Journal: per-process JSONL span journals ------------------------ *)
+
+module Journal = struct
+  type t = { oc : out_channel; proc : string; mutable n : int }
+
+  let open_ ~proc path = { oc = open_out path; proc; n = 0 }
+
+  let render ~proc ~n ?(user = -1) ?(span = -1) ?(dur_us = -1) ~round ~ev detail =
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf "{\"proc\":\"";
+    add_escaped buf proc;
+    Buffer.add_string buf (Printf.sprintf "\",\"n\":%d,\"round\":%d" n round);
+    if user >= 0 then Buffer.add_string buf (Printf.sprintf ",\"user\":%d" user);
+    if span >= 0 then Buffer.add_string buf (Printf.sprintf ",\"span\":%d" span);
+    Buffer.add_string buf ",\"ev\":\"";
+    add_escaped buf ev;
+    Buffer.add_string buf "\",\"detail\":\"";
+    add_escaped buf detail;
+    Buffer.add_char buf '"';
+    if dur_us >= 0 then Buffer.add_string buf (Printf.sprintf ",\"dur_us\":%d" dur_us);
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+  (* One line per event, flushed eagerly so a killed process leaves a
+     usable journal (the joiner tolerates a torn last line). *)
+  let event t ?user ?span ?dur_us ~round ~ev detail =
+    t.n <- t.n + 1;
+    output_string t.oc (render ~proc:t.proc ~n:t.n ?user ?span ?dur_us ~round ~ev detail);
+    output_char t.oc '\n';
+    flush t.oc
+
+  let close t = close_out t.oc
+end
+
+(* ---- Trace_join: merge per-process journals into one timeline -------- *)
+
+module Trace_join = struct
+  type jevent = {
+    j_proc : string;
+    j_n : int;
+    j_round : int;
+    j_user : int;
+    j_span : int;
+    j_dur_us : int;
+    j_ev : string;
+    j_detail : string;
+  }
+
+  type summary = {
+    events : int;
+    duplicates : int;
+    malformed : int;
+    spans : int;
+    complete : int;
+    orphans : int;
+  }
+
+  let parse_line line =
+    match Json.parse line with
+    | Error _ -> None
+    | Ok v -> (
+        let int k d = match Json.member k v with Some (Json.Int i) -> i | _ -> d in
+        let str k = match Json.member k v with Some (Json.Str s) -> Some s | _ -> None in
+        match (str "proc", str "ev") with
+        | Some p, Some e ->
+            Some
+              {
+                j_proc = p;
+                j_n = int "n" 0;
+                j_round = int "round" 0;
+                j_user = int "user" (-1);
+                j_span = int "span" (-1);
+                j_dur_us = int "dur_us" (-1);
+                j_ev = e;
+                j_detail = (match str "detail" with Some d -> d | None -> "");
+              }
+        | _ -> None)
+
+  (* Rank along the logical life of an op: client queue, proxy fault
+     plane, daemon dispatch, execution, store flush, reply, return leg.
+     Unknown events sort between the reply and its delivery so custom
+     instrumentation stays visible without disturbing the known flow. *)
+  let rank = function
+    | "client.send" -> 0
+    | "client.retransmit" -> 1
+    | "proxy.to_server" | "proxy.drop" | "proxy.delay" | "proxy.duplicate" -> 2
+    | "daemon.dispatch" | "daemon.dedup" -> 3
+    | "daemon.execute" -> 4
+    | "daemon.flush" | "store.flush" -> 5
+    | "daemon.reply" -> 6
+    | "proxy.to_client" -> 7
+    | "client.reply" -> 9
+    | _ -> 8
+
+  let completes ev = String.equal ev "client.reply"
+
+  let event_cmp a b =
+    let c = compare (a.j_round, rank a.j_ev) (b.j_round, rank b.j_ev) in
+    if c <> 0 then c
+    else
+      let c = String.compare a.j_proc b.j_proc in
+      if c <> 0 then c else Int.compare a.j_n b.j_n
+
+  let render_event buf e =
+    Buffer.add_string buf
+      (Printf.sprintf "    r%d [%s/%d] %s \"%s\"" e.j_round e.j_proc e.j_n e.j_ev e.j_detail);
+    if e.j_dur_us >= 0 then Buffer.add_string buf (Printf.sprintf " dur_us=%d" e.j_dur_us);
+    Buffer.add_char buf '\n'
+
+  (* [join lines] merges journal lines (from any number of files, in
+     any order) into one deterministic round-ordered timeline. Exact
+     duplicate lines — a journal listed twice, or replayed output — are
+     dropped and counted; unparseable lines (torn tails from a killed
+     process) are skipped and counted. The result depends only on the
+     set of distinct well-formed lines, never on input order. *)
+  let join lines =
+    let seen = Hashtbl.create 256 in
+    let parsed = ref [] in
+    let dup = ref 0 in
+    let bad = ref 0 in
+    List.iter
+      (fun line ->
+        let line = String.trim line in
+        if line <> "" then begin
+          if Hashtbl.mem seen line then Stdlib.incr dup
+          else begin
+            Hashtbl.replace seen line ();
+            match parse_line line with
+            | Some e -> parsed := e :: !parsed
+            | None -> Stdlib.incr bad
+          end
+        end)
+      lines;
+    let events = List.sort event_cmp !parsed in
+    (* Group spanned events by (origin user, span id); span ids are
+       per-user sequence numbers, so the pair is the op's identity. *)
+    let spans : (int * int, jevent list ref) Hashtbl.t = Hashtbl.create 64 in
+    let span_keys = ref [] in
+    let unspanned = ref [] in
+    List.iter
+      (fun e ->
+        if e.j_span < 0 then unspanned := e :: !unspanned
+        else begin
+          let k = (e.j_user, e.j_span) in
+          match Hashtbl.find_opt spans k with
+          | Some r -> r := e :: !r
+          | None ->
+              Hashtbl.replace spans k (ref [ e ]);
+              span_keys := k :: !span_keys
+        end)
+      events;
+    let unspanned = List.rev !unspanned in
+    let span_of k =
+      let evs = List.rev !(Hashtbl.find spans k) in
+      let first_round =
+        List.fold_left (fun acc e -> min acc e.j_round) max_int evs
+      in
+      let last_round = List.fold_left (fun acc e -> max acc e.j_round) 0 evs in
+      let complete = List.exists (fun e -> completes e.j_ev) evs in
+      (k, first_round, last_round, complete, evs)
+    in
+    let spans_l =
+      List.map span_of !span_keys
+      |> List.sort (fun ((u1, s1), f1, _, _, _) ((u2, s2), f2, _, _, _) ->
+             compare (f1, u1, s1) (f2, u2, s2))
+    in
+    let n_spans = List.length spans_l in
+    let n_complete =
+      List.length (List.filter (fun (_, _, _, c, _) -> c) spans_l)
+    in
+    let orphans_l = List.filter (fun (_, _, _, c, _) -> not c) spans_l in
+    let rounds =
+      List.map (fun e -> e.j_round) unspanned
+      @ List.map (fun (_, f, _, _, _) -> f) spans_l
+      |> List.sort_uniq Int.compare
+    in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "tcvs-trace-join/1\n";
+    Buffer.add_string buf
+      (Printf.sprintf "events: %d joined, %d duplicate, %d malformed\n"
+         (List.length events) !dup !bad);
+    Buffer.add_string buf
+      (Printf.sprintf "spans: %d total, %d complete, %d orphaned\n" n_spans n_complete
+         (n_spans - n_complete));
+    List.iter
+      (fun round ->
+        Buffer.add_string buf (Printf.sprintf "\n== round %d\n" round);
+        List.iter
+          (fun e ->
+            if e.j_round = round then begin
+              Buffer.add_string buf
+                (Printf.sprintf "  [%s/%d] %s \"%s\"" e.j_proc e.j_n e.j_ev e.j_detail);
+              if e.j_dur_us >= 0 then
+                Buffer.add_string buf (Printf.sprintf " dur_us=%d" e.j_dur_us);
+              Buffer.add_char buf '\n'
+            end)
+          unspanned;
+        List.iter
+          (fun ((u, sp), first, last, complete, evs) ->
+            if first = round then begin
+              if complete then
+                Buffer.add_string buf
+                  (Printf.sprintf "  span u%d#%d complete (rounds %d-%d)\n" u sp first last)
+              else begin
+                let last_ev = List.nth evs (List.length evs - 1) in
+                Buffer.add_string buf
+                  (Printf.sprintf "  span u%d#%d ORPHANED (rounds %d-%d, last: %s)\n" u sp
+                     first last last_ev.j_ev)
+              end;
+              List.iter (render_event buf) evs
+            end)
+          spans_l)
+      rounds;
+    if orphans_l <> [] then begin
+      Buffer.add_string buf "\norphaned:";
+      List.iter
+        (fun ((u, sp), _, _, _, _) -> Buffer.add_string buf (Printf.sprintf " u%d#%d" u sp))
+        orphans_l;
+      Buffer.add_char buf '\n'
+    end;
+    ( Buffer.contents buf,
+      {
+        events = List.length events;
+        duplicates = !dup;
+        malformed = !bad;
+        spans = n_spans;
+        complete = n_complete;
+        orphans = n_spans - n_complete;
+      } )
 end

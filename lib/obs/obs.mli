@@ -7,8 +7,18 @@
     where those numbers live, instead of being recomputed ad hoc inside
     each experiment. Every layer (SHA-256, the Merkle tree, the
     protocols, the simulator) registers metrics against one global
-    registry; a harness run calls {!reset}, drives the system, then
+    slot table; a harness run calls {!reset}, drives the system, then
     serialises the registry with {!Report.to_json}.
+
+    Metrics are domain-safe: a handle is a slot id, and each OCaml 5
+    domain owns a private cell array reached through domain-local
+    storage, so the increment hot path never locks and never contends.
+    Queries and reports merge the per-domain cells (counters sum,
+    histograms fold bucket-wise, gauges are last-write-wins under the
+    registration mutex, traces concatenate in domain-registration
+    order); a domain's cells outlive the domain, so nothing is lost
+    when workers exit. Registration and {!reset} take one global mutex
+    and are quiescent-point operations.
 
     Determinism is the design constraint: metrics hold only counts and
     round-clock values (never wall-clock time), metric names are
@@ -34,14 +44,16 @@ end
 
 type counter
 (** A monotonically growing integer, cheap enough for hash-function hot
-    paths: incrementing mutates a record field, no lookup. *)
+    paths: incrementing writes one slot of the calling domain's private
+    cell array — no lock, no shared cache line. *)
 
 type histogram
 (** Distribution summary: count, sum, min, max and power-of-two
-    buckets. Values are dimensionless integers (bytes, rounds, ops). *)
+    buckets. Values are dimensionless integers (bytes, rounds, ops).
+    Per-domain cells merge commutatively at query time. *)
 
 val counter : ?scope:Scope.t -> ?volatile:bool -> string -> counter
-(** Get-or-create the counter [scope.name] in the global registry.
+(** Get-or-create the counter [scope.name] in the global slot table.
     Handles stay valid across {!reset} (which only zeroes values).
     With [~volatile:true], the counter tracks physical-I/O event counts
     (flushes, fsyncs, segment rolls) that legitimately differ across
@@ -54,9 +66,11 @@ val incr : ?by:int -> counter -> unit
 val record_max : counter -> int -> unit
 (** Raise the counter to [v] if [v] is larger — for values that every
     agent reports but that describe one shared quantity (e.g. completed
-    sync sessions). *)
+    sync sessions). A counter touched by [record_max] merges across
+    domains by max rather than sum. *)
 
 val counter_value : counter -> int
+(** Merged across domains: sum, or max for {!record_max} counters. *)
 
 val histogram : ?scope:Scope.t -> ?volatile:bool -> string -> histogram
 (** With [~volatile:true], the histogram is registered as wall-clock
@@ -70,7 +84,8 @@ val histogram_sum : histogram -> int
 
 val set_gauge : ?scope:Scope.t -> string -> float -> unit
 (** Set a derived floating-point metric (e.g. messages per operation).
-    Gauges are set-only; the last write wins. *)
+    Gauges are set-only; the last write wins (across domains, by mutex
+    ordering). *)
 
 val set_meta : string -> string -> unit
 (** Attach run metadata (protocol name, adversary, seed) to the report. *)
@@ -78,13 +93,14 @@ val set_meta : string -> string -> unit
 (** {2 Registry queries} — how experiments read their headline numbers. *)
 
 val value : string -> int
-(** Counter value by full dotted name; [0] when absent. *)
+(** Counter value by full dotted name, merged across domains; [0] when
+    absent. *)
 
 val gauge_value : string -> float option
 
 val stats : string -> (int * int * int * int) option
-(** Histogram [(count, sum, min, max)] by full name; [None] when absent
-    or empty. *)
+(** Histogram [(count, sum, min, max)] by full name, merged across
+    domains; [None] when absent or empty. *)
 
 val counters_with_prefix : string -> (string * int) list
 (** Nonzero counters whose full name starts with [prefix], sorted. *)
@@ -110,32 +126,104 @@ module Trace : sig
 
   val emit : ?scope:Scope.t -> ?dur:int -> at:int -> name:string -> string -> unit
   (** [emit ~at ~name detail] records a point event ([dur = 0]) or a
-      span. No-op unless {!set_tracing}[ true] was called. *)
+      span into the calling domain's buffer. No-op unless
+      {!set_tracing}[ true] was called. *)
 
   val events : unit -> event list
-  (** In emission order. *)
+  (** Emission order within each domain; domains concatenated in
+      registration order (deterministic when domains are spawned
+      sequentially). *)
 
   val count : unit -> int
 end
 
 val reset : unit -> unit
-(** Zero every registered metric, clear metadata and trace events.
-    Registrations (and outstanding handles) survive; the tracing flag
-    is preserved. Called by the harness at the start of every run so
-    reports are run-scoped. *)
+(** Zero every registered metric in every domain, clear metadata and
+    trace events. Registrations (and outstanding handles) survive; the
+    tracing flag is preserved. Called by the harness at the start of
+    every run so reports are run-scoped. Quiescent-point operation: do
+    not race it against increments from other domains. *)
 
 (** {2 Run reports} *)
 
 module Report : sig
-  val to_json : unit -> string
+  val to_json : ?volatile:bool -> unit -> string
   (** Stable JSON snapshot of the registry: sorted names, fixed number
       formats, metrics with zero count/value omitted (so metrics
       registered by other runs in the same process never leak in).
-      Trace events are included only while tracing is enabled. *)
+      Trace events are included only while tracing is enabled.
+      [~volatile:true] (the live admin snapshot path) also renders
+      volatile wall-clock metrics; the default omits them so same-seed
+      reports stay byte-identical. *)
 
   val write : string -> unit
   (** [write path] writes {!to_json} to [path]; ["-"] means stdout. *)
 
   val trace_lines : unit -> string list
   (** One JSON object per trace event — the [--trace FILE] format. *)
+end
+
+(** {2 Json} — a minimal parser for the library's own emission formats
+    (reports, admin snapshots, journal lines). No external deps; not a
+    general-purpose JSON library. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  val member : string -> t -> t option
+  (** Object field lookup; [None] on missing key or non-object. *)
+end
+
+(** {2 Journal} — per-process JSONL span journals.
+
+    Each line is a flat object:
+    [{"proc":P,"n":N,"round":R,"user":U,"span":S,"ev":E,"detail":D,"dur_us":T}]
+    where [n] is a per-process monotone sequence number (intra-process
+    order without a wall clock), [user]/[span] identify the originating
+    op ([span] ids are per-user sequence numbers, so the pair is the
+    op's identity; both omitted for process-level events) and [dur_us]
+    is an optional wall-clock duration. Lines are flushed eagerly so a
+    killed process leaves a usable journal. *)
+module Journal : sig
+  type t
+
+  val open_ : proc:string -> string -> t
+  (** [open_ ~proc path] truncates/creates [path]; [proc] labels every
+      line (e.g. ["client-2"], ["proxy"], ["daemon"]). *)
+
+  val event :
+    t -> ?user:int -> ?span:int -> ?dur_us:int -> round:int -> ev:string -> string -> unit
+  (** [event t ~round ~ev detail] appends one line. Negative [user]/
+      [span]/[dur_us] are treated as absent. *)
+
+  val close : t -> unit
+end
+
+(** {2 Trace_join} — merge per-process journals into one timeline. *)
+module Trace_join : sig
+  type summary = {
+    events : int;  (** distinct well-formed events joined *)
+    duplicates : int;  (** exact duplicate lines dropped *)
+    malformed : int;  (** unparseable lines skipped (torn tails) *)
+    spans : int;
+    complete : int;  (** spans that reached a [client.reply] event *)
+    orphans : int;  (** spans with no reply — lost or still in flight *)
+  }
+
+  val join : string list -> string * summary
+  (** [join lines] renders a deterministic round-ordered timeline from
+      journal lines (any number of files, concatenated in any order):
+      per round, process-level events then spans grouped by origin
+      [(user, span id)] and ordered along the op's logical life
+      (client queue → proxy fault plane → daemon dispatch → store
+      flush → reply). Orphaned spans are marked in place and listed at
+      the end. Output depends only on the set of distinct well-formed
+      input lines. *)
 end

@@ -130,6 +130,37 @@ let test_fsync_confinement_store_ok () =
   (* Other Unix calls in the sanctioned dirs stay legal. *)
   check_clean ~file:"lib/net/fixture.ml" "let f fd = Unix.close fd"
 
+(* ---- obs-scope-naming -------------------------------------------------- *)
+
+let test_obs_scope_naming_flags () =
+  check_flags ~rule:"obs-scope-naming" "let s = Obs.Scope.v \"Net.Daemon\"";
+  check_flags ~rule:"obs-scope-naming" "let s = Obs.Scope.v \"net..daemon\"";
+  check_flags ~rule:"obs-scope-naming" "let s = Obs.Scope.v \"net-daemon\"";
+  (* Dots belong in the scope, not the metric name. *)
+  check_flags ~rule:"obs-scope-naming"
+    "let c = Obs.counter ~scope:obs_scope \"frames.sent\"";
+  check_flags ~rule:"obs-scope-naming"
+    "let h = Obs.histogram ~scope:obs_scope \"Round_us\"";
+  (* A literal name without ~scope lands at the registry root. *)
+  check_flags ~rule:"obs-scope-naming" "let c = Obs.counter \"frames_sent\"";
+  check_flags ~rule:"obs-scope-naming"
+    "let () = Obs.set_gauge \"msgs_per_op\" 1.5";
+  (* bench/ and tools/ register metrics too; the rule follows them. *)
+  check_flags ~file:"bench/fixture.ml" ~rule:"obs-scope-naming"
+    "let s = Obs.Scope.v \"Bench\""
+
+let test_obs_scope_naming_clean () =
+  check_clean "let s = Obs.Scope.v \"net.daemon\"";
+  check_clean "let s = Obs.Scope.v \"store.group_commit\"";
+  check_clean "let c = Obs.counter ~scope:obs_scope \"frames_sent\"";
+  check_clean "let h = Obs.histogram ~scope:obs_scope ~volatile:true \"fsync_us\"";
+  check_clean "let () = Obs.set_gauge ~scope:obs_scope \"msgs_per_op\" 1.5";
+  (* Computed names and scope algebra are beyond a syntactic rule. *)
+  check_clean "let c = Obs.counter ~scope:obs_scope (\"sent.\" ^ kind)";
+  check_clean "let s = Obs.Scope.(v \"crypto\" / \"sha256\")";
+  (* test/ may register throwaway scopes. *)
+  check_clean ~file:"test/fixture.ml" "let c = Obs.counter \"x\""
+
 (* ---- allow attributes -------------------------------------------------- *)
 
 let test_allow_attribute_on_expression () =
@@ -235,6 +266,8 @@ let suite =
     Alcotest.test_case "fsync-confinement: flags" `Quick test_fsync_confinement_flags;
     Alcotest.test_case "fsync-confinement: lib/store ok" `Quick
       test_fsync_confinement_store_ok;
+    Alcotest.test_case "obs-scope-naming: flags" `Quick test_obs_scope_naming_flags;
+    Alcotest.test_case "obs-scope-naming: clean" `Quick test_obs_scope_naming_clean;
     Alcotest.test_case "allow attr: expression" `Quick test_allow_attribute_on_expression;
     Alcotest.test_case "allow attr: binding" `Quick test_allow_attribute_on_binding;
     Alcotest.test_case "allow attr: floating" `Quick test_allow_attribute_floating;

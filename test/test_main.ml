@@ -17,6 +17,7 @@ let () =
       ("sim", Test_sim.suite);
       ("store", Test_store.suite);
       ("net", Test_net.suite);
+      ("trace", Test_trace.suite);
       ("wgraph", Test_wgraph.suite);
       ("workload", Test_workload.suite);
       ("protocols", Test_protocols.suite);

@@ -120,12 +120,29 @@ let sample_frames =
         w_round = 57;
         w_root = digest 'm';
       };
-    Codec.Request { seq = 1; msg = nth_msg 0 };
-    Codec.Request { seq = 4096; msg = nth_msg 1 };
-    Codec.Publish { seq = 7; msg = nth_msg 13 };
+    Codec.Request
+      { seq = 1; ctx = { x_round = 0; x_user = 2; x_span = 1 }; msg = nth_msg 0 };
+    Codec.Request
+      {
+        seq = 4096;
+        ctx = { x_round = 99; x_user = 0; x_span = 4096 };
+        msg = nth_msg 1;
+      };
+    Codec.Publish
+      { seq = 7; ctx = { x_round = 3; x_user = 1; x_span = 7 }; msg = nth_msg 13 };
     Codec.Ack { seq = 7 };
-    Codec.Reply { seq = 1; msg = nth_msg 8 };
-    Codec.Deliver { src = 3; sseq = 2; msg = nth_msg 15 };
+    Codec.Reply
+      { seq = 1; ctx = { x_round = 1; x_user = 2; x_span = 1 }; msg = nth_msg 8 };
+    Codec.Reply
+      (* x_user = -1: an unattributable reply survives the codec *)
+      { seq = 2; ctx = { x_round = 0; x_user = -1; x_span = 2 }; msg = nth_msg 9 };
+    Codec.Deliver
+      {
+        src = 3;
+        sseq = 2;
+        ctx = { x_round = 12; x_user = 3; x_span = 2 };
+        msg = nth_msg 15;
+      };
     Codec.Deliver_ack { src = 3; sseq = 2 };
     Codec.Tick { round = 12 };
     Codec.Tick_done { round = 12; drained = false; alarmed = false };
@@ -215,7 +232,14 @@ let test_bit_flips_rejected () =
     sample_frames
 
 let test_oversized_rejected () =
-  let frame = Codec.Request { seq = 1; msg = List.hd sample_messages } in
+  let frame =
+    Codec.Request
+      {
+        seq = 1;
+        ctx = { x_round = 0; x_user = 0; x_span = 1 };
+        msg = List.hd sample_messages;
+      }
+  in
   let bytes = Codec.encode_frame frame in
   let body_len = String.length bytes - Codec.header_len in
   (match Codec.decode_frame ~max_frame:(body_len - 1) bytes with

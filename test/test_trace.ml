@@ -1,0 +1,428 @@
+(* Tests for the cross-process telemetry plane: journal emission,
+   trace-join reconstruction under transport faults, and the property
+   the tooling rests on — the joined timeline depends only on the set
+   of distinct well-formed journal lines, never on file order, line
+   order, or replayed output.
+
+   The fault scenarios mirror what the proxy actually injects: a
+   dropped frame forces a retransmit under the *same* span id, a
+   duplicated frame hits the daemon's dedup, a delayed frame crosses a
+   round boundary — none of which may mint a second span. An op whose
+   reply never arrived must surface as a distinctly-marked orphan, not
+   vanish. *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+(* Write events through the real journal writer and hand back the
+   lines, so the synthetic scenarios also exercise the JSONL shape the
+   join consumes in production. *)
+let journal_lines ~proc events =
+  let path = Filename.temp_file "tcvs-trace" ".jsonl" in
+  let j = Obs.Journal.open_ ~proc path in
+  List.iter
+    (fun (round, user, span, ev, detail) ->
+      Obs.Journal.event j ~user ~span ~round ~ev detail)
+    events;
+  Obs.Journal.close j;
+  let lines = read_lines path in
+  Sys.remove path;
+  lines
+
+(* ---- journal writer ---------------------------------------------------- *)
+
+let test_journal_shape () =
+  let path = Filename.temp_file "tcvs-trace" ".jsonl" in
+  let j = Obs.Journal.open_ ~proc:"client0" path in
+  Obs.Journal.event j ~user:0 ~span:1 ~round:3 ~ev:"client.send" "request";
+  (* Eager flush: the line is durable before close. *)
+  Alcotest.(check int) "line visible before close" 1 (List.length (read_lines path));
+  Obs.Journal.event j ~round:4 ~ev:"client.reconnect" "attempt 1";
+  Obs.Journal.event j ~user:0 ~span:1 ~dur_us:250 ~round:5 ~ev:"client.reply" "reply";
+  Obs.Journal.close j;
+  (match read_lines path with
+  | [ l1; l2; l3 ] ->
+      Alcotest.(check string) "full line"
+        "{\"proc\":\"client0\",\"n\":1,\"round\":3,\"user\":0,\"span\":1,\"ev\":\"client.send\",\"detail\":\"request\"}"
+        l1;
+      (* Absent user/span/dur_us are omitted, not serialised as -1. *)
+      Alcotest.(check string) "spanless line"
+        "{\"proc\":\"client0\",\"n\":2,\"round\":4,\"ev\":\"client.reconnect\",\"detail\":\"attempt 1\"}"
+        l2;
+      Alcotest.(check string) "dur_us carried"
+        "{\"proc\":\"client0\",\"n\":3,\"round\":5,\"user\":0,\"span\":1,\"ev\":\"client.reply\",\"detail\":\"reply\",\"dur_us\":250}"
+        l3
+  | lines -> Alcotest.failf "expected 3 lines, got %d" (List.length lines));
+  Sys.remove path
+
+(* ---- fault scenarios --------------------------------------------------- *)
+
+(* One faulted session, hand-scripted: four ops across two users.
+   u0#1 is dropped once and retransmitted; u1#1 is duplicated in
+   flight and deduped; u0#2 is delayed across a round boundary; u1#2
+   is dropped and never retried (the orphan). *)
+let faulted_session () =
+  let client0 =
+    journal_lines ~proc:"client0"
+      [
+        (1, 0, 1, "client.send", "request");
+        (2, 0, 1, "client.retransmit", "attempt 1");
+        (3, 0, 1, "client.reply", "reply");
+        (4, 0, 2, "client.send", "request");
+        (6, 0, 2, "client.reply", "reply");
+      ]
+  in
+  let client1 =
+    journal_lines ~proc:"client1"
+      [
+        (1, 1, 1, "client.send", "publish");
+        (2, 1, 1, "client.reply", "ack");
+        (5, 1, 2, "client.send", "request");
+      ]
+  in
+  let proxy =
+    journal_lines ~proc:"proxy"
+      [
+        (1, 0, 1, "proxy.drop", "request");
+        (1, 1, 1, "proxy.to_server", "publish");
+        (1, 1, 1, "proxy.duplicate", "publish");
+        (2, 0, 1, "proxy.to_server", "request");
+        (2, 0, 1, "proxy.to_client", "reply");
+        (2, 1, 1, "proxy.to_client", "ack");
+        (4, 0, 2, "proxy.delay", "request");
+        (5, 0, 2, "proxy.to_server", "request");
+        (5, 0, 2, "proxy.to_client", "reply");
+        (5, 1, 2, "proxy.drop", "request");
+      ]
+  in
+  let daemon =
+    journal_lines ~proc:"daemon"
+      [
+        (1, 1, 1, "daemon.dispatch", "publish commit");
+        (1, 1, 1, "daemon.dedup", "duplicate publish");
+        (2, 0, 1, "daemon.dispatch", "query head");
+        (2, 0, 1, "daemon.reply", "reply");
+        (5, 0, 2, "daemon.dispatch", "query head");
+        (5, 0, 2, "daemon.reply", "reply");
+      ]
+  in
+  client0 @ client1 @ proxy @ daemon
+
+let count_occurrences ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i acc =
+    if i + nl > hl then acc
+    else if String.sub hay i nl = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_join_faulted_session () =
+  let text, s = Obs.Trace_join.join (faulted_session ()) in
+  Alcotest.(check int) "all lines joined" 24 s.Obs.Trace_join.events;
+  Alcotest.(check int) "no duplicate lines" 0 s.Obs.Trace_join.duplicates;
+  Alcotest.(check int) "no malformed lines" 0 s.Obs.Trace_join.malformed;
+  (* Drop, duplicate and delay faults must not mint extra spans: the
+     retransmit reuses the original span id, the dedup folds into the
+     original op. Four ops → four spans, exactly. *)
+  Alcotest.(check int) "four ops, four spans" 4 s.Obs.Trace_join.spans;
+  Alcotest.(check int) "three complete" 3 s.Obs.Trace_join.complete;
+  Alcotest.(check int) "one orphan" 1 s.Obs.Trace_join.orphans;
+  (* Each span is rendered exactly once. *)
+  List.iter
+    (fun span_hdr ->
+      Alcotest.(check int)
+        (Printf.sprintf "%S rendered once" span_hdr)
+        1
+        (count_occurrences ~needle:span_hdr text))
+    [ "span u0#1 complete"; "span u1#1 complete"; "span u0#2 complete" ];
+  (* The orphan is marked in place — with the event it died on — and
+     listed again in the trailing index. *)
+  Alcotest.(check int) "orphan marked in place" 1
+    (count_occurrences ~needle:"span u1#2 ORPHANED" text);
+  Alcotest.(check bool) "orphan names its last event" true
+    (count_occurrences ~needle:"last: proxy.drop" text > 0);
+  Alcotest.(check bool) "trailing orphan index" true
+    (count_occurrences ~needle:"orphaned: u1#2" text > 0)
+
+let test_join_deterministic () =
+  let lines = faulted_session () in
+  let t1, _ = Obs.Trace_join.join lines in
+  let t2, _ = Obs.Trace_join.join lines in
+  Alcotest.(check string) "join twice, byte-identical" t1 t2;
+  (* Input order — files concatenated differently, lines shuffled —
+     must not show through. *)
+  let t3, _ = Obs.Trace_join.join (List.rev lines) in
+  Alcotest.(check string) "reversed input, byte-identical" t1 t3;
+  let odd, even =
+    List.partition (fun l -> Hashtbl.hash l land 1 = 1) lines
+  in
+  let t4, _ = Obs.Trace_join.join (even @ odd) in
+  Alcotest.(check string) "interleaved input, byte-identical" t1 t4
+
+(* The "events: N joined, D duplicate, M malformed" header reports
+   what the join saw, so it legitimately varies with replays and torn
+   tails; the timeline below it may not. *)
+let timeline text =
+  match String.split_on_char '\n' text with
+  | schema :: _header :: rest -> String.concat "\n" (schema :: rest)
+  | _ -> text
+
+let test_join_dedups_replayed_journals () =
+  let lines = faulted_session () in
+  let t1, s1 = Obs.Trace_join.join lines in
+  (* The same journal passed twice — every line an exact duplicate. *)
+  let t2, s2 = Obs.Trace_join.join (lines @ lines) in
+  Alcotest.(check string) "replayed journal changes nothing" (timeline t1)
+    (timeline t2);
+  Alcotest.(check int) "duplicates counted" (List.length lines)
+    s2.Obs.Trace_join.duplicates;
+  Alcotest.(check int) "span count unchanged" s1.Obs.Trace_join.spans
+    s2.Obs.Trace_join.spans
+
+let test_join_skips_torn_tails () =
+  let lines = faulted_session () in
+  let t1, _ = Obs.Trace_join.join lines in
+  let torn =
+    lines @ [ "{\"proc\":\"daemon\",\"n\":99,\"rou"; "not json at all"; "   " ]
+  in
+  let t2, s2 = Obs.Trace_join.join torn in
+  Alcotest.(check string) "torn tail invisible in output" (timeline t1)
+    (timeline t2);
+  (* The all-whitespace line is blank, not malformed. *)
+  Alcotest.(check int) "torn lines counted" 2 s2.Obs.Trace_join.malformed
+
+(* ---- live: three processes, faulted link, admin scrape ------------------ *)
+
+let wait_port_file path =
+  let deadline = Unix.gettimeofday () +. 15. in
+  let rec loop () =
+    if Sys.file_exists path then begin
+      let ic = open_in path in
+      let port = int_of_string (String.trim (input_line ic)) in
+      close_in ic;
+      port
+    end
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail (Printf.sprintf "%s was never written" path)
+    else begin
+      ignore (Unix.select [] [] [] 0.02);
+      loop ()
+    end
+  in
+  loop ()
+
+let wait_exit ~what pid =
+  let deadline = Unix.gettimeofday () +. 60. in
+  let rec loop () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if Unix.gettimeofday () > deadline then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid);
+          Alcotest.failf "%s did not exit in time" what
+        end
+        else begin
+          ignore (Unix.select [] [] [] 0.05);
+          loop ()
+        end
+    | _, Unix.WEXITED 0 -> ()
+    | _, Unix.WEXITED c -> Alcotest.failf "%s exited with %d" what c
+    | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+        Alcotest.failf "%s killed by signal %d" what s
+  in
+  loop ()
+
+let reap ~signal pid =
+  (try Unix.kill pid signal with Unix.Unix_error _ -> ());
+  ignore (try Unix.waitpid [] pid with Unix.Unix_error _ -> (0, Unix.WEXITED 0))
+
+let scrape_admin port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  Unix.close fd;
+  Buffer.contents buf
+
+let live_protocol =
+  Tcvs.Harness.Protocol_2
+    { k = 8; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user }
+
+(* A real daemon, a real fault proxy (drops, delays, duplicates) and
+   two real clients, each journaling to its own file. The join of the
+   four journals must reconstruct every op as exactly one span — the
+   retransmission machinery hides the faults but the span ids must
+   survive them — and the admin endpoint must serve a snapshot that
+   agrees with what the session did. *)
+let test_live_faulted_trace () =
+  let dir = Filename.temp_file "tcvs-trace-live" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let in_dir f = Filename.concat dir f in
+  let seed = "trace-live" in
+  let users = 2 in
+  let script =
+    Tcvs.Harness.script_of_events
+      (Workload.Schedule.generate
+         { Workload.Schedule.default_profile with Workload.Schedule.users }
+         ~seed ~rounds:24)
+  in
+  let daemon_pid =
+    match Unix.fork () with
+    | 0 ->
+        (try
+           ignore
+             (Net.Daemon.run
+                {
+                  Net.Daemon.default_config with
+                  port_file = Some (in_dir "daemon.port");
+                  users;
+                  protocol = live_protocol;
+                  seed;
+                  journal = Some (in_dir "daemon.jsonl");
+                  admin_port = Some 0;
+                  admin_port_file = Some (in_dir "admin.port");
+                })
+         with _ -> ());
+        Unix._exit 0
+    | pid -> pid
+  in
+  let finally () = reap ~signal:Sys.sigkill daemon_pid in
+  Fun.protect ~finally (fun () ->
+      let daemon_port = wait_port_file (in_dir "daemon.port") in
+      let proxy_pid =
+        match Unix.fork () with
+        | 0 ->
+            (try
+               ignore
+                 (Net.Proxy.run
+                    {
+                      (Net.Proxy.default_config ~dst_port:daemon_port) with
+                      Net.Proxy.port_file = Some (in_dir "proxy.port");
+                      seed = "trace-live-proxy";
+                      faults =
+                        {
+                          Net.Proxy.no_faults with
+                          Net.Proxy.drop = 0.15;
+                          delay = 0.05;
+                          duplicate = 0.10;
+                        };
+                      journal = Some (in_dir "proxy.jsonl");
+                    })
+             with _ -> ());
+            Unix._exit 0
+        | pid -> pid
+      in
+      let finally () = reap ~signal:Sys.sigterm proxy_pid in
+      Fun.protect ~finally (fun () ->
+          let proxy_port = wait_port_file (in_dir "proxy.port") in
+          let client user =
+            match Unix.fork () with
+            | 0 ->
+                let cfg =
+                  {
+                    (Net.Client.default_config ~user ~port:proxy_port) with
+                    Net.Client.users;
+                    protocol = live_protocol;
+                    seed;
+                    script;
+                    journal = Some (in_dir (Printf.sprintf "client%d.jsonl" user));
+                  }
+                in
+                (match Net.Client.run cfg with
+                | Ok v when not v.Net.Client.v_alarmed -> Unix._exit 0
+                | Ok _ -> Unix._exit 3
+                | Error _ -> Unix._exit 1)
+            | pid -> pid
+          in
+          let c0 = client 0 in
+          let c1 = client 1 in
+          (* Scrape the admin endpoint while the session is running —
+             each connect gets one fresh snapshot. Poll until the live
+             registry shows executed requests (the first round's worth),
+             well before the session's tail-tick drain ends it. *)
+          let admin_port = wait_port_file (in_dir "admin.port") in
+          let executed_in snapshot =
+            match Obs.Json.parse snapshot with
+            | Error e -> Alcotest.failf "admin snapshot does not parse: %s" e
+            | Ok v -> (
+                (match Obs.Json.member "schema" v with
+                | Some (Obs.Json.Str s) ->
+                    Alcotest.(check string) "admin schema" "tcvs-admin/1" s
+                | _ -> Alcotest.fail "admin snapshot lacks a schema field");
+                match
+                  Option.bind (Obs.Json.member "registry" v) (fun r ->
+                      Option.bind (Obs.Json.member "counters" r)
+                        (Obs.Json.member "net.daemon.requests_executed"))
+                with
+                | Some (Obs.Json.Int n) -> n
+                | _ -> 0)
+          in
+          let deadline = Unix.gettimeofday () +. 30. in
+          let rec poll () =
+            if executed_in (scrape_admin admin_port) > 0 then ()
+            else if Unix.gettimeofday () > deadline then
+              Alcotest.fail "live registry never showed executed requests"
+            else begin
+              ignore (Unix.select [] [] [] 0.05);
+              poll ()
+            end
+          in
+          poll ();
+          wait_exit ~what:"client 0" c0;
+          wait_exit ~what:"client 1" c1;
+          (* The daemon exits on its own once the lockstep session
+             ends, closing its journal; the proxy needs a SIGTERM. *)
+          wait_exit ~what:"daemon" daemon_pid;
+          reap ~signal:Sys.sigterm proxy_pid;
+          let lines =
+            List.concat_map
+              (fun f -> read_lines (in_dir f))
+              [ "daemon.jsonl"; "proxy.jsonl"; "client0.jsonl"; "client1.jsonl" ]
+          in
+          let text, s = Obs.Trace_join.join lines in
+          Alcotest.(check bool) "session produced spans" true
+            (s.Obs.Trace_join.spans > 0);
+          (* Every op completed (the clients exited clean), so every
+             span must have found its reply — under 15% drop, 10%
+             duplication and 5% delay. A duplicate span id minted by a
+             retransmit or a duplicated frame would show up as an extra
+             (incomplete) span here. *)
+          Alcotest.(check int) "no orphaned spans" 0 s.Obs.Trace_join.orphans;
+          Alcotest.(check int) "all spans complete" s.Obs.Trace_join.spans
+            s.Obs.Trace_join.complete;
+          Alcotest.(check int) "no torn journal lines" 0 s.Obs.Trace_join.malformed;
+          let t2, _ = Obs.Trace_join.join (List.rev lines) in
+          Alcotest.(check string) "live join is order-independent" text t2))
+
+let suite =
+  [
+    Alcotest.test_case "journal: JSONL shape" `Quick test_journal_shape;
+    Alcotest.test_case "join: faulted session, one span per op" `Quick
+      test_join_faulted_session;
+    Alcotest.test_case "join: deterministic in input order" `Quick
+      test_join_deterministic;
+    Alcotest.test_case "join: replayed journals deduped" `Quick
+      test_join_dedups_replayed_journals;
+    Alcotest.test_case "join: torn tails skipped" `Quick test_join_skips_torn_tails;
+    Alcotest.test_case "live: faulted link, admin scrape, trace joins" `Quick
+      test_live_faulted_trace;
+  ]

@@ -429,5 +429,104 @@ let fsync_confinement =
           | _ -> ());
   }
 
+(* ---- obs-scope-naming ------------------------------------------------ *)
+
+let obs_scope_naming_id = "obs-scope-naming"
+
+(* Everywhere metrics are registered. The telemetry plane joins
+   per-process registries by full dotted name (reports, admin
+   snapshots, `tcvs_cli top`), so the names must stay a predictable
+   hierarchy: the scope carries the dots ("net.daemon",
+   "store.group_commit"), the metric name is one lowercase segment
+   ("dedup_hits"), and nothing registers at the root where it would
+   collide across components. Purely syntactic: only literal strings
+   are checked; computed names ("sent." ^ kind) and locally-opened
+   scope algebra (Obs.Scope.(v "a" / b)) are skipped. *)
+let obs_scope_naming_scope = [ "lib"; "bin"; "bench"; "examples"; "tools" ]
+
+let scope_maker_idents = [ "Obs.Scope.v"; "Scope.v" ]
+let metric_maker_idents = [ "Obs.counter"; "Obs.histogram"; "Obs.set_gauge" ]
+
+let valid_segment s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' -> true | _ -> false)
+  && String.for_all (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false) s
+
+let valid_scope_path s =
+  String.length s > 0 && List.for_all valid_segment (String.split_on_char '.' s)
+
+let literal_string expr =
+  match expr.pexp_desc with
+  | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+  | _ -> None
+
+let obs_scope_naming =
+  {
+    Lint_engine.id = obs_scope_naming_id;
+    summary =
+      "metric namespaces follow component.sub.metric: Obs.Scope.v literals are dotted \
+       lowercase paths, Obs.counter/histogram/set_gauge literal names are one lowercase \
+       segment and carry an explicit ~scope";
+    default_scope = obs_scope_naming_scope;
+    on_case = None;
+    on_expr =
+      Some
+        (fun ctx e ->
+          match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+              let head = lid_string txt in
+              if List.exists (String.equal head) scope_maker_idents then
+                List.iter
+                  (fun ((lbl : Asttypes.arg_label), arg) ->
+                    match (lbl, literal_string arg) with
+                    | Asttypes.Nolabel, Some s when not (valid_scope_path s) ->
+                        Lint_engine.report ctx obs_scope_naming_id arg.pexp_loc
+                          (Printf.sprintf
+                             "scope %S is not a dotted lowercase path; each '.'-separated \
+                              segment must match [a-z][a-z0-9_]*"
+                             s)
+                    | _ -> ())
+                  args
+              else if List.exists (String.equal head) metric_maker_idents then begin
+                let has_scope =
+                  List.exists
+                    (fun ((lbl : Asttypes.arg_label), _) ->
+                      match lbl with
+                      | Asttypes.Labelled "scope" | Asttypes.Optional "scope" -> true
+                      | _ -> false)
+                    args
+                in
+                List.iter
+                  (fun ((lbl : Asttypes.arg_label), arg) ->
+                    match (lbl, literal_string arg) with
+                    | Asttypes.Nolabel, Some name ->
+                        if not (valid_segment name) then
+                          Lint_engine.report ctx obs_scope_naming_id arg.pexp_loc
+                            (Printf.sprintf
+                               "metric name %S is not a single lowercase segment \
+                                ([a-z][a-z0-9_]*); the hierarchy lives in the scope, not \
+                                the name"
+                               name);
+                        if not has_scope then
+                          Lint_engine.report ctx obs_scope_naming_id e.pexp_loc
+                            (Printf.sprintf
+                               "%s %S registers a root-level metric; pass ~scope so the \
+                                name lands under its component's namespace"
+                               head name)
+                    | _ -> ())
+                  args
+              end
+          | _ -> ());
+  }
+
 let all =
-  [ digest_safety; determinism; logging; no_catchall; store_io; net_io; fsync_confinement ]
+  [
+    digest_safety;
+    determinism;
+    logging;
+    no_catchall;
+    store_io;
+    net_io;
+    fsync_confinement;
+    obs_scope_naming;
+  ]

@@ -5,11 +5,18 @@
 #   1. Full protocol-II session: 4 client processes through a proxy
 #      injecting 10% drops / 5% duplicates, with a kill -9 of the
 #      daemon mid-session and a restart from the same store — clients
-#      must reconnect, the session must finish clean (exit 0).
-#   2. Figure 1 over TCP: a forking server plus a proxy partition of
+#      must reconnect, the session must finish clean (exit 0). Every
+#      process journals trace spans; the restarted daemon serves a
+#      live admin endpoint that is scraped mid-session and checked
+#      against its end-of-run metrics report.
+#   2. trace-join over phase 1's journals: the joined timeline must
+#      reconstruct every op as one complete span (exit 4 = orphans),
+#      show all three process kinds, and be byte-identical when run
+#      twice over the same files in a different order.
+#   3. Figure 1 over TCP: a forking server plus a proxy partition of
 #      the external broadcast channel — every client must raise a TRUE
 #      ALARM (exit 3).
-#   3. bench-net: closed-loop throughput/latency sweep over free-mode
+#   4. bench-net: closed-loop throughput/latency sweep over free-mode
 #      connections, writing BENCH_net.json.
 #
 # Usage: tools/net_smoke.sh   (from the repository root, after a build)
@@ -45,14 +52,15 @@ wait_port() {
 echo "== 1. proxied session with drops, kill -9 and restart =="
 
 "$CLI" serve --store "$WORK/store" --shards 4 --users 4 --seed "$SEED" \
-  --listen 0 --port-file "$WORK/daemon.port" &
+  --listen 0 --port-file "$WORK/daemon.port" \
+  --journal "$WORK/daemon1.jsonl" &
 DAEMON=$!
 PIDS+=("$DAEMON")
 DPORT=$(wait_port "$WORK/daemon.port")
 
 "$CLI" proxy --connect "127.0.0.1:$DPORT" --listen 0 \
   --port-file "$WORK/proxy.port" --drop 0.10 --duplicate 0.05 \
-  --seed "$SEED" &
+  --seed "$SEED" --journal "$WORK/proxy.jsonl" &
 PROXY=$!
 PIDS+=("$PROXY")
 PPORT=$(wait_port "$WORK/proxy.port")
@@ -60,7 +68,8 @@ PPORT=$(wait_port "$WORK/proxy.port")
 CLIENTS=()
 for u in 0 1 2 3; do
   "$CLI" client --connect "127.0.0.1:$PPORT" --user "$u" --users 4 \
-    --shards 4 --rounds 3000 --seed "$SEED" &
+    --shards 4 --rounds 3000 --seed "$SEED" \
+    --journal "$WORK/client$u.jsonl" &
   CLIENTS+=("$!")
   PIDS+=("$!")
 done
@@ -71,12 +80,32 @@ kill -9 "$DAEMON"
 wait "$DAEMON" 2>/dev/null || true
 
 # Restart on the same port, resuming the same store: clients observe a
-# new boot id, revalidate the handshake and replay unacked frames.
+# new boot id, revalidate the handshake and replay unacked frames. The
+# restarted daemon also serves the live admin plane and writes its
+# registry report on exit.
 "$CLI" serve --store "$WORK/store" --shards 4 --users 4 --seed "$SEED" \
-  --listen "$DPORT" --port-file "$WORK/daemon2.port" &
+  --listen "$DPORT" --port-file "$WORK/daemon2.port" \
+  --journal "$WORK/daemon2.jsonl" \
+  --admin 0 --admin-port-file "$WORK/admin.port" \
+  --metrics "$WORK/daemon2-metrics.json" &
 DAEMON=$!
 PIDS+=("$DAEMON")
 wait_port "$WORK/daemon2.port" >/dev/null
+APORT=$(wait_port "$WORK/admin.port")
+
+# Mid-session admin scrape: the session is still running (the clients
+# have ~3000 rounds of script), so the snapshot must show live,
+# non-zero counters.
+sleep 1
+"$CLI" stats --connect "127.0.0.1:$APORT" > "$WORK/live-stats.json"
+LIVE_EXEC=$(grep -o '"net.daemon.requests_executed": [0-9]*' "$WORK/live-stats.json" \
+  | grep -o '[0-9]*$')
+grep -q '"schema": "tcvs-admin/1"' "$WORK/live-stats.json"
+if [ -z "$LIVE_EXEC" ] || [ "$LIVE_EXEC" -le 0 ]; then
+  echo "mid-session admin scrape shows no executed requests" >&2
+  exit 1
+fi
+echo "-- live admin scrape: $LIVE_EXEC requests executed mid-session --"
 
 for pid in "${CLIENTS[@]}"; do
   wait "$pid" # set -e: any non-zero client verdict fails the smoke
@@ -84,9 +113,44 @@ done
 wait "$DAEMON"
 kill "$PROXY" 2>/dev/null || true
 wait "$PROXY" 2>/dev/null || true
-echo "-- all 4 clients finished clean across the restart --"
 
-echo "== 2. Figure 1 over TCP: fork + partitioned broadcast channel =="
+# The end-of-run report is the same registry the admin plane served:
+# the counter can only have grown since the scrape.
+FINAL_EXEC=$(grep -o '"net.daemon.requests_executed": [0-9]*' "$WORK/daemon2-metrics.json" \
+  | grep -o '[0-9]*$')
+if [ -z "$FINAL_EXEC" ] || [ "$FINAL_EXEC" -lt "$LIVE_EXEC" ]; then
+  echo "end-of-run report ($FINAL_EXEC) inconsistent with live scrape ($LIVE_EXEC)" >&2
+  exit 1
+fi
+echo "-- all 4 clients finished clean across the restart ($FINAL_EXEC requests) --"
+
+echo "== 2. trace-join: one deterministic timeline from 7 journals =="
+
+JOURNALS=("$WORK/daemon1.jsonl" "$WORK/daemon2.jsonl" "$WORK/proxy.jsonl" \
+  "$WORK/client0.jsonl" "$WORK/client1.jsonl" "$WORK/client2.jsonl" \
+  "$WORK/client3.jsonl")
+
+# Exit 4 would mean orphaned spans: an op that never found its reply
+# even though every client finished clean.
+"$CLI" trace-join "${JOURNALS[@]}" > "$WORK/trace1.txt"
+
+# One complete round, reconstructed across all three process kinds.
+grep -q 'client.send' "$WORK/trace1.txt"
+grep -q 'proxy.to_server' "$WORK/trace1.txt"
+grep -q 'daemon.dispatch' "$WORK/trace1.txt"
+grep -q 'daemon.flush' "$WORK/trace1.txt"
+grep -q 'span u[0-9]*#[0-9]* complete' "$WORK/trace1.txt"
+
+# Determinism: same files, reversed order — byte-identical output.
+REVERSED=()
+for ((i = ${#JOURNALS[@]} - 1; i >= 0; i--)); do
+  REVERSED+=("${JOURNALS[$i]}")
+done
+"$CLI" trace-join "${REVERSED[@]}" > "$WORK/trace2.txt"
+cmp "$WORK/trace1.txt" "$WORK/trace2.txt"
+echo "-- $(grep -c 'span u' "$WORK/trace1.txt") spans joined, deterministic --"
+
+echo "== 3. Figure 1 over TCP: fork + partitioned broadcast channel =="
 
 "$CLI" serve --users 4 --seed "$SEED" --adversary fork:12 \
   --listen 0 --port-file "$WORK/fig1.port" &
@@ -122,7 +186,7 @@ kill "$PROXY" 2>/dev/null || true
 wait "$PROXY" 2>/dev/null || true
 echo "-- all 4 clients alarmed: TRUE ALARM over real sockets --"
 
-echo "== 3. bench-net: closed-loop sweep into BENCH_net.json =="
+echo "== 4. bench-net: closed-loop sweep into BENCH_net.json =="
 
 "$CLI" serve --store "$WORK/bench-store" --shards 4 --users 16 \
   --seed "$SEED" --listen 0 --port-file "$WORK/bench.port" --stay &
