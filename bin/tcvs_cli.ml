@@ -603,7 +603,7 @@ let journal_arg =
 
 let serve_cmd =
   let run seed users k epoch_len protocol_str adversary_str sanitize verbosity listen
-      port_file store_dir shards durability tail_ticks tick_timeout max_conns exit_after
+      port_file store_dir shards durability tail_ticks tick_timeout max_conns
       journal admin_port admin_port_file metrics =
     Log_setup.install ~level:verbosity ();
     if sanitize then Sanitize.set_enabled true;
@@ -636,7 +636,6 @@ let serve_cmd =
             tick_timeout;
             tail_ticks;
             durability;
-            exit_after_session = exit_after;
             journal;
             admin_port;
             admin_port_file;
@@ -661,10 +660,6 @@ let serve_cmd =
     let doc = "Connection limit; excess connections are rejected busy." in
     Arg.(value & opt int 64 & info [ "max-conns" ] ~docv:"N" ~doc)
   in
-  let exit_after_arg =
-    let doc = "Keep serving after a lockstep session ends (default: exit)." in
-    Term.(const not $ Arg.(value & flag & info [ "stay" ] ~doc))
-  in
   let admin_arg =
     let doc =
       "Serve read-only JSON snapshots (live registry including volatile \
@@ -684,7 +679,7 @@ let serve_cmd =
       const run $ seed_arg $ users_arg $ k_arg $ epoch_arg $ protocol_arg
       $ adversary_arg $ sanitize_arg $ verbosity_arg $ listen_arg $ port_file_arg
       $ store_arg $ shards_arg $ durability_arg $ tail_ticks_arg $ tick_timeout_arg
-      $ max_conns_arg $ exit_after_arg $ journal_arg $ admin_arg $ admin_port_file_arg
+      $ max_conns_arg $ journal_arg $ admin_arg $ admin_port_file_arg
       $ metrics_arg)
 
 let client_cmd =

@@ -78,7 +78,7 @@ let of_alist ?branching entries =
   Array.sort (fun (a, _) (b, _) -> String.compare a b) arr;
   of_sorted_array ?branching arr
 
-let check_invariants t =
+let[@tcvs.lint.root "hot-path"] check_invariants t =
   match Node.check_invariants ~branching:t.branching t.root with
   | Error _ as e -> e
   | Ok () ->

@@ -452,7 +452,10 @@ let rec collapse_root t =
 
 (* ---- Range, counting, listing ------------------------------------- *)
 
-let range t ~lo ~hi =
+(* Deep-lint justification (amortized builder): the list being consed
+   IS the range answer — allocation is O(result), not overhead, and
+   the accumulator refs live only for the traversal. *)
+let[@tcvs.lint.allow "hot-path-alloc"] range t ~lo ~hi =
   let rec go t acc =
     match t with
     | Stub _ -> raise Insufficient_proof

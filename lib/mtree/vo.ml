@@ -232,7 +232,7 @@ let replay_sharded ~branching ~boundaries ~parts op =
   in
   (answer, old_root, compose_root boundaries new_digests)
 
-let apply t op =
+let[@tcvs.lint.root "hot-path"] apply t op =
   Obs.incr c_vo_replays;
   match
     match t.body with

@@ -36,7 +36,6 @@ type config = {
   tail_ticks : int;
   checkpoint_every : int;
   durability : Store.durability;
-  exit_after_session : bool;
   journal : string option; (* JSONL span journal path *)
   admin_port : int option; (* read-only admin socket; [Some 0] = ephemeral *)
   admin_port_file : string option;
@@ -64,7 +63,6 @@ let default_config =
        requests — the at-most-once guarantee the smoke tests pin.
        Per_round trades that window for one fsync per tick. *)
     durability = Store.Per_op;
-    exit_after_session = true;
     journal = None;
     admin_port = None;
     admin_port_file = None;
@@ -154,7 +152,7 @@ let reject sess code detail =
 
 (* ---- Reply capture --------------------------------------------------- *)
 
-let drain_outbox st =
+let[@tcvs.lint.root "event-loop"] drain_outbox st =
   while not (Queue.is_empty st.outbox) do
     let u, msg = Queue.pop st.outbox in
     match Hashtbl.find_opt st.outstanding u with
@@ -341,7 +339,7 @@ let handle_deliver_ack st sess ~psrc ~sseq =
         | None -> ()
       end
 
-let handle_frame st sess frame =
+let[@tcvs.lint.root "event-loop"] handle_frame st sess frame =
   match (sess.role, frame) with
   | None, Codec.Hello h -> handle_hello st sess h
   | None, _ ->
@@ -370,7 +368,7 @@ let handle_frame st sess frame =
 
 (* ---- The round clock ------------------------------------------------- *)
 
-let begin_tick st =
+let[@tcvs.lint.root "event-loop"] begin_tick st =
   st.round <- st.round + 1;
   Obs.incr c_ticks;
   st.tick_sent_at <- Unix.gettimeofday ();
@@ -403,7 +401,7 @@ let tick_complete st =
   done;
   !ok
 
-let finish_round st =
+let[@tcvs.lint.root "event-loop"] finish_round st =
   (* two steps: the first delivers this round's requests to the server
      (which executes and sends), the second delivers its responses to
      the capture stubs *)
@@ -616,7 +614,7 @@ let admin_snapshot st =
   Buffer.add_string buf "\n}\n";
   Buffer.contents buf
 
-let serve_admin st admin_fd =
+let[@tcvs.lint.root "event-loop"] serve_admin st admin_fd =
   let rec loop () =
     match Unix.accept admin_fd with
     | fd, _ ->
@@ -641,7 +639,7 @@ let serve_admin st admin_fd =
 
 (* ---- Main loop ------------------------------------------------------- *)
 
-let prune_sessions st =
+let[@tcvs.lint.root "event-loop"] prune_sessions st =
   let dead, live =
     List.partition (fun s -> Conn.eof s.conn || s.said_bye) st.sessions
   in
@@ -652,7 +650,7 @@ let prune_sessions st =
     dead;
   st.sessions <- live
 
-let accept_pending st listen_fd =
+let[@tcvs.lint.root "event-loop"] accept_pending st listen_fd =
   let rec loop () =
     match Unix.accept listen_fd with
     | fd, addr ->
@@ -679,7 +677,7 @@ let accept_pending st listen_fd =
   in
   loop ()
 
-let read_session st sess =
+let[@tcvs.lint.root "event-loop"] read_session st sess =
   Conn.fill sess.conn;
   let rec pump () =
     if not st.session_over then

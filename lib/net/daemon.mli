@@ -56,9 +56,6 @@ type config = {
           {!Store.Per_round} group-commits each tick — everything a
           tick staged becomes durable together at [finish_round],
           before the next [Tick] is announced. *)
-  exit_after_session : bool;
-      (** exit once the lockstep session ends (smoke runs); free-mode
-          daemons serve until SIGTERM either way *)
   journal : string option;
       (** when set, span events (daemon.dispatch / daemon.dedup /
           daemon.reply / daemon.flush) are appended to this JSONL file
@@ -78,7 +75,6 @@ val default_config : config
     0.5 s tick timeout, 64 tail ticks. *)
 
 val run : config -> (unit, string) result
-(** Serve until the session ends (lockstep, with [exit_after_session]),
-    or until SIGTERM/SIGINT — which triggers a graceful drain: every
-    connected client gets a [Session_end], buffers are flushed, then
-    the daemon exits. *)
+(** Serve until the lockstep session ends, or until SIGTERM/SIGINT —
+    which triggers a graceful drain: every connected client gets a
+    [Session_end], buffers are flushed, then the daemon exits. *)

@@ -662,8 +662,12 @@ module Journal = struct
     Buffer.contents buf
 
   (* One line per event, flushed eagerly so a killed process leaves a
-     usable journal (the joiner tolerates a torn last line). *)
-  let event t ?user ?span ?dur_us ~round ~ev detail =
+     usable journal (the joiner tolerates a torn last line).
+
+     Deep-lint justification: journaling is opt-in diagnostics
+     (--journal); when enabled, the eager channel write IS the
+     feature's durability contract, accepted on the event loop. *)
+  let[@tcvs.lint.allow "event-loop-purity"] event t ?user ?span ?dur_us ~round ~ev detail =
     t.n <- t.n + 1;
     output_string t.oc (render ~proc:t.proc ~n:t.n ?user ?span ?dur_us ~round ~ev detail);
     output_char t.oc '\n';

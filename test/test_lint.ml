@@ -6,6 +6,8 @@
 module C = Tcvs_lint_core.Lint_config
 module E = Tcvs_lint_core.Lint_engine
 module R = Tcvs_lint_core.Lint_rules
+module G = Tcvs_lint_core.Lint_callgraph
+module D = Tcvs_lint_core.Lint_reach
 
 let config_exn source =
   match C.parse_string source with
@@ -247,6 +249,356 @@ let test_repo_is_clean () =
         []
         (List.map E.to_string (E.sort findings))
 
+(* ---- deep tier: call-graph edge resolution ----------------------------- *)
+
+let build sources = G.build_from_sources ~libraries:[ ("lib/core", "tcvs") ] sources
+
+let edge_to g ~src ~dst =
+  match G.find_def g src with
+  | None -> Alcotest.failf "no def %s in graph" src
+  | Some def -> (
+      match List.find_opt (fun e -> String.equal e.G.e_target dst) def.G.d_edges with
+      | Some e -> e.G.e_prov
+      | None ->
+          Alcotest.failf "no edge %s -> %s (edges: %s)" src dst
+            (String.concat ", " (List.map (fun e -> e.G.e_target) def.G.d_edges)))
+
+let prov =
+  Alcotest.testable
+    (fun fmt p -> Format.pp_print_string fmt (G.provenance_label p))
+    ( = )
+
+let test_callgraph_direct_edge () =
+  let g = build [ ("lib/net/a.ml", "let g () = 1\nlet f () = g ()") ] in
+  Alcotest.check prov "call in head position is a direct edge" G.Direct
+    (edge_to g ~src:"A.f" ~dst:"A.g")
+
+let test_callgraph_aliased_edge () =
+  (* Through `module M = Other` in the caller's file. *)
+  let g =
+    build
+      [
+        ("lib/net/other.ml", "let target () = 1");
+        ("lib/net/a.ml", "module M = Other\nlet f () = M.target ()");
+      ]
+  in
+  Alcotest.check prov "module-alias call" G.Aliased (edge_to g ~src:"A.f" ~dst:"Other.target");
+  (* Through the dune library wrapper (lib/core -> Tcvs). *)
+  let g =
+    build
+      [
+        ("lib/core/harness.ml", "let run () = 1");
+        ("lib/net/a.ml", "let f () = Tcvs.Harness.run ()");
+      ]
+  in
+  Alcotest.check prov "library-wrapper call" G.Aliased (edge_to g ~src:"A.f" ~dst:"Harness.run");
+  (* Through a re-export alias inside the target file (the Store.Shard_db
+     pattern). *)
+  let g =
+    build
+      [
+        ("lib/net/shard_db.ml", "let create () = 1");
+        ("lib/net/store.ml", "module Shard_db = Shard_db");
+        ("lib/net/a.ml", "let f () = Store.Shard_db.create ()");
+      ]
+  in
+  Alcotest.check prov "re-export alias call" G.Aliased
+    (edge_to g ~src:"A.f" ~dst:"Shard_db.create")
+
+let test_callgraph_functor_edge () =
+  (* `module M = F (X)` routes M.* to the functor body F.*: one analysis
+     of the body over-approximates every application. *)
+  let g =
+    build
+      [
+        ( "lib/net/a.ml",
+          "module F (X : sig end) = struct let mk () = 1 end\n\
+           module M = F (struct end)\n\
+           let f () = M.mk ()" );
+      ]
+  in
+  Alcotest.check prov "functor-application call" G.Functor_app
+    (edge_to g ~src:"A.f" ~dst:"A.F.mk")
+
+let test_callgraph_first_class_edge () =
+  (* A known def referenced outside call-head position may be called by
+     whoever receives it: the reference becomes a first-class edge. *)
+  let g = build [ ("lib/net/a.ml", "let g x = x + 1\nlet f xs = List.map g xs") ] in
+  Alcotest.check prov "argument reference over-approximated" G.First_class
+    (edge_to g ~src:"A.f" ~dst:"A.g")
+
+let test_callgraph_value_defs_do_not_propagate () =
+  (* `let c = mk ()` runs at module init: reading [c] from a root must
+     not charge the root with mk's effects. *)
+  let g =
+    build
+      [
+        ( "lib/net/a.ml",
+          "let mk () = Unix.sleep 1\n\
+           let c = mk ()\n\
+           let[@tcvs.lint.root \"event-loop\"] tick () = ignore c" );
+      ]
+  in
+  let reached = G.reachable g ~roots:[ "A.tick" ] in
+  Alcotest.(check bool) "value def itself reached" true (G.is_reached reached "A.c");
+  Alcotest.(check bool) "its init-time callee is not" false (G.is_reached reached "A.mk")
+
+let test_callgraph_path_rendering () =
+  let g =
+    build
+      [ ("lib/net/a.ml", "let h () = 1\nlet g () = h ()\nlet f () = g ()") ]
+  in
+  let reached = G.reachable g ~roots:[ "A.f" ] in
+  Alcotest.(check string)
+    "provenance-annotated path" "A.f →[direct] A.g →[direct] A.h"
+    (G.path_to reached "A.h")
+
+(* ---- deep tier: the three reachability rules --------------------------- *)
+
+let analyze ?(config = C.empty) sources = D.analyze ~config (build sources)
+
+let deep_hits rule findings =
+  List.exists (fun (f : D.finding) -> String.equal f.rule_id rule) findings
+
+let check_deep_flags ?config ~rule sources =
+  Alcotest.(check bool)
+    (Printf.sprintf "deep rule %s fires" rule)
+    true
+    (deep_hits rule (analyze ?config sources))
+
+let check_deep_clean ?config sources =
+  Alcotest.(check (list string))
+    "deep tier silent" []
+    (List.map D.to_string (analyze ?config sources))
+
+let test_event_loop_purity_flags () =
+  (* Directly in the root... *)
+  check_deep_flags ~rule:"event-loop-purity"
+    [ ("lib/net/a.ml", "let[@tcvs.lint.root \"event-loop\"] tick () = Unix.sleep 1") ];
+  (* ...and through a call chain, including channel I/O and Mutex.lock. *)
+  check_deep_flags ~rule:"event-loop-purity"
+    [
+      ( "lib/net/a.ml",
+        "let helper oc = output_string oc \"x\"\n\
+         let[@tcvs.lint.root \"event-loop\"] tick oc = helper oc" );
+    ];
+  check_deep_flags ~rule:"event-loop-purity"
+    [
+      ("lib/core/locks.ml", "let locked mu f = Mutex.lock mu; f ()");
+      ( "lib/net/a.ml",
+        "let[@tcvs.lint.root \"event-loop\"] tick mu = Locks.locked mu (fun () -> 1)" );
+    ]
+
+let test_event_loop_purity_store_flush_exempt () =
+  (* fsync and fd writes are the store's sanctioned blocking point... *)
+  check_deep_clean
+    [
+      ("lib/store/wal.ml", "let flush fd = Unix.fsync fd");
+      ("lib/net/a.ml", "let[@tcvs.lint.root \"event-loop\"] tick fd = Wal.flush fd");
+    ];
+  (* ...but always-blocking primitives are banned even there. *)
+  check_deep_flags ~rule:"event-loop-purity"
+    [
+      ("lib/store/wal.ml", "let flush fd = Unix.sleep 1");
+      ("lib/net/a.ml", "let[@tcvs.lint.root \"event-loop\"] tick fd = Wal.flush fd");
+    ]
+
+let test_event_loop_purity_suppressed () =
+  (* Allow attr on the sink def (the Conn.fill pattern: nonblocking fd). *)
+  check_deep_clean
+    [
+      ( "lib/net/conn_fixture.ml",
+        "let[@tcvs.lint.allow \"event-loop-purity\"] fill fd b = Unix.read fd b 0 1" );
+      ("lib/net/a.ml", "let[@tcvs.lint.root \"event-loop\"] tick fd b = Conn_fixture.fill fd b");
+    ];
+  (* Config allow for the sink's file. *)
+  check_deep_clean
+    ~config:(config_exn "allow event-loop-purity lib/net/conn_fixture.ml")
+    [
+      ("lib/net/conn_fixture.ml", "let fill fd b = Unix.read fd b 0 1");
+      ("lib/net/a.ml", "let[@tcvs.lint.root \"event-loop\"] tick fd b = Conn_fixture.fill fd b");
+    ]
+
+let test_hot_path_alloc_flags () =
+  let root body =
+    [ ("lib/mtree/a.ml", "let[@tcvs.lint.root \"hot-path\"] verify x = " ^ body) ]
+  in
+  check_deep_flags ~rule:"hot-path-alloc" (root "List.map (fun e -> e + 1) x");
+  check_deep_flags ~rule:"hot-path-alloc" (root "x :: []");
+  check_deep_flags ~rule:"hot-path-alloc" (root "ref x");
+  check_deep_flags ~rule:"hot-path-alloc" (root "x ^ x");
+  (* Reachable allocations count the same as local ones. *)
+  check_deep_flags ~rule:"hot-path-alloc"
+    [
+      ("lib/mtree/deep.ml", "let helper x = ref x");
+      ("lib/mtree/a.ml", "let[@tcvs.lint.root \"hot-path\"] verify x = Deep.helper x");
+    ]
+
+let test_hot_path_alloc_clean_and_suppressed () =
+  (* Pure arithmetic and full application allocate nothing the rule
+     tracks; a toplevel table read is init-time, not per-call. *)
+  check_deep_clean
+    [
+      ( "lib/mtree/a.ml",
+        "let table = Hashtbl.create 16\n\
+         let[@tcvs.lint.root \"hot-path\"] verify x = Hashtbl.length table + x" );
+    ];
+  (* The amortized-builder allowlist: the Node.range pattern. *)
+  check_deep_clean
+    [
+      ( "lib/mtree/a.ml",
+        "let[@tcvs.lint.allow \"hot-path-alloc\"] collect xs = List.map (fun e -> e) xs\n\
+         let[@tcvs.lint.root \"hot-path\"] verify xs = collect xs" );
+    ]
+
+let domain_safety_sources ~spawners =
+  [
+    ("lib/core/state.ml", "let cell = ref 0\nlet bump () = cell := !cell + 1");
+    ( "lib/core/workers.ml",
+      String.concat "\n"
+        (List.init spawners (fun i ->
+             Printf.sprintf "let w%d () = Domain.spawn (fun () -> State.bump ())" i)) );
+  ]
+
+let test_domain_safety_flags () =
+  let findings = analyze (domain_safety_sources ~spawners:2) in
+  Alcotest.(check bool) "shared ref across two spawn sites" true
+    (deep_hits "domain-safety" findings);
+  match List.find_opt (fun (f : D.finding) -> f.D.rule_id = "domain-safety") findings with
+  | Some f -> Alcotest.(check string) "charged to the mutable binding" "State.cell" f.D.symbol
+  | None -> Alcotest.fail "missing domain-safety finding"
+
+let test_domain_safety_single_domain_ok () =
+  (* One spawn site shares nothing; zero spawn sites trivially so. *)
+  check_deep_clean (domain_safety_sources ~spawners:1);
+  check_deep_clean [ ("lib/core/state.ml", "let cell = ref 0\nlet bump () = cell := !cell + 1") ]
+
+let test_domain_safety_suppressed () =
+  check_deep_clean
+    [
+      ( "lib/core/state.ml",
+        "let[@tcvs.lint.allow \"domain-safety\"] cell = ref 0\nlet bump () = cell := !cell + 1"
+      );
+      ( "lib/core/workers.ml",
+        "let w0 () = Domain.spawn (fun () -> State.bump ())\n\
+         let w1 () = Domain.spawn (fun () -> State.bump ())" );
+    ]
+
+(* ---- deep tier: baseline and JSON -------------------------------------- *)
+
+let test_baseline_round_trip () =
+  let findings = analyze (domain_safety_sources ~spawners:2) in
+  Alcotest.(check bool) "fixture produces findings" true (findings <> []);
+  let keys = List.map D.key findings in
+  (* render -> parse round-trips the key set (comments stripped). *)
+  let parsed = D.baseline_of_string (D.render_baseline keys) in
+  Alcotest.(check (list string)) "round trip" (List.sort_uniq String.compare keys) parsed;
+  (* A pinned finding is not fresh; a stale key is reported. *)
+  let fresh, pinned, stale =
+    D.apply_baseline ~baseline:("bogus|lib/x.ml|X.f|ref" :: keys) findings
+  in
+  Alcotest.(check int) "all pinned" 0 (List.length fresh);
+  Alcotest.(check int) "pinned count" (List.length findings) (List.length pinned);
+  Alcotest.(check (list string)) "stale reported" [ "bogus|lib/x.ml|X.f|ref" ] stale;
+  (* Keys are line-number-free: an unrelated edit above the finding must
+     not invalidate the baseline. *)
+  let shifted =
+    analyze
+      [
+        ( "lib/core/state.ml",
+          "(* comment *)\n\nlet unrelated = 42\nlet cell = ref 0\nlet bump () = cell := !cell + 1"
+        );
+        List.nth (domain_safety_sources ~spawners:2) 1;
+      ]
+  in
+  let fresh, _, _ = D.apply_baseline ~baseline:keys shifted in
+  Alcotest.(check int) "stable under line drift" 0 (List.length fresh)
+
+let test_json_schema_stability () =
+  let static =
+    [ { E.file = "lib/a.ml"; line = 3; col = 2; rule_id = "logging"; message = "printf" } ]
+  in
+  let deep =
+    [
+      {
+        D.file = "lib/b.ml";
+        line = 7;
+        col = 0;
+        rule_id = "event-loop-purity";
+        symbol = "B.tick";
+        detail = "Unix.sleep";
+        message = "m \"q\"";
+      };
+    ]
+  in
+  Alcotest.(check string) "exact artifact schema"
+    ("{\"version\":1,\"findings\":["
+   ^ "{\"tier\":\"syntactic\",\"rule\":\"logging\",\"file\":\"lib/a.ml\",\"line\":3,\"col\":2,\"message\":\"printf\"},"
+   ^ "{\"tier\":\"deep\",\"rule\":\"event-loop-purity\",\"file\":\"lib/b.ml\",\"line\":7,\"col\":0,\"symbol\":\"B.tick\",\"detail\":\"Unix.sleep\",\"key\":\"event-loop-purity|lib/b.ml|B.tick|Unix.sleep\",\"baselined\":false,\"message\":\"m \\\"q\\\"\"},"
+   ^ "{\"tier\":\"deep\",\"rule\":\"event-loop-purity\",\"file\":\"lib/b.ml\",\"line\":7,\"col\":0,\"symbol\":\"B.tick\",\"detail\":\"Unix.sleep\",\"key\":\"event-loop-purity|lib/b.ml|B.tick|Unix.sleep\",\"baselined\":true,\"message\":\"m \\\"q\\\"\"}"
+   ^ "],\"summary\":{\"syntactic\":1,\"deep_new\":1,\"deep_baselined\":1,\"stale_baseline\":[\"gone|k|e|y\"]}}"
+    )
+    (D.json_report ~static ~deep ~baselined:deep ~stale:[ "gone|k|e|y" ])
+
+(* ---- deep tier: the repo's own roots hold ------------------------------ *)
+
+let test_repo_deep_baseline_holds () =
+  (* Build the real graph over ../lib (see test_repo_is_clean for the
+     layout caveat) and check every current deep finding is either
+     fixed, justified in-source, or pinned in the committed baseline. *)
+  if not (Sys.file_exists "../lib" && Sys.is_directory "../lib") then ()
+  else begin
+    let config =
+      match C.load "../.tcvs-lint" with Ok c -> c | Error m -> Alcotest.failf "%s" m
+    in
+    let read path =
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let sources =
+      List.map
+        (fun path -> (String.sub path 3 (String.length path - 3), read path))
+        (ml_files_under "../lib")
+    in
+    let libraries =
+      (* the same dir -> library-name map the CLI derives from
+         lib/*/dune: the graph must match the committed baseline *)
+      Sys.readdir "../lib" |> Array.to_list |> List.sort String.compare
+      |> List.filter_map (fun entry ->
+             let dune = Filename.concat (Filename.concat "../lib" entry) "dune" in
+             if not (Sys.file_exists dune) then None
+             else
+               let tokens =
+                 String.split_on_char '\n' (read dune)
+                 |> List.concat_map (String.split_on_char ' ')
+                 |> List.concat_map (String.split_on_char '(')
+                 |> List.concat_map (String.split_on_char ')')
+                 |> List.filter (fun t -> String.trim t <> "")
+               in
+               let rec find = function
+                 | "name" :: name :: _ -> Some ("lib/" ^ entry, String.trim name)
+                 | _ :: rest -> find rest
+                 | [] -> None
+               in
+               find tokens)
+    in
+    let graph = G.build_from_sources ~libraries sources in
+    let findings = D.analyze ~config graph in
+    let baseline =
+      match D.load_baseline "../.tcvs-lint-baseline" with
+      | Ok keys -> keys
+      | Error m -> Alcotest.failf "%s" m
+    in
+    let fresh, _, stale = D.apply_baseline ~baseline findings in
+    Alcotest.(check (list string))
+      "no non-baselined deep findings in lib/" []
+      (List.map D.to_string fresh);
+    Alcotest.(check (list string)) "no stale baseline keys" [] stale
+  end
+
 let suite =
   [
     Alcotest.test_case "digest-safety: polymorphic eq" `Quick test_digest_safety_poly_eq;
@@ -278,4 +630,26 @@ let suite =
     Alcotest.test_case "config: comments" `Quick test_config_comments_and_blanks;
     Alcotest.test_case "parse error" `Quick test_parse_error_is_a_finding;
     Alcotest.test_case "repo lib/ is lint-clean" `Quick test_repo_is_clean;
+    Alcotest.test_case "callgraph: direct edge" `Quick test_callgraph_direct_edge;
+    Alcotest.test_case "callgraph: aliased edges" `Quick test_callgraph_aliased_edge;
+    Alcotest.test_case "callgraph: functor application" `Quick test_callgraph_functor_edge;
+    Alcotest.test_case "callgraph: first-class over-approximation" `Quick
+      test_callgraph_first_class_edge;
+    Alcotest.test_case "callgraph: value defs do not propagate" `Quick
+      test_callgraph_value_defs_do_not_propagate;
+    Alcotest.test_case "callgraph: path rendering" `Quick test_callgraph_path_rendering;
+    Alcotest.test_case "event-loop-purity: flags" `Quick test_event_loop_purity_flags;
+    Alcotest.test_case "event-loop-purity: store flush exempt" `Quick
+      test_event_loop_purity_store_flush_exempt;
+    Alcotest.test_case "event-loop-purity: suppressed" `Quick test_event_loop_purity_suppressed;
+    Alcotest.test_case "hot-path-alloc: flags" `Quick test_hot_path_alloc_flags;
+    Alcotest.test_case "hot-path-alloc: clean + allowlist" `Quick
+      test_hot_path_alloc_clean_and_suppressed;
+    Alcotest.test_case "domain-safety: flags" `Quick test_domain_safety_flags;
+    Alcotest.test_case "domain-safety: single domain ok" `Quick
+      test_domain_safety_single_domain_ok;
+    Alcotest.test_case "domain-safety: suppressed" `Quick test_domain_safety_suppressed;
+    Alcotest.test_case "baseline: round trip + line drift" `Quick test_baseline_round_trip;
+    Alcotest.test_case "json report: schema stability" `Quick test_json_schema_stability;
+    Alcotest.test_case "repo deep baseline holds" `Quick test_repo_deep_baseline_holds;
   ]

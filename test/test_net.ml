@@ -319,7 +319,6 @@ let with_daemon f =
                 Net.Daemon.default_config with
                 port_file = Some port_file;
                 users = 2;
-                exit_after_session = false;
               })
        with _ -> ());
       Unix._exit 0

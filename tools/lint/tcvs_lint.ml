@@ -3,11 +3,21 @@
 
    Static mode (the default, wired to `dune build @lint`):
 
-     tcvs_lint [--root DIR] [--config FILE] [--list-rules] [FILE...]
+     tcvs_lint [--root DIR] [--config FILE] [--list-rules] [--deep]
+               [--baseline FILE] [--write-baseline FILE] [--format text|json]
+               [FILE...]
 
    parses every .ml under --root (or just the FILEs given) with
    compiler-libs and runs the Lint_rules set; findings print one per
    line, exit status 1 if any.
+
+   `--deep` additionally builds the whole-repo call graph over lib/
+   (Lint_callgraph) and runs the interprocedural tier (Lint_reach):
+   event-loop purity, hot-path allocation freedom, domain-safety.
+   `--baseline FILE` pins pre-existing deep findings — only findings
+   whose key is absent from the file fail the run; `--write-baseline`
+   regenerates the file. `--format json` emits the machine-readable
+   report CI uploads as an artifact.
 
    Dynamic mode (the ROADMAP "trace-driven regression diffs" item):
 
@@ -35,7 +45,8 @@
 open Tcvs_lint_core
 
 let usage =
-  "tcvs_lint [--root DIR] [--config FILE] [--list-rules] [FILE...]\n\
+  "tcvs_lint [--root DIR] [--config FILE] [--list-rules] [--deep]\n\
+  \           [--baseline FILE] [--write-baseline FILE] [--format text|json] [FILE...]\n\
    tcvs_lint --run-twice [--protocol 1|2|3|all] [--seed S] [--users N] [--rounds R]\n\
   \           [--store DIR] [--shards N]\n\
    tcvs_lint --diff-traces A.jsonl B.jsonl"
@@ -80,16 +91,14 @@ let list_rules () =
       Printf.printf "%-14s scope: %s\n               %s\n" rule.id
         (String.concat ", " rule.default_scope)
         rule.summary)
-    Lint_rules.all
+    Lint_rules.all;
+  List.iter
+    (fun (id, summary) ->
+      Printf.printf "%-18s tier: deep (interprocedural, needs --deep)\n               %s\n" id
+        summary)
+    Lint_reach.rules
 
-let run_static ~root ~config_path ~explicit_config ~files =
-  let config =
-    let path =
-      if Filename.is_relative config_path then Filename.concat root config_path
-      else config_path
-    in
-    load_config path ~explicit:explicit_config
-  in
+let static_findings ~root ~config ~files =
   let files = match files with [] -> List.rev (walk ~root "" []) | files -> files in
   let findings =
     List.concat_map
@@ -103,13 +112,113 @@ let run_static ~root ~config_path ~explicit_config ~files =
         end)
       files
   in
-  let findings = Lint_engine.sort findings in
-  List.iter (fun f -> print_endline (Lint_engine.to_string f)) findings;
-  match findings with
-  | [] -> 0
+  Lint_engine.sort findings
+
+(* ---- deep pass: call graph + reachability rules ----------------------- *)
+
+let read_file abs =
+  let ic = open_in_bin abs in
+  let n = in_channel_length ic in
+  let source = really_input_string ic n in
+  close_in ic;
+  source
+
+(* dir -> dune library name, from the `(name ...)` field of each
+   lib/<dir>/dune: the resolver needs it to route wrapped paths like
+   Tcvs.Harness.run to lib/core/harness.ml. *)
+let library_map ~root =
+  let libdir = Filename.concat root "lib" in
+  if not (Sys.file_exists libdir) then []
+  else
+    Sys.readdir libdir |> Array.to_list |> List.sort String.compare
+    |> List.filter_map (fun entry ->
+           let dune = Filename.concat (Filename.concat libdir entry) "dune" in
+           if not (Sys.file_exists dune) then None
+           else
+             let source = read_file dune in
+             let tokens =
+               String.split_on_char '\n' source
+               |> List.concat_map (String.split_on_char ' ')
+               |> List.concat_map (String.split_on_char '(')
+               |> List.concat_map (String.split_on_char ')')
+               |> List.filter (fun t -> String.trim t <> "")
+             in
+             let rec find = function
+               | "name" :: name :: _ -> Some ("lib/" ^ entry, String.trim name)
+               | _ :: rest -> find rest
+               | [] -> None
+             in
+             find tokens)
+
+let run_deep ~root ~config =
+  let files =
+    List.rev (walk ~root "" [])
+    |> List.filter (Lint_config.path_has_prefix ~prefix:"lib")
+  in
+  let sources = List.map (fun rel -> (rel, read_file (Filename.concat root rel))) files in
+  let graph = Lint_callgraph.build_from_sources ~libraries:(library_map ~root) sources in
+  Lint_reach.analyze ~config graph
+
+let run_static ~root ~config_path ~explicit_config ~files ~deep ~baseline_path
+    ~write_baseline ~format =
+  let config =
+    let path =
+      if Filename.is_relative config_path then Filename.concat root config_path
+      else config_path
+    in
+    load_config path ~explicit:explicit_config
+  in
+  let static = static_findings ~root ~config ~files in
+  let deep_findings = if deep then run_deep ~root ~config else [] in
+  (match write_baseline with
+  | Some path ->
+      let keys = List.map Lint_reach.key deep_findings in
+      let oc = open_out path in
+      output_string oc (Lint_reach.render_baseline keys);
+      close_out oc;
+      Printf.printf "wrote %d baseline key%s to %s\n" (List.length keys)
+        (if List.length keys = 1 then "" else "s")
+        path
+  | None -> ());
+  let baseline =
+    (* a just-written baseline pins the findings it records: the write
+       is the explicit decision to accept them as residue *)
+    if write_baseline <> None then List.map Lint_reach.key deep_findings
+    else
+      match baseline_path with
+      | None -> []
+      | Some path -> (
+          match Lint_reach.load_baseline path with
+          | Ok keys -> keys
+          | Error msg ->
+              prerr_endline ("tcvs_lint: " ^ msg);
+              exit 2)
+  in
+  let fresh, pinned, stale = Lint_reach.apply_baseline ~baseline deep_findings in
+  (match format with
+  | `Json -> print_endline (Lint_reach.json_report ~static ~deep:fresh ~baselined:pinned ~stale)
+  | `Text ->
+      List.iter (fun f -> print_endline (Lint_engine.to_string f)) static;
+      List.iter (fun f -> print_endline (Lint_reach.to_string f)) fresh;
+      if pinned <> [] then
+        Printf.printf "%d baselined finding%s pinned (burn-down list: %s)\n"
+          (List.length pinned)
+          (if List.length pinned = 1 then "" else "s")
+          (Option.value baseline_path ~default:"");
+      if stale <> [] then begin
+        Printf.printf
+          "%d stale baseline entr%s (finding fixed — delete the line):\n"
+          (List.length stale)
+          (if List.length stale = 1 then "y" else "ies");
+        List.iter (fun k -> Printf.printf "  %s\n" k) stale
+      end);
+  match (static, fresh) with
+  | [], [] -> 0
   | _ ->
-      Printf.printf "%d finding%s\n" (List.length findings)
-        (if List.length findings = 1 then "" else "s");
+      if format = `Text then
+        Printf.printf "%d finding%s\n"
+          (List.length static + List.length fresh)
+          (if List.length static + List.length fresh = 1 then "" else "s");
       1
 
 (* ---- dynamic pass: run twice, diff the evidence ---------------------- *)
@@ -266,6 +375,10 @@ let () =
   let config_path = ref ".tcvs-lint" in
   let explicit_config = ref false in
   let do_list = ref false in
+  let do_deep = ref false in
+  let baseline_path = ref "" in
+  let write_baseline = ref "" in
+  let format = ref "text" in
   let do_run_twice = ref false in
   let protocols = ref "all" in
   let seed = ref "tcvs-lint-smoke" in
@@ -288,6 +401,21 @@ let () =
             explicit_config := true),
         "FILE lint config (default .tcvs-lint under --root, optional)" );
       ("--list-rules", Arg.Set do_list, " print the rule catalogue and exit");
+      ( "--deep",
+        Arg.Set do_deep,
+        " also run the interprocedural tier (call-graph reachability over lib/)" );
+      ( "--baseline",
+        Arg.Set_string baseline_path,
+        "FILE pin deep findings listed in FILE; only new findings fail" );
+      ( "--write-baseline",
+        Arg.String
+          (fun path ->
+            write_baseline := path;
+            do_deep := true),
+        "FILE regenerate the baseline from the current deep findings (implies --deep)" );
+      ( "--format",
+        Arg.Symbol ([ "text"; "json" ], fun f -> format := f),
+        " output format (default text); json is the CI artifact schema" );
       ("--run-twice", Arg.Set do_run_twice, " determinism smoke: run twice, diff evidence");
       ( "--protocol",
         Arg.Set_string protocols,
@@ -320,6 +448,9 @@ let () =
         ~shards:(if !shards = 0 then None else Some !shards)
     else
       run_static ~root:!root ~config_path:!config_path ~explicit_config:!explicit_config
-        ~files:(List.rev !files)
+        ~files:(List.rev !files) ~deep:!do_deep
+        ~baseline_path:(if !baseline_path = "" then None else Some !baseline_path)
+        ~write_baseline:(if !write_baseline = "" then None else Some !write_baseline)
+        ~format:(if !format = "json" then `Json else `Text)
   in
   exit status

@@ -189,7 +189,7 @@ echo "-- all 4 clients alarmed: TRUE ALARM over real sockets --"
 echo "== 4. bench-net: closed-loop sweep into BENCH_net.json =="
 
 "$CLI" serve --store "$WORK/bench-store" --shards 4 --users 16 \
-  --seed "$SEED" --listen 0 --port-file "$WORK/bench.port" --stay &
+  --seed "$SEED" --listen 0 --port-file "$WORK/bench.port" &
 DAEMON=$!
 PIDS+=("$DAEMON")
 DPORT=$(wait_port "$WORK/bench.port")
