@@ -11,6 +11,8 @@
      tcvs serve      the server as a TCP daemon over a durable store
      tcvs client     one protocol user, over TCP, against a daemon
      tcvs proxy      fault-injecting TCP proxy (drop/delay/dup/partition)
+     tcvs route      cluster router: compose shard-daemon roots for clients
+     tcvs serve-cluster  spawn N shard daemons plus the router, foreground
      tcvs bench-net  closed-loop throughput/latency against a daemon
      tcvs trace-join merge per-process span journals into one timeline
      tcvs stats      scrape a daemon's admin endpoint once
@@ -603,8 +605,8 @@ let journal_arg =
 
 let serve_cmd =
   let run seed users k epoch_len protocol_str adversary_str sanitize verbosity listen
-      port_file store_dir shards durability tail_ticks tick_timeout max_conns
-      journal admin_port admin_port_file metrics =
+      port_file store_dir shards shard_id shard_count durability tail_ticks
+      tick_timeout max_conns journal admin_port admin_port_file metrics =
     Log_setup.install ~level:verbosity ();
     if sanitize then Sanitize.set_enabled true;
     match (protocol_conv k epoch_len protocol_str, parse_adversary ~users adversary_str) with
@@ -639,6 +641,8 @@ let serve_cmd =
             journal;
             admin_port;
             admin_port_file;
+            shard_id;
+            shard_count;
           }
         in
         match Net.Daemon.run cfg with
@@ -673,14 +677,26 @@ let serve_cmd =
     let doc = "Write the bound admin port to $(docv) (tmp+rename)." in
     Arg.(value & opt (some string) None & info [ "admin-port-file" ] ~docv:"FILE" ~doc)
   in
+  let shard_id_arg =
+    let doc =
+      "Serve as shard $(docv) of a $(b,--shard-count)-way cluster: a 1-shard \
+       store over this shard's slice of the seeded key space, accepting only \
+       a router's shard-link connection (see $(b,tcvs route))."
+    in
+    Arg.(value & opt (some int) None & info [ "shard-id" ] ~docv:"I" ~doc)
+  in
+  let shard_count_arg =
+    let doc = "Total shards in the cluster (with $(b,--shard-id))." in
+    Arg.(value & opt int 1 & info [ "shard-count" ] ~docv:"N" ~doc)
+  in
   let doc = "Serve the Trusted-CVS server as a TCP daemon over a durable store." in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ seed_arg $ users_arg $ k_arg $ epoch_arg $ protocol_arg
       $ adversary_arg $ sanitize_arg $ verbosity_arg $ listen_arg $ port_file_arg
-      $ store_arg $ shards_arg $ durability_arg $ tail_ticks_arg $ tick_timeout_arg
-      $ max_conns_arg $ journal_arg $ admin_arg $ admin_port_file_arg
-      $ metrics_arg)
+      $ store_arg $ shards_arg $ shard_id_arg $ shard_count_arg $ durability_arg
+      $ tail_ticks_arg $ tick_timeout_arg $ max_conns_arg $ journal_arg $ admin_arg
+      $ admin_port_file_arg $ metrics_arg)
 
 let client_cmd =
   let run seed users rounds k epoch_len protocol_str verbosity connect user shards
@@ -819,56 +835,444 @@ let proxy_cmd =
       $ prob "duplicate" "Forward each payload frame twice with probability $(docv)."
       $ partition_arg $ journal_arg)
 
-let bench_net_cmd =
-  let run verbosity connect users conns_str ops files zipf_s write_ratio seed out =
+(* ---- cluster: route / serve-cluster --------------------------------------- *)
+
+let wait_port_file ?(timeout = 15.0) path =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let read () =
+    match open_in path with
+    | exception Sys_error _ -> None
+    | ic ->
+        let line = try Some (input_line ic) with End_of_file -> None in
+        close_in ic;
+        Option.bind line (fun l ->
+            match int_of_string_opt (String.trim l) with
+            | Some p when p > 0 -> Some p
+            | _ -> None)
+  in
+  let rec loop () =
+    match read () with
+    | Some p -> Ok p
+    | None ->
+        if Unix.gettimeofday () > deadline then
+          Error (Printf.sprintf "timed out waiting for port file %s" path)
+        else begin
+          Unix.sleepf 0.05;
+          loop ()
+        end
+  in
+  loop ()
+
+let spawn_tcvs args =
+  Unix.create_process Sys.executable_name
+    (Array.of_list (Filename.basename Sys.executable_name :: args))
+    Unix.stdin Unix.stdout Unix.stderr
+
+(* SIGTERM first (the daemons drain), SIGKILL whoever outstays it. *)
+let reap_children ?(timeout = 5.0) pids =
+  List.iter (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()) pids;
+  let deadline = Unix.gettimeofday () +. timeout in
+  List.iter
+    (fun pid ->
+      let rec wait () =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ ->
+            if Unix.gettimeofday () > deadline then begin
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              ignore (Unix.waitpid [] pid)
+            end
+            else begin
+              Unix.sleepf 0.05;
+              wait ()
+            end
+        | _ -> ()
+      in
+      try wait () with Unix.Unix_error _ -> ())
+    pids
+
+let fresh_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+(* Spawn the N shard daemons of a cluster and wait for their ports.
+   Shards run the plain protocol: composition and verification live at
+   the router and the clients; signing protocols stay single-daemon. *)
+let start_shards ~dir ~shards ~seed ?store_base ?journal_base () =
+  let spawn i =
+    let pf = Filename.concat dir (Printf.sprintf "shard%d.port" i) in
+    let args =
+      [
+        "serve"; "--shard-id"; string_of_int i; "--shard-count";
+        string_of_int shards; "--protocol"; "none"; "--listen"; "0";
+        "--port-file"; pf; "--seed"; seed;
+      ]
+      @ (match store_base with
+        | Some b -> [ "--store"; Filename.concat b (Printf.sprintf "shard%d" i) ]
+        | None -> [])
+      @
+      match journal_base with
+      | Some b -> [ "--journal"; Filename.concat b (Printf.sprintf "shard%d.jsonl" i) ]
+      | None -> []
+    in
+    (spawn_tcvs args, pf)
+  in
+  let procs = List.init shards spawn in
+  let pids = List.map fst procs in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | (_, pf) :: rest -> (
+        match wait_port_file pf with
+        | Ok p -> collect (p :: acc) rest
+        | Error e ->
+            reap_children pids;
+            Error e)
+  in
+  Result.map (fun ports -> (pids, ports)) (collect [] procs)
+
+let route_cmd =
+  let run verbosity listen port_file shard_strs shard_port_files users files
+      tail_ticks tick_timeout barrier_timeout barrier_retries max_conns journal
+      admin_port admin_port_file metrics =
     Log_setup.install ~level:verbosity ();
-    let conns_list = String.split_on_char ',' conns_str |> List.filter_map int_of_string_opt in
-    match parse_hostport connect with
+    let addrs =
+      List.map parse_hostport shard_strs
+      @ List.map
+          (fun pf -> Result.map (fun p -> ("127.0.0.1", p)) (wait_port_file pf))
+          shard_port_files
+    in
+    match
+      List.fold_left
+        (fun acc r ->
+          match (acc, r) with
+          | Error m, _ -> Error m
+          | _, Error m -> Error m
+          | Ok l, Ok a -> Ok (a :: l))
+        (Ok []) addrs
+    with
     | Error m ->
         Printf.eprintf "error: %s\n" m;
         exit 2
-    | Ok (host, port) ->
-        let results =
-          List.map
-            (fun conns ->
-              match
-                Net.Client.bench ~host ~port ~users ~conns ~ops_per_conn:ops ~files
-                  ~zipf_s ~write_ratio ~seed
-              with
-              | Error e ->
-                  Printf.eprintf "error: bench with %d conns: %s\n" conns e;
-                  exit 1
-              | Ok r ->
-                  Printf.printf
-                    "conns %3d: %6d ops in %6.2fs  %8.1f ops/s  p50 %6.3fms  p95 %6.3fms  p99 %6.3fms\n%!"
-                    r.Net.Client.b_conns r.Net.Client.b_ops r.Net.Client.b_seconds
-                    r.Net.Client.b_throughput r.Net.Client.b_p50_ms
-                    r.Net.Client.b_p95_ms r.Net.Client.b_p99_ms;
-                  r)
-            conns_list
+    | Ok rev_addrs -> (
+        let shard_addrs = Array.of_list (List.rev rev_addrs) in
+        let cfg =
+          {
+            (Net.Router.default_config ~shard_addrs) with
+            Net.Router.listen_port = listen;
+            port_file;
+            files;
+            users;
+            max_conns;
+            tick_timeout;
+            tail_ticks;
+            barrier_timeout;
+            barrier_retries;
+            journal;
+            admin_port;
+            admin_port_file;
+          }
         in
-        let buf = Buffer.create 1024 in
-        Printf.bprintf buf "{\n  \"experiment\": \"bench-net\",\n";
-        Printf.bprintf buf "  \"ops_per_conn\": %d,\n  \"files\": %d,\n" ops files;
-        Printf.bprintf buf "  \"zipf_s\": %.2f,\n  \"write_ratio\": %.2f,\n" zipf_s
-          write_ratio;
-        Printf.bprintf buf "  \"seed\": \"%s\",\n  \"results\": [\n" (String.escaped seed);
-        List.iteri
-          (fun i (r : Net.Client.bench_result) ->
-            Printf.bprintf buf
-              "    { \"conns\": %d, \"ops\": %d, \"seconds\": %.3f, \
-               \"throughput_ops_s\": %.1f, \"latency_ms\": { \"mean\": %.3f, \
-               \"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f } }%s\n"
-              r.Net.Client.b_conns r.Net.Client.b_ops r.Net.Client.b_seconds
-              r.Net.Client.b_throughput r.Net.Client.b_mean_ms r.Net.Client.b_p50_ms
-              r.Net.Client.b_p95_ms r.Net.Client.b_p99_ms
-              (if i = List.length results - 1 then "" else ","))
-          results;
-        Printf.bprintf buf "  ]\n}\n";
-        let oc = open_out out in
-        Buffer.output_buffer oc buf;
-        close_out oc;
-        Printf.printf "wrote %s\n" out
+        match Net.Router.run cfg with
+        | Ok () ->
+            (match metrics with Some path -> Obs.Report.write path | None -> ())
+        | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            exit 1)
+  in
+  let shard_arg =
+    let doc =
+      "A shard daemon's address (repeat once per shard, in shard-id order)."
+    in
+    Arg.(value & opt_all string [] & info [ "shard" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let shard_port_file_arg =
+    let doc =
+      "Read a shard daemon's loopback port from $(docv) (repeatable; appended \
+       after $(b,--shard) addresses in shard-id order; waits for the file)."
+    in
+    Arg.(value & opt_all string [] & info [ "shard-port-file" ] ~docv:"FILE" ~doc)
+  in
+  let files_arg =
+    let doc = "Seeded key-space size — must match the shard daemons." in
+    Arg.(value & opt int 32 & info [ "files" ] ~docv:"N" ~doc)
+  in
+  let tail_ticks_arg =
+    let doc = "All-drained rounds to run before a clean session end." in
+    Arg.(value & opt int 64 & info [ "tail-ticks" ] ~docv:"N" ~doc)
+  in
+  let tick_timeout_arg =
+    let doc = "Seconds before an unanswered Tick is re-sent." in
+    Arg.(value & opt float 0.5 & info [ "tick-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let barrier_timeout_arg =
+    let doc = "Seconds before an unanswered Prepare is re-sent." in
+    Arg.(value & opt float 0.5 & info [ "barrier-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let barrier_retries_arg =
+    let doc = "Prepare retries before the barrier-wedged alarm ends the session." in
+    Arg.(value & opt int 20 & info [ "barrier-retries" ] ~docv:"N" ~doc)
+  in
+  let max_conns_arg =
+    let doc = "Connection limit; excess connections are rejected busy." in
+    Arg.(value & opt int 64 & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let admin_arg =
+    let doc =
+      "Serve read-only JSON snapshots (cluster topology, per-shard serial \
+       roots, live registry) on a second loopback port ($(b,0) picks an \
+       ephemeral port)."
+    in
+    Arg.(value & opt (some int) None & info [ "admin" ] ~docv:"PORT" ~doc)
+  in
+  let admin_port_file_arg =
+    let doc = "Write the bound admin port to $(docv) (tmp+rename)." in
+    Arg.(value & opt (some string) None & info [ "admin-port-file" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "Route clients over a cluster of shard daemons, composing the \
+     client-visible root from per-shard proofs with a two-phase round barrier."
+  in
+  Cmd.v (Cmd.info "route" ~doc)
+    Term.(
+      const run $ verbosity_arg $ listen_arg $ port_file_arg $ shard_arg
+      $ shard_port_file_arg $ users_arg $ files_arg $ tail_ticks_arg
+      $ tick_timeout_arg $ barrier_timeout_arg $ barrier_retries_arg
+      $ max_conns_arg $ journal_arg $ admin_arg $ admin_port_file_arg
+      $ metrics_arg)
+
+let serve_cluster_cmd =
+  let run verbosity listen port_file shards users seed store_base journal_base
+      tail_ticks tick_timeout admin_port admin_port_file metrics =
+    Log_setup.install ~level:verbosity ();
+    if shards < 1 then begin
+      Printf.eprintf "error: --shards must be at least 1\n";
+      exit 2
+    end;
+    Option.iter (fun b -> if not (Sys.file_exists b) then Unix.mkdir b 0o755) store_base;
+    Option.iter (fun b -> if not (Sys.file_exists b) then Unix.mkdir b 0o755) journal_base;
+    let dir = fresh_dir "tcvs-cluster" in
+    match start_shards ~dir ~shards ~seed ?store_base ?journal_base () with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 1
+    | Ok (pids, ports) -> (
+        let cfg =
+          {
+            (Net.Router.default_config
+               ~shard_addrs:
+                 (Array.of_list (List.map (fun p -> ("127.0.0.1", p)) ports)))
+            with
+            Net.Router.listen_port = listen;
+            port_file;
+            users;
+            tick_timeout;
+            tail_ticks;
+            journal =
+              Option.map (fun b -> Filename.concat b "router.jsonl") journal_base;
+            admin_port;
+            admin_port_file;
+          }
+        in
+        let result = Net.Router.run cfg in
+        reap_children pids;
+        match result with
+        | Ok () ->
+            (match metrics with Some path -> Obs.Report.write path | None -> ())
+        | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            exit 1)
+  in
+  let shards_arg =
+    let doc = "Shard daemons to spawn (one process per key-range shard)." in
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let store_base_arg =
+    let doc = "Give each shard a durable store under $(docv)/shard$(i,I)." in
+    Arg.(value & opt (some string) None & info [ "store-base" ] ~docv:"DIR" ~doc)
+  in
+  let journal_base_arg =
+    let doc =
+      "Write per-process span journals under $(docv) (router.jsonl and one \
+       shard$(i,I).jsonl each; merge with $(b,tcvs trace-join))."
+    in
+    Arg.(value & opt (some string) None & info [ "journal-base" ] ~docv:"DIR" ~doc)
+  in
+  let tail_ticks_arg =
+    let doc = "All-drained rounds to run before a clean session end." in
+    Arg.(value & opt int 64 & info [ "tail-ticks" ] ~docv:"N" ~doc)
+  in
+  let tick_timeout_arg =
+    let doc = "Seconds before an unanswered Tick is re-sent." in
+    Arg.(value & opt float 0.5 & info [ "tick-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let admin_arg =
+    let doc = "Router admin endpoint port ($(b,0) picks an ephemeral port)." in
+    Arg.(value & opt (some int) None & info [ "admin" ] ~docv:"PORT" ~doc)
+  in
+  let admin_port_file_arg =
+    let doc = "Write the router's bound admin port to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "admin-port-file" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "Spawn a full sharded deployment — $(b,--shards) shard daemons plus the \
+     composing router — as one foreground command."
+  in
+  Cmd.v (Cmd.info "serve-cluster" ~doc)
+    Term.(
+      const run $ verbosity_arg $ listen_arg $ port_file_arg $ shards_arg
+      $ users_arg $ seed_arg $ store_base_arg $ journal_base_arg $ tail_ticks_arg
+      $ tick_timeout_arg $ admin_arg $ admin_port_file_arg $ metrics_arg)
+
+let bench_net_cmd =
+  let bench_once ~label ~host ~port ~users ~conns ~ops ~files ~zipf_s ~write_ratio
+      ~seed =
+    match
+      Net.Client.bench ~host ~port ~users ~conns ~ops_per_conn:ops ~files ~zipf_s
+        ~write_ratio ~seed
+    with
+    | Error e ->
+        Printf.eprintf "error: bench %s: %s\n" label e;
+        exit 1
+    | Ok r ->
+        Printf.printf
+          "%-14s %3d conns: %6d ops in %6.2fs  %8.1f ops/s  p50 %6.3fms  p95 \
+           %6.3fms  p99 %6.3fms\n\
+           %!"
+          label r.Net.Client.b_conns r.Net.Client.b_ops r.Net.Client.b_seconds
+          r.Net.Client.b_throughput r.Net.Client.b_p50_ms r.Net.Client.b_p95_ms
+          r.Net.Client.b_p99_ms;
+        r
+  in
+  let result_json (r : Net.Client.bench_result) extra =
+    Printf.sprintf
+      "{ %s\"conns\": %d, \"ops\": %d, \"seconds\": %.3f, \
+       \"throughput_ops_s\": %.1f, \"latency_ms\": { \"mean\": %.3f, \"p50\": \
+       %.3f, \"p95\": %.3f, \"p99\": %.3f } }"
+      extra r.Net.Client.b_conns r.Net.Client.b_ops r.Net.Client.b_seconds
+      r.Net.Client.b_throughput r.Net.Client.b_mean_ms r.Net.Client.b_p50_ms
+      r.Net.Client.b_p95_ms r.Net.Client.b_p99_ms
+  in
+  (* One shard-count data point: a throwaway cluster (N shard daemons +
+     a routing process), benched and torn down. *)
+  let bench_cluster ~shards ~users ~conns ~ops ~files ~zipf_s ~write_ratio ~seed =
+    let dir = fresh_dir "tcvs-bench-cluster" in
+    match start_shards ~dir ~shards ~seed () with
+    | Error e ->
+        Printf.eprintf "error: cluster of %d: %s\n" shards e;
+        exit 1
+    | Ok (pids, ports) -> (
+        let rpf = Filename.concat dir "router.port" in
+        let rpid =
+          spawn_tcvs
+            ([
+               "route"; "--listen"; "0"; "--port-file"; rpf; "--users";
+               string_of_int users; "--files"; string_of_int files;
+             ]
+            @ List.concat_map
+                (fun p -> [ "--shard"; Printf.sprintf "127.0.0.1:%d" p ])
+                ports)
+        in
+        match wait_port_file rpf with
+        | Error e ->
+            reap_children (rpid :: pids);
+            Printf.eprintf "error: cluster of %d: %s\n" shards e;
+            exit 1
+        | Ok port ->
+            let r =
+              bench_once
+                ~label:(Printf.sprintf "router/%d" shards)
+                ~host:"127.0.0.1" ~port ~users ~conns ~ops ~files ~zipf_s
+                ~write_ratio ~seed
+            in
+            reap_children (rpid :: pids);
+            r)
+  in
+  let run verbosity connect users conns_str ops files zipf_s write_ratio seed
+      cluster_shards_str cluster_conns out =
+    Log_setup.install ~level:verbosity ();
+    let conns_list = String.split_on_char ',' conns_str |> List.filter_map int_of_string_opt in
+    let cluster_list =
+      if cluster_shards_str = "" then []
+      else
+        String.split_on_char ',' cluster_shards_str
+        |> List.filter_map int_of_string_opt
+    in
+    if connect = None && cluster_list = [] then begin
+      Printf.eprintf "error: need --connect, --cluster-shards, or both\n";
+      exit 2
+    end;
+    let results =
+      match connect with
+      | None -> []
+      | Some c -> (
+          match parse_hostport c with
+          | Error m ->
+              Printf.eprintf "error: %s\n" m;
+              exit 2
+          | Ok (host, port) ->
+              List.map
+                (fun conns ->
+                  bench_once ~label:"direct" ~host ~port ~users ~conns ~ops ~files
+                    ~zipf_s ~write_ratio ~seed)
+                conns_list)
+    in
+    let cluster =
+      if cluster_list = [] then []
+      else begin
+        (* the single-daemon yardstick the router sweep is read against *)
+        let dir = fresh_dir "tcvs-bench-single" in
+        let pf = Filename.concat dir "daemon.port" in
+        let pid =
+          spawn_tcvs
+            [ "serve"; "--protocol"; "none"; "--users"; string_of_int users;
+              "--listen"; "0"; "--port-file"; pf; "--seed"; seed ]
+        in
+        let single =
+          match wait_port_file pf with
+          | Error e ->
+              reap_children [ pid ];
+              Printf.eprintf "error: single-daemon baseline: %s\n" e;
+              exit 1
+          | Ok port ->
+              let r =
+                bench_once ~label:"single" ~host:"127.0.0.1" ~port ~users
+                  ~conns:cluster_conns ~ops ~files ~zipf_s ~write_ratio ~seed
+              in
+              reap_children [ pid ];
+              ("\"topology\": \"single\", \"shards\": 1, ", r)
+        in
+        single
+        :: List.map
+             (fun shards ->
+               ( Printf.sprintf "\"topology\": \"router\", \"shards\": %d, " shards,
+                 bench_cluster ~shards ~users ~conns:cluster_conns ~ops ~files
+                   ~zipf_s ~write_ratio ~seed ))
+             cluster_list
+      end
+    in
+    let buf = Buffer.create 1024 in
+    Printf.bprintf buf "{\n  \"experiment\": \"bench-net\",\n";
+    Printf.bprintf buf "  \"ops_per_conn\": %d,\n  \"files\": %d,\n" ops files;
+    Printf.bprintf buf "  \"zipf_s\": %.2f,\n  \"write_ratio\": %.2f,\n" zipf_s
+      write_ratio;
+    Printf.bprintf buf "  \"seed\": \"%s\",\n  \"results\": [\n" (String.escaped seed);
+    List.iteri
+      (fun i r ->
+        Printf.bprintf buf "    %s%s\n" (result_json r "")
+          (if i = List.length results - 1 then "" else ","))
+      results;
+    Printf.bprintf buf "  ],\n  \"cluster\": [\n";
+    List.iteri
+      (fun i (extra, r) ->
+        Printf.bprintf buf "    %s%s\n" (result_json r extra)
+          (if i = List.length cluster - 1 then "" else ","))
+      cluster;
+    Printf.bprintf buf "  ]\n}\n";
+    let oc = open_out out in
+    Buffer.output_buffer oc buf;
+    close_out oc;
+    Printf.printf "wrote %s\n" out
   in
   let conns_arg =
     let doc = "Comma-separated concurrent-connection counts to sweep." in
@@ -894,14 +1298,35 @@ let bench_net_cmd =
     let doc = "Write the JSON results to $(docv)." in
     Arg.(value & opt string "BENCH_net.json" & info [ "out" ] ~docv:"FILE" ~doc)
   in
+  let bench_connect_arg =
+    let doc =
+      "Existing server to sweep $(b,--conns) against, as HOST:PORT or just \
+       PORT; omit to run only the $(b,--cluster-shards) sweep."
+    in
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let cluster_shards_arg =
+    let doc =
+      "Comma-separated shard counts: for each, spawn that many shard daemons \
+       plus a router, bench through the router at $(b,--cluster-conns) \
+       connections, and record it against a spawned single-daemon baseline."
+    in
+    Arg.(value & opt string "" & info [ "cluster-shards" ] ~docv:"LIST" ~doc)
+  in
+  let cluster_conns_arg =
+    let doc = "Fixed client-connection count for the cluster sweep." in
+    Arg.(value & opt int 4 & info [ "cluster-conns" ] ~docv:"N" ~doc)
+  in
   let doc =
     "Closed-loop throughput/latency benchmark against a tcvs serve daemon \
-     (free-mode connections, Zipf-distributed keys)."
+     (free-mode connections, Zipf-distributed keys), with an optional \
+     router-vs-single-daemon cluster sweep."
   in
   Cmd.v (Cmd.info "bench-net" ~doc)
     Term.(
-      const run $ verbosity_arg $ connect_arg $ users_arg $ conns_arg $ ops_arg
-      $ files_arg $ zipf_arg $ write_ratio_arg $ seed_arg $ out_arg)
+      const run $ verbosity_arg $ bench_connect_arg $ users_arg $ conns_arg
+      $ ops_arg $ files_arg $ zipf_arg $ write_ratio_arg $ seed_arg
+      $ cluster_shards_arg $ cluster_conns_arg $ out_arg)
 
 (* ---- telemetry plane: trace-join / stats / top ----------------------------- *)
 
@@ -1113,6 +1538,6 @@ let () =
        (Cmd.group info
           [
             simulate_cmd; matrix_cmd; workload_cmd; session_cmd; inspect_cmd;
-            store_inspect_cmd; serve_cmd; client_cmd; proxy_cmd; bench_net_cmd;
-            trace_join_cmd; stats_cmd; top_cmd;
+            store_inspect_cmd; serve_cmd; client_cmd; proxy_cmd; route_cmd;
+            serve_cluster_cmd; bench_net_cmd; trace_join_cmd; stats_cmd; top_cmd;
           ]))

@@ -34,6 +34,7 @@ let root_node t =
   | Sharded { boundaries; parts } -> Node.make_node boundaries parts
 
 let of_node ~branching proof = { branching; body = Flat proof }
+let is_flat t = match t.body with Flat _ -> true | Sharded _ -> false
 
 let compose_root boundaries part_digests =
   Node.digest
@@ -171,6 +172,17 @@ let generate_sharded ~boundaries ~trees op =
   let vo = { branching; body = Sharded { boundaries; parts } } in
   record_generated vo;
   vo
+
+(* Pure constructor for a router composing a sharded VO out of one
+   shard daemon's flat proof plus stubs of the other shard roots. Built
+   to be byte-identical to [generate_sharded] over the same tree
+   states, so a cluster and a single sharded daemon encode the same
+   proof for the same op. *)
+let of_parts ~branching ~boundaries ~parts =
+  if Array.length parts < 2 then invalid_arg "Vo.of_parts: need >= 2 parts";
+  if Array.length boundaries <> Array.length parts - 1 then
+    invalid_arg "Vo.of_parts: boundaries/parts mismatch";
+  { branching; body = Sharded { boundaries; parts } }
 
 (* ---- Replay (client side) ----------------------------------------- *)
 

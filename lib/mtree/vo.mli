@@ -91,7 +91,29 @@ val root_node : t -> Node.t
 (** The proof tree; for a sharded VO, the one-level composition node
     over the shard proofs (whose digest is the VO's root). *)
 
+val is_flat : t -> bool
+(** [true] for a single-tree proof — what a 1-shard daemon emits; the
+    cluster router rejects anything else on a shard link. *)
+
 val compose_root : string array -> string array -> string
 (** [compose_root boundaries shard_roots] — digest of the composition
     node; shared with the sharded store so server and client cannot
     disagree on the extra hash level by construction. *)
+
+val shards_for : string array -> op -> int list
+(** Which shards (by [boundaries] routing) [op] touches, ascending —
+    the routing the sharded replay uses, exported for the cluster
+    router, which must fan an op to the same owning shard daemons. *)
+
+val sub_op_for : string array -> int -> op -> op
+(** Restrict [op] to the keys shard [i] owns (only [Set_many] actually
+    shrinks; every other op is already single-path or replayed
+    per-shard as-is). *)
+
+val of_parts : branching:int -> boundaries:string array -> parts:Node.t array -> t
+(** Compose a sharded VO from per-shard proof nodes (owning shards'
+    pruned proofs, other shards as {!Node.Stub}s of their roots).
+    Byte-identical to {!generate_sharded} over the same tree states —
+    this is how the cluster router rebuilds the client-visible proof
+    from a shard daemon's flat VO. Requires at least two parts.
+    @raise Invalid_argument on a boundary/part count mismatch. *)

@@ -299,7 +299,8 @@ let handle_frame s frame =
              detail)
   | Codec.Bye -> ()
   | Codec.Hello _ | Codec.Welcome _ | Codec.Request _ | Codec.Publish _
-  | Codec.Deliver_ack _ | Codec.Tick_done _ ->
+  | Codec.Deliver_ack _ | Codec.Tick_done _ | Codec.Prepare _ | Codec.Shard_root _
+  | Codec.Commit _ ->
       s.fatal <- Some ("unexpected frame: " ^ Codec.frame_kind frame)
 
 let handshake s =

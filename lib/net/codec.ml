@@ -6,13 +6,15 @@ module R = Wire.R
 (* v2: payload frames (Request/Publish/Reply/Deliver) carry a compact
    trace context so any hop — including the fault proxy, which never
    decodes message bodies — can attribute a frame to the op that caused
-   it. *)
-let protocol_version = 2
+   it.
+   v3: the Shard_link role and the Prepare/Shard_root/Commit barrier
+   frames for the multi-daemon cluster (router <-> shard daemon). *)
+let protocol_version = 3
 let magic = "TCVN"
 let header_len = 12
 let default_max_frame = 1 lsl 20
 
-type role = Lockstep | Free
+type role = Lockstep | Free | Shard_link
 
 type hello = {
   h_version : int;
@@ -62,6 +64,15 @@ type frame =
   | Session_end of { round : int; alarmed : bool; reason : string }
   | Error_frame of { code : error_code; detail : string }
   | Bye
+  | Prepare of { round : int }
+  | Shard_root of {
+      round : int;
+      shard_id : int;
+      generation : int;
+      ctr : int;
+      root : string;
+    }
+  | Commit of { round : int; root : string }
 
 type error =
   | Bad_magic
@@ -337,11 +348,12 @@ let decode_message s = Wire.decode s read_message
 
 (* ---- frame codec ----------------------------------------------------- *)
 
-let role_tag = function Lockstep -> 0 | Free -> 1
+let role_tag = function Lockstep -> 0 | Free -> 1 | Shard_link -> 2
 
 let role_of_tag = function
   | 0 -> Lockstep
   | 1 -> Free
+  | 2 -> Shard_link
   | n -> failwith (Printf.sprintf "unknown role %d" n)
 
 let error_code_tag = function
@@ -435,6 +447,20 @@ let write_frame w (f : frame) =
       W.u16 w (error_code_tag code);
       W.str w detail
   | Bye -> W.u8 w 12
+  | Prepare { round } ->
+      W.u8 w 13;
+      W.u32 w round
+  | Shard_root { round; shard_id; generation; ctr; root } ->
+      W.u8 w 14;
+      W.u32 w round;
+      W.u16 w shard_id;
+      W.u32 w generation;
+      W.u32 w ctr;
+      W.str w root
+  | Commit { round; root } ->
+      W.u8 w 15;
+      W.u32 w round;
+      W.str w root
 
 let read_frame r : frame =
   match R.u8 r with
@@ -490,6 +516,17 @@ let read_frame r : frame =
       let code = error_code_of_tag (R.u16 r) in
       Error_frame { code; detail = R.str r }
   | 12 -> Bye
+  | 13 -> Prepare { round = R.u32 r }
+  | 14 ->
+      let round = R.u32 r in
+      let shard_id = R.u16 r in
+      let generation = R.u32 r in
+      let ctr = R.u32 r in
+      let root = R.str r in
+      Shard_root { round; shard_id; generation; ctr; root }
+  | 15 ->
+      let round = R.u32 r in
+      Commit { round; root = R.str r }
   | n -> failwith (Printf.sprintf "unknown frame tag %d" n)
 
 (* The trace context of a payload frame, if it carries one — how the
@@ -498,7 +535,7 @@ let ctx_of_frame = function
   | Request { ctx; _ } | Publish { ctx; _ } | Reply { ctx; _ } | Deliver { ctx; _ } ->
       Some ctx
   | Hello _ | Welcome _ | Ack _ | Deliver_ack _ | Tick _ | Tick_done _ | Session_end _
-  | Error_frame _ | Bye ->
+  | Error_frame _ | Bye | Prepare _ | Shard_root _ | Commit _ ->
       None
 
 let frame_kind = function
@@ -515,12 +552,18 @@ let frame_kind = function
   | Session_end _ -> "session_end"
   | Error_frame _ -> "error"
   | Bye -> "bye"
+  | Prepare _ -> "prepare"
+  | Shard_root _ -> "shard_root"
+  | Commit _ -> "commit"
 
 let pp_frame fmt (f : frame) =
   match f with
   | Hello h ->
       Format.fprintf fmt "hello(v%d, u%d/%d, %s, r%d)" h.h_version h.h_user h.h_users
-        (match h.h_role with Lockstep -> "lockstep" | Free -> "free")
+        (match h.h_role with
+        | Lockstep -> "lockstep"
+        | Free -> "free"
+        | Shard_link -> "shard-link")
         h.h_round
   | Welcome m ->
       Format.fprintf fmt "welcome(v%d, gen %d, ctr %d, %d user(s), %d shard(s))"
@@ -553,6 +596,13 @@ let pp_frame fmt (f : frame) =
         (error_code_to_string code)
         (if detail = "" then "" else ": " ^ detail)
   | Bye -> Format.pp_print_string fmt "bye"
+  | Prepare { round } -> Format.fprintf fmt "prepare(r%d)" round
+  | Shard_root { round; shard_id; generation; ctr; root } ->
+      Format.fprintf fmt "shard-root(r%d, shard %d, gen %d, ctr %d, %s)" round
+        shard_id generation ctr
+        (Crypto.Hex.encode root)
+  | Commit { round; root } ->
+      Format.fprintf fmt "commit(r%d, %s)" round (Crypto.Hex.encode root)
 
 let checksum body = String.sub (Crypto.Sha256.digest body) 0 4
 

@@ -20,10 +20,14 @@ val protocol_version : int
 (** Bumped on any incompatible frame or message change; checked in the
     {!Hello}/{!Welcome} handshake. *)
 
-type role = Lockstep | Free
+type role = Lockstep | Free | Shard_link
 (** [Lockstep]: a protocol user driven by daemon {!Tick}s (the
     simulator's round model over real sockets). [Free]: a closed-loop
-    bench client; requests are executed on arrival. *)
+    bench client; requests are executed on arrival. [Shard_link] (v3):
+    the cluster router's connection to a shard daemon — requests are
+    executed on arrival like [Free], but the daemon keeps the dedup
+    state across reconnects (exactly-once must survive a shard crash)
+    and answers the {!Prepare}/{!Shard_root}/{!Commit} round barrier. *)
 
 type hello = {
   h_version : int;
@@ -85,6 +89,20 @@ type frame =
   | Session_end of { round : int; alarmed : bool; reason : string }
   | Error_frame of { code : error_code; detail : string }
   | Bye
+  | Prepare of { round : int }
+      (** router → shard (v3): seal round [round] — flush the store and
+          report the shard's current root. Retransmitted until the
+          matching {!Shard_root} arrives; shards answer idempotently. *)
+  | Shard_root of {
+      round : int;
+      shard_id : int;
+      generation : int;  (** shard store generation — regression = alarm *)
+      ctr : int;  (** ops the shard has executed *)
+      root : string;  (** the shard's flat root digest (raw 32 bytes) *)
+    }  (** shard → router (v3): the prepare vote the router composes. *)
+  | Commit of { round : int; root : string }
+      (** router → shard (v3): the composed client-visible root for
+          [round] was published; informational for the shard's journal. *)
 
 type error =
   | Bad_magic

@@ -39,6 +39,12 @@ type config = {
   journal : string option; (* JSONL span journal path *)
   admin_port : int option; (* read-only admin socket; [Some 0] = ephemeral *)
   admin_port_file : string option;
+  (* Cluster shard mode: [Some i] serves only shard [i] of a
+     [shard_count]-way partition of the key space — a 1-shard store
+     over the keys the cluster map routes to shard [i], accepting a
+     single [Shard_link] connection from the router. *)
+  shard_id : int option;
+  shard_count : int;
 }
 
 let default_config =
@@ -66,6 +72,8 @@ let default_config =
     journal = None;
     admin_port = None;
     admin_port_file = None;
+    shard_id = None;
+    shard_count = 1;
   }
 
 let stop_requested = ref false
@@ -112,6 +120,19 @@ let jot st ?user ?span ?dur_us ~ev detail =
   match st.journal with
   | Some j -> Obs.Journal.event j ?user ?span ?dur_us ~round:st.round ~ev detail
   | None -> ()
+
+(* In shard mode the op's span belongs to the originating client, not
+   to the router's link seq: journal under the forwarded trace context
+   (ids and round) so `trace-join` threads client → router → shard
+   into one span in the client's round. *)
+let jot_fwd st ~user ~seq ~(ctx : Codec.ctx) ~ev detail =
+  match st.journal with
+  | None -> ()
+  | Some j ->
+      if st.cfg.shard_id <> None && ctx.Codec.x_user >= 0 then
+        Obs.Journal.event j ~user:ctx.Codec.x_user ~span:ctx.Codec.x_span
+          ~round:ctx.Codec.x_round ~ev detail
+      else Obs.Journal.event j ~user ~span:seq ~round:st.round ~ev detail
 
 let mode_of_protocol = function
   | Harness.Protocol_1 _ -> (`Signed, None)
@@ -165,7 +186,7 @@ let[@tcvs.lint.root "event-loop"] drain_outbox st =
         | None -> ());
         Obs.incr c_requests;
         Log.debug (fun f -> f "u%d: reply for seq %d" u seq);
-        jot st ~user:u ~span:seq ~ev:"daemon.reply" (Message.kind msg);
+        jot_fwd st ~user:u ~seq ~ctx ~ev:"daemon.reply" (Message.kind msg);
         match session_for_user st u with
         | Some sess -> Conn.send sess.conn (Codec.Reply { seq; ctx; msg })
         | None -> () (* disconnected; the cached reply answers the re-request *))
@@ -175,47 +196,79 @@ let[@tcvs.lint.root "event-loop"] drain_outbox st =
 
 (* ---- Frame handling -------------------------------------------------- *)
 
+(* The router's Hello names the shard it expects ([h_user] = shard id)
+   and the cluster width ([h_users] = shard count) — miswired
+   deployments fail the handshake instead of serving the wrong keys.
+   Unlike [Free], the dedup state survives a shard-link handshake:
+   exactly-once must hold across router reconnects and shard crashes. *)
+let handle_shard_hello st sess (h : Codec.hello) ~my_shard =
+  if h.Codec.h_user <> my_shard then
+    reject sess Codec.Bad_user
+      (Printf.sprintf "router expects shard %d, this daemon serves shard %d"
+         h.Codec.h_user my_shard)
+  else if h.Codec.h_users <> st.cfg.shard_count then
+    reject sess Codec.Bad_user
+      (Printf.sprintf "router expects %d shards, this daemon is 1 of %d"
+         h.Codec.h_users st.cfg.shard_count)
+  else if session_for_user st 0 <> None then
+    reject sess Codec.Bad_user "a router is already connected"
+  else begin
+    sess.user <- 0;
+    sess.role <- Some Codec.Shard_link;
+    Conn.send sess.conn (welcome st);
+    Log.info (fun f ->
+        f "router linked shard %d (round %d) from %s" my_shard h.Codec.h_round
+          sess.peer)
+  end
+
 let handle_hello st sess (h : Codec.hello) =
   if h.Codec.h_version <> Codec.protocol_version then
     reject sess Codec.Version_mismatch
       (Printf.sprintf "server speaks protocol %d, client sent %d"
          Codec.protocol_version h.Codec.h_version)
-  else if h.Codec.h_user < 0 || h.Codec.h_user >= st.cfg.users then
-    reject sess Codec.Bad_user
-      (Printf.sprintf "user %d out of range [0, %d)" h.Codec.h_user st.cfg.users)
-  else if h.Codec.h_users <> st.cfg.users then
-    reject sess Codec.Bad_user
-      (Printf.sprintf "client expects %d users, session has %d" h.Codec.h_users
-         st.cfg.users)
-  else if session_for_user st h.Codec.h_user <> None then
-    reject sess Codec.Bad_user
-      (Printf.sprintf "user %d is already connected" h.Codec.h_user)
-  else if
-    (* one daemon serves one kind of session at a time *)
-    match h.Codec.h_role with
-    | Codec.Lockstep -> has_role st Codec.Free
-    | Codec.Free -> has_role st Codec.Lockstep
-  then reject sess Codec.Busy "daemon is serving a session of the other role"
-  else begin
-    sess.user <- h.Codec.h_user;
-    sess.role <- Some h.Codec.h_role;
-    (* free connections are independent workloads, not resumed sessions:
-       a fresh one restarts its seq space *)
-    if h.Codec.h_role = Codec.Free then begin
-      Hashtbl.remove st.vseq sess.user;
-      Hashtbl.remove st.reply_cache sess.user;
-      Hashtbl.remove st.outstanding sess.user
-    end;
-    if not st.ticking then st.round <- max st.round h.Codec.h_round;
-    Conn.send sess.conn (welcome st);
-    Log.info (fun f ->
-        f "u%d joined (%s, round %d) from %s" sess.user
-          (match h.Codec.h_role with Codec.Lockstep -> "lockstep" | Codec.Free -> "free")
-          h.Codec.h_round sess.peer);
-    (* a reconnect mid-round: let the client catch up immediately *)
-    if st.ticking && h.Codec.h_role = Codec.Lockstep then
-      Conn.send sess.conn (Codec.Tick { round = st.round })
-  end
+  else
+    match (h.Codec.h_role, st.cfg.shard_id) with
+    | Codec.Shard_link, None ->
+        reject sess Codec.Bad_user "not a shard daemon (no --shard-id)"
+    | Codec.Shard_link, Some my_shard -> handle_shard_hello st sess h ~my_shard
+    | (Codec.Lockstep | Codec.Free), Some _ ->
+        reject sess Codec.Bad_user
+          "shard daemon accepts only shard-link connections (use the router)"
+    | ((Codec.Lockstep | Codec.Free) as role), None ->
+        if h.Codec.h_user < 0 || h.Codec.h_user >= st.cfg.users then
+          reject sess Codec.Bad_user
+            (Printf.sprintf "user %d out of range [0, %d)" h.Codec.h_user st.cfg.users)
+        else if h.Codec.h_users <> st.cfg.users then
+          reject sess Codec.Bad_user
+            (Printf.sprintf "client expects %d users, session has %d" h.Codec.h_users
+               st.cfg.users)
+        else if session_for_user st h.Codec.h_user <> None then
+          reject sess Codec.Bad_user
+            (Printf.sprintf "user %d is already connected" h.Codec.h_user)
+        else if
+          (* one daemon serves one kind of session at a time *)
+          has_role st (match role with Codec.Lockstep -> Codec.Free | _ -> Codec.Lockstep)
+        then reject sess Codec.Busy "daemon is serving a session of the other role"
+        else begin
+          sess.user <- h.Codec.h_user;
+          sess.role <- Some role;
+          (* free connections are independent workloads, not resumed sessions:
+             a fresh one restarts its seq space *)
+          if role = Codec.Free then begin
+            Hashtbl.remove st.vseq sess.user;
+            Hashtbl.remove st.reply_cache sess.user;
+            Hashtbl.remove st.outstanding sess.user
+          end;
+          if not st.ticking then st.round <- max st.round h.Codec.h_round;
+          Conn.send sess.conn (welcome st);
+          Log.info (fun f ->
+              f "u%d joined (%s, round %d) from %s" sess.user
+                (match role with Codec.Lockstep -> "lockstep" | _ -> "free")
+                h.Codec.h_round sess.peer);
+          (* a reconnect mid-round: let the client catch up immediately *)
+          if st.ticking && role = Codec.Lockstep then
+            Conn.send sess.conn (Codec.Tick { round = st.round })
+        end
 
 let handle_request st sess ~seq ~ctx ~msg =
   let u = sess.user in
@@ -230,7 +283,7 @@ let handle_request st sess ~seq ~ctx ~msg =
       else if seq <= last then begin
         Obs.incr c_dedup_hits;
         sess.dedup_hits <- sess.dedup_hits + 1;
-        jot st ~user:u ~span:seq ~ev:"daemon.dedup" "duplicate query";
+        jot_fwd st ~user:u ~seq ~ctx ~ev:"daemon.dedup" "duplicate query";
         Log.debug (fun f -> f "u%d: duplicate query seq %d, resending reply" u seq);
         match Hashtbl.find_opt st.reply_cache u with
         | Some (s, payload) when s = seq -> (
@@ -272,14 +325,17 @@ let handle_request st sess ~seq ~ctx ~msg =
       end
       else begin
         Log.debug (fun f -> f "u%d: query seq %d injected (round %d)" u seq st.round);
-        jot st ~user:u ~span:seq ~ev:"daemon.dispatch" (Message.kind msg);
+        jot_fwd st ~user:u ~seq ~ctx ~ev:"daemon.dispatch" (Message.kind msg);
         Hashtbl.replace st.vseq u seq;
         (match st.store with
         | Some s -> Store.declare_origin s ~user:u ~seq
         | None -> ());
         Hashtbl.replace st.outstanding u (seq, ctx);
         Sim.Engine.send st.engine ~src:(Sim.Id.User u) ~dst:Sim.Id.Server msg;
-        if sess.role = Some Codec.Free then st.free_pending <- true
+        (* free and shard-link requests execute on arrival — no round clock *)
+        match sess.role with
+        | Some (Codec.Free | Codec.Shard_link) -> st.free_pending <- true
+        | _ -> ()
       end
   | Message.Root_signature _ | Message.Token_take_turn _ ->
       (* At-least-once is safe here: the server ignores a signature it is
@@ -325,6 +381,50 @@ let handle_publish st sess ~seq ~ctx ~msg =
         Hashtbl.iter (fun v () -> deliver_to st v ~src:u ~sseq:seq ~ctx msg) pending
       end
 
+(* Execute injected-but-unexecuted requests now. Free and shard-link
+   requests normally execute from the main loop; a Prepare arriving in
+   the same read burst as a (duplicate) request must never seal a round
+   with work still staged. *)
+let[@tcvs.lint.root "event-loop"] execute_pending st =
+  if st.free_pending then begin
+    st.free_pending <- false;
+    Sim.Engine.step st.engine;
+    Sim.Engine.step st.engine;
+    drain_outbox st;
+    (* requests here have no round clock: each batch is its own group
+       commit, so acknowledged replies are durable before they leave *)
+    match st.store with Some s -> Store.flush s | None -> ()
+  end
+
+(* Prepare phase of the cluster round barrier: flush so everything this
+   round executed is durable, then vote with the shard's current root.
+   Idempotent — a retransmitted Prepare re-reports the same root. *)
+let handle_prepare st sess ~round =
+  match (sess.role, st.cfg.shard_id) with
+  | Some Codec.Shard_link, Some shard_id ->
+      execute_pending st;
+      if round > st.round then st.round <- round;
+      (match st.store with Some s -> Store.flush s | None -> ());
+      jot st ~ev:"shard.seal" (Printf.sprintf "prepare r%d" round);
+      Conn.send sess.conn
+        (Codec.Shard_root
+           {
+             round;
+             shard_id;
+             generation =
+               (match st.store with Some s -> Store.generation s | None -> 0);
+             ctr = Server.ops_performed st.server;
+             root = Server.true_root st.server;
+           })
+  | _ -> reject sess Codec.Protocol_violation "prepare outside a shard link"
+
+let handle_commit st sess ~round =
+  match sess.role with
+  | Some Codec.Shard_link ->
+      if round > st.round then st.round <- round;
+      jot st ~ev:"shard.commit" (Printf.sprintf "composed root published r%d" round)
+  | _ -> reject sess Codec.Protocol_violation "commit outside a shard link"
+
 let handle_deliver_ack st sess ~psrc ~sseq =
   match Hashtbl.find_opt st.relays (psrc, sseq) with
   | None -> ()
@@ -361,8 +461,10 @@ let[@tcvs.lint.root "event-loop"] handle_frame st sess frame =
             f "u%d: stale tick_done r=%d at round %d ignored" sess.user r
               st.round)
   | Some _, Codec.Bye -> sess.said_bye <- true
+  | Some _, Codec.Prepare { round } -> handle_prepare st sess ~round
+  | Some _, Codec.Commit { round; root = _ } -> handle_commit st sess ~round
   | Some _, (Codec.Welcome _ | Codec.Reply _ | Codec.Deliver _ | Codec.Tick _
-            | Codec.Session_end _) ->
+            | Codec.Session_end _ | Codec.Shard_root _) ->
       reject sess Codec.Protocol_violation "server-to-client frame from a client"
   | Some _, (Codec.Ack _ | Codec.Error_frame _) -> ()
 
@@ -462,7 +564,23 @@ let write_port_file path port =
   close_out oc;
   Sys.rename tmp path
 
-let open_store cfg =
+(* The slice of the seeded key space a shard daemon owns: the same
+   boundaries the router (and a single-daemon [--shards N] run)
+   computes from the full initial key list, so this daemon's 1-shard
+   tree equals the corresponding shard subtree by construction — the
+   composed cluster root is byte-identical to the sharded root. *)
+let initial_slice cfg =
+  let initial = Harness.initial_files cfg.files in
+  match cfg.shard_id with
+  | None -> initial
+  | Some i ->
+      let map =
+        Store.Shard_map.create ~branching:cfg.branching ~shards:cfg.shard_count
+          ~keys:(List.map fst initial)
+      in
+      List.filter (fun (k, _) -> Store.Shard_map.route map k = i) initial
+
+let open_store cfg ~initial =
   match cfg.store_dir with
   | None -> Ok (None, None)
   | Some dir ->
@@ -478,19 +596,19 @@ let open_store cfg =
           Store.create_or_open ~checkpoint_every:cfg.checkpoint_every
             ~durability:cfg.durability ~dir
             ~branching:cfg.branching ~shards:cfg.shards
-            ~initial:(Harness.initial_files cfg.files) ()
+            ~initial ()
         with
         | Ok (s, _) -> Ok (Some s, None)
         | Error e -> Error e)
 
 let build_state cfg =
-  match open_store cfg with
+  let initial = initial_slice cfg in
+  match open_store cfg ~initial with
   | Error e -> Error ("store: " ^ e)
   | Ok (store, resume_from) ->
       let engine =
         Sim.Engine.create ~measure:Message.encoded_size ~classify:Message.kind ()
       in
-      let initial = Harness.initial_files cfg.files in
       let mode, epoch_len = mode_of_protocol cfg.protocol in
       let initial_root_sig =
         match cfg.protocol with
@@ -558,7 +676,13 @@ let build_state cfg =
           free_pending = false;
           session_over = false;
           ended_at = 0.;
-          journal = Option.map (fun p -> Obs.Journal.open_ ~proc:"daemon" p) cfg.journal;
+          journal =
+            (let proc =
+               match cfg.shard_id with
+               | Some i -> "shard" ^ string_of_int i
+               | None -> "daemon"
+             in
+             Option.map (fun p -> Obs.Journal.open_ ~proc p) cfg.journal);
         }
       in
       (match resume_from with
@@ -603,7 +727,10 @@ let admin_snapshot st =
          %d, \"bytes_in\": %d, \"bytes_out\": %d, \"backlog_bytes\": %d, \
          \"dedup_hits\": %d, \"outstanding\": %d }"
         s.user
-        (match s.role with Some Codec.Free -> "free" | _ -> "lockstep")
+        (match s.role with
+        | Some Codec.Free -> "free"
+        | Some Codec.Shard_link -> "shard-link"
+        | _ -> "lockstep")
         io.Conn.frames_in io.Conn.frames_out io.Conn.bytes_in io.Conn.bytes_out
         (Conn.pending_out s.conn) s.dedup_hits
         (if Hashtbl.mem st.outstanding s.user then 1 else 0))
@@ -613,29 +740,6 @@ let admin_snapshot st =
   Buffer.add_string buf (String.trim (Obs.Report.to_json ~volatile:true ()));
   Buffer.add_string buf "\n}\n";
   Buffer.contents buf
-
-let[@tcvs.lint.root "event-loop"] serve_admin st admin_fd =
-  let rec loop () =
-    match Unix.accept admin_fd with
-    | fd, _ ->
-        Obs.incr c_admin_scrapes;
-        let body = admin_snapshot st in
-        let len = String.length body in
-        let rec wr off =
-          if off < len then
-            match Unix.write_substring fd body off (len - off) with
-            | n -> wr (off + n)
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> wr off
-            | exception Unix.Unix_error _ -> ()
-        in
-        wr 0;
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        loop ()
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-      ->
-        ()
-  in
-  loop ()
 
 (* ---- Main loop ------------------------------------------------------- *)
 
@@ -699,7 +803,16 @@ let run cfg =
   let on_stop = Sys.Signal_handle (fun _ -> stop_requested := true) in
   Sys.set_signal Sys.sigterm on_stop;
   Sys.set_signal Sys.sigint on_stop;
-  match build_state cfg with
+  match
+    (* shard mode: one engine user (the router) over a single internal
+       shard; the cluster-wide partition lives in [initial_slice] *)
+    match cfg.shard_id with
+    | Some i when i < 0 || i >= cfg.shard_count ->
+        Error
+          (Printf.sprintf "shard id %d out of range [0, %d)" i cfg.shard_count)
+    | Some _ -> build_state { cfg with users = 1; shards = 1 }
+    | None -> build_state cfg
+  with
   | Error e -> Error e
   | Ok st -> (
       let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -725,32 +838,24 @@ let run cfg =
               f "listening on 127.0.0.1:%d (boot %s, %d users, %s)" port st.boot_id
                 cfg.users
                 (Harness.protocol_name cfg.protocol));
-          let admin_fd =
+          let admin =
             match cfg.admin_port with
             | None -> None
             | Some p -> (
-                let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-                Unix.setsockopt fd Unix.SO_REUSEADDR true;
-                match Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, p)) with
-                | exception Unix.Unix_error (err, _, _) ->
-                    Unix.close fd;
-                    Log.err (fun f ->
-                        f "admin: cannot bind 127.0.0.1:%d: %s" p
-                          (Unix.error_message err));
+                match Admin.listen ~port:p with
+                | Error e ->
+                    Log.err (fun f -> f "admin: %s" e);
                     None
-                | () ->
-                    Unix.listen fd 16;
-                    Unix.set_nonblock fd;
-                    let ap =
-                      match Unix.getsockname fd with
-                      | Unix.ADDR_INET (_, ap) -> ap
-                      | Unix.ADDR_UNIX _ -> p
-                    in
+                | Ok (a, ap) ->
                     Option.iter
                       (fun path -> write_port_file path ap)
                       cfg.admin_port_file;
                     Log.app (fun f -> f "admin endpoint on 127.0.0.1:%d" ap);
-                    Some fd)
+                    Some a)
+          in
+          let admin_scrape () =
+            Obs.incr c_admin_scrapes;
+            admin_snapshot st
           in
           let rec loop () =
             if !stop_requested && not st.session_over then
@@ -768,9 +873,7 @@ let run cfg =
               then begin
                 List.iter (fun s -> Conn.close s.conn) st.sessions;
                 Unix.close listen_fd;
-                (match admin_fd with
-                | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
-                | None -> ());
+                Option.iter Admin.close admin;
                 (match st.journal with Some j -> Obs.Journal.close j | None -> ());
                 (match st.store with Some s -> Store.close s | None -> ());
                 Ok ()
@@ -803,35 +906,33 @@ let run cfg =
                     st.sessions
                 end
               end;
-              if st.free_pending then begin
-                st.free_pending <- false;
-                Sim.Engine.step st.engine;
-                Sim.Engine.step st.engine;
-                drain_outbox st;
-                (* free-role requests have no round clock, so each batch
-                   is its own group commit *)
-                match st.store with Some s -> Store.flush s | None -> ()
-              end;
+              execute_pending st;
               select_and_continue ()
             end
           and select_and_continue () =
             let rfds = listen_fd :: List.map (fun s -> Conn.fd s.conn) st.sessions in
             let rfds =
-              match admin_fd with Some fd -> fd :: rfds | None -> rfds
+              match admin with Some a -> Admin.fd a :: rfds | None -> rfds
             in
             let wfds =
               List.filter_map
                 (fun s -> if Conn.want_write s.conn then Some (Conn.fd s.conn) else None)
                 st.sessions
             in
+            let wfds =
+              match admin with Some a -> Admin.wfds a @ wfds | None -> wfds
+            in
             let readable, writable, _ =
               try Unix.select rfds wfds [] 0.05
               with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
             in
             if List.mem listen_fd readable then accept_pending st listen_fd;
-            (match admin_fd with
-            | Some fd when List.mem fd readable -> serve_admin st fd
-            | _ -> ());
+            (match admin with
+            | Some a ->
+                if List.mem (Admin.fd a) readable then
+                  Admin.accept_pending a ~snapshot:admin_scrape;
+                Admin.service a
+            | None -> ());
             List.iter
               (fun s -> if List.mem (Conn.fd s.conn) readable then read_session st s)
               st.sessions;

@@ -22,6 +22,16 @@
 
     - {e Free}: bench clients; each [Request] is executed on arrival.
 
+    A third mode, {e shard daemon} ([shard_id = Some i]), serves one
+    shard of a [shard_count]-way cluster behind {!Router}: a single
+    [Shard_link] connection from the router, requests executed on
+    arrival over a 1-shard store holding only the keys the cluster's
+    shard map routes to shard [i], plus the prepare/commit round
+    barrier ([Prepare] → flush → [Shard_root] vote; [Commit] journals
+    the published composed root). Unlike [Free], the dedup state
+    survives shard-link reconnects — exactly-once holds across both
+    router reconnects and shard crashes.
+
     Exactly-once across restarts: the network seq of each executed
     query rides in the op's WAL records ({!Store.declare_origin}) and
     the encoded reply is durably cached ({!Store.log_reply}), so a
@@ -67,6 +77,13 @@ type config = {
           metrics) → close. [Some 0] picks an ephemeral port. *)
   admin_port_file : string option;
       (** written (tmp+rename) with the bound admin port *)
+  shard_id : int option;
+      (** [Some i]: serve only shard [i] of a [shard_count]-way cluster
+          partition (computed from the full [files] key list, exactly
+          as a single-daemon [--shards shard_count] run would), behind
+          a router [Shard_link]. Forces one internal shard and one
+          engine user. *)
+  shard_count : int;  (** cluster width; only read when [shard_id] is set *)
 }
 
 val default_config : config

@@ -55,8 +55,14 @@ let is_payload = function
   | Codec.Request _ | Codec.Publish _ | Codec.Reply _ | Codec.Deliver _
   | Codec.Deliver_ack _ | Codec.Ack _ ->
       true
+  (* Prepare/Shard_root/Commit are the shard link's round clock
+     (exactly like Tick on a client link): control, never faulted —
+     injected faults on a router↔shard link hit the payload requests
+     and replies, whose loss the router's retransmit + the shard's
+     dedup absorb. *)
   | Codec.Hello _ | Codec.Welcome _ | Codec.Tick _ | Codec.Tick_done _
-  | Codec.Session_end _ | Codec.Error_frame _ | Codec.Bye ->
+  | Codec.Session_end _ | Codec.Error_frame _ | Codec.Bye | Codec.Prepare _
+  | Codec.Shard_root _ | Codec.Commit _ ->
       false
 
 let crosses_partition faults link frame =

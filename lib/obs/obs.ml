@@ -18,8 +18,11 @@ end
    a global list when a domain first touches a metric and are never
    removed, so counts survive the domain's death and the merge order is
    the (deterministic, for sequentially spawned domains) registration
-   order. [reset] and registration take the one global mutex; both are
-   quiescent-point operations. *)
+   order. Registration is lock-free (CAS on an immutable registry
+   snapshot) because [Engine.record_kind] can reach it from the serving
+   event loop on the first message of a kind; only [meta] writes and
+   [reset] take the one global mutex, and both are quiescent-point
+   operations. *)
 
 type counter = {
   c_id : int;
@@ -70,10 +73,26 @@ type dstate = {
 }
 
 let mu = Mutex.create ()
-let slots : (string, slot) Hashtbl.t = Hashtbl.create 64
-let c_next = ref 0
-let h_next = ref 0
-let domains : dstate list ref = ref [] (* registration order *)
+
+(* Immutable snapshot behind an Atomic, updated by CAS: registering a
+   metric never parks the caller behind another domain, so the serving
+   event loop may register lazily (first message of a kind) without
+   violating select-loop purity. *)
+type registry = {
+  r_slots : (string * slot) list; (* newest registration first *)
+  r_cnext : int;
+  r_hnext : int;
+}
+
+let registry : registry Atomic.t =
+  Atomic.make { r_slots = []; r_cnext = 0; r_hnext = 0 }
+
+let find_slot name = List.assoc_opt name (Atomic.get registry).r_slots
+(* Registration order. Lock-free (CAS append) so that the one-time DLS
+   initialisation a hot-path [incr] can trigger never touches the
+   mutex: the serving event loop stays select-driven even when it is
+   the first toucher of a metric on its domain. *)
+let domains : dstate list Atomic.t = Atomic.make []
 let meta : (string, string) Hashtbl.t = Hashtbl.create 16
 let tracing_on = Atomic.make false
 
@@ -90,7 +109,12 @@ let with_lock f =
 let dls_key =
   Domain.DLS.new_key (fun () ->
       let st = { ctrs = [||]; hists = [||]; tbuf = []; tcount = 0 } in
-      with_lock (fun () -> domains := !domains @ [ st ]);
+      let rec register () =
+        let cur = Atomic.get domains in
+        if not (Atomic.compare_and_set domains cur (cur @ [ st ])) then
+          register ()
+      in
+      register ();
       st)
 
 let dstate () = Domain.DLS.get dls_key
@@ -124,19 +148,21 @@ let mismatch name existing wanted =
     (Printf.sprintf "Obs: %S is registered as a %s, not a %s" name
        (kind_name existing) wanted)
 
-let counter ?scope ?(volatile = false) name =
-  let name = full_name scope name in
-  with_lock (fun () ->
-      match Hashtbl.find_opt slots name with
-      | Some (Scounter c) -> c
-      | Some s -> mismatch name s "counter"
-      | None ->
-          let c =
-            { c_id = !c_next; c_name = name; c_volatile = volatile; c_max_merge = false }
-          in
-          Stdlib.incr c_next;
-          Hashtbl.replace slots name (Scounter c);
-          c)
+let rec counter ?scope ?(volatile = false) name =
+  let full = full_name scope name in
+  let r = Atomic.get registry in
+  match List.assoc_opt full r.r_slots with
+  | Some (Scounter c) -> c
+  | Some s -> mismatch full s "counter"
+  | None ->
+      let c =
+        { c_id = r.r_cnext; c_name = full; c_volatile = volatile; c_max_merge = false }
+      in
+      let r' =
+        { r with r_slots = (full, Scounter c) :: r.r_slots; r_cnext = r.r_cnext + 1 }
+      in
+      if Atomic.compare_and_set registry r r' then c
+      else counter ?scope ~volatile name
 
 let incr ?(by = 1) c =
   let st = dstate () in
@@ -156,19 +182,21 @@ let counter_value c =
     (fun acc st ->
       let v = if c.c_id < Array.length st.ctrs then st.ctrs.(c.c_id) else 0 in
       if c.c_max_merge then max acc v else acc + v)
-    0 !domains
+    0 (Atomic.get domains)
 
-let histogram ?scope ?(volatile = false) name =
-  let name = full_name scope name in
-  with_lock (fun () ->
-      match Hashtbl.find_opt slots name with
-      | Some (Shist h) -> h
-      | Some s -> mismatch name s "histogram"
-      | None ->
-          let h = { h_id = !h_next; h_name = name; h_volatile = volatile } in
-          Stdlib.incr h_next;
-          Hashtbl.replace slots name (Shist h);
-          h)
+let rec histogram ?scope ?(volatile = false) name =
+  let full = full_name scope name in
+  let r = Atomic.get registry in
+  match List.assoc_opt full r.r_slots with
+  | Some (Shist h) -> h
+  | Some s -> mismatch full s "histogram"
+  | None ->
+      let h = { h_id = r.r_hnext; h_name = full; h_volatile = volatile } in
+      let r' =
+        { r with r_slots = (full, Shist h) :: r.r_slots; r_hnext = r.r_hnext + 1 }
+      in
+      if Atomic.compare_and_set registry r r' then h
+      else histogram ?scope ~volatile name
 
 let bucket_of v =
   if v <= 0 then 0
@@ -207,55 +235,57 @@ let merged_hist h =
           done
         end
       end)
-    !domains;
+    (Atomic.get domains);
   out
 
 let histogram_count h = (merged_hist h).count
 let histogram_sum h = (merged_hist h).sum
 
-let set_gauge ?scope name v =
-  let name = full_name scope name in
-  with_lock (fun () ->
-      match Hashtbl.find_opt slots name with
-      | Some (Sgauge g) ->
-          g.g <- v;
-          g.g_set <- true
-      | Some s -> mismatch name s "gauge"
-      | None -> Hashtbl.replace slots name (Sgauge { g = v; g_set = true }))
+let rec set_gauge ?scope name v =
+  let full = full_name scope name in
+  let r = Atomic.get registry in
+  match List.assoc_opt full r.r_slots with
+  | Some (Sgauge g) ->
+      g.g <- v;
+      g.g_set <- true
+  | Some s -> mismatch full s "gauge"
+  | None ->
+      let r' =
+        { r with r_slots = (full, Sgauge { g = v; g_set = true }) :: r.r_slots }
+      in
+      if not (Atomic.compare_and_set registry r r') then set_gauge ?scope name v
 
 let set_meta key v = with_lock (fun () -> Hashtbl.replace meta key v)
 
 (* ---- Queries -------------------------------------------------------- *)
 
 let value name =
-  match Hashtbl.find_opt slots name with
+  match find_slot name with
   | Some (Scounter c) -> counter_value c
   | _ -> 0
 
 let gauge_value name =
-  match Hashtbl.find_opt slots name with
+  match find_slot name with
   | Some (Sgauge g) when g.g_set -> Some g.g
   | _ -> None
 
 let stats name =
-  match Hashtbl.find_opt slots name with
+  match find_slot name with
   | Some (Shist h) ->
       let m = merged_hist h in
       if m.count > 0 then Some (m.count, m.sum, m.min_v, m.max_v) else None
   | _ -> None
 
-(* Fold order is immaterial: the result is sorted before use. *)
 let counters_with_prefix prefix =
-  Hashtbl.fold
-    (fun name s acc ->
+  List.filter_map
+    (fun (name, s) ->
       match s with
       | Scounter c when String.starts_with ~prefix name ->
           let v = counter_value c in
-          if v <> 0 then (name, v) :: acc else acc
-      | _ -> acc)
-    slots []
+          if v <> 0 then Some (name, v) else None
+      | _ -> None)
+    (Atomic.get registry).r_slots
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-[@@tcvs.lint.allow "determinism"]
 
 (* ---- Trace ---------------------------------------------------------- *)
 
@@ -280,8 +310,8 @@ module Trace = struct
 
   (* Emission order within a domain; domains concatenated in
      registration order. *)
-  let events () = List.concat_map (fun st -> List.rev st.tbuf) !domains
-  let count () = List.fold_left (fun acc st -> acc + st.tcount) 0 !domains
+  let events () = List.concat_map (fun st -> List.rev st.tbuf) (Atomic.get domains)
+  let count () = List.fold_left (fun acc st -> acc + st.tcount) 0 (Atomic.get domains)
 end
 
 (* ---- Reset ---------------------------------------------------------- *)
@@ -304,15 +334,15 @@ let reset () =
             st.hists;
           st.tbuf <- [];
           st.tcount <- 0)
-        !domains;
-      (Hashtbl.iter [@tcvs.lint.allow "determinism"])
-        (fun _ s ->
+        (Atomic.get domains);
+      List.iter
+        (fun (_, s) ->
           match s with
           | Sgauge g ->
               g.g <- 0.;
               g.g_set <- false
           | _ -> ())
-        slots;
+        (Atomic.get registry).r_slots;
       Hashtbl.reset meta)
 
 (* ---- JSON escaping (shared by Report and Journal) -------------------- *)
@@ -342,11 +372,10 @@ module Report = struct
     escape buf name;
     Buffer.add_string buf "\": "
 
-  (* Fold order is immaterial: the result is sorted before use. *)
   let sorted_slots () =
-    Hashtbl.fold (fun name s acc -> (name, s) :: acc) slots []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  [@@tcvs.lint.allow "determinism"]
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Atomic.get registry).r_slots
 
   (* Fixed float format: enough precision for per-op ratios, still
      byte-stable for equal inputs. *)
@@ -720,19 +749,21 @@ module Trace_join = struct
               }
         | _ -> None)
 
-  (* Rank along the logical life of an op: client queue, proxy fault
-     plane, daemon dispatch, execution, store flush, reply, return leg.
-     Unknown events sort between the reply and its delivery so custom
+  (* Rank along the logical life of an op: client queue, router fan-out,
+     proxy fault plane, daemon dispatch, execution, store flush, reply,
+     return leg (router first, then the proxy — ties broken by proc
+     name, and "proxy" < "router" matches the return path). Unknown
+     events sort between the reply and its delivery so custom
      instrumentation stays visible without disturbing the known flow. *)
   let rank = function
     | "client.send" -> 0
-    | "client.retransmit" -> 1
+    | "client.retransmit" | "router.route" | "router.dedup" -> 1
     | "proxy.to_server" | "proxy.drop" | "proxy.delay" | "proxy.duplicate" -> 2
     | "daemon.dispatch" | "daemon.dedup" -> 3
     | "daemon.execute" -> 4
     | "daemon.flush" | "store.flush" -> 5
     | "daemon.reply" -> 6
-    | "proxy.to_client" -> 7
+    | "proxy.to_client" | "router.reply" -> 7
     | "client.reply" -> 9
     | _ -> 8
 

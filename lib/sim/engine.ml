@@ -50,11 +50,9 @@ let register t id handlers =
     invalid_arg (Printf.sprintf "Engine.register: %s already registered" (Id.to_string id));
   t.agents <- t.agents @ [ (id, handlers) ]
 
-(* Obs.counter (which takes the registry mutex) only runs on the first
-   message of each kind — the handle is memoized in kind_counters, so
-   the steady state is lock-free. The residual deep-lint path
-   (…record_kind → Obs.counter → Obs.with_lock) is pinned in
-   .tcvs-lint-baseline. *)
+(* Obs.counter (registration, a CAS loop on the registry) only runs on
+   the first message of each kind — the handle is memoized in
+   kind_counters, so the steady state touches nothing shared. *)
 let record_kind t msg ~bytes =
   match t.classify with
   | None -> ""

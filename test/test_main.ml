@@ -17,6 +17,7 @@ let () =
       ("sim", Test_sim.suite);
       ("store", Test_store.suite);
       ("net", Test_net.suite);
+      ("cluster", Test_cluster.suite);
       ("trace", Test_trace.suite);
       ("wgraph", Test_wgraph.suite);
       ("workload", Test_workload.suite);

@@ -109,6 +109,10 @@ let sample_frames =
       { h_version = Codec.protocol_version; h_role = Lockstep; h_user = 2; h_users = 4; h_round = 0 };
     Codec.Hello
       { h_version = Codec.protocol_version; h_role = Free; h_user = 0; h_users = 1; h_round = 33 };
+    Codec.Hello
+      (* a router's shard-link handshake: h_user is the shard id,
+         h_users the cluster width *)
+      { h_version = Codec.protocol_version; h_role = Shard_link; h_user = 1; h_users = 4; h_round = 9 };
     Codec.Welcome
       {
         w_version = Codec.protocol_version;
@@ -154,6 +158,12 @@ let sample_frames =
     Codec.Error_frame { code = Lost_reply; detail = "seq 9" };
     Codec.Error_frame { code = Protocol_violation; detail = "Request before Hello" };
     Codec.Bye;
+    Codec.Prepare { round = 57 };
+    Codec.Shard_root
+      { round = 57; shard_id = 3; generation = 2; ctr = 4099; root = digest 'z' };
+    Codec.Shard_root
+      { round = 0; shard_id = 0; generation = 0; ctr = 0; root = digest '0' };
+    Codec.Commit { round = 57; root = digest 'c' };
   ]
 
 (* Vo.t is abstract, so frame equality is checked through the codec

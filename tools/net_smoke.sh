@@ -17,7 +17,15 @@
 #      the external broadcast channel — every client must raise a TRUE
 #      ALARM (exit 3).
 #   4. bench-net: closed-loop throughput/latency sweep over free-mode
-#      connections, writing BENCH_net.json.
+#      connections, plus the router-vs-single-daemon shard sweep
+#      (1/2/4 shards at a fixed client count), writing BENCH_net.json.
+#   5. Sharded cluster: 2 shard daemons behind individual fault
+#      proxies, a router composing their roots per round, and 2
+#      lockstep clients running the full protocol through it. One
+#      shard is kill -9'd mid-session and restarted from its store on
+#      the same port; the clients must still finish clean. trace-join
+#      over every journal (clients, router, proxies, shards) must show
+#      client -> router -> shard spans in one timeline.
 #
 # Usage: tools/net_smoke.sh   (from the repository root, after a build)
 
@@ -195,10 +203,114 @@ PIDS+=("$DAEMON")
 DPORT=$(wait_port "$WORK/bench.port")
 
 "$CLI" bench-net --connect "127.0.0.1:$DPORT" --users 16 \
-  --conns 1,4,16 --ops 200 --seed "$SEED" --out BENCH_net.json
+  --conns 1,4,16 --ops 200 --seed "$SEED" \
+  --cluster-shards 1,2,4 --cluster-conns 4 --out BENCH_net.json
 
 kill "$DAEMON" 2>/dev/null || true
 wait "$DAEMON" 2>/dev/null || true
 
 grep -q '"throughput_ops_s"' BENCH_net.json
+grep -q '"topology": "router"' BENCH_net.json
+
+echo "== 5. sharded cluster: router + 2 shards, faults, kill -9 =="
+
+CDIR="$WORK/cluster"
+mkdir -p "$CDIR"
+
+# Two shard-scoped daemons, each with its own durable store + journal.
+SHARDS=()
+for i in 0 1; do
+  "$CLI" serve --shard-id "$i" --shard-count 2 --protocol none \
+    --seed "$SEED" --store "$CDIR/shard$i-store" \
+    --listen 0 --port-file "$CDIR/shard$i.port" \
+    --journal "$CDIR/shard$i.jsonl" &
+  SHARDS+=("$!")
+  PIDS+=("$!")
+done
+S0PORT=$(wait_port "$CDIR/shard0.port")
+S1PORT=$(wait_port "$CDIR/shard1.port")
+
+# A fault proxy in front of EACH shard daemon: the router<->shard hop
+# sees drops and duplicates, exercising sub-request retransmission and
+# the shard-side dedup. (Prepare/Shard_root/Commit are control frames
+# the proxy never faults, like Tick on a client link.)
+PROXIES=()
+for i in 0 1; do
+  eval "BPORT=\$S${i}PORT"
+  "$CLI" proxy --connect "127.0.0.1:$BPORT" --listen 0 \
+    --port-file "$CDIR/proxy$i.port" --drop 0.05 --duplicate 0.05 \
+    --seed "$SEED-s$i" --journal "$CDIR/proxy$i.jsonl" &
+  PROXIES+=("$!")
+  PIDS+=("$!")
+done
+P0PORT=$(wait_port "$CDIR/proxy0.port")
+P1PORT=$(wait_port "$CDIR/proxy1.port")
+
+# The router talks to the shards through the proxies and composes the
+# client-visible root each round via the prepare/commit barrier.
+"$CLI" route --shard "127.0.0.1:$P0PORT" --shard "127.0.0.1:$P1PORT" \
+  --users 2 --listen 0 --port-file "$CDIR/router.port" \
+  --journal "$CDIR/router.jsonl" --metrics "$CDIR/router-metrics.json" &
+ROUTER=$!
+PIDS+=("$ROUTER")
+RPORT=$(wait_port "$CDIR/router.port")
+
+# Two lockstep clients running the real protocol against the cluster:
+# their VO-chain verification pins every composed root the router
+# publishes, so a stale or wrong composition cannot finish clean.
+CLIENTS=()
+for u in 0 1; do
+  "$CLI" client --connect "127.0.0.1:$RPORT" --user "$u" --users 2 \
+    --shards 2 --rounds 3000 --seed "$SEED" \
+    --journal "$CDIR/client$u.jsonl" &
+  CLIENTS+=("$!")
+  PIDS+=("$!")
+done
+
+sleep 2
+echo "-- kill -9 shard 1 mid-session --"
+kill -9 "${SHARDS[1]}"
+wait "${SHARDS[1]}" 2>/dev/null || true
+
+# Restart shard 1 from the same store on the same port (the proxy's
+# backend address is fixed): the router reconnects through the proxy
+# and replays its in-flight sub-request; the shard's persistent dedup
+# makes the replay exactly-once.
+"$CLI" serve --shard-id 1 --shard-count 2 --protocol none \
+  --seed "$SEED" --store "$CDIR/shard1-store" \
+  --listen "$S1PORT" --port-file "$CDIR/shard1b.port" \
+  --journal "$CDIR/shard1b.jsonl" &
+SHARD1=$!
+PIDS+=("$SHARD1")
+wait_port "$CDIR/shard1b.port" >/dev/null
+
+for pid in "${CLIENTS[@]}"; do
+  wait "$pid" # set -e: any non-zero client verdict fails the smoke
+done
+echo "-- both clients finished clean across the shard restart --"
+
+# Drain the cluster: router first (it ends the session), then shards.
+kill "$ROUTER" 2>/dev/null || true
+wait "$ROUTER" 2>/dev/null || true
+for pid in "${SHARDS[0]}" "$SHARD1" "${PROXIES[@]}"; do
+  kill "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+done
+
+grep -q '"net.router.barriers_committed"' "$CDIR/router-metrics.json"
+
+# One timeline across all 8 journals: every op must thread
+# client -> router -> proxy -> shard and back as a complete span.
+"$CLI" trace-join "$CDIR"/client0.jsonl "$CDIR"/client1.jsonl \
+  "$CDIR"/router.jsonl "$CDIR"/proxy0.jsonl "$CDIR"/proxy1.jsonl \
+  "$CDIR"/shard0.jsonl "$CDIR"/shard1.jsonl "$CDIR"/shard1b.jsonl \
+  > "$CDIR/trace.txt"
+grep -q 'client.send' "$CDIR/trace.txt"
+grep -q 'router.route' "$CDIR/trace.txt"
+grep -q 'proxy.to_server' "$CDIR/trace.txt"
+grep -q 'daemon.dispatch' "$CDIR/trace.txt"
+grep -q 'router.reply' "$CDIR/trace.txt"
+grep -q 'span u[0-9]*#[0-9]* complete' "$CDIR/trace.txt"
+echo "-- $(grep -c 'span u' "$CDIR/trace.txt") cluster spans joined --"
+
 echo "== net smoke passed =="
