@@ -711,12 +711,170 @@ let ext_global_k () =
     \ do better: a forking server shows each branch its own counter.)\n"
 
 (* ======================================================================= *)
-(* perf-mtree: tracked Merkle hot-path baseline (writes BENCH_mtree.json)  *)
+(* proto-compare: four-protocol sweep (writes BENCH_protocols.json)        *)
 (* ======================================================================= *)
 
 (* Set by `--smoke`: tiny sizes and quota so CI can keep the harness
    from bit-rotting without paying for a full run. *)
 let smoke_mode = ref false
+
+let proto_compare_protocols =
+  [
+    ("protocol-1", Harness.Protocol_1 { k = 8 });
+    ( "protocol-2",
+      Harness.Protocol_2
+        { k = 8; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user } );
+    ("protocol-3", Harness.Protocol_3 { epoch_len = 120 });
+    ("protocol-4", Harness.Protocol_4 { announce_every = 4 });
+  ]
+
+let proto_compare () =
+  header "proto-compare: four-protocol comparison (tracked, BENCH_protocols.json)";
+  let smoke = !smoke_mode in
+  let disjoint seed =
+    S.disjoint_writers { S.default_disjoint with S.writers = 4; files_each = 8 } ~seed
+  in
+  let run_sharded protocol adversary events =
+    let setup =
+      { (Harness.default_setup ~protocol ~users:4 ~adversary) with Harness.shards = Some 2 }
+    in
+    let o = Harness.run setup ~events in
+    (o, Obs.value "run.blocked_rounds")
+  in
+  (* Leg 1: honest concurrent disjoint writers — the workload class
+     Protocol IV exists for. Throughput and blocked rounds show what
+     the wait-free design buys; Protocols I–III pay sync sessions /
+     epoch audits for traffic that never conflicts. *)
+  let seeds = if smoke then [ "pc-1" ] else [ "pc-1"; "pc-2"; "pc-3" ] in
+  row "-- honest disjoint writers (2 shards, %d seeds) --\n" (List.length seeds);
+  let honest =
+    List.map
+      (fun (name, protocol) ->
+        let outcomes =
+          List.map (fun seed -> run_sharded protocol Adversary.Honest (disjoint seed)) seeds
+        in
+        let sum f = List.fold_left (fun acc (o, b) -> acc + f o b) 0 outcomes in
+        let completed = sum (fun o _ -> o.Harness.completed_transactions) in
+        let rounds = sum (fun o _ -> o.Harness.rounds_run) in
+        let blocked = sum (fun _ b -> b) in
+        let messages = sum (fun o _ -> o.Harness.messages_sent) in
+        let bytes = sum (fun o _ -> o.Harness.bytes_sent) in
+        let lat_sum, lat_n =
+          List.fold_left
+            (fun acc (o, _) ->
+              List.fold_left (fun (s, n) (_, l) -> (s + l, n + 1)) acc o.Harness.latencies)
+            (0, 0) outcomes
+        in
+        let mean_latency = float_of_int lat_sum /. float_of_int (max 1 lat_n) in
+        let throughput = float_of_int completed /. float_of_int (max 1 rounds) in
+        row "%-12s %4d tx / %5d rounds  %.4f tx/round  blocked %4d  latency %6.2f  msgs %6d\n"
+          name completed rounds throughput blocked mean_latency messages;
+        (name, (completed, rounds, throughput, blocked, mean_latency, messages, bytes)))
+      proto_compare_protocols
+  in
+  (* Leg 2: detection under the shared Zipf workload — same seed and
+     the same four adversaries for every protocol, so the latency
+     numbers are directly comparable. *)
+  let adversaries =
+    [
+      ("tamper@10", Adversary.Tamper_value { at_op = 10 });
+      ("drop@10", Adversary.Drop_update { at_op = 10 });
+      ("fork@10", Adversary.Fork { at_op = 10; group_a = [ 0; 1 ] });
+      ("rollback@12x4", Adversary.Rollback { at_op = 12; depth = 4; repeat = 1 });
+    ]
+  in
+  let adv_events = workload ~rounds:(if smoke then 300 else 600) "pc-adv" in
+  row "\n-- adversary detection (zipf workload, same seed everywhere) --\n";
+  let detection =
+    List.map
+      (fun (pname, protocol) ->
+        let cells =
+          List.map
+            (fun (aname, adversary) ->
+              let o = run protocol adversary adv_events in
+              let latency =
+                match (o.Harness.violation_round, o.Harness.detection_round) with
+                | Some v, Some d -> d - v
+                | _ -> -1
+              in
+              row "%-12s %-14s %s\n" pname aname (verdict o);
+              (aname, (o.Harness.detected, latency, o.Harness.ops_after_violation)))
+            adversaries
+        in
+        (pname, cells))
+      proto_compare_protocols
+  in
+  (* Leg 3: the commutativity boundary. A fork separating two users who
+     share a shard conflicts and every protocol catches it; a fork along
+     the shard boundary only reorders commuting operations — the root
+     protocols still see the split root, the wait-free protocol
+     provably cannot. *)
+  row "\n-- disjoint-writers forks (the commutativity boundary) --\n";
+  let boundary =
+    List.map
+      (fun (pname, protocol) ->
+        let conflicting, _ =
+          run_sharded protocol
+            (Adversary.Fork { at_op = 12; group_a = [ 0 ] })
+            (disjoint "pc-fork")
+        in
+        let aligned, _ =
+          run_sharded protocol
+            (Adversary.Fork { at_op = 12; group_a = [ 0; 1 ] })
+            (disjoint "pc-fork")
+        in
+        row "%-12s conflicting: %-36s aligned: %s\n" pname (verdict conflicting)
+          (verdict aligned);
+        (pname, conflicting.Harness.detected, aligned.Harness.detected))
+      proto_compare_protocols
+  in
+  (* Machine-readable comparison for later PRs to track. *)
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "{\n  \"experiment\": \"proto-compare\",\n";
+  Printf.bprintf buf "  \"smoke\": %b,\n  \"seeds\": %d,\n" smoke (List.length seeds);
+  Printf.bprintf buf "  \"honest_disjoint_writers\": [\n";
+  List.iteri
+    (fun i (name, (completed, rounds, throughput, blocked, mean_latency, messages, bytes)) ->
+      Printf.bprintf buf
+        "    { \"protocol\": \"%s\", \"completed\": %d, \"rounds\": %d, \
+         \"throughput_tx_per_round\": %.4f, \"blocked_rounds\": %d, \
+         \"mean_latency_rounds\": %.2f, \"messages\": %d, \"bytes\": %d }%s\n"
+        name completed rounds throughput blocked mean_latency messages bytes
+        (if i < List.length honest - 1 then "," else ""))
+    honest;
+  Printf.bprintf buf "  ],\n  \"detection\": [\n";
+  List.iteri
+    (fun i (pname, cells) ->
+      Printf.bprintf buf "    { \"protocol\": \"%s\", \"cells\": [\n" pname;
+      List.iteri
+        (fun j (aname, (detected, latency, ops_after)) ->
+          Printf.bprintf buf
+            "      { \"adversary\": \"%s\", \"detected\": %b, \"latency_rounds\": %d, \
+             \"ops_after_violation\": %d }%s\n"
+            aname detected latency ops_after
+            (if j < List.length cells - 1 then "," else ""))
+        cells;
+      Printf.bprintf buf "    ] }%s\n" (if i < List.length detection - 1 then "," else ""))
+    detection;
+  Printf.bprintf buf "  ],\n  \"disjoint_fork_boundary\": [\n";
+  List.iteri
+    (fun i (pname, conflicting, aligned) ->
+      Printf.bprintf buf
+        "    { \"protocol\": \"%s\", \"conflicting_fork_detected\": %b, \
+         \"shard_aligned_fork_detected\": %b }%s\n"
+        pname conflicting aligned
+        (if i < List.length boundary - 1 then "," else ""))
+    boundary;
+  Printf.bprintf buf "  ]\n}\n";
+  let path = "BENCH_protocols.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  row "\nwrote %s\n" path
+
+(* ======================================================================= *)
+(* perf-mtree: tracked Merkle hot-path baseline (writes BENCH_mtree.json)  *)
+(* ======================================================================= *)
 
 (* Wall-clock best-of-[runs] for macro operations (bulk builds) where
    Bechamel's OLS needs more iterations than a multi-second build
@@ -1305,6 +1463,7 @@ let experiments =
     ("ext-avail", "extension: availability timeout vs stalls", ext_avail);
     ("ext-batch", "extension: atomic multi-key commits", ext_batch);
     ("ext-global-k", "extension: global-k sync trigger", ext_global_k);
+    ("proto-compare", "four-protocol comparison sweep (BENCH_protocols.json)", proto_compare);
     ("perf-mtree", "Merkle hot-path tracked baseline (BENCH_mtree.json)", perf_mtree);
     ("perf-store", "durable store tracked baseline (BENCH_store.json)", perf_store);
     ("perf-obs", "telemetry hot-path tracked baseline (BENCH_obs.json)", perf_obs);

@@ -108,6 +108,7 @@ let protocol_conv k epoch_len =
           (Harness.Protocol_2
              { k; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Global })
     | "3" | "protocol-3" -> Ok (Harness.Protocol_3 { epoch_len })
+    | "4" | "protocol-4" -> Ok (Harness.Protocol_4 { announce_every = 4 })
     | "token" -> Ok (Harness.Token_baseline { slot_len = 4 })
     | "none" | "unverified" -> Ok Harness.Unverified
     | _ -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
@@ -116,7 +117,7 @@ let protocol_conv k epoch_len =
 
 let protocol_arg =
   let doc =
-    "Protocol: 1, 2, 2-untagged, 2-global, 3, token, or none (the unverified baseline)."
+    "Protocol: 1, 2, 2-untagged, 2-global, 3, 4, token, or none (the unverified baseline)."
   in
   Arg.(value & opt string "2" & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc)
 
@@ -358,6 +359,7 @@ let matrix_cmd =
         Harness.Protocol_1 { k };
         Harness.Protocol_2 { k; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user };
         Harness.Protocol_3 { epoch_len };
+        Harness.Protocol_4 { announce_every = 4 };
       ]
     in
     let adversaries =

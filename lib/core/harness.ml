@@ -9,6 +9,7 @@ type protocol =
       sync_trigger : [ `Per_user | `Global ];
     }
   | Protocol_3 of { epoch_len : int }
+  | Protocol_4 of { announce_every : int }
   | Token_baseline of { slot_len : int }
   | Unverified
 
@@ -20,6 +21,7 @@ let protocol_name = function
         (if check_gctr then "" else ",no-gctr")
         (match sync_trigger with `Per_user -> "" | `Global -> ",global-k")
   | Protocol_3 { epoch_len } -> Printf.sprintf "protocol-3(t=%d)" epoch_len
+  | Protocol_4 { announce_every } -> Printf.sprintf "protocol-4(a=%d)" announce_every
   | Token_baseline { slot_len } -> Printf.sprintf "token(slot=%d)" slot_len
   | Unverified -> "unverified"
 
@@ -175,6 +177,11 @@ let build_user setup ~initial_root ~engine ~trace ~keyring ~signers ~user =
              check_epoch_progress = true;
            }
            ~user ~engine ~trace ~keyring ~signer:signers.(user))
+  | Protocol_4 { announce_every } ->
+      Protocol4.base
+        (Protocol4.create
+           { (Protocol4.default_config ~n:setup.users ~initial_root) with announce_every }
+           ~user ~engine ~trace)
   | Token_baseline { slot_len } ->
       Token_user.base
         (Token_user.create
@@ -238,7 +245,7 @@ let run_common setup ~script =
   let mode, epoch_len =
     match setup.protocol with
     | Protocol_1 _ -> (`Signed, None)
-    | Protocol_2 _ | Unverified -> (`Plain, None)
+    | Protocol_2 _ | Protocol_4 _ | Unverified -> (`Plain, None)
     | Protocol_3 { epoch_len } -> (`Plain, Some epoch_len)
     | Token_baseline _ -> (`Token, None)
   in

@@ -16,6 +16,9 @@ type protocol =
       sync_trigger : [ `Per_user | `Global ];
     }
   | Protocol_3 of { epoch_len : int }
+  | Protocol_4 of { announce_every : int }
+      (** wait-free commutative-operation verification
+          ({!Protocol4}); [announce_every] is the witness batch size *)
   | Token_baseline of { slot_len : int }
   | Unverified
 

@@ -38,6 +38,7 @@ type t =
   | Sync_count of { reporter : int; lctr : int }
   | Sync_registers of { reporter : int; sigma : string; last : string option; gctr : int }
   | Sync_verdict of { reporter : int; success : bool }
+  | Shard_witness of { reporter : int; entries : (int * int * string) list }
 
 let kind = function
   | Query _ -> "query"
@@ -49,6 +50,7 @@ let kind = function
   | Sync_count _ -> "sync_count"
   | Sync_registers _ -> "sync_registers"
   | Sync_verdict _ -> "sync_verdict"
+  | Shard_witness _ -> "shard_witness"
 
 let pp_op fmt (op : Mtree.Vo.op) =
   match op with
@@ -89,6 +91,8 @@ let pp fmt = function
   | Sync_registers { reporter; _ } -> Format.fprintf fmt "sync-registers(u%d)" reporter
   | Sync_verdict { reporter; success } ->
       Format.fprintf fmt "sync-verdict(u%d, %b)" reporter success
+  | Shard_witness { reporter; entries } ->
+      Format.fprintf fmt "shard-witness(u%d, %d entries)" reporter (List.length entries)
 
 (* Sizes approximate a compact binary wire format: 8 bytes per integer,
    32 bytes per digest/register, actual length for strings, plus the
@@ -140,3 +144,4 @@ let encoded_size = function
   | Sync_count _ -> 17
   | Sync_registers { last; _ } -> 1 + 8 + 32 + (match last with None -> 1 | Some _ -> 33) + 8
   | Sync_verdict _ -> 10
+  | Shard_witness { entries; _ } -> 1 + 8 + ((8 + 8 + 32) * List.length entries)

@@ -61,6 +61,13 @@ type t =
   | Sync_registers of { reporter : int; sigma : string; last : string option; gctr : int }
       (** Protocol II ([last = None] if the user never operated). *)
   | Sync_verdict of { reporter : int; success : bool }
+  | Shard_witness of { reporter : int; entries : (int * int * string) list }
+      (** Protocol IV: wait-free witness announcements over the
+          external channel — [(shard, position, root)] triples, where
+          [position] is the global operation counter at which the shard
+          had digest [root]. Users merge received witnesses into their
+          per-shard chains; two witnesses for the same (shard,
+          position) with different roots are a fork proof. *)
 
 val kind : t -> string
 (** Stable snake_case tag of the constructor — the per-kind label the

@@ -245,6 +245,7 @@ let create config ~user ~engine ~trace =
       report_if_needed t;
       if not (Sync_session.active t.sync) then
         ignore (User_base.issue t.base ~round ~piggyback:[])
+      else User_base.note_blocked t.base ~round
     end
   in
   Sim.Engine.register engine (Sim.Id.User user) { on_message; on_activate };

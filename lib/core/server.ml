@@ -610,7 +610,7 @@ let create ?store ?shards ?resume_from config ~engine ~initial ~initial_root_sig
         handle_token_turn t ~op ~record
     | _, (Message.Response _ | Message.Token_state _) -> ()
     | _, (Message.Sync_begin _ | Message.Sync_count _ | Message.Sync_registers _
-         | Message.Sync_verdict _) ->
+         | Message.Sync_verdict _ | Message.Shard_witness _) ->
         () (* external channel traffic never reaches the server *)
     | Sim.Id.Server, _ -> ()
   in

@@ -140,6 +140,7 @@ let create config ~user ~engine ~trace ~keyring ~signer =
       let slot = round / config.slot_len in
       if slot mod config.n = me t && slot > t.last_slot_handled && t.phase = Idle then
         take_slot t ~round ~slot
+      else User_base.note_blocked t.base ~round
     end
   in
   Sim.Engine.register engine (Sim.Id.User user) { on_message; on_activate };

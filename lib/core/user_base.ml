@@ -1,6 +1,7 @@
 let obs_scope = Obs.Scope.v "run"
 let c_ops_issued = Obs.counter ~scope:obs_scope "ops_issued"
 let c_ops_completed = Obs.counter ~scope:obs_scope "ops_completed"
+let c_blocked = Obs.counter ~scope:obs_scope "blocked_rounds"
 
 type t = {
   user : int;
@@ -61,6 +62,13 @@ let issue t ~round ~piggyback =
       true
 
 let in_flight_op t = Option.map snd t.in_flight
+
+(* A protocol calls this when a due intent exists but protocol state
+   (a sync session, a token turn, a pending verification) withholds
+   the issue — the serialization cost Protocol IV's wait-free design
+   eliminates. One count = one user-round spent waiting. *)
+let note_blocked t ~round =
+  match due_intent t ~round with Some _ -> Obs.incr c_blocked | None -> ()
 
 let complete t ~round ~answer ?roots () =
   match t.in_flight with

@@ -33,6 +33,12 @@ val issue : t -> round:int -> piggyback:Message.piggyback list -> bool
 
 val in_flight_op : t -> Mtree.Vo.op option
 
+val note_blocked : t -> round:int -> unit
+(** Record one blocked user-round: a due intent exists but protocol
+    state (sync session, token turn…) withholds the issue. Feeds the
+    [run.blocked_rounds] counter the four-protocol comparison bench
+    reports; a no-op when nothing is actually due. *)
+
 val complete :
   t -> round:int -> answer:Mtree.Vo.answer -> ?roots:string * string -> unit -> unit
 (** Record the response action for the in-flight transaction, with the

@@ -37,8 +37,12 @@ let of_node ~branching proof = { branching; body = Flat proof }
 let is_flat t = match t.body with Flat _ -> true | Sharded _ -> false
 
 let compose_root boundaries part_digests =
-  Node.digest
-    (Node.make_node boundaries (Array.map (fun d -> Node.Stub d) part_digests))
+  let n = Array.length part_digests in
+  let stubs = Array.make n (Node.Stub "") in
+  for i = 0 to n - 1 do
+    stubs.(i) <- Node.Stub part_digests.(i)
+  done;
+  Node.digest (Node.make_node boundaries stubs)
 
 let obs_scope = Obs.Scope.v "mtree"
 let c_vo_generated = Obs.counter ~scope:obs_scope "vo_generated"
@@ -136,22 +140,52 @@ let generate tree op =
   record_generated vo;
   vo
 
-(* Which shards does [op] touch? Same routing the replay uses. *)
-let shards_for boundaries (op : op) =
-  let route k = Node.child_index boundaries k in
+(* Which shards does [op] touch, as a bitmask (bit i = shard i)? Same
+   routing the replay uses, in one immediate int — no per-op list.
+   Caps the store at 61 shards, far above any deployed configuration. *)
+let shard_mask boundaries (op : op) =
+  if Array.length boundaries >= 61 then invalid_arg "Vo.shard_mask: more than 61 shards";
   match op with
-  | Get key | Set (key, _) | Remove key -> [ route key ]
+  | Get key | Set (key, _) | Remove key -> 1 lsl Node.child_index boundaries key
   | Set_many entries ->
-      List.sort_uniq Int.compare (List.map (fun (k, _) -> route k) entries)
+      let rec gather acc entries =
+        match entries with
+        | [] -> acc
+        | (k, _) :: tl -> gather (acc lor (1 lsl Node.child_index boundaries k)) tl
+      in
+      gather 0 entries
   | Range (lo, hi) ->
-      let first = route lo and last = route hi in
-      List.init (last - first + 1) (fun i -> first + i)
+      let first = Node.child_index boundaries lo
+      and last = Node.child_index boundaries hi in
+      ((1 lsl (last - first + 1)) - 1) lsl first
+
+(* Which shards does [op] touch, ascending? List-building wrapper over
+   [shard_mask] for the cluster router; the replay path below sticks
+   to the mask. *)
+let shards_for boundaries (op : op) =
+  let mask = shard_mask boundaries op in
+  let rec bits i acc =
+    if i < 0 then acc
+    else bits (i - 1) (if mask land (1 lsl i) <> 0 then i :: acc else acc)
+  in
+  bits (Array.length boundaries) []
+
+(* Keys of a [Set_many] that shard [i] owns, order preserved. Returns
+   the argument itself when every key routes to [i] — the common case
+   under partitioned writers — so cross-shard batches are the only
+   ones that pay for a rebuilt list. *)
+let[@tcvs.lint.allow "hot-path-alloc"] restrict_entries boundaries i entries =
+  let rec all_mine = function
+    | [] -> true
+    | (k, _) :: tl -> Node.child_index boundaries k = i && all_mine tl
+  in
+  if all_mine entries then entries
+  else List.filter (fun (k, _) -> Node.child_index boundaries k = i) entries
 
 (* Restrict a [Set_many] to the keys shard [i] owns; order preserved. *)
 let sub_op_for boundaries i (op : op) =
   match op with
-  | Set_many entries ->
-      Set_many (List.filter (fun (k, _) -> Node.child_index boundaries k = i) entries)
+  | Set_many entries -> Set_many (restrict_entries boundaries i entries)
   | Get _ | Set _ | Remove _ | Range _ -> op
 
 let generate_sharded ~boundaries ~trees op =
@@ -159,12 +193,12 @@ let generate_sharded ~boundaries ~trees op =
   if Array.length boundaries <> Array.length trees - 1 then
     invalid_arg "Vo.generate_sharded: boundaries/shards mismatch";
   let branching = Merkle_btree.branching trees.(0) in
-  let touched = shards_for boundaries op in
+  let mask = shard_mask boundaries op in
   let parts =
     Array.mapi
       (fun i tree ->
         let root = Merkle_btree.root tree in
-        if List.exists (Int.equal i) touched then
+        if mask land (1 lsl i) <> 0 then
           prune_for_op root (sub_op_for boundaries i op)
         else Node.Stub (Node.digest root))
       trees
@@ -207,6 +241,51 @@ let replay_flat ~branching proof op =
       | None -> (Updated, old_root)
       | Some n -> (Updated, Node.digest (Node.collapse_root n)))
 
+(* Replay every touched shard in [mask] ascending ([i] tracks the
+   current bit), writing updated shard digests into [new_digests];
+   returns the lowest touched shard's answer (single-path ops touch
+   exactly one shard; a cross-shard [Set_many] answers [Updated] on
+   every shard). *)
+let rec replay_touched ~branching ~boundaries ~parts ~new_digests op mask i answer =
+  if mask = 0 then answer
+  else if mask land 1 = 0 then
+    replay_touched ~branching ~boundaries ~parts ~new_digests op (mask lsr 1) (i + 1)
+      answer
+  else begin
+    let a, new_d = replay_flat ~branching parts.(i) (sub_op_for boundaries i op) in
+    new_digests.(i) <- new_d;
+    let answer = match answer with None -> Some a | Some _ -> answer in
+    replay_touched ~branching ~boundaries ~parts ~new_digests op (mask lsr 1) (i + 1)
+      answer
+  end
+
+(* Shards partition the key space in order, so per-shard range results
+   concatenate ascending. The entries list IS the answer, so this path
+   allocates by construction. *)
+let[@tcvs.lint.allow "hot-path-alloc"] replay_range ~branching ~parts ~new_digests
+    ~lo ~hi mask =
+  let rec go mask i =
+    if mask = 0 then []
+    else if mask land 1 = 0 then go (mask lsr 1) (i + 1)
+    else begin
+      let a, new_d = replay_flat ~branching parts.(i) (Range (lo, hi)) in
+      new_digests.(i) <- new_d;
+      let rest = go (mask lsr 1) (i + 1) in
+      match a with Entries es -> es @ rest | Value _ | Updated -> rest
+    end
+  in
+  go mask 0
+
+let replay_sharded_masked ~branching ~boundaries ~parts ~new_digests op mask =
+  match op with
+  | Get _ | Set _ | Set_many _ | Remove _ -> (
+      match
+        replay_touched ~branching ~boundaries ~parts ~new_digests op mask 0 None
+      with
+      | Some a -> a
+      | None -> Updated (* Set_many [] touches no shard *))
+  | Range (lo, hi) -> Entries (replay_range ~branching ~parts ~new_digests ~lo ~hi mask)
+
 (* Sharded replay: route the operation to its shards, replay each
    owning part flat, then recompose the shard roots under the same
    one-level composition node the server signs. The composition is
@@ -216,31 +295,10 @@ let replay_flat ~branching proof op =
 let replay_sharded ~branching ~boundaries ~parts op =
   let old_digests = Array.map Node.digest parts in
   let old_root = compose_root boundaries old_digests in
-  let touched = shards_for boundaries op in
+  let mask = shard_mask boundaries op in
   let new_digests = Array.copy old_digests in
-  let answers =
-    List.map
-      (fun i ->
-        let answer, new_d =
-          replay_flat ~branching parts.(i) (sub_op_for boundaries i op)
-        in
-        new_digests.(i) <- new_d;
-        answer)
-      touched
-  in
   let answer =
-    match op with
-    | Get _ | Set _ | Set_many _ | Remove _ -> (
-        match answers with
-        | [] -> Updated (* Set_many [] touches no shard *)
-        | a :: _ -> a)
-    | Range _ ->
-        (* Shards partition the key space in order, so per-shard range
-           results concatenate (touched is ascending). *)
-        Entries
-          (List.concat_map
-             (function Entries es -> es | Value _ | Updated -> [])
-             answers)
+    replay_sharded_masked ~branching ~boundaries ~parts ~new_digests op mask
   in
   (answer, old_root, compose_root boundaries new_digests)
 
@@ -254,6 +312,54 @@ let[@tcvs.lint.root "hot-path"] apply t op =
         (answer, old_root, new_root)
     | Sharded { boundaries; parts } ->
         replay_sharded ~branching:t.branching ~boundaries ~parts op
+  with
+  | result -> Ok result
+  | exception Node.Insufficient_proof -> Error Insufficient
+
+(* ---- Per-shard transition detail (Protocol IV) --------------------- *)
+
+type shard_transition = { shard : int; old_digest : string; new_digest : string }
+
+(* Like [apply], but additionally reports the (old, new) digest of
+   every shard the operation touched — the per-shard root chain a
+   wait-free verifier witnesses. A flat VO is a single shard 0. *)
+let apply_detail t op =
+  Obs.incr c_vo_replays;
+  match
+    match t.body with
+    | Flat proof ->
+        let old_root = Node.digest proof in
+        let answer, new_root = replay_flat ~branching:t.branching proof op in
+        ( answer,
+          old_root,
+          new_root,
+          [ { shard = 0; old_digest = old_root; new_digest = new_root } ] )
+    | Sharded { boundaries; parts } ->
+        let old_digests = Array.map Node.digest parts in
+        let old_root = compose_root boundaries old_digests in
+        let mask = shard_mask boundaries op in
+        let new_digests = Array.copy old_digests in
+        let answer =
+          replay_sharded_masked ~branching:t.branching ~boundaries ~parts
+            ~new_digests op mask
+        in
+        let rec transitions i acc =
+          if i < 0 then acc
+          else
+            transitions (i - 1)
+              (if mask land (1 lsl i) <> 0 then
+                 {
+                   shard = i;
+                   old_digest = old_digests.(i);
+                   new_digest = new_digests.(i);
+                 }
+                 :: acc
+               else acc)
+        in
+        ( answer,
+          old_root,
+          compose_root boundaries new_digests,
+          transitions (Array.length parts - 1) [] )
   with
   | result -> Ok result
   | exception Node.Insufficient_proof -> Error Insufficient

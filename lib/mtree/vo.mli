@@ -66,6 +66,18 @@ val apply : t -> op -> (answer * string * string, error) result
     shard-root split stays inside the shard, exactly as on the
     server. *)
 
+type shard_transition = { shard : int; old_digest : string; new_digest : string }
+(** One shard's root movement under an operation: the shard index and
+    its (pre, post) subtree digests. For read-only operations the two
+    digests are equal. *)
+
+val apply_detail : t -> op -> (answer * string * string * shard_transition list, error) result
+(** Like {!apply}, additionally reporting the per-shard root chain:
+    the transition of every shard the operation touches, ascending.
+    On a flat VO the whole tree is shard [0]. Protocol IV's wait-free
+    verifier witnesses these per-shard chains instead of serialising on
+    the composed root. *)
+
 val branching : t -> int
 val size_bytes : t -> int
 (** Size of the wire encoding — the paper's "O(log n) digests" claim is
@@ -100,10 +112,16 @@ val compose_root : string array -> string array -> string
     node; shared with the sharded store so server and client cannot
     disagree on the extra hash level by construction. *)
 
+val shard_mask : string array -> op -> int
+(** Which shards (by [boundaries] routing) [op] touches, as a bitmask
+    (bit [i] set iff shard [i] is touched) — the allocation-free form
+    the sharded replay and Protocol IV's per-op routing use.
+    @raise Invalid_argument beyond 61 shards (one immediate int). *)
+
 val shards_for : string array -> op -> int list
 (** Which shards (by [boundaries] routing) [op] touches, ascending —
-    the routing the sharded replay uses, exported for the cluster
-    router, which must fan an op to the same owning shard daemons. *)
+    list form of {!shard_mask}, exported for the cluster router, which
+    must fan an op to the same owning shard daemons. *)
 
 val sub_op_for : string array -> int -> op -> op
 (** Restrict [op] to the keys shard [i] owns (only [Set_many] actually

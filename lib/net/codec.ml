@@ -290,6 +290,15 @@ let write_message w (m : Message.t) =
       W.u8 w 8;
       W.u16 w reporter;
       W.u8 w (if success then 1 else 0)
+  | Message.Shard_witness { reporter; entries } ->
+      W.u8 w 9;
+      W.u16 w reporter;
+      W.list w
+        (fun (shard, position, root) ->
+          W.u16 w shard;
+          W.u32 w position;
+          W.str w root)
+        entries
 
 let read_bool r =
   match R.u8 r with
@@ -337,6 +346,15 @@ let read_message r : Message.t =
   | 8 ->
       let reporter = R.u16 r in
       Message.Sync_verdict { reporter; success = read_bool r }
+  | 9 ->
+      let reporter = R.u16 r in
+      let entries =
+        R.list r (fun r ->
+            let shard = R.u16 r in
+            let position = R.u32 r in
+            (shard, position, R.str r))
+      in
+      Message.Shard_witness { reporter; entries }
   | n -> failwith (Printf.sprintf "unknown message tag %d" n)
 
 let encode_message m =

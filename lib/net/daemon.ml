@@ -136,7 +136,7 @@ let jot_fwd st ~user ~seq ~(ctx : Codec.ctx) ~ev detail =
 
 let mode_of_protocol = function
   | Harness.Protocol_1 _ -> (`Signed, None)
-  | Harness.Protocol_2 _ | Harness.Unverified -> (`Plain, None)
+  | Harness.Protocol_2 _ | Harness.Protocol_4 _ | Harness.Unverified -> (`Plain, None)
   | Harness.Protocol_3 { epoch_len } -> (`Plain, Some epoch_len)
   | Harness.Token_baseline _ -> (`Token, None)
 

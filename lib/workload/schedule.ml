@@ -23,6 +23,26 @@ let default_profile =
     mean_offline = 80.0;
   }
 
+(* Merge independently-generated per-user streams into one global
+   schedule: sort, then bump round collisions to the next free round so
+   at most one query action occurs per round. *)
+let merge_streams all =
+  let all =
+    List.sort
+      (fun a b ->
+        match Stdlib.compare a.round b.round with
+        | 0 -> Stdlib.compare (a.user, a.intent) (b.user, b.intent)
+        | c -> c)
+      all
+  in
+  let last_round = ref 0 in
+  List.map
+    (fun ev ->
+      let round = max ev.round (!last_round + 1) in
+      last_round := round;
+      { ev with round })
+    all
+
 (* Each user is simulated independently (own PRNG stream), producing
    tentative (round, intent) pairs; a final pass merges the streams and
    bumps collisions to the next free round so at most one query action
@@ -55,21 +75,65 @@ let generate profile ~seed ~rounds =
     (* Stagger starts so users don't all wake at round 1. *)
     go [] (1 + Crypto.Prng.int rng (max 1 (int_of_float profile.mean_think)))
   in
-  let all =
-    List.concat_map per_user (List.init profile.users Fun.id)
-    |> List.sort (fun a b ->
-           match Stdlib.compare a.round b.round with
-           | 0 -> Stdlib.compare (a.user, a.intent) (b.user, b.intent)
-           | c -> c)
+  merge_streams (List.concat_map per_user (List.init profile.users Fun.id))
+
+type disjoint_spec = {
+  writers : int;
+  files_each : int;
+  bursts : int;
+  burst_len : int;
+  mean_gap : float;
+  write_fraction : float;
+}
+
+let default_disjoint =
+  {
+    writers = 8;
+    files_each = 4;
+    bursts = 3;
+    burst_len = 6;
+    mean_gap = 40.0;
+    write_fraction = 0.8;
+  }
+
+(* Concurrent disjoint writers: user [u] owns the file partition
+   [u * files_each .. (u+1) * files_each - 1] and touches nothing
+   outside it, so every pair of users' operations commute — the
+   workload shape Protocol IV's wait-free verification is built for.
+   Traffic is bursty: [burst_len] back-to-back operations, then an
+   exponential gap, [bursts] times per user. *)
+let disjoint_writers spec ~seed =
+  if spec.writers <= 0 then invalid_arg "Schedule.disjoint_writers: no writers";
+  if spec.files_each <= 0 then invalid_arg "Schedule.disjoint_writers: empty partitions";
+  let root_rng = Crypto.Prng.create ~seed in
+  let per_user user =
+    let rng = Crypto.Prng.split root_rng ~label:(Printf.sprintf "writer-%d" user) in
+    let base = user * spec.files_each in
+    let pick_file () = base + Crypto.Prng.int rng spec.files_each in
+    let rec burst_go acc burst round =
+      if burst >= spec.bursts then List.rev acc
+      else begin
+        let rec ops_go acc i round =
+          if i >= spec.burst_len then (acc, round)
+          else begin
+            let file = pick_file () in
+            let intent =
+              if Crypto.Prng.bernoulli rng ~p:spec.write_fraction then Write file
+              else Read file
+            in
+            ops_go ({ round; user; intent } :: acc) (i + 1) (round + 1)
+          end
+        in
+        let acc, round = ops_go acc 0 round in
+        let gap = 1 + int_of_float (Crypto.Prng.exponential rng ~mean:spec.mean_gap) in
+        burst_go acc (burst + 1) (round + gap)
+      end
+    in
+    (* Stagger burst starts so the bursts genuinely overlap across
+       users rather than running in phase. *)
+    burst_go [] 0 (1 + Crypto.Prng.int rng (max 1 (int_of_float spec.mean_gap)))
   in
-  (* Resolve round collisions deterministically. *)
-  let last_round = ref 0 in
-  List.map
-    (fun ev ->
-      let round = max ev.round (!last_round + 1) in
-      last_round := round;
-      { ev with round })
-    all
+  merge_streams (List.concat_map per_user (List.init spec.writers Fun.id))
 
 type partition_spec = {
   group_a : int list;

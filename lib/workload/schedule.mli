@@ -38,6 +38,26 @@ val default_profile : profile
 val generate : profile -> seed:string -> rounds:int -> event list
 (** Events sorted by round, at most one per round. *)
 
+type disjoint_spec = {
+  writers : int;  (** number of users, each with a private partition *)
+  files_each : int;  (** files per user partition *)
+  bursts : int;  (** bursts per user *)
+  burst_len : int;  (** back-to-back operations per burst *)
+  mean_gap : float;  (** mean rounds between a user's bursts *)
+  write_fraction : float;  (** probability a burst operation is a [Write] *)
+}
+
+val default_disjoint : disjoint_spec
+(** 8 writers x 4 private files, 3 bursts of 6 ops, mean gap 40, 80%
+    writes — concurrent commit storms on disjoint subtrees. *)
+
+val disjoint_writers : disjoint_spec -> seed:string -> event list
+(** Concurrent disjoint writers: user [u] only ever touches files
+    [u * files_each .. (u+1) * files_each - 1], so all users' operations
+    pairwise commute — the scenario class Protocol IV verifies without
+    waiting while Protocols I–III serialize. Events sorted by round, at
+    most one per round. *)
+
 type partition_spec = {
   group_a : int list;
   group_b : int list;

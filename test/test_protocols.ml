@@ -17,6 +17,7 @@ let protocols k =
     Harness.Protocol_1 { k };
     Harness.Protocol_2 { k; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user };
     Harness.Protocol_3 { epoch_len = 120 };
+    Harness.Protocol_4 { announce_every = 4 };
   ]
 
 let run ?(users = 4) protocol adversary events =
@@ -834,6 +835,135 @@ let test_cvs_tags () =
   | Error (Cvs.Conflict _) -> ()
   | _ -> Alcotest.fail "unknown tag must fail"
 
+(* ---- Protocol IV: wait-free verification of commuting operations ---------- *)
+
+let p4 = Harness.Protocol_4 { announce_every = 4 }
+
+(* 4 writers x 8 private files covers default_setup's 32 initial files
+   exactly; with [shards = Some 2] users {0,1} share shard 0 and {2,3}
+   share shard 1. *)
+let disjoint_events seed =
+  S.disjoint_writers { S.default_disjoint with S.writers = 4; files_each = 8 } ~seed
+
+let run_p4 ?(shards = Some 2) protocol adversary events =
+  let setup =
+    { (Harness.default_setup ~protocol ~users:4 ~adversary) with Harness.shards }
+  in
+  Harness.run setup ~events
+
+let test_protocol4_wait_free_disjoint () =
+  (* The workload class Protocol IV exists for: concurrent writers on
+     disjoint key ranges. Protocol IV completes everything without ever
+     withholding a due operation; Protocol II on the same traffic spends
+     rounds blocked in sync sessions. *)
+  let events = disjoint_events "p4-wf" in
+  let run_counting protocol =
+    let o = run_p4 protocol Adversary.Honest events in
+    (o, Obs.value "run.blocked_rounds")
+  in
+  let o4, blocked4 = run_counting p4 in
+  Alcotest.(check int) "p4: no alarms" 0 (List.length o4.Harness.alarms);
+  Alcotest.(check bool) "p4: no deviation" false o4.Harness.oracle.Sim.Oracle.deviated;
+  Alcotest.(check int) "p4: all transactions complete" o4.Harness.issued_transactions
+    o4.Harness.completed_transactions;
+  Alcotest.(check int) "p4: zero blocked rounds (wait-free)" 0 blocked4;
+  let o2, blocked2 =
+    run_counting
+      (Harness.Protocol_2 { k = 2; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user })
+  in
+  Alcotest.(check bool) "p2: clean" false o2.Harness.detected;
+  Alcotest.(check bool)
+    (Printf.sprintf "p2 blocks where p4 does not (saw %d blocked rounds)" blocked2)
+    true (blocked2 > 0)
+
+let test_protocol4_fork_commutativity () =
+  (* The Cachin–Ohrimenko boundary, both sides. A fork that separates
+     two users sharing a shard forks non-commuting operations: their
+     witness chains collide and Protocol IV must alarm. A fork along the
+     shard boundary only reorders commuting operations — no conflict
+     point ever exists, so no wait-free verifier can see it; the global
+     serialization oracle still records the deviation. *)
+  let events = disjoint_events "p4-fork" in
+  let run_fork group_a =
+    run_p4 p4 (Adversary.Fork { at_op = 12; group_a }) events
+  in
+  let conflicting = run_fork [ 0 ] in
+  Alcotest.(check bool) "conflicting fork detected" true conflicting.Harness.detected;
+  (match conflicting.Harness.alarms with
+  | a :: _ ->
+      Alcotest.(check bool) ("typed alarm: " ^ a.Sim.Engine.reason) true
+        (String.starts_with ~prefix:"protocol-4" a.Sim.Engine.reason)
+  | [] -> Alcotest.fail "no alarm");
+  let aligned = run_fork [ 0; 1 ] in
+  Alcotest.(check bool) "shard-aligned fork invisible wait-free" false
+    aligned.Harness.detected;
+  Alcotest.(check bool) "but the global serialization deviates" true
+    aligned.Harness.oracle.Sim.Oracle.deviated
+
+let test_protocol4_detection_bound () =
+  (* The wait-free analogue of the k-bound: on conflicting operations a
+     violation is caught before any user completes more than
+     announce_every transactions issued after it. *)
+  let events = workload "p4-bound" in
+  List.iter
+    (fun adversary ->
+      let o = run p4 adversary events in
+      Alcotest.(check bool) (Adversary.name adversary ^ " detected") true o.Harness.detected;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s within the announce window (saw %d)" (Adversary.name adversary)
+           o.Harness.ops_after_violation)
+        true
+        (o.Harness.ops_after_violation <= 4))
+    (adversaries @ [ Adversary.Rollback { at_op = 15; depth = 6; repeat = 1 } ])
+
+let test_protocol4_typed_alarms () =
+  (* Every Protocol IV verdict is a typed protocol-4 alarm, not a
+     generic mismatch. *)
+  let events = workload "p4-typed" in
+  List.iter
+    (fun adversary ->
+      let o = run p4 adversary events in
+      Alcotest.(check bool) (Adversary.name adversary ^ " detected") true o.Harness.detected;
+      match o.Harness.alarms with
+      | a :: _ ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: typed reason %S" (Adversary.name adversary)
+               a.Sim.Engine.reason)
+            true
+            (String.starts_with ~prefix:"protocol-4" a.Sim.Engine.reason)
+      | [] -> Alcotest.fail "no alarm")
+    adversaries
+
+let test_protocol4_oracle_equivalence () =
+  (* Honest runs replay identically against the serialization oracle,
+     flat and sharded: every answer Protocol IV certified is the answer
+     a correct sequential server would have given. *)
+  List.iter
+    (fun shards ->
+      let o = run_p4 ~shards p4 Adversary.Honest (workload "p4-oracle") in
+      Alcotest.(check bool) "no deviation" false o.Harness.oracle.Sim.Oracle.deviated;
+      Alcotest.(check int) "no alarms" 0 (List.length o.Harness.alarms);
+      Alcotest.(check int) "all complete" o.Harness.issued_transactions
+        o.Harness.completed_transactions)
+    [ None; Some 4 ]
+
+let test_protocol4_announce_cadence () =
+  (* The batch size trades announcement traffic against cross-user
+     detection lag; correctness must hold at both extremes. *)
+  let events = workload "p4-cadence" in
+  List.iter
+    (fun announce_every ->
+      let p = Harness.Protocol_4 { announce_every } in
+      let honest = run p Adversary.Honest events in
+      Alcotest.(check bool)
+        (Printf.sprintf "a=%d: clean" announce_every)
+        false honest.Harness.detected;
+      let forked = run p (Adversary.Fork { at_op = 10; group_a = [ 0; 1 ] }) events in
+      Alcotest.(check bool)
+        (Printf.sprintf "a=%d: fork detected" announce_every)
+        true forked.Harness.detected)
+    [ 1; 16 ]
+
 let suite =
   let quick name f = Alcotest.test_case name `Quick f in
   let slow name f = Alcotest.test_case name `Slow f in
@@ -872,6 +1002,14 @@ let suite =
     quick "availability: stall invisible without timeout" test_stall_missed_without_timeout;
     quick "availability: timeout has no false positives" test_timeout_no_false_positive;
     quick "fault localisation: alarm names the certified prefix" test_fault_localization_window;
+    quick "protocol 4: wait-free on disjoint writers" test_protocol4_wait_free_disjoint;
+    quick "protocol 4: conflicting forks caught, commuting forks invisible"
+      test_protocol4_fork_commutativity;
+    quick "protocol 4: detection within the announce window" test_protocol4_detection_bound;
+    quick "protocol 4: typed alarms for every adversary" test_protocol4_typed_alarms;
+    quick "protocol 4: oracle replay equivalence, flat and sharded"
+      test_protocol4_oracle_equivalence;
+    quick "protocol 4: announce cadence extremes" test_protocol4_announce_cadence;
     quick "cvs: edit / diff / commit_workspace" test_cvs_edit_and_workspace_commit;
     quick "cvs: checkout_at revision" test_cvs_checkout_at_revision;
     quick "cvs: commit_many" test_cvs_commit_many;

@@ -84,6 +84,24 @@ let test_protocol3_epoch_assignment () =
     "drifted assignment caught" true
     (Result.is_error (Protocol3.check_epochs p))
 
+(* ---- Protocol IV witness rings -------------------------------------------- *)
+
+let test_protocol4_witness_rings () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let config = Protocol4.default_config ~n:2 ~initial_root:"r0" in
+  let p = Protocol4.create config ~user:0 ~engine ~trace in
+  Alcotest.(check bool)
+    "fresh rings consistent" true
+    (Result.is_ok (Protocol4.check_witnesses p));
+  Protocol4.debug_corrupt_witness p;
+  (match Protocol4.check_witnesses p with
+  | Ok () -> Alcotest.fail "duplicate witness position missed"
+  | Error reason ->
+      Alcotest.(check bool)
+        "reason names the duplicate" true
+        (contains ~needle:"duplicate" reason))
+
 (* ---- end to end: bitrot vs the harness ----------------------------------- *)
 
 let workload seed =
@@ -98,23 +116,30 @@ let run protocol adversary events =
 let test_bitrot_needs_sanitizer () =
   let events = workload "bitrot-e2e" in
   let adversary = Adversary.Bitrot { at_op = 10 } in
-  let protocol = Harness.Protocol_1 { k = 8 } in
-  (* The plain run serves corrupted bytes under stale digests: ground
-     truth deviates, yet no protocol alarm fires — by construction the
-     digest arithmetic stays self-consistent. *)
-  let plain = run protocol adversary events in
-  Alcotest.(check int) "plain run raises no alarm" 0 (List.length plain.Harness.alarms);
-  Alcotest.(check bool) "yet ground truth deviates" true
-    plain.Harness.oracle.Sim.Oracle.deviated;
-  (* The sanitized run recomputes digests from raw bytes and alarms. *)
-  with_sanitize (fun () ->
-      let o = run protocol adversary events in
-      match o.Harness.alarms with
-      | [] -> Alcotest.fail "sanitized run missed the bitrot"
-      | a :: _ ->
-          Alcotest.(check bool)
-            "alarm is attributed to the sanitizer" true
-            (has_prefix ~prefix:"sanitize:" a.Sim.Engine.reason))
+  List.iter
+    (fun protocol ->
+      (* The plain run serves corrupted bytes under stale digests:
+         ground truth deviates, yet no protocol alarm fires — by
+         construction the digest arithmetic stays self-consistent.
+         This holds for Protocol IV too: its witness chains are built
+         from the same stale digests. *)
+      let plain = run protocol adversary events in
+      Alcotest.(check int)
+        (Harness.protocol_name protocol ^ ": plain run raises no alarm")
+        0 (List.length plain.Harness.alarms);
+      Alcotest.(check bool) "yet ground truth deviates" true
+        plain.Harness.oracle.Sim.Oracle.deviated;
+      (* The sanitized run recomputes digests from raw bytes and
+         alarms. *)
+      with_sanitize (fun () ->
+          let o = run protocol adversary events in
+          match o.Harness.alarms with
+          | [] -> Alcotest.fail "sanitized run missed the bitrot"
+          | a :: _ ->
+              Alcotest.(check bool)
+                "alarm is attributed to the sanitizer" true
+                (has_prefix ~prefix:"sanitize:" a.Sim.Engine.reason)))
+    [ Harness.Protocol_1 { k = 8 }; Harness.Protocol_4 { announce_every = 4 } ]
 
 let test_sanitizer_no_false_positives () =
   (* Honest runs under every protocol must stay alarm-free with the
@@ -134,6 +159,7 @@ let test_sanitizer_no_false_positives () =
           Harness.Protocol_2
             { k = 8; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user };
           Harness.Protocol_3 { epoch_len = 120 };
+          Harness.Protocol_4 { announce_every = 4 };
         ])
 
 let test_sanitizer_catches_protocol_adversaries_too () =
@@ -159,6 +185,7 @@ let suite =
       test_merkle_bitrot_caught_by_invariants;
     Alcotest.test_case "protocol2: register ledger" `Quick test_protocol2_register_ledger;
     Alcotest.test_case "protocol3: epoch assignment" `Quick test_protocol3_epoch_assignment;
+    Alcotest.test_case "protocol4: witness rings" `Quick test_protocol4_witness_rings;
     Alcotest.test_case "bitrot: detected only with sanitizer" `Quick
       test_bitrot_needs_sanitizer;
     Alcotest.test_case "sanitizer: no false positives" `Quick

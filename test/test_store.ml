@@ -807,6 +807,7 @@ let protocols k =
     Harness.Protocol_1 { k };
     Harness.Protocol_2 { k; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user };
     Harness.Protocol_3 { epoch_len = 120 };
+    Harness.Protocol_4 { announce_every = 4 };
   ]
 
 let run_with_store ?shards ?(durability = Store.Per_op) ?segment_bytes

@@ -21,7 +21,7 @@
 
    Dynamic mode (the ROADMAP "trace-driven regression diffs" item):
 
-     tcvs_lint --run-twice [--protocol 1|2|3|all] [--seed S]
+     tcvs_lint --run-twice [--protocol 1|2|3|4|all] [--seed S]
                [--users N] [--rounds R]
 
    runs the honest-server harness twice with identical seeds and diffs
@@ -47,7 +47,7 @@ open Tcvs_lint_core
 let usage =
   "tcvs_lint [--root DIR] [--config FILE] [--list-rules] [--deep]\n\
   \           [--baseline FILE] [--write-baseline FILE] [--format text|json] [FILE...]\n\
-   tcvs_lint --run-twice [--protocol 1|2|3|all] [--seed S] [--users N] [--rounds R]\n\
+   tcvs_lint --run-twice [--protocol 1|2|3|4|all] [--seed S] [--users N] [--rounds R]\n\
   \           [--store DIR] [--shards N]\n\
    tcvs_lint --diff-traces A.jsonl B.jsonl"
 
@@ -230,6 +230,7 @@ let protocol_of_string k epoch_len = function
         (Tcvs.Harness.Protocol_2
            { k; tag_mode = `Tagged; check_gctr = true; sync_trigger = `Per_user })
   | "3" -> Some (Tcvs.Harness.Protocol_3 { epoch_len })
+  | "4" -> Some (Tcvs.Harness.Protocol_4 { announce_every = 4 })
   | _ -> None
 
 (* Same traffic profile as `tcvs simulate` so the smoke check exercises
@@ -318,7 +319,7 @@ let run_twice_one ~name ~protocol ~users ~rounds ~seed ~store_dir ~shards =
 let run_twice ~protocols ~users ~rounds ~seed ~k ~epoch_len ~store_dir ~shards =
   let selected =
     match protocols with
-    | "all" -> [ "1"; "2"; "3" ]
+    | "all" -> [ "1"; "2"; "3"; "4" ]
     | p -> String.split_on_char ',' p
   in
   let ok =
@@ -328,7 +329,7 @@ let run_twice ~protocols ~users ~rounds ~seed ~k ~epoch_len ~store_dir ~shards =
         | Some protocol ->
             run_twice_one ~name ~protocol ~users ~rounds ~seed ~store_dir ~shards && ok
         | None ->
-            prerr_endline ("tcvs_lint: unknown protocol " ^ name ^ " (use 1, 2, 3 or all)");
+            prerr_endline ("tcvs_lint: unknown protocol " ^ name ^ " (use 1, 2, 3, 4 or all)");
             exit 2)
       true selected
   in
@@ -419,7 +420,7 @@ let () =
       ("--run-twice", Arg.Set do_run_twice, " determinism smoke: run twice, diff evidence");
       ( "--protocol",
         Arg.Set_string protocols,
-        "P protocols for --run-twice: 1, 2, 3, comma list, or all (default all)" );
+        "P protocols for --run-twice: 1, 2, 3, 4, comma list, or all (default all)" );
       ("--seed", Arg.Set_string seed, "S PRNG seed for --run-twice");
       ("--users", Arg.Set_int users, "N users for --run-twice (default 4)");
       ("--rounds", Arg.Set_int rounds, "R workload length for --run-twice (default 300)");
